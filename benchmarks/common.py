@@ -1,0 +1,84 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``benchmarks/test_*.py`` regenerates one table or figure of the
+paper: it runs the experiment through ``benchmark.pedantic`` (so
+``pytest benchmarks/ --benchmark-only`` both times and executes it),
+prints the same rows/series the paper reports, and asserts the paper's
+qualitative *shape* — who wins, what degrades, where the crossovers sit —
+rather than absolute numbers (see EXPERIMENTS.md for the side-by-side).
+
+Scale note: dataset sizes are the generators' defaults (~20× below the
+paper's corpora) so the full suite runs in minutes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FUSION_METHODS, QA_METHODS, FusionMethod, QAMethod
+from repro.core import MultiRAGConfig
+from repro.datasets import make_books, make_flights, make_movies, make_stocks
+
+#: column order of Table II.
+TABLE2_METHODS = [
+    "MV", "TruthFinder", "LTM", "CoT", "StandardRAG",
+    "IRCoT", "MDQA", "ChatKBQA", "FusionQuery",
+    "MCC", "MultiRAG",
+]
+
+#: row order of Table IV.
+TABLE4_METHODS = [
+    "StandardRAG", "GPT-3.5-Turbo+CoT", "IRCoT", "ChatKBQA",
+    "MDQA", "RQ-RAG", "MetaRAG", "MultiRAG",
+]
+
+DATASET_FACTORIES = {
+    "movies": make_movies,
+    "books": make_books,
+    "flights": make_flights,
+    "stocks": make_stocks,
+}
+
+#: Table II source configurations per dataset.
+SOURCE_CONFIGS = {
+    "movies": [{"json", "kg"}, {"json", "csv"}, {"kg", "csv"},
+               {"json", "kg", "csv"}],
+    "books": [{"json", "csv"}, {"json", "xml"}, {"csv", "xml"},
+              {"json", "csv", "xml"}],
+    "flights": [{"csv", "json"}],
+    "stocks": [{"csv", "json"}],
+}
+
+
+def fusion_method(name: str, config: MultiRAGConfig | None = None) -> FusionMethod:
+    """Instantiate a registered fusion method (ours take a config)."""
+    cls = FUSION_METHODS[name]
+    if name in {"MCC", "MultiRAG"} and config is not None:
+        return cls(config)
+    return cls()
+
+
+def qa_method(name: str, config: MultiRAGConfig | None = None) -> QAMethod:
+    cls = QA_METHODS[name]
+    if name == "MultiRAG" and config is not None:
+        return cls(config)
+    return cls()
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def dump_results(name: str, payload: object) -> None:
+    """Write a benchmark's data series to ``results/<name>.json``.
+
+    The JSON artifacts are what EXPERIMENTS.md is compiled from and what
+    downstream plotting (no plotting dependency ships offline) consumes.
+    """
+    import json
+    from pathlib import Path
+
+    directory = Path(__file__).resolve().parent.parent / "results"
+    directory.mkdir(exist_ok=True)
+    (directory / f"{name}.json").write_text(
+        json.dumps(payload, indent=1, default=str)
+    )

@@ -1,0 +1,82 @@
+"""Extension — first-stage retrieval quality across modes.
+
+The QA baselines differ in how they retrieve (sparse BM25, dense TF-IDF,
+hybrid, RRF, LLM-reranked); this benchmark measures each mode's page
+Recall@5 on the synthetic wiki's hop queries — does the right entity's
+page land in the top 5?
+
+Shape: the fused modes (hybrid, rrf) and the reranked pipeline must not
+lose to the weaker of the two single-index modes, and every mode must
+clear a sanity floor on this small corpus.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_hotpotqa_like
+from repro.eval import build_substrate, format_table
+from repro.llm import SimulatedLLM
+from repro.retrieval import LLMReranker, MultiSourceRetriever, retrieve_and_rerank
+
+from .common import once
+
+
+def page_entity(doc_id: str) -> str:
+    return doc_id.split(":")[-1]
+
+
+def run_retrieval_modes():
+    corpus = make_hotpotqa_like(n_queries=40, seed=0)
+    substrate = build_substrate(corpus)
+
+    # Underspecified hop queries: only the entity's *last* name token plus
+    # the attribute words.  Shared surnames and title nouns make this
+    # genuinely ambiguous — the retrieval mode has to earn its ranking.
+    probes = []
+    for query in corpus.queries:
+        entity, attribute = query.hops[0]
+        fragment = entity.split()[-1]
+        probes.append((f"{fragment} {attribute.replace('_', ' ')}", entity))
+
+    retrievers = {}
+    for mode in ("dense", "sparse", "hybrid", "rrf"):
+        retriever = MultiSourceRetriever(mode=mode)
+        retriever.add_chunks(substrate.chunks)
+        retriever.build()
+        retrievers[mode] = retriever
+
+    reranker = LLMReranker(SimulatedLLM(seed=0))
+
+    def recall_at_5(fetch):
+        hits = 0
+        for question, entity in probes:
+            top = fetch(question)
+            if any(page_entity(h.item.doc_id) == entity for h in top):
+                hits += 1
+        return 100.0 * hits / len(probes)
+
+    results = {
+        mode: recall_at_5(lambda q, r=retriever: r.retrieve(q, k=5))
+        for mode, retriever in retrievers.items()
+    }
+    results["hybrid+rerank"] = recall_at_5(
+        lambda q: retrieve_and_rerank(retrievers["hybrid"], reranker, q, k=5)
+    )
+    return results
+
+
+def test_retrieval_modes(benchmark):
+    results = once(benchmark, run_retrieval_modes)
+
+    print()
+    print(format_table(
+        ["mode", "page Recall@5"],
+        [[mode, f"{score:.1f}"] for mode, score in results.items()],
+        title="First-stage retrieval quality (wiki hop queries)",
+    ))
+
+    weakest_single = min(results["dense"], results["sparse"])
+    assert results["hybrid"] >= weakest_single
+    assert results["rrf"] >= weakest_single
+    assert results["hybrid+rerank"] >= weakest_single
+    for mode, score in results.items():
+        assert score > 30.0, mode

@@ -1,0 +1,75 @@
+"""Extension — scaling behaviour of construction and querying.
+
+§III-C claims homologous matching is O(n log n) in the number of triples
+and Q5 argues MLG lookups stay cheap as data grows.  This benchmark builds
+the Movies dataset at 1×, 2× and 4× scale and checks:
+
+* MLG construction time grows subquadratically (time ratio well below the
+  squared size ratio);
+* mean query latency through the MLG is essentially flat across scales.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.datasets import make_movies
+from repro.eval import format_table
+from repro.linegraph import MultiSourceLineGraph
+
+from .common import once
+
+SCALES = [1.0, 2.0, 4.0]
+
+
+def run_scaling():
+    rows = []
+    for scale in SCALES:
+        dataset = make_movies(seed=0, scale=scale, n_queries=40)
+        rag = MultiRAG(MultiRAGConfig())
+        rag.ingest(dataset.raw_sources())
+        graph = rag.fusion.graph
+
+        start = time.perf_counter()
+        mlg = MultiSourceLineGraph(graph)
+        build_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for query in dataset.queries:
+            rag.query_key(query.entity, query.attribute)
+        query_time = (time.perf_counter() - start) / len(dataset.queries)
+
+        rows.append({
+            "scale": scale,
+            "triples": len(graph),
+            "groups": mlg.stats()["groups"],
+            "build_s": build_time,
+            "query_ms": 1000 * query_time,
+        })
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = once(benchmark, run_scaling)
+
+    print()
+    print(format_table(
+        ["scale", "triples", "groups", "MLG build (s)", "mean query (ms)"],
+        [[r["scale"], r["triples"], r["groups"], f"{r['build_s']:.4f}",
+          f"{r['query_ms']:.2f}"] for r in rows],
+        title="Scaling: MLG construction and query latency",
+    ))
+
+    small, large = rows[0], rows[-1]
+    size_ratio = large["triples"] / small["triples"]
+    assert size_ratio > 2.5  # the sweep actually scaled the data
+
+    # Construction: comfortably subquadratic in triple count.
+    build_ratio = large["build_s"] / max(small["build_s"], 1e-6)
+    assert build_ratio < size_ratio ** 2, (build_ratio, size_ratio)
+
+    # Queries: the O(1) group lookup keeps latency roughly flat — allow
+    # generous noise but rule out linear growth.
+    query_ratio = large["query_ms"] / max(small["query_ms"], 1e-6)
+    assert query_ratio < size_ratio, (query_ratio, size_ratio)

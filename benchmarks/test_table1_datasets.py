@@ -1,0 +1,70 @@
+"""Table I — statistics of the preprocessed datasets.
+
+Prints per-format source/entity/relation counts for the four synthetic
+benchmarks next to the paper's (≈20× larger) originals, and asserts the
+structural shape: source counts match Table I exactly; density ordering
+(Movies, Flights dense; Books, Stocks sparse) holds.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import books, flights, movies, stocks
+from repro.eval import format_table
+
+from .common import DATASET_FACTORIES, once
+
+PAPER_STATS = {
+    "movies": movies.PAPER_STATS,
+    "books": books.PAPER_STATS,
+    "flights": flights.PAPER_STATS,
+    "stocks": stocks.PAPER_STATS,
+}
+
+
+def build_all():
+    return {name: factory(seed=0) for name, factory in DATASET_FACTORIES.items()}
+
+
+def test_table1_dataset_statistics(benchmark):
+    datasets = once(benchmark, build_all)
+
+    rows = []
+    for name, dataset in datasets.items():
+        stats = dataset.stats_by_format()
+        for fmt, counts in sorted(stats.items()):
+            paper = PAPER_STATS[name].get(fmt, {})
+            rows.append([
+                name, fmt.upper(), counts["sources"],
+                counts["entities"], counts["relations"],
+                paper.get("sources", "-"), paper.get("entities", "-"),
+                paper.get("relations", "-"),
+                len(dataset.queries),
+            ])
+    print()
+    print(format_table(
+        ["dataset", "fmt", "sources", "entities", "relations",
+         "paper-src", "paper-ent", "paper-rel", "queries"],
+        rows, title="Table I — dataset statistics (ours vs paper scale)",
+    ))
+
+    # Source counts per format must match Table I exactly.
+    for name, dataset in datasets.items():
+        stats = dataset.stats_by_format()
+        for fmt, paper in PAPER_STATS[name].items():
+            assert stats[fmt]["sources"] == paper["sources"], (name, fmt)
+
+    # 100 queries per dataset, as in the paper.
+    for dataset in datasets.values():
+        assert len(dataset.queries) == 100
+
+    # Density contrast: claims-per-key must be clearly higher for the
+    # dense datasets than the sparse ones.
+    def density(ds):
+        keys: dict = {}
+        for claim in ds.claims:
+            keys[claim.key()] = keys.get(claim.key(), 0) + 1
+        return sum(keys.values()) / len(keys)
+
+    assert density(datasets["flights"]) > density(datasets["books"])
+    assert density(datasets["flights"]) > density(datasets["stocks"])
+    assert density(datasets["movies"]) > density(datasets["books"])

@@ -1,0 +1,107 @@
+"""Table III — ablations of MKA and MCC.
+
+Runs the five configurations of the paper (full, w/o MKA, w/o Graph
+Level, w/o Node Level, w/o MCC) over three representative dataset
+configurations, reporting F1, query time (QT) and prompt time (PT, the
+simulated LLM latency).
+
+Shape assertions:
+
+* full MultiRAG has the best F1 in every dataset;
+* w/o MKA is drastically slower (the paper's QT blow-up: retrieval +
+  per-query LLM extraction replaces the O(1) line-graph lookup) and
+  loses F1;
+* w/o MCC has the worst F1 (unfiltered conflicts) and near-zero PT;
+* w/o Node Level sits between w/o MCC and full (graph level alone cannot
+  resolve local conflicts);
+* w/o Graph Level pays more PT than full (no coarse-to-fine fast path).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.datasets import make_books, make_movies, make_stocks
+from repro.eval import format_table
+from repro.eval.metrics import f1_score, mean
+
+from .common import dump_results, once
+
+ABLATIONS = [
+    ("full", MultiRAGConfig()),
+    ("w/o MKA", MultiRAGConfig().without_mka()),
+    ("w/o GraphLevel", MultiRAGConfig().without_graph_level()),
+    ("w/o NodeLevel", MultiRAGConfig().without_node_level()),
+    ("w/o MCC", MultiRAGConfig().without_mcc()),
+]
+
+DATASETS = {
+    "movies": make_movies,
+    "books": make_books,
+    "stocks": make_stocks,
+}
+
+
+def run_ablations():
+    results = {}
+    for dataset_name, factory in DATASETS.items():
+        dataset = factory(seed=0)
+        for label, config in ABLATIONS:
+            rag = MultiRAG(config)
+            rag.ingest(dataset.raw_sources())
+            pt_before = rag.llm.meter.simulated_latency_s
+            start = time.perf_counter()
+            scores = [
+                f1_score(
+                    {a.value for a in
+                     rag.query_key(q.entity, q.attribute).answers},
+                    q.answers,
+                )
+                for q in dataset.queries
+            ]
+            qt = time.perf_counter() - start
+            pt = rag.llm.meter.simulated_latency_s - pt_before
+            results[(dataset_name, label)] = {
+                "f1": 100.0 * mean(scores), "qt": qt, "pt": pt,
+            }
+    return results
+
+
+def test_table3_ablations(benchmark):
+    results = once(benchmark, run_ablations)
+    dump_results("table3", {f"{d}|{l}": c for (d, l), c in results.items()})
+
+    print()
+    rows = [
+        [ds, label, f"{cell['f1']:.1f}", f"{cell['qt']:.3f}", f"{cell['pt']:.1f}"]
+        for (ds, label), cell in results.items()
+    ]
+    print(format_table(
+        ["dataset", "ablation", "F1/%", "QT/s", "PT/s"], rows,
+        title="Table III — MKA / MCC ablations",
+    ))
+
+    for dataset in DATASETS:
+        full = results[(dataset, "full")]
+        no_mka = results[(dataset, "w/o MKA")]
+        no_graph = results[(dataset, "w/o GraphLevel")]
+        no_node = results[(dataset, "w/o NodeLevel")]
+        no_mcc = results[(dataset, "w/o MCC")]
+
+        # Full pipeline wins on F1.
+        for label in ("w/o MKA", "w/o NodeLevel", "w/o MCC"):
+            assert full["f1"] >= results[(dataset, label)]["f1"], (dataset, label)
+
+        # w/o MKA: the QT/PT blow-up of losing the aggregated index.  PT
+        # (simulated LLM latency) is deterministic and the primary signal;
+        # wall-clock QT is asserted loosely (CI machines are noisy).
+        assert no_mka["pt"] > 2.0 * full["pt"], dataset
+        assert no_mka["qt"] > 1.5 * full["qt"], dataset
+
+        # w/o MCC: cheapest and least accurate.
+        assert no_mcc["f1"] <= no_node["f1"] + 1e-9, dataset
+        assert no_mcc["pt"] < 0.3 * full["pt"], dataset
+
+        # w/o Graph Level: no fast path => more node scoring LLM calls.
+        assert no_graph["pt"] > full["pt"], dataset

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Multi-domain fusion comparison on the synthetic Movies benchmark.
+
+Generates the Movies dataset (13 sources across JSON/KG/CSV with seeded
+conflicts, copycat errors and per-source formatting styles), then answers
+the same 100 queries with majority voting, TruthFinder and MultiRAG —
+the Table II comparison in miniature.
+
+Run:  python examples/multi_domain_fusion.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FUSION_METHODS
+from repro.datasets import make_movies
+from repro.eval import build_substrate, format_table, run_fusion_method
+from repro.eval.analysis import classify_errors
+
+
+def main() -> None:
+    dataset = make_movies(seed=0)
+    print(f"dataset: {dataset.name}, {len(dataset.claims)} claims from "
+          f"{len(dataset.source_specs)} sources, "
+          f"{len(dataset.queries)} queries")
+    substrate = build_substrate(dataset)
+
+    rows = []
+    predictions_by_method: dict[str, dict[str, set[str]]] = {}
+    for name in ("MV", "TruthFinder", "FusionQuery", "MultiRAG"):
+        method = FUSION_METHODS[name]()
+        row = run_fusion_method(method, substrate, dataset)
+        rows.append([name, f"{row.f1:.1f}",
+                     f"{row.setup_time_s + row.query_time_s:.2f}",
+                     f"{row.prompt_time_s:.1f}"])
+        predictions_by_method[name] = {
+            q.qid: method.query(q.entity, q.attribute) for q in dataset.queries
+        }
+
+    print()
+    print(format_table(["method", "F1/%", "wall/s", "LLM latency/s"], rows,
+                       title="Movies multi-domain fusion"))
+
+    print("\nerror analysis (why answers go wrong):")
+    for name, predictions in predictions_by_method.items():
+        breakdown = classify_errors(dataset, predictions)
+        print(f"  {name:12s} correct={breakdown.correct:3d}  "
+              f"inconsistency={breakdown.counts['inconsistency']:3d}  "
+              f"incomplete={breakdown.counts['incomplete']:3d}  "
+              f"fabrication={breakdown.counts['fabrication']:3d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Multi-hop question answering with confidence-filtered retrieval.
+
+Builds a HotpotQA-like synthetic encyclopedia (three overlapping wiki
+sources, one of them contradictory), ingests it into MultiRAG, and walks
+through a few bridge questions hop by hop, showing how the MCC filter
+keeps the contradictory source out of the reasoning chain.
+
+Run:  python examples/multihop_qa.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.datasets import make_hotpotqa_like
+from repro.util import canonical_value
+
+
+def main() -> None:
+    corpus = make_hotpotqa_like(n_queries=20, seed=0)
+    print(f"corpus: {corpus.name} — "
+          f"{sum(len(s.payload) for s in corpus.sources)} entity pages "
+          f"across {len(corpus.sources)} wiki sources\n")
+
+    rag = MultiRAG(MultiRAGConfig())
+    report = rag.ingest(corpus.sources)
+    print(f"extracted {report.num_triples} statements "
+          f"({report.extraction_calls} LLM extraction calls)\n")
+
+    shown = 0
+    correct = 0
+    answered = 0
+    for query in corpus.queries:
+        if query.qtype == "comparison":
+            continue
+        result = rag.query_chain(list(query.hops))
+        predicted = result.top().value if result.top() else None
+        gold = sorted(query.answers)[0]
+        hit = predicted is not None and (
+            canonical_value(predicted) in
+            {canonical_value(a) for a in query.answers}
+        )
+        answered += 1
+        correct += hit
+        if shown < 5:
+            shown += 1
+            print(f"Q: {query.text}")
+            hops = " -> ".join(
+                f"{entity or '<bridge>'}[{attribute}]"
+                for entity, attribute in query.hops
+            )
+            print(f"   hops: {hops}")
+            print(f"   predicted: {predicted!r}  gold: {gold!r}  "
+                  f"{'OK' if hit else 'MISS'}\n")
+
+    print(f"bridge/compositional accuracy: {correct}/{answered} "
+          f"({100 * correct / answered:.0f}%)")
+    print("\nsource credibility learned from construction-time checks:")
+    for source, credibility in rag.history.snapshot().items():
+        print(f"  {source:8s} {credibility:.2f}")
+
+
+if __name__ == "__main__":
+    main()

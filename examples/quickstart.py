@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: fuse three small conflicting sources and ask a question.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MultiRAG, MultiRAGConfig, RawSource
+
+# Three sources about the same movies, in three storage formats.  The
+# JSON feed disagrees about Inception's release year.
+CSV_SOURCE = RawSource(
+    source_id="studio-db",
+    domain="movies",
+    fmt="csv",
+    name="studio.csv",
+    payload=(
+        "title,directed_by,release_year,genre\n"
+        "Inception,Christopher Nolan,2010,thriller\n"
+        "Heat,Michael Mann,1995,drama\n"
+    ),
+)
+
+JSON_SOURCE = RawSource(
+    source_id="fan-wiki",
+    domain="movies",
+    fmt="json",
+    name="fanwiki.json",
+    payload={
+        "records": [
+            {
+                "name": "Inception",
+                "attributes": {
+                    "directed_by": ["Nolan, Christopher"],  # variant spelling
+                    "release_year": "2011",                   # wrong!
+                },
+            }
+        ]
+    },
+)
+
+TEXT_SOURCE = RawSource(
+    source_id="press-release",
+    domain="movies",
+    fmt="text",
+    name="press.txt",
+    payload=(
+        "Inception was directed by Christopher Nolan. "
+        "Inception was released in the year 2010."
+    ),
+)
+
+
+def main() -> None:
+    rag = MultiRAG(MultiRAGConfig(extraction_noise=0.0))
+    report = rag.ingest([CSV_SOURCE, JSON_SOURCE, TEXT_SOURCE])
+    print(f"ingested {report.num_triples} claims "
+          f"({report.mlg_stats.get('groups', 0)} homologous groups)")
+
+    for question in (
+        "What is the release year of Inception?",
+        "Who directed Inception?",
+        "What is the genre of Inception?",
+    ):
+        result = rag.query(question)
+        print(f"\nQ: {question}")
+        print(f"A: {result.generated_text}")
+        for ranked in result.answers:
+            print(f"   {ranked.value}  "
+                  f"(confidence {ranked.confidence:.2f}, "
+                  f"sources: {', '.join(ranked.sources)})")
+        rejected = result.stage_values["before_subgraph_filtering"]
+        print(f"   candidates considered: {sorted(set(rejected))}")
+
+
+if __name__ == "__main__":
+    main()

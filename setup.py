@@ -1,0 +1,17 @@
+"""Legacy setup shim: the target environment has no `wheel` package, so
+editable installs must use `setup.py develop` instead of PEP 660."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MultiRAG: knowledge-guided hallucination mitigation for "
+        "multi-source RAG (ICDE 2025 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,37 @@
+"""Multi-source data adapters and the fusion engine (paper §III-B)."""
+
+from repro.adapters.base import (
+    ADAPTER_REGISTRY,
+    Adapter,
+    AdapterOutput,
+    RawSource,
+    get_adapter,
+    register_adapter,
+)
+from repro.adapters.fusion import DataFusionEngine, FusionResult
+from repro.adapters.kgformat import KgAdapter
+from repro.adapters.semistructured import (
+    SemiStructuredJsonAdapter,
+    SemiStructuredXmlAdapter,
+    dfs_leaves,
+)
+from repro.adapters.structured import StructuredAdapter, split_cell
+from repro.adapters.unstructured import UnstructuredAdapter
+
+__all__ = [
+    "ADAPTER_REGISTRY",
+    "Adapter",
+    "AdapterOutput",
+    "DataFusionEngine",
+    "FusionResult",
+    "KgAdapter",
+    "RawSource",
+    "SemiStructuredJsonAdapter",
+    "SemiStructuredXmlAdapter",
+    "StructuredAdapter",
+    "UnstructuredAdapter",
+    "dfs_leaves",
+    "get_adapter",
+    "register_adapter",
+    "split_cell",
+]

@@ -1,0 +1,96 @@
+"""Adapter framework for multi-source data fusion (paper §III-B).
+
+Every distinct storage format gets its own adapter (Definition 1); an
+adapter turns one :class:`RawSource` into:
+
+* a :class:`~repro.kg.storage.NormalizedRecord` — the JSON-LD normalized
+  form, with a DSM column index for columnar formats;
+* deterministic triples, for formats whose structure already carries them
+  (CSV / JSON / XML / native KG);
+* text documents, for every format — the verbalized view that feeds the
+  chunk corpus shared by all retrieval baselines.  Unstructured text has
+  *only* this view; its triples are recovered later by the LLM extractor.
+
+Adapters register themselves in :data:`ADAPTER_REGISTRY` keyed by format
+name, which is how the fusion engine implements
+``D_Fusion = ⋃ A_i(D_i)`` (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import UnknownFormatError
+from repro.kg.storage import NormalizedRecord
+from repro.kg.triple import Provenance, Triple
+
+
+@dataclass(slots=True)
+class RawSource:
+    """One raw data file before normalization: ``{d, name, c, meta}``."""
+
+    source_id: str
+    domain: str
+    fmt: str
+    name: str
+    payload: Any
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def provenance(self, record_id: str | None = None) -> Provenance:
+        observed = self.meta.get("observed_at")
+        return Provenance(
+            source_id=self.source_id,
+            domain=self.domain,
+            fmt=self.fmt,
+            record_id=record_id,
+            observed_at=float(observed) if observed is not None else None,
+        )
+
+
+@dataclass(slots=True)
+class AdapterOutput:
+    """Everything one adapter produced from one raw source."""
+
+    record: NormalizedRecord
+    triples: list[Triple] = field(default_factory=list)
+    documents: list[tuple[str, str]] = field(default_factory=list)
+
+
+class Adapter(ABC):
+    """Parse one storage format into the normalized representation."""
+
+    #: format name this adapter handles (``csv``, ``json``, ``xml``, ...).
+    fmt: str = ""
+
+    @abstractmethod
+    def parse(self, raw: RawSource) -> AdapterOutput:
+        """Normalize ``raw``; raise :class:`~repro.errors.AdapterError` on
+        malformed payloads."""
+
+
+ADAPTER_REGISTRY: dict[str, Adapter] = {}
+
+
+def register_adapter(adapter: Adapter) -> Adapter:
+    """Register ``adapter`` under its format name (last registration wins)."""
+    if not adapter.fmt:
+        raise ValueError("adapter must declare a fmt")
+    ADAPTER_REGISTRY[adapter.fmt] = adapter
+    return adapter
+
+
+def get_adapter(fmt: str) -> Adapter:
+    """Look up the adapter for ``fmt``.
+
+    Raises:
+        UnknownFormatError: if no adapter is registered for ``fmt``.
+    """
+    try:
+        return ADAPTER_REGISTRY[fmt]
+    except KeyError:
+        known = ", ".join(sorted(ADAPTER_REGISTRY))
+        raise UnknownFormatError(
+            f"no adapter registered for format {fmt!r} (known: {known})"
+        ) from None

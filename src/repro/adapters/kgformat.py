@@ -1,0 +1,49 @@
+"""Native knowledge-graph adapter: payloads that already carry triples."""
+
+from __future__ import annotations
+
+from repro.adapters.base import Adapter, AdapterOutput, RawSource, register_adapter
+from repro.errors import AdapterError
+from repro.kg.storage import NormalizedRecord, triple_to_jsonld
+from repro.kg.triple import Triple
+from repro.llm.lexicon import verbalize
+
+
+class KgAdapter(Adapter):
+    """``{"triples": [[s, p, o], ...]}`` payloads (pre-built KG exports)."""
+
+    fmt = "kg"
+
+    def parse(self, raw: RawSource) -> AdapterOutput:
+        payload = raw.payload
+        if not isinstance(payload, dict) or "triples" not in payload:
+            raise AdapterError(
+                f"kg adapter expects a dict with a 'triples' key in source "
+                f"{raw.source_id!r}"
+            )
+        triples: list[Triple] = []
+        doc_lines: list[str] = []
+        for i, spo in enumerate(payload["triples"]):
+            if len(spo) != 3:
+                raise AdapterError(
+                    f"kg source {raw.source_id!r} triple {i} must have "
+                    f"exactly 3 elements, got {spo!r}"
+                )
+            subject, predicate, obj = (str(x).strip() for x in spo)
+            if not (subject and predicate and obj):
+                continue
+            triple = Triple(subject, predicate, obj, raw.provenance(record_id=f"t{i}"))
+            triples.append(triple)
+            doc_lines.append(verbalize(subject, predicate, obj))
+        record = NormalizedRecord(
+            record_id=f"norm:{raw.source_id}:{raw.name}",
+            domain=raw.domain,
+            name=raw.name,
+            jsonld={"@graph": [triple_to_jsonld(t) for t in triples]},
+            meta=dict(raw.meta),
+        )
+        documents = [(f"{raw.source_id}:{raw.name}", " ".join(doc_lines))]
+        return AdapterOutput(record=record, triples=triples, documents=documents)
+
+
+register_adapter(KgAdapter())

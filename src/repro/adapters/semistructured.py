@@ -1,0 +1,152 @@
+"""Semi-structured adapters: nested JSON and XML.
+
+Per paper §III-B these formats are tree-shaped, carry no column index, and
+are searched with DFS.  Both adapters flatten an arbitrarily nested record
+into ``(entity, leaf_attribute, value)`` triples: the attribute name of a
+leaf is its own key (intermediate container keys only group, they do not
+rename), matching how the paper's generators nest ``details`` blocks.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.adapters.base import Adapter, AdapterOutput, RawSource, register_adapter
+from repro.errors import AdapterError
+from repro.kg.storage import NormalizedRecord, make_jsonld
+from repro.kg.triple import Provenance, Triple
+from repro.llm.lexicon import verbalize
+
+
+def dfs_leaves(node: Any, key: str = "") -> list[tuple[str, str]]:
+    """Depth-first flatten of a JSON tree into ``(leaf_key, value)`` pairs."""
+    if isinstance(node, dict):
+        pairs: list[tuple[str, str]] = []
+        for child_key, child in node.items():
+            pairs.extend(dfs_leaves(child, child_key))
+        return pairs
+    if isinstance(node, list):
+        pairs = []
+        for child in node:
+            pairs.extend(dfs_leaves(child, key))
+        return pairs
+    if node is None or node == "":
+        return []
+    return [(key, str(node))]
+
+
+def _record_triples(
+    entity: str,
+    attributes: Any,
+    provenance: Provenance,
+) -> tuple[list[Triple], list[str]]:
+    triples: list[Triple] = []
+    lines: list[str] = []
+    for attr, value in dfs_leaves(attributes):
+        if not attr:
+            continue
+        triples.append(Triple(entity, attr, value, provenance))
+        lines.append(verbalize(entity, attr, value))
+    return triples, lines
+
+
+class SemiStructuredJsonAdapter(Adapter):
+    """Nested JSON ``{"records": [{"name", "attributes": {...}}]}``."""
+
+    fmt = "json"
+
+    def parse(self, raw: RawSource) -> AdapterOutput:
+        payload = raw.payload
+        if not isinstance(payload, dict) or "records" not in payload:
+            raise AdapterError(
+                f"json adapter expects a dict with a 'records' key in source "
+                f"{raw.source_id!r}"
+            )
+        triples: list[Triple] = []
+        doc_lines: list[str] = []
+        rows_jsonld: list[dict[str, object]] = []
+        for i, rec in enumerate(payload["records"]):
+            entity = str(rec.get("name", "")).strip()
+            if not entity:
+                continue
+            provenance = raw.provenance(record_id=f"rec{i}")
+            rec_triples, rec_lines = _record_triples(
+                entity, rec.get("attributes", {}), provenance
+            )
+            triples.extend(rec_triples)
+            doc_lines.extend(rec_lines)
+            rows_jsonld.append(
+                make_jsonld(entity, {t.predicate: t.obj for t in rec_triples})
+            )
+        record = NormalizedRecord(
+            record_id=f"norm:{raw.source_id}:{raw.name}",
+            domain=raw.domain,
+            name=raw.name,
+            jsonld={"@graph": rows_jsonld},
+            meta=dict(raw.meta),
+        )
+        documents = [(f"{raw.source_id}:{raw.name}", " ".join(doc_lines))]
+        return AdapterOutput(record=record, triples=triples, documents=documents)
+
+
+class SemiStructuredXmlAdapter(Adapter):
+    """XML ``<source><record name="..."><attr>value</attr>...</record></source>``.
+
+    Repeated child elements express multi-valued attributes; nested elements
+    are flattened depth-first like the JSON adapter.
+    """
+
+    fmt = "xml"
+
+    def parse(self, raw: RawSource) -> AdapterOutput:
+        if not isinstance(raw.payload, str):
+            raise AdapterError(
+                f"xml adapter expects text payload, got {type(raw.payload).__name__}"
+            )
+        try:
+            root = ET.fromstring(raw.payload)
+        except ET.ParseError as exc:
+            raise AdapterError(
+                f"malformed XML in source {raw.source_id!r}: {exc}"
+            ) from exc
+
+        triples: list[Triple] = []
+        doc_lines: list[str] = []
+        rows_jsonld: list[dict[str, object]] = []
+        for i, rec in enumerate(root.findall("record")):
+            entity = (rec.get("name") or "").strip()
+            if not entity:
+                continue
+            provenance = raw.provenance(record_id=f"rec{i}")
+            props: dict[str, object] = {}
+            for attr, value in self._element_leaves(rec):
+                triples.append(Triple(entity, attr, value, provenance))
+                doc_lines.append(verbalize(entity, attr, value))
+                props[attr] = value
+            rows_jsonld.append(make_jsonld(entity, props))
+        record = NormalizedRecord(
+            record_id=f"norm:{raw.source_id}:{raw.name}",
+            domain=raw.domain,
+            name=raw.name,
+            jsonld={"@graph": rows_jsonld},
+            meta=dict(raw.meta),
+        )
+        documents = [(f"{raw.source_id}:{raw.name}", " ".join(doc_lines))]
+        return AdapterOutput(record=record, triples=triples, documents=documents)
+
+    def _element_leaves(self, element: ET.Element) -> list[tuple[str, str]]:
+        """DFS over an XML subtree yielding ``(leaf_tag, text)`` pairs."""
+        leaves: list[tuple[str, str]] = []
+        for child in element:
+            if len(child):
+                leaves.extend(self._element_leaves(child))
+            else:
+                text = (child.text or "").strip()
+                if text:
+                    leaves.append((child.tag, text))
+        return leaves
+
+
+register_adapter(SemiStructuredJsonAdapter())
+register_adapter(SemiStructuredXmlAdapter())

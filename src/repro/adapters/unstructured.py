@@ -1,0 +1,46 @@
+"""Unstructured-text adapter.
+
+Text sources are "stored directly" (paper §III-B); their knowledge is only
+recovered later by the LLM entity/relationship extraction over chunks.  The
+adapter therefore emits no triples of its own — just the normalized JSON-LD
+wrapper and the raw documents for the chunker + extractor downstream.
+"""
+
+from __future__ import annotations
+
+from repro.adapters.base import Adapter, AdapterOutput, RawSource, register_adapter
+from repro.errors import AdapterError
+from repro.kg.storage import NormalizedRecord
+
+
+class UnstructuredAdapter(Adapter):
+    """Plain text (or a list of named text documents)."""
+
+    fmt = "text"
+
+    def parse(self, raw: RawSource) -> AdapterOutput:
+        payload = raw.payload
+        if isinstance(payload, str):
+            documents = [(f"{raw.source_id}:{raw.name}", payload)]
+        elif isinstance(payload, dict):
+            documents = [
+                (f"{raw.source_id}:{doc_id}", str(text))
+                for doc_id, text in payload.items()
+            ]
+        else:
+            raise AdapterError(
+                f"text adapter expects str or dict payload in source "
+                f"{raw.source_id!r}, got {type(payload).__name__}"
+            )
+        record = NormalizedRecord(
+            record_id=f"norm:{raw.source_id}:{raw.name}",
+            domain=raw.domain,
+            name=raw.name,
+            jsonld={"@graph": [{"@id": doc_id, "text": text}
+                               for doc_id, text in documents]},
+            meta=dict(raw.meta),
+        )
+        return AdapterOutput(record=record, triples=[], documents=documents)
+
+
+register_adapter(UnstructuredAdapter())

@@ -1,0 +1,70 @@
+"""Baseline and SOTA methods the paper compares against, plus ours.
+
+Importing this package populates the method registries
+(:data:`FUSION_METHODS`, :data:`QA_METHODS`).
+"""
+
+from repro.baselines.base import (
+    FUSION_METHODS,
+    QA_METHODS,
+    ChunkStatement,
+    FusionMethod,
+    QAMethod,
+    QAPrediction,
+    Substrate,
+    parse_chunk_statements,
+    register_fusion,
+    register_qa,
+)
+from repro.baselines.chatkbqa import ChatKBQA
+from repro.baselines.cot import ChainOfThought
+from repro.baselines.fusionquery import FusionQuery
+from repro.baselines.ircot import IRCoT
+from repro.baselines.ltm import LatentTruthModel
+from repro.baselines.majority_vote import MajorityVote
+from repro.baselines.mdqa import MDQA
+from repro.baselines.multihop_methods import (
+    QAChatKBQA,
+    QACoT,
+    QAIRCoT,
+    QAMDQA,
+    QAMetaRAG,
+    QAMultiRAG,
+    QARQRAG,
+    QAStandardRAG,
+)
+from repro.baselines.ours import MCCMethod, MultiRAGMethod
+from repro.baselines.standard_rag import StandardRAG
+from repro.baselines.truthfinder import TruthFinder
+
+__all__ = [
+    "ChatKBQA",
+    "ChainOfThought",
+    "ChunkStatement",
+    "FUSION_METHODS",
+    "FusionMethod",
+    "FusionQuery",
+    "IRCoT",
+    "LatentTruthModel",
+    "MCCMethod",
+    "MDQA",
+    "MajorityVote",
+    "MultiRAGMethod",
+    "QAChatKBQA",
+    "QACoT",
+    "QAIRCoT",
+    "QAMDQA",
+    "QAMetaRAG",
+    "QAMethod",
+    "QAMultiRAG",
+    "QAPrediction",
+    "QARQRAG",
+    "QAStandardRAG",
+    "QA_METHODS",
+    "StandardRAG",
+    "Substrate",
+    "TruthFinder",
+    "parse_chunk_statements",
+    "register_fusion",
+    "register_qa",
+]

@@ -1,0 +1,146 @@
+"""Baseline framework: shared substrate and method interfaces.
+
+Every method — the paper's baselines and MultiRAG itself — runs against the
+same :class:`Substrate`: one fused knowledge graph, one chunk corpus, one
+retriever, and a fresh simulated LLM per method (so token/latency meters
+do not leak across methods).  ``setup()`` is where offline work happens
+(TruthFinder's global trust iteration, index building); ``query()`` answers
+one claim key.  The harness times both phases separately, which is what
+gives Table II its time column shape.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.datasets.schema import MultiSourceDataset
+from repro.kg.graph import KnowledgeGraph
+from repro.llm.simulated import SimulatedLLM
+from repro.retrieval.chunking import Chunk
+from repro.retrieval.retriever import MultiSourceRetriever
+
+
+@dataclass(slots=True)
+class Substrate:
+    """Everything a method may consume, built once per dataset.
+
+    ``dataset`` is a :class:`~repro.datasets.schema.MultiSourceDataset` for
+    fusion benchmarks or a :class:`~repro.datasets.multihop.MultiHopDataset`
+    for the QA benchmarks; methods access only the fields their benchmark
+    guarantees.
+    """
+
+    dataset: "MultiSourceDataset | object"
+    graph: KnowledgeGraph
+    chunks: list[Chunk]
+    retriever: MultiSourceRetriever
+    llm_seed: int = 0
+
+    def fresh_llm(self, **kwargs: object) -> SimulatedLLM:
+        """A new simulated LLM with this substrate's seed (meters isolated)."""
+        return SimulatedLLM(seed=self.llm_seed, **kwargs)  # type: ignore[arg-type]
+
+    def truth_oracle(self) -> dict[str, set[str]]:
+        """``entity|attribute -> values`` map for parametric (CoT) methods.
+
+        This models the base LLM's pretraining exposure to the benchmark's
+        facts; the simulated model recalls from it only at its configured
+        ``knowledge_accuracy``.
+        """
+        oracle: dict[str, set[str]] = {}
+        for entity, record in self.dataset.truth.items():
+            for attribute, values in record.items():
+                oracle[f"{entity}|{attribute}"] = set(values)
+        return oracle
+
+
+class FusionMethod(ABC):
+    """A method that answers ``(entity, attribute)`` fusion queries."""
+
+    #: display name used in benchmark tables.
+    name: str = ""
+
+    def setup(self, substrate: Substrate) -> None:
+        """Offline preparation; default is to remember the substrate."""
+        self.substrate = substrate
+
+    @abstractmethod
+    def query(self, entity: str, attribute: str) -> set[str]:
+        """Predicted value set for one claim key."""
+
+
+@dataclass(frozen=True, slots=True)
+class QAPrediction:
+    """One multi-hop answer.
+
+    ``answers`` is the method's final answer set (scored for precision);
+    ``candidates`` is its ranked candidate list, whose top-5 slice is what
+    the paper's Recall@5 measures; ``retrieved_entities`` records which
+    entity pages were consulted (for error analysis).
+    """
+
+    answers: frozenset[str]
+    candidates: tuple[str, ...] = ()
+    retrieved_entities: tuple[str, ...] = ()
+
+
+class QAMethod(ABC):
+    """A method that answers multi-hop questions over a text corpus."""
+
+    name: str = ""
+
+    def setup(self, substrate: Substrate) -> None:
+        self.substrate = substrate
+
+    @abstractmethod
+    def answer(self, query: object) -> QAPrediction:
+        """Answer one :class:`~repro.datasets.multihop.MultiHopQuery`."""
+
+
+FUSION_METHODS: dict[str, type[FusionMethod]] = {}
+QA_METHODS: dict[str, type[QAMethod]] = {}
+
+
+def register_fusion(cls: type[FusionMethod]) -> type[FusionMethod]:
+    """Class decorator adding a fusion method to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a name")
+    FUSION_METHODS[cls.name] = cls
+    return cls
+
+
+def register_qa(cls: type[QAMethod]) -> type[QAMethod]:
+    """Class decorator adding a QA method to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a name")
+    QA_METHODS[cls.name] = cls
+    return cls
+
+
+@dataclass(slots=True)
+class ChunkStatement:
+    """A parsed ``(subject, predicate, object)`` found inside a chunk."""
+
+    subject: str
+    predicate: str
+    obj: str
+    chunk: Chunk
+
+    @property
+    def source_id(self) -> str:
+        return self.chunk.source_id
+
+
+def parse_chunk_statements(chunks: list[Chunk]) -> list[ChunkStatement]:
+    """Extract lexicon statements from retrieved chunks (shared helper)."""
+    from repro.llm.lexicon import split_sentence
+    from repro.retrieval.tokenize import sentences
+
+    statements: list[ChunkStatement] = []
+    for chunk in chunks:
+        for sentence in sentences(chunk.text):
+            parsed = split_sentence(sentence)
+            if parsed is not None:
+                statements.append(ChunkStatement(*parsed, chunk=chunk))
+    return statements

@@ -1,0 +1,53 @@
+"""ChatKBQA baseline (Luo et al., 2023) — generate-then-retrieve KBQA.
+
+An LLM first generates a logical form for the question, which is then
+executed against the knowledge base.  Execution itself is exact, so
+ChatKBQA is strong on dense, clean graphs — but it returns *every* claim
+matching the logical form with no credibility weighting, which is the
+sensitivity to inconsistent data that Fig. 5 of the paper exposes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FusionMethod, Substrate, register_fusion
+from repro.core.logic_form import generate_logic_form
+from repro.util import normalize_value
+
+
+@register_fusion
+class ChatKBQA(FusionMethod):
+    """Logical-form generation + unweighted KB execution."""
+
+    name = "ChatKBQA"
+
+    def setup(self, substrate: Substrate) -> None:
+        super().setup(substrate)
+        self.llm = substrate.fresh_llm()
+
+    def query(self, entity: str, attribute: str) -> set[str]:
+        spoken = attribute.replace("_", " ")
+        question = f"What is the {spoken} of {entity}?"
+        # The generation call that produces the logical form.
+        self.llm.complete(
+            "### TASK: answer\n### QUERY\n" + question
+            + "\n### INPUT\nGenerate a logical form.\n### END\n",
+            task="logical_form",
+        )
+        logic_form = generate_logic_form(question)
+        if not logic_form.is_structured:
+            return set()
+        claims = self.substrate.graph.by_key(*logic_form.key())
+        support: dict[str, int] = {}
+        display: dict[str, str] = {}
+        for claim in claims:
+            key = normalize_value(claim.obj)
+            support[key] = support.get(key, 0) + 1
+            display.setdefault(key, claim.obj)
+        if not support:
+            return set()
+        # Unweighted support pruning: keep values backed by at least half
+        # the strongest support.  No source credibility enters — which is
+        # why shuffled-increment corruption degrades this method fast.
+        best = max(support.values())
+        cut = max(1, best // 2 + (best % 2))
+        return {display[v] for v, n in support.items() if n >= cut}

@@ -1,0 +1,37 @@
+"""Chain-of-Thought baseline (closed-book GPT-3.5-Turbo in the paper).
+
+CoT reasons step by step but retrieves nothing: answers come from the base
+model's parametric knowledge.  The simulated LLM models this with a
+ground-truth oracle it recalls at a configurable accuracy, hallucinating a
+plausible same-domain value otherwise — the canonical failure mode RAG was
+invented to fix.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FusionMethod, Substrate, register_fusion
+
+
+@register_fusion
+class ChainOfThought(FusionMethod):
+    """Closed-book parametric answering with step-by-step prompting."""
+
+    name = "CoT"
+
+    def __init__(self, knowledge_accuracy: float = 0.45) -> None:
+        self.knowledge_accuracy = knowledge_accuracy
+
+    def setup(self, substrate: Substrate) -> None:
+        super().setup(substrate)
+        pool = tuple(
+            sorted({t.obj for t in substrate.graph.triples()})[:200]
+        )
+        self.llm = substrate.fresh_llm(
+            knowledge=substrate.truth_oracle(),
+            knowledge_accuracy=self.knowledge_accuracy,
+            hallucination_pool=pool,
+        )
+
+    def query(self, entity: str, attribute: str) -> set[str]:
+        text = self.llm.parametric_answer(f"{entity}|{attribute}")
+        return {part.strip() for part in text.split(";") if part.strip()}

@@ -1,0 +1,112 @@
+"""Latent Truth Model (Zhao et al., VLDB 2012) — Bayesian data fusion.
+
+Each distinct claimed fact has a latent truth label; each source has a
+*sensitivity* (probability of asserting a true fact it covers) and a
+*specificity* (probability of staying silent on a false fact).  An EM-style
+loop alternates fact-posterior (E) and per-source quality (M) updates.
+Unlike TruthFinder, LTM natively supports multi-valued truths: every fact's
+posterior is judged independently, so two directors can both come out true.
+
+Like all global fusers the model is fit over the entire claim table at
+``setup()`` time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines.base import FusionMethod, Substrate, register_fusion
+from repro.util import normalize_value
+
+_Fact = tuple[str, str, str]
+
+
+@register_fusion
+class LatentTruthModel(FusionMethod):
+    """EM over latent fact truth and per-source sensitivity/specificity."""
+
+    name = "LTM"
+
+    def __init__(
+        self,
+        max_iters: int = 10,
+        prior_true: float = 0.5,
+        smoothing: float = 2.0,
+        accept_threshold: float = 0.5,
+    ) -> None:
+        self.max_iters = max_iters
+        self.prior_true = prior_true
+        self.smoothing = smoothing
+        self.accept_threshold = accept_threshold
+        self._posterior: dict[_Fact, float] = {}
+        self._display: dict[_Fact, str] = {}
+
+    def setup(self, substrate: Substrate) -> None:
+        super().setup(substrate)
+        claimed_by: dict[_Fact, set[str]] = defaultdict(set)
+        key_sources: dict[tuple[str, str], set[str]] = defaultdict(set)
+        facts_by_key: dict[tuple[str, str], set[_Fact]] = defaultdict(set)
+        for triple in substrate.graph.triples():
+            fact = (triple.subject, triple.predicate, normalize_value(triple.obj))
+            self._display.setdefault(fact, triple.obj)
+            claimed_by[fact].add(triple.source_id())
+            key_sources[triple.key()].add(triple.source_id())
+            facts_by_key[triple.key()].add(fact)
+
+        sources = {s for srcs in claimed_by.values() for s in srcs}
+        sensitivity = {s: 0.8 for s in sources}
+        specificity = {s: 0.8 for s in sources}
+        posterior = {fact: self.prior_true for fact in claimed_by}
+
+        for _ in range(self.max_iters):
+            # E-step: fact posteriors given source qualities.  A source that
+            # covers the fact's key either asserts the fact or abstains.
+            for fact, asserters in claimed_by.items():
+                key = (fact[0], fact[1])
+                observers = key_sources[key]
+                like_true = 1.0
+                like_false = 1.0
+                for source in observers:
+                    if source in asserters:
+                        like_true *= sensitivity[source]
+                        like_false *= 1.0 - specificity[source]
+                    else:
+                        like_true *= 1.0 - sensitivity[source]
+                        like_false *= specificity[source]
+                numer = self.prior_true * like_true
+                denom = numer + (1.0 - self.prior_true) * like_false
+                posterior[fact] = numer / denom if denom > 0 else self.prior_true
+
+            # M-step: source qualities from fact posteriors.
+            true_hits: dict[str, float] = defaultdict(float)
+            true_total: dict[str, float] = defaultdict(float)
+            false_abstain: dict[str, float] = defaultdict(float)
+            false_total: dict[str, float] = defaultdict(float)
+            for key, facts in facts_by_key.items():
+                for source in key_sources[key]:
+                    for fact in facts:
+                        p = posterior[fact]
+                        asserted = source in claimed_by[fact]
+                        true_total[source] += p
+                        false_total[source] += 1.0 - p
+                        if asserted:
+                            true_hits[source] += p
+                        else:
+                            false_abstain[source] += 1.0 - p
+            a = self.smoothing
+            for source in sources:
+                sensitivity[source] = (true_hits[source] + a * 0.8) / (
+                    true_total[source] + a
+                )
+                specificity[source] = (false_abstain[source] + a * 0.8) / (
+                    false_total[source] + a
+                )
+        self._posterior = posterior
+
+    def query(self, entity: str, attribute: str) -> set[str]:
+        return {
+            self._display[fact]
+            for fact, p in self._posterior.items()
+            if fact[0] == entity and fact[1] == attribute
+            and p >= self.accept_threshold
+        }

@@ -1,0 +1,34 @@
+"""Majority voting (MV) baseline.
+
+Returns the single most-claimed value for a key.  The paper notes MV
+"performs poorly on all datasets because it can only return a single answer
+for a query" — multi-valued attributes (a movie's several directors) are
+structurally out of reach, and that is the behaviour reproduced here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.baselines.base import FusionMethod, register_fusion
+from repro.util import normalize_value
+
+
+@register_fusion
+class MajorityVote(FusionMethod):
+    """One claim key → the plurality value (deterministic tie-break)."""
+
+    name = "MV"
+
+    def query(self, entity: str, attribute: str) -> set[str]:
+        claims = self.substrate.graph.by_key(entity, attribute)
+        if not claims:
+            return set()
+        counts: Counter[str] = Counter()
+        display: dict[str, str] = {}
+        for claim in claims:
+            key = normalize_value(claim.obj)
+            counts[key] += 1
+            display.setdefault(key, claim.obj)
+        winner = min(counts, key=lambda k: (-counts[k], k))
+        return {display[winner]}

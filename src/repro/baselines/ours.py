@@ -1,0 +1,88 @@
+"""Our methods, wrapped in the shared fusion-method interface.
+
+* :class:`MCCMethod` — the multi-level confidence computing module alone,
+  applied to candidates fetched straight from the knowledge graph's key
+  index (Table II's "MCC" column).
+* :class:`MultiRAGMethod` — the full pipeline: multi-source line graph
+  aggregation + MCC + historical credibility updates (Table II's
+  "MultiRAG" column and the subject of every ablation).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FusionMethod, Substrate, register_fusion
+from repro.confidence.history import HistoryStore
+from repro.confidence.mcc import mcc
+from repro.confidence.node_level import NodeScorer
+from repro.core.config import MultiRAGConfig
+from repro.core.pipeline import MultiRAG
+from repro.linegraph.homologous import HomologousGroup, HomologousNode
+
+
+@register_fusion
+class MCCMethod(FusionMethod):
+    """Confidence computing over directly indexed candidates (no MLG)."""
+
+    name = "MCC"
+
+    def __init__(self, config: MultiRAGConfig | None = None) -> None:
+        self.config = config or MultiRAGConfig()
+
+    def setup(self, substrate: Substrate) -> None:
+        super().setup(substrate)
+        self.llm = substrate.fresh_llm()
+        self.history = HistoryStore(
+            init_entities=self.config.history_init_entities
+        )
+        self.scorer = NodeScorer(
+            graph=substrate.graph,
+            llm=self.llm,
+            history=self.history,
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+        )
+
+    def query(self, entity: str, attribute: str) -> set[str]:
+        candidates = self.substrate.graph.by_key(entity, attribute)
+        if not candidates:
+            return set()
+        snode = HomologousNode(name=attribute, entity=entity, num=len(candidates))
+        group = HomologousGroup(
+            key=(entity, attribute), snode=snode, members=list(candidates)
+        )
+        result = mcc(
+            [group],
+            self.scorer,
+            node_threshold=self.config.node_threshold,
+            graph_threshold=self.config.graph_threshold,
+            fast_path_nodes=self.config.fast_path_nodes,
+            hedge_margin=self.config.hedge_margin,
+        )
+        return {a.value for a in result.accepted_assessments()}
+
+
+@register_fusion
+class MultiRAGMethod(FusionMethod):
+    """The complete MultiRAG pipeline behind the fusion interface."""
+
+    name = "MultiRAG"
+
+    def __init__(self, config: MultiRAGConfig | None = None) -> None:
+        self.config = config or MultiRAGConfig()
+
+    def setup(self, substrate: Substrate) -> None:
+        super().setup(substrate)
+        self.pipeline = MultiRAG(
+            config=self.config,
+            llm=substrate.fresh_llm(extraction_noise=self.config.extraction_noise),
+        )
+        self.build_report = self.pipeline.ingest(substrate.dataset.raw_sources())
+
+    def query(self, entity: str, attribute: str) -> set[str]:
+        result = self.pipeline.query_key(entity, attribute)
+        return {a.value for a in result.answers}
+
+    @property
+    def prompt_time_s(self) -> float:
+        """Accumulated simulated LLM latency (the PT columns)."""
+        return self.pipeline.llm.meter.simulated_latency_s

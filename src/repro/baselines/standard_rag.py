@@ -1,0 +1,49 @@
+"""Standard RAG baseline (Lewis et al., 2020).
+
+Retrieve top-k chunks for the question, extract every statement matching
+the asked key, and return all claimed values — no conflict handling, no
+confidence.  Under multi-source inconsistency this is precisely the
+configuration that hallucinates: every conflicting claim that makes it
+into the context surfaces in the answer.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    FusionMethod,
+    Substrate,
+    parse_chunk_statements,
+    register_fusion,
+)
+from repro.util import normalize_value
+
+
+@register_fusion
+class StandardRAG(FusionMethod):
+    """Retrieve-then-read with no filtering."""
+
+    name = "StandardRAG"
+
+    def __init__(self, top_k: int = 8) -> None:
+        self.top_k = top_k
+
+    def setup(self, substrate: Substrate) -> None:
+        super().setup(substrate)
+        self.llm = substrate.fresh_llm()
+
+    def query(self, entity: str, attribute: str) -> set[str]:
+        spoken = attribute.replace("_", " ")
+        question = f"What is the {spoken} of {entity}?"
+        hits = self.substrate.retriever.retrieve(question, k=self.top_k)
+        statements = parse_chunk_statements([h.item for h in hits])
+        values: dict[str, str] = {}
+        for st in statements:
+            if st.subject == entity and st.predicate == attribute:
+                values.setdefault(normalize_value(st.obj), st.obj)
+        if values:
+            # One generation call turns the context into the answer.
+            self.llm.generate_answer(
+                question,
+                [f"{entity} | {attribute} | {v}" for v in values.values()],
+            )
+        return set(values.values())

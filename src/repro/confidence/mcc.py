@@ -1,0 +1,181 @@
+"""Multi-level Confidence Computing — Algorithm 1 of the paper.
+
+``mcc()`` runs the two-stage, coarse-to-fine pass over candidate
+homologous groups:
+
+1. **Graph level** (Eq. 7): groups whose claims already agree clear the
+   graph threshold and take the *fast path* — only their top consensus
+   nodes are individually assessed (the paper: "for subgraphs with high
+   confidence, only 1-2 nodes are required").  Conflicted groups get full
+   node-level scrutiny.
+2. **Node level** (Eqs. 8–11): each scrutinized node's ``C(v)`` is compared
+   against the node threshold θ; survivors join ``SVs``, the rest fall to
+   the isolated set ``LVs`` exactly as in Algorithm 1's loop.
+
+Both stages can be disabled independently for the Table III ablations
+(``w/o Graph Level`` / ``w/o Node Level`` / ``w/o MCC``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.confidence.graph_level import graph_confidence
+from repro.confidence.node_level import NodeAssessment, NodeScorer
+from repro.kg.triple import Triple
+from repro.linegraph.homologous import HomologousGroup
+from repro.util import normalize_value
+
+
+@dataclass(slots=True)
+class GroupDecision:
+    """Outcome of MCC for one homologous group."""
+
+    group: HomologousGroup
+    graph_conf: float | None
+    fast_path: bool
+    accepted: list[NodeAssessment] = field(default_factory=list)
+    rejected: list[NodeAssessment] = field(default_factory=list)
+
+    def accepted_values(self) -> dict[str, float]:
+        """Distinct accepted values with their best supporting confidence."""
+        best: dict[str, float] = {}
+        for assessment in self.accepted:
+            key = normalize_value(assessment.value)
+            if assessment.confidence > best.get(key, float("-inf")):
+                best[key] = assessment.confidence
+        return best
+
+
+@dataclass(slots=True)
+class MCCResult:
+    """Aggregate outcome of one MCC pass: ``SVs`` and ``LVs``."""
+
+    decisions: list[GroupDecision] = field(default_factory=list)
+    lvs: list[Triple] = field(default_factory=list)
+    nodes_scored: int = 0
+
+    @property
+    def svs(self) -> list[HomologousGroup]:
+        return [d.group for d in self.decisions if d.accepted]
+
+    def accepted_assessments(self) -> list[NodeAssessment]:
+        return [a for d in self.decisions for a in d.accepted]
+
+
+def mcc(
+    groups: list[HomologousGroup],
+    scorer: NodeScorer,
+    node_threshold: float = 0.7,
+    graph_threshold: float = 0.5,
+    enable_graph_level: bool = True,
+    enable_node_level: bool = True,
+    fast_path_nodes: int = 2,
+    fallback_best: bool = True,
+    hedge_margin: float = 0.15,
+) -> MCCResult:
+    """Run Algorithm 1 over ``groups``; returns accepted/rejected nodes.
+
+    ``fast_path_nodes`` caps how many consensus-ranked nodes a
+    high-confidence group assesses individually.  With ``fallback_best``
+    (the default), a group whose every node fails θ still surfaces its
+    best-confidence node: "for subgraphs with low confidence, more nodes
+    need to be extracted to ensure the robustness of the overall
+    retrieval" (paper §IV-C) — an empty answer is never the trustworthy
+    choice when candidates exist.
+    """
+    result = MCCResult()
+    for group in groups:
+        graph_conf: float | None = None
+        fast_path = False
+        if enable_graph_level:
+            graph_conf = graph_confidence(group)
+            group.snode.confidence = graph_conf
+            fast_path = graph_conf >= graph_threshold
+
+        decision = GroupDecision(group=group, graph_conf=graph_conf, fast_path=fast_path)
+
+        if not enable_node_level:
+            # Ablation: no node-level scoring.  A consistent group answers
+            # from its top consensus nodes (the fast path needs no node
+            # scrutiny anyway); a conflicted group cannot be adjudicated —
+            # every claimed value is surfaced, unresolved.  "Graph-level
+            # filtering alone cannot resolve local conflicts" (§IV-C).
+            ranked_members = _consensus_ranked(group)
+            if fast_path:
+                kept = ranked_members[:max(1, fast_path_nodes)]
+                result.lvs.extend(ranked_members[len(kept):])
+            else:
+                kept = ranked_members
+            decision.accepted = [
+                NodeAssessment(
+                    triple=m, consistency=1.0, auth_llm=0.5, auth_hist=0.5,
+                    authority=0.5, confidence=1.5,
+                )
+                for m in kept
+            ]
+            result.decisions.append(decision)
+            continue
+
+        members = _consensus_ranked(group)
+        if fast_path:
+            to_assess = members[:max(1, fast_path_nodes)]
+            skipped = members[len(to_assess):]
+        else:
+            to_assess = members
+            skipped = []
+
+        for member in to_assess:
+            assessment = scorer.assess(member, group)
+            group.set_weight(member, assessment.confidence)
+            result.nodes_scored += 1
+            if assessment.confidence > node_threshold:
+                decision.accepted.append(assessment)
+            else:
+                decision.rejected.append(assessment)
+                result.lvs.append(member)
+
+        if not decision.accepted and decision.rejected and fallback_best:
+            # Low-confidence subgraph: "more nodes need to be extracted to
+            # ensure the robustness of the overall retrieval" (§IV-C).
+            # When no node clears θ, surface the best node — and hedge with
+            # every node within ``hedge_margin`` of it, because picking one
+            # side of a near-tie on weak evidence is exactly how wrong
+            # answers get confidently asserted.
+            best_conf = max(a.confidence for a in decision.rejected)
+            promoted = [
+                a for a in decision.rejected
+                if a.confidence >= best_conf - hedge_margin
+            ]
+            for assessment in promoted:
+                decision.rejected.remove(assessment)
+                decision.accepted.append(assessment)
+            promoted_triples = {id(a.triple) for a in promoted}
+            result.lvs = [t for t in result.lvs if id(t) not in promoted_triples]
+
+        if decision.accepted:
+            # Fast-path members that agree with an accepted value inherit
+            # acceptance implicitly (they carry no extra information), but
+            # disagreeing skipped members are surfaced as rejected.
+            accepted_values = {normalize_value(a.value) for a in decision.accepted}
+            for member in skipped:
+                if normalize_value(member.obj) not in accepted_values:
+                    result.lvs.append(member)
+        else:
+            result.lvs.extend(skipped)
+
+        result.decisions.append(decision)
+    return result
+
+
+def _consensus_ranked(group: HomologousGroup) -> list[Triple]:
+    """Group members ordered by value consensus (most-agreed first).
+
+    Ties break deterministically on source id so runs are replayable.
+    """
+    counts = Counter(normalize_value(m.obj) for m in group.members)
+    return sorted(
+        group.members,
+        key=lambda m: (-counts[normalize_value(m.obj)], m.source_id(), m.obj),
+    )

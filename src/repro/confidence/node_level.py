@@ -1,0 +1,202 @@
+"""Node-level confidence (stage 2 of MCC; Eqs. 8–11 of the paper).
+
+For each candidate node (one source's claim inside a homologous group) the
+scorer combines:
+
+* **consistency** ``S_n(v)`` (Eq. 8) — mean mutual-information similarity
+  to the other claims about the same attribute;
+* **LLM authority** ``Auth_LLM(v)`` (Eq. 10) — a sigmoid over the simulated
+  expert LLM's credibility judgement ``C_LLM(v)``, which itself integrates
+  the node's global influence (entity degree), local connection strength
+  (within-group agreement), entity-type information and multi-step path
+  support, mirroring the PTCA recipe the paper cites;
+* **historical authority** ``Auth_hist(v)`` (Eq. 11) — the source's track
+  record blended with the current query's consensus.
+
+``A(v) = α·Auth_LLM + (1-α)·Auth_hist`` (Eq. 9) and the final node
+confidence is ``C(v) = S_n(v) + A(v)`` (Algorithm 1, line 6), compared
+against the paper's node threshold θ = 0.7.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.confidence.history import HistoryStore
+from repro.confidence.similarity import similarity
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.kg.schema import Schema
+from repro.linegraph.homologous import HomologousGroup
+from repro.llm.simulated import SimulatedLLM
+from repro.util import normalize_value
+
+
+@dataclass(frozen=True, slots=True)
+class NodeAssessment:
+    """Full score breakdown for one candidate node."""
+
+    triple: Triple
+    consistency: float
+    auth_llm: float
+    auth_hist: float
+    authority: float
+    confidence: float
+
+    @property
+    def value(self) -> str:
+        return self.triple.obj
+
+    @property
+    def source_id(self) -> str:
+        return self.triple.source_id()
+
+
+class NodeScorer:
+    """Computes ``C(v)`` for candidate nodes of a homologous group."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        llm: SimulatedLLM,
+        history: HistoryStore,
+        alpha: float = 0.5,
+        beta: float = 0.5,
+        schema: Schema | None = None,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if beta <= 0.0:
+            raise ValueError("beta must be positive")
+        self.graph = graph
+        self.llm = llm
+        self.history = history
+        self.alpha = alpha
+        self.beta = beta
+        self.schema = schema or Schema.default()
+        self._max_degree = max((graph.degree(e.eid) for e in graph.entities()),
+                               default=1) or 1
+
+    # ------------------------------------------------------------------
+    # Eq. 8 — consistency
+    # ------------------------------------------------------------------
+    def consistency(self, triple: Triple, group: HomologousGroup) -> float:
+        """``S_n(v)``: credibility-weighted mean similarity to group peers.
+
+        Definition 4 attaches a weight ``w_i`` to every homologous edge,
+        "the weight of node v_i in the data confidence calculation"; here
+        the weight of a peer is its source's historical credibility, so a
+        clique of low-credibility copycats cannot vote itself consistent.
+        """
+        peers = [m for m in group.members if m is not triple]
+        if not peers:
+            return 1.0
+        total = 0.0
+        weight_sum = 0.0
+        own_source = triple.source_id()
+        for peer in peers:
+            weight = self.history.credibility(peer.source_id())
+            group.set_weight(peer, weight)
+            if peer.source_id() == own_source:
+                # Values asserted *together by one source* are complementary
+                # claims of a multi-valued attribute, not contradictions —
+                # a source listing two directors is not disagreeing with
+                # itself.
+                sim = 1.0
+            else:
+                sim = similarity([triple.obj], [peer.obj])
+            total += weight * sim
+            weight_sum += weight
+        if weight_sum == 0.0:
+            return 0.0
+        return total / weight_sum
+
+    # ------------------------------------------------------------------
+    # Eq. 10 — LLM authority
+    # ------------------------------------------------------------------
+    def _node_features(self, triple: Triple, group: HomologousGroup) -> dict[str, float]:
+        # Global influence: how connected the claimed value is elsewhere.
+        degree = self.graph.degree(triple.obj)
+        norm_degree = math.log1p(degree) / math.log1p(self._max_degree)
+        # Local connection strength: within-group agreement on this value,
+        # weighted by each claimant's credibility (Definition 4's w_i) so a
+        # clique of weak copycats does not read as strong local support.
+        support: dict[str, float] = {}
+        total_weight = 0.0
+        for member in group.members:
+            weight = self.history.credibility(member.source_id())
+            support[normalize_value(member.obj)] = (
+                support.get(normalize_value(member.obj), 0.0) + weight
+            )
+            total_weight += weight
+        agreement = (
+            support.get(normalize_value(triple.obj), 0.0) / total_weight
+            if total_weight else 0.0
+        )
+        # Entity-type information: does the value look like the kind the
+        # relation schema expects (a year predicate should point at a year)?
+        type_consistency = self.schema.check(triple.predicate, triple.obj)
+        # Multi-step path support: corroborating statements that also
+        # mention the value in connection with the subject's neighborhood.
+        corroboration = sum(
+            1 for t in self.graph.by_object(triple.obj)
+            if t.subject == triple.subject and t.predicate != triple.predicate
+        )
+        corroboration += sum(
+            1 for t in self.graph.by_subject(triple.obj)
+            if t.obj == triple.subject
+        )
+        path_support = min(1.0, corroboration / 3.0)
+        return {
+            "degree": norm_degree,
+            "agreement": agreement,
+            "type_consistency": type_consistency,
+            "path_support": path_support,
+        }
+
+    def auth_llm(self, triple: Triple, group: HomologousGroup) -> float:
+        """``Auth_LLM(v)`` (Eq. 10): sigmoid-squashed expert judgement."""
+        raw = self.llm.authority(self._node_features(triple, group))
+        # Center at 0.5 so the sigmoid spreads scores on both sides of
+        # its midpoint, as the paper's mean-centering of C_LLM intends.
+        return 1.0 / (1.0 + math.exp(-self.beta * (raw - 0.5) * 8.0))
+
+    # ------------------------------------------------------------------
+    # Eq. 11 — historical authority
+    # ------------------------------------------------------------------
+    def auth_hist(self, triple: Triple, group: HomologousGroup) -> float:
+        """``Auth_hist(v)`` (Eq. 11): history blended with query consensus."""
+        source = triple.source_id()
+        h = self.history.historical_entities(source)
+        prior = self.history.credibility(source)
+        counts = Counter(normalize_value(m.obj) for m in group.members)
+        n_query = len(group.members)
+        # Pr(v_p) for each claim this source makes in the current candidate
+        # set: the consensus probability of the claimed value.
+        consensus_sum = sum(
+            counts[normalize_value(m.obj)] / n_query
+            for m in group.members
+            if m.source_id() == source
+        )
+        return (h * prior + consensus_sum) / (h + n_query)
+
+    # ------------------------------------------------------------------
+    # Eq. 9 + Algorithm 1 line 6
+    # ------------------------------------------------------------------
+    def assess(self, triple: Triple, group: HomologousGroup) -> NodeAssessment:
+        """Full node assessment ``C(v) = S_n(v) + A(v)``."""
+        s_n = self.consistency(triple, group)
+        a_llm = self.auth_llm(triple, group)
+        a_hist = self.auth_hist(triple, group)
+        authority = self.alpha * a_llm + (1.0 - self.alpha) * a_hist
+        return NodeAssessment(
+            triple=triple,
+            consistency=s_n,
+            auth_llm=a_llm,
+            auth_hist=a_hist,
+            authority=authority,
+            confidence=s_n + authority,
+        )
+

@@ -1,0 +1,23 @@
+"""MultiRAG core: configuration, logic forms, pipeline, MKLGP."""
+
+from repro.core.answer import RankedValue, RetrievalResult
+from repro.core.config import MultiRAGConfig
+from repro.core.logic_form import LogicForm, generate_logic_form
+from repro.core.mklgp import MKLGPTrace, mklgp
+from repro.core.planner import QuestionPlan, plan_question
+from repro.core.pipeline import BuildReport, EvaluationReport, MultiRAG
+
+__all__ = [
+    "BuildReport",
+    "EvaluationReport",
+    "LogicForm",
+    "MKLGPTrace",
+    "MultiRAG",
+    "MultiRAGConfig",
+    "QuestionPlan",
+    "plan_question",
+    "RankedValue",
+    "RetrievalResult",
+    "generate_logic_form",
+    "mklgp",
+]

@@ -1,0 +1,46 @@
+"""Answer containers returned by the MultiRAG pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.confidence.mcc import MCCResult
+from repro.util import normalize_value
+
+
+@dataclass(frozen=True, slots=True)
+class RankedValue:
+    """One answer value with its supporting confidence and sources."""
+
+    value: str
+    confidence: float
+    sources: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class RetrievalResult:
+    """Everything one MultiRAG query produced.
+
+    ``stage_values`` records the candidate value sets at the three points
+    the paper measures Recall@K: before subgraph (graph-level) filtering,
+    after graph-level but before node-level filtering, and after node-level
+    filtering.
+    """
+
+    query: str
+    answers: list[RankedValue] = field(default_factory=list)
+    generated_text: str = ""
+    mcc: MCCResult | None = None
+    stage_values: dict[str, list[str]] = field(default_factory=dict)
+    query_time_s: float = 0.0
+    prompt_time_s: float = 0.0
+    candidates_considered: int = 0
+    trace: list[str] = field(default_factory=list)
+
+    def answer_set(self, top_k: int | None = None) -> set[str]:
+        """Normalized answer values (optionally the top-``k`` only)."""
+        ranked = self.answers if top_k is None else self.answers[:top_k]
+        return {normalize_value(a.value) for a in ranked}
+
+    def top(self) -> RankedValue | None:
+        return self.answers[0] if self.answers else None

@@ -1,0 +1,108 @@
+"""Logic-form generation — first step of MKLGP (Algorithm 2, line 2).
+
+The LLM of the paper extracts intent, entities and relationships from the
+user query; here a deterministic parser covers the query grammar the
+datasets emit, with a lexicon-driven fallback for free-form phrasings.
+
+Understood shapes (case-insensitive):
+
+* ``What is the <attribute> of <entity>?``  — attribute lookup
+* ``Who directed <entity>?`` and other lexicon phrasings
+* ``<entity> | <attribute>``               — pre-parsed structured form
+* anything else → ``open`` intent, handled by retrieval downstream
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.llm.lexicon import RELATIONS
+
+_ATTR_RE = re.compile(
+    # The entity part is captured verbatim: titles legitimately start with
+    # "The ..." and must not be stripped.
+    r"^\s*what\s+(?:is|are|was|were)\s+the\s+(?P<attr>.+?)\s+of\s+"
+    r"(?P<entity>.+?)\s*\??\s*$",
+    re.IGNORECASE,
+)
+
+#: question verb phrasings → canonical predicate, derived from the lexicon.
+_VERB_PATTERNS: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"^\s*who\s+directed\s+(?P<entity>.+?)\s*\??\s*$", re.I), "directed_by"),
+    (re.compile(r"^\s*who\s+wrote\s+(?P<entity>.+?)\s*\??\s*$", re.I), "author"),
+    (re.compile(r"^\s*who\s+published\s+(?P<entity>.+?)\s*\??\s*$", re.I), "publisher"),
+    (re.compile(r"^\s*when\s+did\s+(?P<entity>.+?)\s+depart\s*\??\s*$", re.I),
+     "actual_departure"),
+    (re.compile(r"^\s*where\s+was\s+(?P<entity>.+?)\s+born\s*\??\s*$", re.I), "born_in"),
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LogicForm:
+    """Parsed query: intent plus (entity, attribute) when structured."""
+
+    intent: str
+    raw: str
+    entity: str | None = None
+    attribute: str | None = None
+
+    @property
+    def is_structured(self) -> bool:
+        return self.intent == "attribute_lookup"
+
+    def key(self) -> tuple[str, str]:
+        if not self.is_structured or self.entity is None or self.attribute is None:
+            raise ValueError(f"logic form for {self.raw!r} is not structured")
+        return (self.entity, self.attribute)
+
+
+def _canonical_attribute(phrase: str) -> str:
+    """Map a spoken attribute phrase to its snake_case predicate."""
+    candidate = phrase.strip().lower().replace(" ", "_")
+    known = {spec.predicate for spec in RELATIONS}
+    if candidate in known:
+        return candidate
+    # Common surface aliases emitted by human-ish phrasings.
+    aliases = {
+        "director": "directed_by",
+        "directors": "directed_by",
+        "writer": "author",
+        "writers": "author",
+        "authors": "author",
+        "departure_time": "actual_departure",
+        "opening_price": "open_price",
+        "closing_price": "close_price",
+    }
+    return aliases.get(candidate, candidate)
+
+
+def generate_logic_form(query: str) -> LogicForm:
+    """Parse ``query`` into a :class:`LogicForm` (never raises)."""
+    if "|" in query:
+        parts = [p.strip() for p in query.split("|")]
+        if len(parts) == 2 and all(parts):
+            return LogicForm(
+                intent="attribute_lookup",
+                raw=query,
+                entity=parts[0],
+                attribute=_canonical_attribute(parts[1]),
+            )
+    match = _ATTR_RE.match(query)
+    if match:
+        return LogicForm(
+            intent="attribute_lookup",
+            raw=query,
+            entity=match.group("entity").strip(),
+            attribute=_canonical_attribute(match.group("attr")),
+        )
+    for pattern, predicate in _VERB_PATTERNS:
+        match = pattern.match(query)
+        if match:
+            return LogicForm(
+                intent="attribute_lookup",
+                raw=query,
+                entity=match.group("entity").strip(),
+                attribute=predicate,
+            )
+    return LogicForm(intent="open", raw=query)

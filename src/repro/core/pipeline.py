@@ -1,0 +1,537 @@
+"""The MultiRAG pipeline (paper §III, Fig. 3).
+
+:class:`MultiRAG` wires the three modules together:
+
+1. **Knowledge construction** (:meth:`ingest`): multi-source fusion through
+   the format adapters, LLM extraction for unstructured text, and
+   construction of the multi-source line graph (MKA).
+2. **Retrieval with multi-level confidence** (:meth:`query`): logic-form
+   generation, O(1) candidate lookup in the MLG (or an honest linear scan
+   of the raw knowledge graph when MKA is ablated), graph-level and
+   node-level confidence computing (MCC), and historical-credibility
+   updates from consensus feedback.
+3. **Trustworthy generation**: surviving evidence is ranked and handed to
+   the LLM to synthesize the final grounded answer.
+
+The combination of :meth:`query` steps is exactly the MKLGP algorithm
+(Algorithm 2); see :mod:`repro.core.mklgp` for the annotated procedure.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.adapters.base import RawSource
+from repro.adapters.fusion import DataFusionEngine, FusionResult
+from repro.confidence.calibration import calibrate_history
+from repro.confidence.history import HistoryStore
+from repro.confidence.mcc import MCCResult, mcc
+from repro.confidence.node_level import NodeScorer
+from repro.core.answer import RankedValue, RetrievalResult
+from repro.core.config import MultiRAGConfig
+from repro.core.logic_form import LogicForm, generate_logic_form
+from repro.kg.triple import Provenance, Triple
+from repro.linegraph.homologous import HomologousGroup, HomologousNode
+from repro.linegraph.mlg import MultiSourceLineGraph
+from repro.llm.generation import EvidenceItem, generate_trustworthy_answer
+from repro.llm.simulated import SimulatedLLM
+from repro.retrieval.chunking import SentenceChunker
+from repro.retrieval.retriever import MultiSourceRetriever
+from repro.util import normalize_value
+
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(slots=True)
+class BuildReport:
+    """What :meth:`MultiRAG.ingest` built and how long it took."""
+
+    construction_time_s: float
+    num_triples: int
+    num_entities: int
+    num_chunks: int
+    extraction_calls: int
+    mlg_stats: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class EvaluationReport:
+    """Aggregate outcome of :meth:`MultiRAG.evaluate`."""
+
+    per_query: list[tuple[str, float]] = field(default_factory=list)
+    mean_f1: float = 0.0
+    query_time_s: float = 0.0
+    prompt_time_s: float = 0.0
+
+    def worst(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` lowest-scoring queries (for error triage)."""
+        return sorted(self.per_query, key=lambda pair: pair[1])[:n]
+
+
+class MultiRAG:
+    """Knowledge-guided multi-source RAG with hallucination mitigation."""
+
+    def __init__(
+        self,
+        config: MultiRAGConfig | None = None,
+        llm: SimulatedLLM | None = None,
+    ) -> None:
+        self.config = config or MultiRAGConfig()
+        self.llm = llm or SimulatedLLM(
+            seed=self.config.seed,
+            extraction_noise=self.config.extraction_noise,
+        )
+        self.history = HistoryStore(
+            init_entities=self.config.history_init_entities
+        )
+        self.engine = DataFusionEngine(
+            llm=self.llm,
+            chunker=SentenceChunker(max_tokens=self.config.chunk_max_tokens),
+            standardize=True,
+        )
+        self.retriever = MultiSourceRetriever()
+        self.fusion: FusionResult | None = None
+        self.mlg: MultiSourceLineGraph | None = None
+        self.scorer: NodeScorer | None = None
+        self._entity_by_norm: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # knowledge construction (MKA)
+    # ------------------------------------------------------------------
+    def ingest(self, sources: list[RawSource]) -> BuildReport:
+        """Fuse ``sources`` and build the MLG index (when MKA is enabled)."""
+        start = time.perf_counter()
+        self.fusion = self.engine.fuse(sources)
+        graph = self.fusion.graph
+        self.retriever = MultiSourceRetriever()
+        self.retriever.add_chunks(self.fusion.chunks)
+        self.retriever.build()
+        if self.config.enable_mka:
+            self.mlg = MultiSourceLineGraph(graph, min_sources=self.config.min_sources)
+            if self.config.update_history:
+                # Construction-time consistency feedback (Definition 5):
+                # every homologous group seeds its sources' historical
+                # credibility before the first query.
+                calibrate_history(self.mlg.groups, self.history)
+        else:
+            self.mlg = None
+        self.scorer = NodeScorer(
+            graph=graph,
+            llm=self.llm,
+            history=self.history,
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+        )
+        self._entity_by_norm = {}
+        for triple in graph.triples():
+            self._entity_by_norm.setdefault(normalize_value(triple.subject), triple.subject)
+        logger.info(
+            "ingest complete: %d triples, %d entities, mlg=%s",
+            len(graph), graph.num_entities(),
+            self.mlg.stats() if self.mlg else "disabled",
+        )
+        return BuildReport(
+            construction_time_s=time.perf_counter() - start,
+            num_triples=len(graph),
+            num_entities=graph.num_entities(),
+            num_chunks=len(self.fusion.chunks),
+            extraction_calls=self.fusion.extraction_calls,
+            mlg_stats=self.mlg.stats() if self.mlg else {},
+        )
+
+    def add_source(self, raw: RawSource) -> dict[str, int]:
+        """Incrementally ingest one more source into a built pipeline.
+
+        Parses (and, for text, LLM-extracts) the new source, standardizes
+        its mentions, folds the new claims into the knowledge graph and —
+        when MKA is enabled — into the MLG via its incremental update,
+        seeding the new groups' consistency feedback into the history.
+        Returns the MLG update counts (``joined`` / ``promoted`` /
+        ``isolated``) plus ``claims_added``.
+        """
+        from repro.adapters.base import get_adapter
+        from repro.kg.triple import Entity
+
+        self._require_ingested()
+        assert self.fusion is not None
+        output = get_adapter(raw.fmt).parse(raw)
+        triples = list(output.triples)
+
+        new_chunks = []
+        for doc_id, text in output.documents:
+            chunks = self.engine.chunker.chunk(
+                text, source_id=raw.source_id, doc_id=doc_id
+            )
+            new_chunks.extend(chunks)
+            if raw.fmt == "text":
+                for chunk in chunks:
+                    provenance = Provenance(
+                        source_id=raw.source_id, domain=raw.domain,
+                        fmt=raw.fmt, chunk_id=chunk.chunk_id,
+                    )
+                    extraction = self.engine.extractor.extract(
+                        chunk.text, provenance
+                    )
+                    triples.extend(extraction.triples)
+
+        # Standardize the new mentions the same way ingest() did.
+        mentions = sorted({m for t in triples for m in (t.subject, t.obj)})
+        mapping: dict[str, str] = {}
+        for i in range(0, len(mentions), 64):
+            mapping.update(self.llm.standardize("", mentions[i:i + 64]))
+
+        graph = self.fusion.graph
+        added: list[Triple] = []
+        for triple in triples:
+            standardized = Triple(
+                mapping.get(triple.subject, triple.subject),
+                triple.predicate,
+                mapping.get(triple.obj, triple.obj),
+                triple.provenance,
+            )
+            if graph.add_triple(standardized):
+                added.append(standardized)
+                if not graph.has_entity(standardized.subject):
+                    graph.add_entity(
+                        Entity(eid=standardized.subject, name=standardized.subject)
+                    )
+                graph.entity(standardized.subject).add_attribute(
+                    standardized.predicate, standardized.obj
+                )
+                self._entity_by_norm.setdefault(
+                    normalize_value(standardized.subject), standardized.subject
+                )
+
+        self.fusion.chunks.extend(new_chunks)
+        self.retriever.add_chunks(new_chunks)
+        self.retriever.build()
+
+        stats = {"claims_added": len(added), "joined": 0, "promoted": 0,
+                 "isolated": 0}
+        if self.mlg is not None:
+            stats.update(self.mlg.add_triples(added))
+            if self.config.update_history and added:
+                affected_keys = {t.key() for t in added}
+                affected_groups = [
+                    g for g in self.mlg.groups if g.key in affected_keys
+                ]
+                calibrate_history(affected_groups, self.history, rounds=1)
+        # Degree statistics changed; rebuild the scorer's normalization.
+        self.scorer = NodeScorer(
+            graph=graph, llm=self.llm, history=self.history,
+            alpha=self.config.alpha, beta=self.config.beta,
+        )
+        return stats
+
+    # ------------------------------------------------------------------
+    # retrieval (MKLGP)
+    # ------------------------------------------------------------------
+    def query(self, question: str) -> RetrievalResult:
+        """Answer ``question`` through the full MKLGP flow."""
+        self._require_ingested()
+        start = time.perf_counter()
+        prompt_before = self.llm.meter.simulated_latency_s
+
+        logic_form = generate_logic_form(question)
+        result = RetrievalResult(query=question)
+        result.trace.append(f"logic_form: {logic_form.intent}")
+
+        if logic_form.is_structured:
+            entity = self._resolve_entity(logic_form.entity or "")
+            if entity is None:
+                result.trace.append("entity: unresolved")
+                candidates: list[Triple] = []
+            else:
+                result.trace.append(f"entity: {entity}")
+                candidates = self._candidates(entity, logic_form.attribute or "")
+        else:
+            candidates = self._open_candidates(logic_form)
+
+        candidates = self._apply_freshness(candidates)
+        result.candidates_considered = len(candidates)
+        result.stage_values["before_subgraph_filtering"] = [t.obj for t in candidates]
+
+        if candidates:
+            group = self._as_group(candidates)
+            mcc_result = self._run_mcc([group])
+            result.mcc = mcc_result
+            # After subgraph filtering, before node filtering: fast-path
+            # groups have been narrowed to their top consensus nodes, while
+            # conflicted groups still carry every member into node-level
+            # scrutiny — i.e. exactly the nodes MCC assessed.
+            result.stage_values["before_node_filtering"] = [
+                a.value
+                for d in mcc_result.decisions
+                for a in (d.accepted + d.rejected)
+            ]
+            result.answers = self._rank_answers(mcc_result)
+            result.stage_values["after_node_filtering"] = [
+                a.value for a in result.answers
+            ]
+            if self.config.update_history:
+                self._update_history(candidates, result)
+        else:
+            result.stage_values["before_node_filtering"] = []
+            result.stage_values["after_node_filtering"] = []
+
+        result.generated_text = self._generate(question, result)
+        result.prompt_time_s = self.llm.meter.simulated_latency_s - prompt_before
+        result.query_time_s = time.perf_counter() - start
+        logger.debug(
+            "query %r: %d candidates -> %d answers in %.4fs (+%.3fs LLM)",
+            question, result.candidates_considered, len(result.answers),
+            result.query_time_s, result.prompt_time_s,
+        )
+        return result
+
+    def query_key(self, entity: str, attribute: str) -> RetrievalResult:
+        """Structured shortcut: answer the claim key ``(entity, attribute)``."""
+        return self.query(f"{entity} | {attribute}")
+
+    def query_chain(self, hops: list[tuple[str | None, str]]) -> RetrievalResult:
+        """Multi-hop lookup: each hop is ``(entity_or_None, attribute)``.
+
+        ``None`` as a hop's entity means "the top answer of the previous
+        hop" — the bridge-entity pattern of HotpotQA/2Wiki questions.
+        The returned result carries the final hop's answers; traces of all
+        hops are concatenated.
+        """
+        self._require_ingested()
+        result: RetrievalResult | None = None
+        trace: list[str] = []
+        total_qt = 0.0
+        total_pt = 0.0
+        for entity, attribute in hops:
+            if entity is None:
+                if result is None or not result.answers:
+                    empty = RetrievalResult(query=f"? | {attribute}")
+                    empty.trace = trace + ["chain broken: no bridge answer"]
+                    return empty
+                entity = result.answers[0].value
+            result = self.query_key(entity, attribute)
+            trace.extend(result.trace)
+            total_qt += result.query_time_s
+            total_pt += result.prompt_time_s
+        assert result is not None
+        result.trace = trace
+        result.query_time_s = total_qt
+        result.prompt_time_s = total_pt
+        return result
+
+    def evaluate(self, queries) -> "EvaluationReport":
+        """Answer a batch of :class:`~repro.datasets.schema.QuerySpec`-like
+        queries and score them against their gold answers.
+
+        Each query needs ``entity``, ``attribute`` and ``answers``
+        attributes.  Returns per-query F1 plus aggregate statistics.
+        """
+        from repro.eval.metrics import f1_score, mean
+
+        report = EvaluationReport()
+        for query in queries:
+            result = self.query_key(query.entity, query.attribute)
+            predicted = {a.value for a in result.answers}
+            score = f1_score(predicted, query.answers)
+            report.per_query.append((getattr(query, "qid", ""), score))
+            report.query_time_s += result.query_time_s
+            report.prompt_time_s += result.prompt_time_s
+        report.mean_f1 = 100.0 * mean(s for _, s in report.per_query)
+        logger.info(
+            "evaluated %d queries: mean F1 %.1f%%",
+            len(report.per_query), report.mean_f1,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_ingested(self) -> None:
+        if self.fusion is None or self.scorer is None:
+            raise RuntimeError("call ingest() before querying")
+
+    def _resolve_entity(self, name: str) -> str | None:
+        assert self.fusion is not None
+        graph = self.fusion.graph
+        if graph.by_subject(name):
+            return name
+        return self._entity_by_norm.get(normalize_value(name))
+
+    def _candidates(self, entity: str, attribute: str) -> list[Triple]:
+        """Candidate claims for a key — O(1) via MLG; without MKA the
+        pipeline must fall back to retrieve-and-extract."""
+        assert self.fusion is not None
+        if self.mlg is not None:
+            return self.mlg.candidates(entity, attribute)
+        return self._candidates_without_mka(entity, attribute)
+
+    def _candidates_without_mka(self, entity: str, attribute: str) -> list[Triple]:
+        """The w/o-MKA ablation path (Table III).
+
+        With no aggregated line graph there is no key index to consult:
+        candidates must be recovered the way a plain RAG system recovers
+        them — retrieve chunks from every source, read each retrieved
+        chunk with the LLM, and keep the statements matching the asked
+        key.  This is both expensive (LLM extraction per query — the
+        paper's QT blow-up) and lossy (retrieval misses, and per-source
+        surface variants are never standardized against each other).
+        """
+        assert self.fusion is not None
+        spoken = attribute.replace("_", " ")
+        hits = self.retriever.retrieve_per_source(
+            f"{entity} {spoken}", k_per_source=2
+        )
+        target = normalize_value(entity)
+        candidates: list[Triple] = []
+        seen: set[tuple[str, str, str, str]] = set()
+        for hit in hits:
+            for subject, predicate, obj in self.llm.extract_triples(hit.item.text, []):
+                if predicate != attribute or normalize_value(subject) != target:
+                    continue
+                dedup = (subject, predicate, obj, hit.item.source_id)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                candidates.append(
+                    Triple(
+                        entity, attribute, obj,
+                        Provenance(
+                            source_id=hit.item.source_id,
+                            fmt="chunk",
+                            chunk_id=hit.item.chunk_id,
+                        ),
+                    )
+                )
+        return candidates
+
+    def _open_candidates(self, logic_form: LogicForm) -> list[Triple]:
+        """Fallback for free-form questions: retrieve, then match claims."""
+        assert self.fusion is not None
+        hits = self.retriever.retrieve(logic_form.raw, k=self.config.top_k)
+        query_tokens = set(normalize_value(logic_form.raw).split())
+        candidates: list[Triple] = []
+        seen: set[tuple[tuple[str, str, str], str]] = set()
+        for hit in hits:
+            for triple in self.fusion.graph.by_source(hit.item.source_id):
+                subject_tokens = set(normalize_value(triple.subject).split())
+                predicate_tokens = set(triple.predicate.split("_"))
+                if subject_tokens <= query_tokens and (
+                    predicate_tokens & query_tokens
+                ):
+                    dedup = (triple.spo(), triple.source_id())
+                    if dedup not in seen:
+                        seen.add(dedup)
+                        candidates.append(triple)
+        return candidates
+
+    def _apply_freshness(self, candidates: list[Triple]) -> list[Triple]:
+        """Temporal supersede/staleness filter over the candidate set.
+
+        When claims carry observation timestamps, each source's older
+        claims for the key are superseded by its newest observation, and
+        sources last heard more than ``config.staleness`` before the
+        freshest observation are dropped entirely — a stale "on time" is
+        an earlier snapshot, not a conflicting opinion.  Timeless claims
+        (no timestamp) pass through untouched.
+        """
+        if self.config.staleness is None or not candidates:
+            return candidates
+        timed = [c for c in candidates
+                 if c.provenance and c.provenance.observed_at is not None]
+        if not timed:
+            return candidates
+        timeless = [c for c in candidates
+                    if not c.provenance or c.provenance.observed_at is None]
+        latest_per_source: dict[str, Triple] = {}
+        for claim in sorted(timed, key=lambda c: c.provenance.observed_at):
+            latest_per_source[claim.source_id()] = claim
+        newest = max(
+            c.provenance.observed_at for c in latest_per_source.values()
+        )
+        fresh = [
+            c for c in latest_per_source.values()
+            if newest - c.provenance.observed_at <= self.config.staleness
+        ]
+        return timeless + fresh
+
+    def _as_group(self, candidates: list[Triple]) -> HomologousGroup:
+        """Wrap the candidate set of one retrieval as a homologous group
+        (Definition 3: same candidate set ⇒ homologous)."""
+        first = candidates[0]
+        snode = HomologousNode(
+            name=first.predicate,
+            entity=first.subject,
+            meta={"domain": first.provenance.domain if first.provenance else ""},
+            num=len(candidates),
+        )
+        group = HomologousGroup(
+            key=first.key(), snode=snode, members=list(candidates)
+        )
+        for member in candidates:
+            group.set_weight(member, 1.0)
+        return group
+
+    def _run_mcc(self, groups: list[HomologousGroup]) -> MCCResult:
+        assert self.scorer is not None
+        return mcc(
+            groups,
+            self.scorer,
+            node_threshold=self.config.node_threshold,
+            graph_threshold=self.config.graph_threshold,
+            enable_graph_level=self.config.enable_graph_level,
+            enable_node_level=self.config.enable_node_level,
+            fast_path_nodes=self.config.fast_path_nodes,
+            hedge_margin=self.config.hedge_margin,
+        )
+
+    def _rank_answers(self, mcc_result: MCCResult) -> list[RankedValue]:
+        by_value: dict[str, list] = defaultdict(list)
+        display: dict[str, str] = {}
+        for assessment in mcc_result.accepted_assessments():
+            key = normalize_value(assessment.value)
+            by_value[key].append(assessment)
+            display.setdefault(key, assessment.value)
+        ranked = []
+        for key, assessments in by_value.items():
+            best = max(a.confidence for a in assessments)
+            support = len({a.source_id for a in assessments})
+            # Normalize C(v) ∈ [0, 2] to a [0, 1] display confidence and
+            # nudge by multi-source support for stable ordering.
+            confidence = min(1.0, best / 2.0 + 0.05 * (support - 1))
+            ranked.append(
+                RankedValue(
+                    value=display[key],
+                    confidence=round(confidence, 6),
+                    sources=tuple(sorted({a.source_id for a in assessments})),
+                )
+            )
+        ranked.sort(key=lambda r: (-r.confidence, r.value))
+        return ranked
+
+    def _update_history(
+        self, candidates: list[Triple], result: RetrievalResult
+    ) -> None:
+        """Consensus feedback: sources whose claims made the final answer
+        set gain credibility; contradicted sources lose it."""
+        answer_set = result.answer_set()
+        if not answer_set:
+            return
+        for triple in candidates:
+            accepted = normalize_value(triple.obj) in answer_set
+            self.history.update(triple.source_id(), accepted)
+
+    def _generate(self, question: str, result: RetrievalResult) -> str:
+        evidence = [
+            EvidenceItem(
+                entity=assessment.triple.subject,
+                attribute=assessment.triple.predicate,
+                value=assessment.value,
+                confidence=min(1.0, assessment.confidence / 2.0),
+                source_id=assessment.source_id,
+            )
+            for assessment in (result.mcc.accepted_assessments() if result.mcc else [])
+        ]
+        return generate_trustworthy_answer(self.llm, question, evidence)

@@ -1,0 +1,124 @@
+"""Question planning: natural multi-hop questions → hop chains.
+
+MKLGP's first step extracts "the intent, entities, and relationships" from
+the user query.  :func:`plan_question` extends the flat logic-form parser
+to *nested* questions — the bridge/compositional shapes of HotpotQA and
+2WikiMultiHopQA — by peeling relational noun phrases off the front of the
+question until a concrete entity remains:
+
+    "Who is the spouse of the director of The Silent Horizon?"
+      → [("The Silent Horizon", "directed_by"), (None, "spouse")]
+
+    "In which country was the director of The Silent Horizon born?"
+      → [("The Silent Horizon", "directed_by"), (None, "born_in"),
+         (None, "located_in")]
+
+Comparison questions ("Were A and B born in the same city?") produce two
+chains plus a comparison marker.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+Hop = tuple[str | None, str]
+
+#: relational noun phrases and the predicate they traverse.
+RELATIONAL_NOUNS: dict[str, str] = {
+    "director": "directed_by",
+    "author": "author",
+    "writer": "author",
+    "publisher": "publisher",
+    "spouse": "spouse",
+    "capital": "capital",
+    "employer": "works_for",
+}
+
+#: trailing verb phrases and the hops they append to the chain.
+_TAIL_PATTERNS: list[tuple[re.Pattern[str], list[str]]] = [
+    (re.compile(r"^in which country was (?P<inner>.+?) born\??$", re.I),
+     ["born_in", "located_in"]),
+    (re.compile(r"^where was (?P<inner>.+?) born\??$", re.I), ["born_in"]),
+    (re.compile(r"^who is the spouse of (?P<inner>.+?)\??$", re.I), ["spouse"]),
+    (re.compile(r"^which organization does (?P<inner>.+?) work for\??$", re.I),
+     ["works_for"]),
+    (re.compile(r"^who directed (?P<inner>.+?)\??$", re.I), ["directed_by"]),
+    (re.compile(r"^who wrote (?P<inner>.+?)\??$", re.I), ["author"]),
+    (re.compile(r"^what is the capital of (?P<inner>.+?)\??$", re.I),
+     ["capital"]),
+]
+
+_COMPARISON_RE = re.compile(
+    r"^were (?P<a>.+?) and (?P<b>.+?) born in the same city\??$", re.I
+)
+
+_NESTED_RE = re.compile(
+    r"^the (?P<noun>[a-z]+) of (?P<rest>.+)$", re.I
+)
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionPlan:
+    """The planned decomposition of one question."""
+
+    qtype: str  # "chain" | "comparison" | "unplanned"
+    hops: tuple[Hop, ...] = ()
+    hops_b: tuple[Hop, ...] = ()
+    comparator: str = ""
+    raw: str = ""
+
+    @property
+    def is_planned(self) -> bool:
+        return self.qtype != "unplanned"
+
+
+def _unnest(phrase: str) -> tuple[str, list[str]] | None:
+    """Peel relational nouns off ``phrase``.
+
+    ``"the spouse of the director of X"`` → ``("X", ["directed_by",
+    "spouse"])`` — inner hops first.  Returns ``None`` when an unknown
+    relational noun is hit.
+    """
+    phrase = phrase.strip()
+    match = _NESTED_RE.match(phrase)
+    if match is None:
+        return phrase, []
+    predicate = RELATIONAL_NOUNS.get(match.group("noun").lower())
+    if predicate is None:
+        return None
+    inner = _unnest(match.group("rest"))
+    if inner is None:
+        return None
+    entity, hops = inner
+    return entity, hops + [predicate]
+
+
+def plan_question(question: str) -> QuestionPlan:
+    """Plan ``question``; ``qtype == "unplanned"`` when no template fits."""
+    text = " ".join(question.strip().split())
+
+    comparison = _COMPARISON_RE.match(text)
+    if comparison:
+        return QuestionPlan(
+            qtype="comparison",
+            hops=((comparison.group("a"), "born_in"),),
+            hops_b=((comparison.group("b"), "born_in"),),
+            comparator="equal",
+            raw=question,
+        )
+
+    for pattern, tail_hops in _TAIL_PATTERNS:
+        match = pattern.match(text)
+        if match is None:
+            continue
+        unnested = _unnest(match.group("inner"))
+        if unnested is None:
+            continue
+        entity, inner_hops = unnested
+        predicates = inner_hops + tail_hops
+        hops: list[Hop] = [(entity, predicates[0])]
+        hops.extend((None, predicate) for predicate in predicates[1:])
+        return QuestionPlan(qtype="chain", hops=tuple(hops), raw=question)
+
+    return QuestionPlan(qtype="unplanned", raw=question)

@@ -1,0 +1,64 @@
+"""Synthetic datasets mirroring the paper's benchmarks (see DESIGN.md §1)."""
+
+from repro.datasets.books import make_books
+from repro.datasets.flights import make_flights
+from repro.datasets.loader import load_queries, load_sources, write_dataset
+from repro.datasets.movies import make_movies
+from repro.datasets.multihop import (
+    MultiHopDataset,
+    MultiHopQuery,
+    make_2wiki_like,
+    make_hotpotqa_like,
+)
+from repro.datasets.perturb import (
+    corrupt_consistency,
+    corrupt_sources,
+    mask_relations,
+)
+from repro.datasets.schema import (
+    Claim,
+    MultiSourceDataset,
+    QuerySpec,
+    SourceSpec,
+)
+from repro.datasets.stocks import make_stocks
+from repro.datasets.synth import (
+    AttributeSpec,
+    DomainSpec,
+    SourceProfile,
+    generate_dataset,
+)
+
+#: name -> factory for the four fusion benchmarks.
+DATASET_FACTORIES = {
+    "movies": make_movies,
+    "books": make_books,
+    "flights": make_flights,
+    "stocks": make_stocks,
+}
+
+__all__ = [
+    "AttributeSpec",
+    "load_queries",
+    "load_sources",
+    "write_dataset",
+    "Claim",
+    "DATASET_FACTORIES",
+    "DomainSpec",
+    "MultiHopDataset",
+    "MultiHopQuery",
+    "MultiSourceDataset",
+    "QuerySpec",
+    "SourceProfile",
+    "SourceSpec",
+    "corrupt_consistency",
+    "corrupt_sources",
+    "generate_dataset",
+    "make_2wiki_like",
+    "make_books",
+    "make_flights",
+    "make_hotpotqa_like",
+    "make_movies",
+    "mask_relations",
+    "make_stocks",
+]

@@ -1,0 +1,127 @@
+"""Disk materialization and loading of multi-source corpora.
+
+``write_dataset`` lays a :class:`~repro.datasets.schema.MultiSourceDataset`
+out on disk the way real multi-source data arrives — one file per source
+in its native format, plus a ``queries.json`` manifest — and
+``load_sources`` reads any such directory back into
+:class:`~repro.adapters.base.RawSource` objects by file extension, so the
+pipeline can be pointed at a directory of heterogeneous files:
+
+    rag.ingest(load_sources("corpus/"))
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.adapters.base import RawSource
+from repro.datasets.schema import MultiSourceDataset, QuerySpec
+from repro.errors import DatasetError
+
+#: file suffix → adapter format.
+SUFFIX_FORMATS = {
+    ".csv": "csv",
+    ".json": "json",
+    ".xml": "xml",
+    ".kg.json": "kg",
+    ".txt": "text",
+}
+
+
+def _suffix_for(fmt: str) -> str:
+    for suffix, known in SUFFIX_FORMATS.items():
+        if known == fmt:
+            return suffix
+    raise DatasetError(f"no file suffix known for format {fmt!r}")
+
+
+def write_dataset(dataset: MultiSourceDataset, directory: str | Path) -> Path:
+    """Write every source (and the query manifest) under ``directory``."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    for raw in dataset.raw_sources():
+        path = root / f"{raw.source_id}{_suffix_for(raw.fmt)}"
+        if raw.fmt in {"csv", "xml", "text"}:
+            path.write_text(raw.payload)
+        else:
+            path.write_text(json.dumps(raw.payload, ensure_ascii=False, indent=1))
+    manifest = {
+        "name": dataset.name,
+        "domain": dataset.domain,
+        "queries": [
+            {
+                "qid": q.qid,
+                "entity": q.entity,
+                "attribute": q.attribute,
+                "text": q.text,
+                "answers": sorted(q.answers),
+            }
+            for q in dataset.queries
+        ],
+    }
+    (root / "queries.json").write_text(
+        json.dumps(manifest, ensure_ascii=False, indent=1)
+    )
+    return root
+
+
+def load_sources(directory: str | Path, domain: str = "") -> list[RawSource]:
+    """Read every recognized data file under ``directory`` as a RawSource.
+
+    The source id is the file stem; the format comes from the suffix
+    (``.kg.json`` before plain ``.json``).  ``queries.json`` is skipped.
+
+    Raises:
+        DatasetError: if the directory holds no recognized files.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise DatasetError(f"{root} is not a directory")
+    sources: list[RawSource] = []
+    for path in sorted(root.iterdir()):
+        if not path.is_file() or path.name == "queries.json":
+            continue
+        fmt = None
+        if path.name.endswith(".kg.json"):
+            fmt = "kg"
+            stem = path.name[: -len(".kg.json")]
+        elif path.suffix in SUFFIX_FORMATS:
+            fmt = SUFFIX_FORMATS[path.suffix]
+            stem = path.stem
+        if fmt is None:
+            continue
+        text = path.read_text()
+        payload: object = text
+        if fmt in {"json", "kg"}:
+            payload = json.loads(text)
+        sources.append(
+            RawSource(
+                source_id=stem,
+                domain=domain or root.name,
+                fmt=fmt,
+                name=path.name,
+                payload=payload,
+            )
+        )
+    if not sources:
+        raise DatasetError(f"no recognized data files under {root}")
+    return sources
+
+
+def load_queries(directory: str | Path) -> list[QuerySpec]:
+    """Read the ``queries.json`` manifest written by :func:`write_dataset`."""
+    path = Path(directory) / "queries.json"
+    if not path.exists():
+        raise DatasetError(f"no queries.json under {directory}")
+    manifest = json.loads(path.read_text())
+    return [
+        QuerySpec(
+            qid=q["qid"],
+            entity=q["entity"],
+            attribute=q["attribute"],
+            text=q["text"],
+            answers=frozenset(q["answers"]),
+        )
+        for q in manifest.get("queries", [])
+    ]

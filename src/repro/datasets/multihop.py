@@ -1,0 +1,342 @@
+"""Synthetic multi-hop QA corpora (HotpotQA-like and 2WikiMultiHopQA-like).
+
+Both paper datasets are built over Wikipedia; the offline equivalent is a
+small synthetic encyclopedia: persons, films, cities, countries and
+organizations connected by typed relations, published as entity pages by
+three overlapping "wiki" sources — one of which injects contradictory
+facts, giving the confidence machinery real conflicts to resolve.
+
+Question templates follow the two datasets' signatures:
+
+* **bridge** (HotpotQA): "Who is the spouse of the director of <film>?" —
+  answerable by chaining attribute lookups through a bridge entity;
+* **compositional** (2Wiki): deeper chains (3 hops);
+* **comparison** (both): "Were <A> and <B> born in the same city?" —
+  requires both chains plus an equality check.
+
+Every question records its hop decomposition, gold answer set and gold
+supporting entity pages (for Recall@5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.adapters.base import RawSource
+from repro.datasets import names
+from repro.errors import DatasetError
+from repro.llm.lexicon import verbalize
+from repro.util import normalize_value
+
+#: one hop: (entity or None-for-previous-answer, attribute)
+Hop = tuple[str | None, str]
+
+
+@dataclass(frozen=True, slots=True)
+class MultiHopQuery:
+    """One multi-hop question with decomposition and gold labels."""
+
+    qid: str
+    text: str
+    qtype: str  # "bridge" | "compositional" | "comparison"
+    hops: tuple[Hop, ...]
+    hops_b: tuple[Hop, ...] = ()
+    answers: frozenset[str] = frozenset()
+    gold_entities: frozenset[str] = frozenset()
+
+    def normalized_answers(self) -> set[str]:
+        return {normalize_value(a) for a in self.answers}
+
+
+@dataclass(slots=True)
+class MultiHopDataset:
+    """Corpus sources + questions + the underlying fact table."""
+
+    name: str
+    sources: list[RawSource]
+    queries: list[MultiHopQuery]
+    facts: dict[tuple[str, str], set[str]] = field(default_factory=dict)
+
+    def fact(self, entity: str, attribute: str) -> set[str]:
+        return self.facts.get((entity, attribute), set())
+
+
+class _World:
+    """The ground-truth entity-relation world behind a corpus."""
+
+    def __init__(self, rng: random.Random, n_persons: int, n_films: int) -> None:
+        self.rng = rng
+        self.persons = names.person_names(rng, n_persons)
+        self.films = names.work_titles(rng, n_films)
+        self.cities = list(names.CITIES)
+        self.countries = list(names.COUNTRIES)
+        self.orgs = list(names.ORGS)
+        self.facts: dict[tuple[str, str], set[str]] = {}
+        self._populate()
+
+    def _add(self, entity: str, attribute: str, value: str) -> None:
+        self.facts.setdefault((entity, attribute), set()).add(value)
+
+    def _populate(self) -> None:
+        rng = self.rng
+        for city, country in names.CITY_COUNTRY.items():
+            self._add(city, "located_in", country)
+            self._add(country, "capital", city)
+        for person in self.persons:
+            self._add(person, "born_in", rng.choice(self.cities))
+            self._add(person, "works_for", rng.choice(self.orgs))
+            self._add(person, "award", rng.choice(names.AWARDS))
+            self._add(person, "instrument", rng.choice(names.INSTRUMENTS))
+        # Spouses: disjoint pairs so chains stay single-valued.
+        shuffled = list(self.persons)
+        rng.shuffle(shuffled)
+        for i in range(0, len(shuffled) - 1, 2):
+            a, b = shuffled[i], shuffled[i + 1]
+            self._add(a, "spouse", b)
+            self._add(b, "spouse", a)
+        for film in self.films:
+            director = rng.choice(self.persons)
+            self._add(film, "directed_by", director)
+            self._add(film, "release_year", str(rng.randint(1960, 2023)))
+            self._add(film, "genre", rng.choice(names.GENRES))
+        for org in self.orgs:
+            self._add(org, "founded_in", str(rng.randint(1900, 2015)))
+
+    def entities(self) -> list[str]:
+        return sorted({entity for entity, _ in self.facts})
+
+    def entity_facts(self, entity: str) -> list[tuple[str, str]]:
+        pairs = []
+        for (subj, attr), values in sorted(self.facts.items()):
+            if subj == entity:
+                for value in sorted(values):
+                    pairs.append((attr, value))
+        return pairs
+
+    def resolve_chain(self, start: str, attributes: list[str]) -> set[str]:
+        """Follow a hop chain through the fact table; empty set if broken."""
+        frontier = {start}
+        for attribute in attributes:
+            next_frontier: set[str] = set()
+            for entity in frontier:
+                next_frontier |= self.facts.get((entity, attribute), set())
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+
+def _build_sources(
+    world: _World,
+    rng: random.Random,
+    name: str,
+    contradiction_rate: float,
+) -> list[RawSource]:
+    """Five overlapping wiki sources with realistic imperfections.
+
+    * ``wiki-a``: clean but partial (covers ~85% of facts);
+    * ``wiki-b``: partial, mildly contradictory, and writes person names
+      library-style ("Ivanov, Jorge") — the heterogeneity MultiRAG's
+      standardization phase absorbs;
+    * ``wiki-c``: partial and contradictory at ``contradiction_rate``;
+    * ``wiki-d``: clean but sparse (a stub encyclopedia);
+    * ``wiki-e``: moderately contradictory and sparse.
+
+    More sources than any baseline's retrieval depth: how much of the
+    corpus a method actually reads (its ``k``, its re-retrieval policy)
+    now matters, as it does at Wikipedia scale.
+    """
+    source_specs = [
+        ("wiki-a", 0.0, 0.85, False),
+        ("wiki-b", contradiction_rate / 3.0, 0.72, True),
+        ("wiki-c", contradiction_rate, 0.72, False),
+        ("wiki-d", 0.0, 0.50, False),
+        ("wiki-e", contradiction_rate / 2.0, 0.55, False),
+    ]
+    all_values_by_attr: dict[str, list[str]] = {}
+    for (_, attr), values in world.facts.items():
+        all_values_by_attr.setdefault(attr, []).extend(values)
+    person_set = set(world.persons)
+
+    def styled(text: str, comma_names: bool) -> str:
+        if comma_names and text in person_set:
+            parts = text.split()
+            if len(parts) >= 2:
+                return f"{parts[-1]}, {' '.join(parts[:-1])}"
+        return text
+
+    sources = []
+    for source_id, noise, coverage, comma_names in source_specs:
+        pages: dict[str, str] = {}
+        for entity in world.entities():
+            sentences = []
+            for attr, value in world.entity_facts(entity):
+                if rng.random() >= coverage:
+                    continue
+                emitted = value
+                if noise and rng.random() < noise:
+                    pool = [v for v in all_values_by_attr[attr] if v != value]
+                    if pool:
+                        emitted = rng.choice(pool)
+                sentences.append(
+                    verbalize(
+                        styled(entity, comma_names),
+                        attr,
+                        styled(emitted, comma_names),
+                    )
+                )
+            if sentences:
+                pages[entity] = " ".join(sentences)
+        sources.append(
+            RawSource(
+                source_id=source_id,
+                domain="wiki",
+                fmt="text",
+                name=f"{source_id}-pages",
+                payload=pages,
+                meta={"kind": "encyclopedia"},
+            )
+        )
+    return sources
+
+
+def _make_questions(
+    world: _World,
+    rng: random.Random,
+    name: str,
+    n_queries: int,
+    mixture: dict[str, float],
+) -> list[MultiHopQuery]:
+    queries: list[MultiHopQuery] = []
+    qtypes = list(mixture)
+    weights = [mixture[t] for t in qtypes]
+    attempts = 0
+    while len(queries) < n_queries and attempts < n_queries * 30:
+        attempts += 1
+        qtype = rng.choices(qtypes, weights=weights, k=1)[0]
+        query = _make_one(world, rng, f"{name}-q{len(queries):03d}", qtype)
+        if query is not None:
+            queries.append(query)
+    if len(queries) < n_queries:
+        raise DatasetError(
+            f"could only generate {len(queries)}/{n_queries} questions for {name!r}"
+        )
+    return queries
+
+
+def _make_one(
+    world: _World, rng: random.Random, qid: str, qtype: str
+) -> MultiHopQuery | None:
+    if qtype == "bridge":
+        template = rng.choice(("spouse_of_director", "country_of_birth", "org_of_spouse"))
+        if template == "spouse_of_director":
+            film = rng.choice(world.films)
+            director = world.resolve_chain(film, ["directed_by"])
+            answer = world.resolve_chain(film, ["directed_by", "spouse"])
+            if not answer:
+                return None
+            return MultiHopQuery(
+                qid=qid,
+                text=f"Who is the spouse of the director of {film}?",
+                qtype=qtype,
+                hops=((film, "directed_by"), (None, "spouse")),
+                answers=frozenset(answer),
+                gold_entities=frozenset({film} | director),
+            )
+        if template == "country_of_birth":
+            person = rng.choice(world.persons)
+            city = world.resolve_chain(person, ["born_in"])
+            answer = world.resolve_chain(person, ["born_in", "located_in"])
+            if not answer:
+                return None
+            return MultiHopQuery(
+                qid=qid,
+                text=f"In which country was {person} born?",
+                qtype=qtype,
+                hops=((person, "born_in"), (None, "located_in")),
+                answers=frozenset(answer),
+                gold_entities=frozenset({person} | city),
+            )
+        person = rng.choice(world.persons)
+        spouse = world.resolve_chain(person, ["spouse"])
+        answer = world.resolve_chain(person, ["spouse", "works_for"])
+        if not answer:
+            return None
+        return MultiHopQuery(
+            qid=qid,
+            text=f"Which organization does the spouse of {person} work for?",
+            qtype=qtype,
+            hops=((person, "spouse"), (None, "works_for")),
+            answers=frozenset(answer),
+            gold_entities=frozenset({person} | spouse),
+        )
+
+    if qtype == "compositional":
+        film = rng.choice(world.films)
+        director = world.resolve_chain(film, ["directed_by"])
+        city = world.resolve_chain(film, ["directed_by", "born_in"])
+        answer = world.resolve_chain(film, ["directed_by", "born_in", "located_in"])
+        if not answer:
+            return None
+        return MultiHopQuery(
+            qid=qid,
+            text=(
+                f"In which country was the director of {film} born?"
+            ),
+            qtype=qtype,
+            hops=((film, "directed_by"), (None, "born_in"), (None, "located_in")),
+            answers=frozenset(answer),
+            gold_entities=frozenset({film} | director | city),
+        )
+
+    if qtype == "comparison":
+        a, b = rng.sample(world.persons, 2)
+        city_a = world.resolve_chain(a, ["born_in"])
+        city_b = world.resolve_chain(b, ["born_in"])
+        if not city_a or not city_b:
+            return None
+        answer = "yes" if city_a == city_b else "no"
+        return MultiHopQuery(
+            qid=qid,
+            text=f"Were {a} and {b} born in the same city?",
+            qtype=qtype,
+            hops=((a, "born_in"),),
+            hops_b=((b, "born_in"),),
+            answers=frozenset({answer}),
+            gold_entities=frozenset({a, b}),
+        )
+
+    raise DatasetError(f"unknown question type {qtype!r}")
+
+
+def make_hotpotqa_like(
+    n_queries: int = 60, seed: int = 0, contradiction_rate: float = 0.3
+) -> MultiHopDataset:
+    """HotpotQA-flavoured corpus: mostly 2-hop bridge + some comparison."""
+    rng = random.Random(seed * 104729 + 1)
+    world = _World(rng, n_persons=40, n_films=30)
+    sources = _build_sources(world, rng, "hotpotqa", contradiction_rate)
+    queries = _make_questions(
+        world, rng, "hotpot", n_queries,
+        mixture={"bridge": 0.8, "comparison": 0.2},
+    )
+    return MultiHopDataset(
+        name="hotpotqa-like", sources=sources, queries=queries, facts=world.facts
+    )
+
+
+def make_2wiki_like(
+    n_queries: int = 60, seed: int = 1, contradiction_rate: float = 0.3
+) -> MultiHopDataset:
+    """2WikiMultiHopQA-flavoured corpus: compositional chains + comparison."""
+    rng = random.Random(seed * 104729 + 2)
+    world = _World(rng, n_persons=40, n_films=30)
+    sources = _build_sources(world, rng, "2wiki", contradiction_rate)
+    queries = _make_questions(
+        world, rng, "2wiki", n_queries,
+        mixture={"compositional": 0.5, "bridge": 0.3, "comparison": 0.2},
+    )
+    return MultiHopDataset(
+        name="2wikimultihopqa-like", sources=sources, queries=queries, facts=world.facts
+    )

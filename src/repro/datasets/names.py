@@ -1,0 +1,159 @@
+"""Name pools for the synthetic dataset generators.
+
+Pools are intentionally plain ASCII and collision-free across categories so
+entity resolution stays unambiguous and evaluation differences come from
+source conflicts, never from string coincidences.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "Ada", "Alan", "Brian", "Clara", "Dennis", "Edith", "Frank", "Grace",
+    "Hector", "Irene", "James", "Katherine", "Leonard", "Margaret", "Niels",
+    "Olga", "Paul", "Quentin", "Rosalind", "Stephen", "Teresa", "Ulric",
+    "Vera", "Walter", "Xenia", "Yusuf", "Zelda", "Amara", "Bruno", "Celine",
+    "Dmitri", "Elena", "Farid", "Greta", "Hugo", "Ingrid", "Jorge", "Keiko",
+    "Lars", "Mina", "Nadia", "Omar", "Priya", "Ravi", "Sofia", "Tomas",
+]
+
+LAST_NAMES = [
+    "Abara", "Bergstrom", "Castellan", "Dunmore", "Eriksen", "Fontaine",
+    "Grimaldi", "Hollis", "Ivanov", "Jansson", "Kowalski", "Lindqvist",
+    "Moreau", "Nakamura", "Okafor", "Petrov", "Quiroga", "Rasmussen",
+    "Silvestri", "Thackeray", "Ullman", "Vasquez", "Whitlock", "Xiang",
+    "Yamada", "Zielinski", "Ashworth", "Blackwood", "Carmichael", "Delacroix",
+]
+
+TITLE_ADJECTIVES = [
+    "Silent", "Crimson", "Forgotten", "Endless", "Hollow", "Gilded",
+    "Shattered", "Luminous", "Wandering", "Frozen", "Velvet", "Burning",
+    "Distant", "Hidden", "Iron", "Paper", "Scarlet", "Twilight", "Winter",
+    "Electric",
+]
+
+TITLE_NOUNS = [
+    "Horizon", "Archive", "Tide", "Labyrinth", "Orchard", "Meridian",
+    "Covenant", "Cartographer", "Lantern", "Harbor", "Cathedral", "Ember",
+    "Monsoon", "Paradox", "Quarry", "Reverie", "Signal", "Threshold",
+    "Voyage", "Zephyr",
+]
+
+GENRES = [
+    "drama", "thriller", "comedy", "science fiction", "documentary",
+    "romance", "horror", "animation", "mystery", "western",
+]
+
+PUBLISHERS = [
+    "Northgate Press", "Helix Books", "Aldermoor Publishing", "Cinder House",
+    "Blue Meridian Press", "Foxglove Editions", "Granite Row Books",
+    "Ivory Lantern Press", "Samphire House", "Tern & Wake",
+]
+
+LANGUAGES = ["english", "french", "spanish", "german", "japanese", "portuguese"]
+
+AIRLINES = [
+    "Aurora Air", "Cobalt Airways", "Meridian Airlines", "Pacific Crest Air",
+    "Skylark Aviation", "Transpolar Airways",
+]
+
+CITIES = [
+    "Beijing", "New York", "London", "Tokyo", "Paris", "Sydney", "Toronto",
+    "Berlin", "Madrid", "Rome", "Oslo", "Vienna", "Lisbon", "Dublin",
+    "Prague", "Helsinki", "Warsaw", "Athens", "Cairo", "Lima",
+]
+
+COUNTRIES = [
+    "China", "United States", "United Kingdom", "Japan", "France",
+    "Australia", "Canada", "Germany", "Spain", "Italy", "Norway", "Austria",
+    "Portugal", "Ireland", "Czechia", "Finland", "Poland", "Greece",
+    "Egypt", "Peru",
+]
+
+#: city -> country for the multi-hop corpus (aligned by list position).
+CITY_COUNTRY: dict[str, str] = dict(zip(CITIES, COUNTRIES))
+
+EXCHANGES = ["NYSE", "NASDAQ", "LSE", "TSE", "FWB", "SSE"]
+
+FLIGHT_STATUSES = ["on time", "delayed", "boarding", "cancelled", "departed"]
+
+DELAY_REASONS = [
+    "a typhoon warning", "a crew scheduling issue", "airport congestion",
+    "a mechanical inspection", "a late inbound aircraft",
+]
+
+ORGS = [
+    "Helion Dynamics", "Veritas Labs", "Northwind Analytics", "Apex Forge",
+    "Bluecrest Systems", "Quanta Mills", "Stellar Loom", "Harbor & Pine",
+]
+
+AWARDS = [
+    "the Meridian Prize", "the Golden Lantern Award", "the Silver Compass",
+    "the Aurora Medal", "the Keystone Honor",
+]
+
+INSTRUMENTS = ["piano", "violin", "cello", "guitar", "flute", "trumpet"]
+
+
+def person_names(rng: random.Random, count: int) -> list[str]:
+    """``count`` distinct full names drawn deterministically from ``rng``."""
+    pool = [f"{first} {last}" for first in FIRST_NAMES for last in LAST_NAMES]
+    rng.shuffle(pool)
+    if count > len(pool):
+        pool += [f"{name} {i}" for i, name in enumerate(pool)][: count - len(pool)]
+    return pool[:count]
+
+
+def work_titles(rng: random.Random, count: int, prefix: str = "The") -> list[str]:
+    """``count`` distinct work titles ("The Crimson Archive" style)."""
+    pool = [
+        f"{prefix} {adj} {noun}"
+        for adj in TITLE_ADJECTIVES
+        for noun in TITLE_NOUNS
+    ]
+    rng.shuffle(pool)
+    extra = 2
+    while count > len(pool):
+        pool += [f"{title} {extra}" for title in pool[:count - len(pool)]]
+        extra += 1
+    return pool[:count]
+
+
+def flight_codes(rng: random.Random, count: int) -> list[str]:
+    """``count`` distinct flight codes (CA981 style)."""
+    carriers = ["CA", "BA", "AF", "JL", "QF", "LH", "UA", "NH"]
+    pool = [f"{c}{n}" for c in carriers for n in range(100, 1000, 7)]
+    rng.shuffle(pool)
+    return pool[:count]
+
+
+def stock_symbols(rng: random.Random, count: int) -> list[str]:
+    """``count`` distinct 3–4 letter ticker symbols."""
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    pool: list[str] = []
+    seen: set[str] = set()
+    while len(pool) < count:
+        length = rng.choice((3, 4))
+        symbol = "".join(rng.choice(alphabet) for _ in range(length))
+        if symbol not in seen:
+            seen.add(symbol)
+            pool.append(symbol)
+    return pool
+
+
+def times_of_day(step_minutes: int = 5) -> list[str]:
+    """All HH:MM strings at ``step_minutes`` resolution (value pool)."""
+    return [
+        f"{h:02d}:{m:02d}"
+        for h in range(24)
+        for m in range(0, 60, step_minutes)
+    ]
+
+
+def price_pool(rng: random.Random, count: int, low: float = 5.0, high: float = 500.0) -> list[str]:
+    """``count`` distinct two-decimal price strings."""
+    prices: set[str] = set()
+    while len(prices) < count:
+        prices.add(f"{rng.uniform(low, high):.2f}")
+    return sorted(prices)

@@ -1,0 +1,159 @@
+"""Dataset perturbations for the robustness experiments (Q2, Figs. 5–6).
+
+Two knobs, exactly as the paper defines them:
+
+* **Sparsity** — :func:`mask_relations` removes a fraction of claims
+  (relationship masking) while guaranteeing every evaluation query keeps at
+  least one supporting claim, "ensuring that the query answers are still
+  retrievable".
+* **Inconsistency** — :func:`corrupt_consistency` adds a fraction of new
+  claims that are copies of existing ones with their objects shuffled
+  across the dataset, destroying cross-source agreement.
+
+:func:`corrupt_sources` additionally corrupts a chosen *subset of sources*
+in place (wrong values swapped into their claims) for the per-source
+corruption sweep of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.datasets.schema import Claim, MultiSourceDataset
+from repro.errors import DatasetError
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"fraction must lie in [0, 1], got {fraction}")
+
+
+def mask_relations(
+    dataset: MultiSourceDataset,
+    fraction: float,
+    seed: int = 0,
+) -> MultiSourceDataset:
+    """Remove ``fraction`` of claims, keeping every query answerable."""
+    _check_fraction(fraction)
+    if fraction == 0.0:
+        return dataset
+    rng = random.Random(seed)
+    query_keys = {(q.entity, q.attribute) for q in dataset.queries}
+
+    # Reserve one claim per queried key so every query can still be
+    # *answered* (the paper: "ensuring that the query answers are still
+    # retrievable").  The reserved claim is chosen uniformly — reserving a
+    # known-true claim would bias the experiment toward easier data as
+    # masking grows.
+    by_key: dict[tuple[str, str], list[int]] = defaultdict(list)
+    for i, claim in enumerate(dataset.claims):
+        by_key[claim.key()].append(i)
+    protected: set[int] = set()
+    for key in sorted(query_keys):
+        indexes = by_key.get(key)
+        if not indexes:
+            continue
+        protected.add(rng.choice(indexes))
+
+    removable = [i for i in range(len(dataset.claims)) if i not in protected]
+    rng.shuffle(removable)
+    n_remove = min(len(removable), round(fraction * len(dataset.claims)))
+    removed = set(removable[:n_remove])
+    claims = [c for i, c in enumerate(dataset.claims) if i not in removed]
+    return MultiSourceDataset(
+        name=f"{dataset.name}-mask{int(fraction * 100)}",
+        domain=dataset.domain,
+        source_specs=dataset.source_specs,
+        claims=claims,
+        truth=dataset.truth,
+        queries=dataset.queries,
+    )
+
+
+def corrupt_consistency(
+    dataset: MultiSourceDataset,
+    fraction: float,
+    seed: int = 0,
+) -> MultiSourceDataset:
+    """Add ``fraction`` × |claims| shuffled-copy claims (triple increments).
+
+    Each increment copies an existing claim's (entity, attribute) but takes
+    its value from a *different* claim of the same attribute — the paper's
+    "completely shuffled relationship edges".
+    """
+    _check_fraction(fraction)
+    if fraction == 0.0 or not dataset.claims:
+        return dataset
+    rng = random.Random(seed)
+    values_by_attr: dict[str, list[str]] = defaultdict(list)
+    for claim in dataset.claims:
+        values_by_attr[claim.attribute].append(claim.value)
+
+    n_new = round(fraction * len(dataset.claims))
+    templates = [rng.choice(dataset.claims) for _ in range(n_new)]
+    new_claims: list[Claim] = []
+    for template in templates:
+        pool = [v for v in values_by_attr[template.attribute] if v != template.value]
+        if not pool:
+            continue
+        source = rng.choice(dataset.source_specs).source_id
+        new_claims.append(
+            Claim(
+                source_id=source,
+                entity=template.entity,
+                attribute=template.attribute,
+                value=rng.choice(pool),
+            )
+        )
+    return MultiSourceDataset(
+        name=f"{dataset.name}-corrupt{int(fraction * 100)}",
+        domain=dataset.domain,
+        source_specs=dataset.source_specs,
+        claims=dataset.claims + new_claims,
+        truth=dataset.truth,
+        queries=dataset.queries,
+    )
+
+
+def corrupt_sources(
+    dataset: MultiSourceDataset,
+    level: float,
+    source_ids: set[str] | None = None,
+    seed: int = 0,
+) -> MultiSourceDataset:
+    """Swap wrong values into ``level`` of the claims of selected sources.
+
+    ``source_ids`` defaults to the first half of the dataset's sources,
+    matching Fig. 6's "corruption level in different sources" sweep.
+    """
+    _check_fraction(level)
+    if level == 0.0:
+        return dataset
+    rng = random.Random(seed)
+    if source_ids is None:
+        half = max(1, len(dataset.source_specs) // 2)
+        source_ids = {s.source_id for s in dataset.source_specs[:half]}
+    values_by_attr: dict[str, list[str]] = defaultdict(list)
+    for claim in dataset.claims:
+        values_by_attr[claim.attribute].append(claim.value)
+
+    claims: list[Claim] = []
+    for claim in dataset.claims:
+        if claim.source_id in source_ids and rng.random() < level:
+            pool = [v for v in values_by_attr[claim.attribute] if v != claim.value]
+            if pool:
+                claims.append(
+                    Claim(claim.source_id, claim.entity, claim.attribute,
+                          rng.choice(pool))
+                )
+                continue
+        claims.append(claim)
+    return MultiSourceDataset(
+        name=f"{dataset.name}-srccorrupt{int(level * 100)}",
+        domain=dataset.domain,
+        source_specs=dataset.source_specs,
+        claims=claims,
+        truth=dataset.truth,
+        queries=dataset.queries,
+    )

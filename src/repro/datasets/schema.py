@@ -1,0 +1,255 @@
+"""Dataset schemas shared by all synthetic domain generators.
+
+A dataset is fundamentally a *claims table*: every row says "source S
+asserts entity E's attribute A has value V".  Raw multi-format files
+(CSV / nested JSON / XML / KG / text) are materialized from the claims on
+demand, which is what lets the perturbation machinery (sparsity masking,
+consistency corruption) operate format-agnostically on claims and still
+exercise every adapter.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.adapters.base import RawSource
+from repro.errors import DatasetError
+from repro.llm.lexicon import verbalize
+from repro.util import normalize_value
+
+#: Table I format letters used in source-configuration names (J/K/C/X).
+FORMAT_LETTERS: dict[str, str] = {
+    "json": "J",
+    "kg": "K",
+    "csv": "C",
+    "xml": "X",
+    "text": "T",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One source's assertion about one attribute of one entity."""
+
+    source_id: str
+    entity: str
+    attribute: str
+    value: str
+
+    def key(self) -> tuple[str, str]:
+        return (self.entity, self.attribute)
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSpec:
+    """A synthetic source: its format and quality characteristics."""
+
+    source_id: str
+    fmt: str
+    reliability: float
+    coverage: float
+
+    def letter(self) -> str:
+        return FORMAT_LETTERS.get(self.fmt, "?")
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One evaluation query with its ground-truth answer set."""
+
+    qid: str
+    entity: str
+    attribute: str
+    text: str
+    answers: frozenset[str]
+
+    def normalized_answers(self) -> set[str]:
+        return {normalize_value(a) for a in self.answers}
+
+
+@dataclass(slots=True)
+class MultiSourceDataset:
+    """A claims table plus sources, ground truth and evaluation queries."""
+
+    name: str
+    domain: str
+    source_specs: list[SourceSpec]
+    claims: list[Claim]
+    truth: dict[str, dict[str, set[str]]]
+    queries: list[QuerySpec]
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def spec(self, source_id: str) -> SourceSpec:
+        for spec in self.source_specs:
+            if spec.source_id == source_id:
+                return spec
+        raise DatasetError(f"unknown source {source_id!r} in dataset {self.name!r}")
+
+    def claims_by_source(self) -> dict[str, list[Claim]]:
+        grouped: dict[str, list[Claim]] = defaultdict(list)
+        for claim in self.claims:
+            grouped[claim.source_id].append(claim)
+        return grouped
+
+    def formats(self) -> list[str]:
+        return sorted({spec.fmt for spec in self.source_specs})
+
+    def restrict_formats(self, fmts: set[str]) -> "MultiSourceDataset":
+        """Sub-dataset with only the sources of the given formats.
+
+        This is how Table II's source configurations (J/K, J/C, J/K/C, ...)
+        are produced from the full dataset.
+        """
+        specs = [s for s in self.source_specs if s.fmt in fmts]
+        if not specs:
+            raise DatasetError(
+                f"dataset {self.name!r} has no sources in formats {sorted(fmts)}"
+            )
+        keep_ids = {s.source_id for s in specs}
+        claims = [c for c in self.claims if c.source_id in keep_ids]
+        answered = {c.key() for c in claims}
+        queries = [q for q in self.queries if (q.entity, q.attribute) in answered]
+        letters = "/".join(sorted({s.letter() for s in specs}))
+        return MultiSourceDataset(
+            name=f"{self.name}-{letters}",
+            domain=self.domain,
+            source_specs=specs,
+            claims=claims,
+            truth=self.truth,
+            queries=queries,
+        )
+
+    def config_name(self) -> str:
+        """Format-letter configuration label, e.g. ``"J/K/C"``."""
+        return "/".join(sorted({s.letter() for s in self.source_specs}))
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def raw_sources(self) -> list[RawSource]:
+        """Materialize every source's claims into its storage format."""
+        grouped = self.claims_by_source()
+        sources: list[RawSource] = []
+        for spec in self.source_specs:
+            claims = grouped.get(spec.source_id, [])
+            sources.append(_materialize(self.domain, spec, claims))
+        return sources
+
+    # ------------------------------------------------------------------
+    # statistics (Table I)
+    # ------------------------------------------------------------------
+    def stats_by_format(self) -> dict[str, dict[str, int]]:
+        """Per-format entity / relation / source counts (Table I rows)."""
+        stats: dict[str, dict[str, int]] = {}
+        grouped = self.claims_by_source()
+        for fmt in self.formats():
+            specs = [s for s in self.source_specs if s.fmt == fmt]
+            entities: set[str] = set()
+            relations = 0
+            for spec in specs:
+                for claim in grouped.get(spec.source_id, []):
+                    entities.add(claim.entity)
+                    entities.add(claim.value)
+                    relations += 1
+            stats[fmt] = {
+                "sources": len(specs),
+                "entities": len(entities),
+                "relations": relations,
+            }
+        return stats
+
+
+def _materialize(domain: str, spec: SourceSpec, claims: list[Claim]) -> RawSource:
+    """Render one source's claims in its native storage format."""
+    builder = {
+        "csv": _to_csv,
+        "json": _to_json,
+        "xml": _to_xml,
+        "kg": _to_kg,
+        "text": _to_text,
+    }.get(spec.fmt)
+    if builder is None:
+        raise DatasetError(f"cannot materialize format {spec.fmt!r}")
+    payload = builder(claims)
+    return RawSource(
+        source_id=spec.source_id,
+        domain=domain,
+        fmt=spec.fmt,
+        name=f"{spec.source_id}.{spec.fmt}",
+        payload=payload,
+        meta={"reliability_band": "undisclosed", "domain": domain},
+    )
+
+
+def _group_by_entity(claims: list[Claim]) -> dict[str, dict[str, list[str]]]:
+    by_entity: dict[str, dict[str, list[str]]] = defaultdict(lambda: defaultdict(list))
+    for claim in claims:
+        by_entity[claim.entity][claim.attribute].append(claim.value)
+    return by_entity
+
+
+def _to_csv(claims: list[Claim]) -> str:
+    by_entity = _group_by_entity(claims)
+    attributes = sorted({c.attribute for c in claims})
+    header = ["entity"] + attributes
+    lines = [",".join(header)]
+    for entity in sorted(by_entity):
+        row = [_csv_escape(entity)]
+        for attr in attributes:
+            row.append(_csv_escape(";".join(by_entity[entity].get(attr, []))))
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def _csv_escape(cell: str) -> str:
+    if "," in cell or '"' in cell:
+        return '"' + cell.replace('"', '""') + '"'
+    return cell
+
+
+def _to_json(claims: list[Claim]) -> dict:
+    by_entity = _group_by_entity(claims)
+    records = []
+    for entity in sorted(by_entity):
+        attrs: dict[str, object] = {}
+        # Nest every second attribute under a "details" block so the DFS
+        # flattening path of the JSON adapter is genuinely exercised.
+        details: dict[str, object] = {}
+        for i, (attr, values) in enumerate(sorted(by_entity[entity].items())):
+            payload: object = values if len(values) > 1 else values[0]
+            if i % 2 == 1:
+                details[attr] = payload
+            else:
+                attrs[attr] = payload
+        if details:
+            attrs["details"] = details
+        records.append({"name": entity, "attributes": attrs})
+    return {"records": records}
+
+
+def _to_xml(claims: list[Claim]) -> str:
+    from xml.sax.saxutils import escape, quoteattr
+
+    by_entity = _group_by_entity(claims)
+    lines = ["<source>"]
+    for entity in sorted(by_entity):
+        lines.append(f"  <record name={quoteattr(entity)}>")
+        for attr, values in sorted(by_entity[entity].items()):
+            for value in values:
+                lines.append(f"    <{attr}>{escape(value)}</{attr}>")
+        lines.append("  </record>")
+    lines.append("</source>")
+    return "\n".join(lines)
+
+
+def _to_kg(claims: list[Claim]) -> dict:
+    return {
+        "triples": [[c.entity, c.attribute, c.value] for c in claims]
+    }
+
+
+def _to_text(claims: list[Claim]) -> str:
+    return " ".join(verbalize(c.entity, c.attribute, c.value) for c in claims)

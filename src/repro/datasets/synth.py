@@ -1,0 +1,289 @@
+"""Synthetic multi-source dataset machinery.
+
+Implements the generation recipe every domain module shares: sample a
+ground truth, then let each source — with its own reliability and coverage
+— emit claims that are either correct or (deterministically seeded) wrong.
+Wrong claims mix *typed* errors (a different value from the same pool, the
+hard case for schema checks) with *confusion* errors (another entity's
+value, the classic copy-paste mistake in web sources).
+
+The paper's density distinction is controlled by ``coverage`` and
+``report_prob``: Movies/Flights generators use high values (dense),
+Books/Stocks low ones (sparse).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.schema import Claim, MultiSourceDataset, QuerySpec, SourceSpec
+from repro.datasets.variants import SourceStyle, assign_style, render_variant
+from repro.errors import DatasetError
+from repro.util import canonical_value
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """One attribute of a domain and how sources report it."""
+
+    name: str
+    pool: tuple[str, ...]
+    multi: bool = False
+    max_values: int = 1
+    report_prob: float = 1.0
+    #: semantic kind driving per-source surface variation ("person",
+    #: "title", "price", "count", or "plain").
+    value_kind: str = "plain"
+
+
+@dataclass(frozen=True, slots=True)
+class SourceProfile:
+    """A family of sources sharing format and quality characteristics."""
+
+    fmt: str
+    count: int
+    reliability_low: float
+    reliability_high: float
+    coverage: float
+
+
+@dataclass(slots=True)
+class DomainSpec:
+    """Everything needed to generate one domain's multi-source dataset."""
+
+    domain: str
+    entity_pool: list[str]
+    attributes: list[AttributeSpec] = field(default_factory=list)
+    #: probability that a wrong value is a typed error (same pool) rather
+    #: than a confusion error (another entity's true value).
+    typed_error_prob: float = 0.7
+    #: probability that an erring source *copies* the key's popular wrong
+    #: value instead of inventing its own — source dependence, the classic
+    #: hardness of truth discovery (Dong et al.).  Correlated wrong values
+    #: defeat plain counting (majority vote) while credibility-aware
+    #: methods recover.
+    herd_error_prob: float = 0.8
+    #: probability that a wrong value comes from a *different* attribute's
+    #: pool (a parsing/extraction slip, e.g. a gate code in the status
+    #: field).  Catchable by schema-type checks.
+    cross_type_error_prob: float = 0.3
+    #: semantic kind of the entity names themselves ("title" entities may
+    #: be rendered library-style: "Silent Horizon, The").
+    entity_kind: str = "plain"
+    #: probability that a source adopts each formatting convention of
+    #: :class:`~repro.datasets.variants.SourceStyle` — the multi-source
+    #: heterogeneity MultiRAG's standardization phase absorbs and
+    #: string-level fusers fragment on.
+    variant_rate: float = 0.0
+
+
+def generate_dataset(
+    name: str,
+    spec: DomainSpec,
+    profiles: list[SourceProfile],
+    n_entities: int,
+    n_queries: int,
+    seed: int = 0,
+) -> MultiSourceDataset:
+    """Generate a complete multi-source dataset for ``spec``.
+
+    Raises:
+        DatasetError: when the requested entity count exceeds the pool or
+            the spec has no attributes.
+    """
+    if not spec.attributes:
+        raise DatasetError(f"domain {spec.domain!r} has no attributes")
+    if n_entities > len(spec.entity_pool):
+        raise DatasetError(
+            f"requested {n_entities} entities but the {spec.domain!r} pool "
+            f"has only {len(spec.entity_pool)}"
+        )
+    rng = random.Random(seed)
+
+    entities = list(spec.entity_pool[:n_entities])
+    truth = _sample_truth(rng, entities, spec.attributes)
+    specs, styles = _make_source_specs(rng, name, profiles, spec.variant_rate)
+    claims = _emit_claims(rng, spec, specs, styles, entities, truth)
+    queries = _sample_queries(rng, name, truth, claims, n_queries)
+    return MultiSourceDataset(
+        name=name,
+        domain=spec.domain,
+        source_specs=specs,
+        claims=claims,
+        truth=truth,
+        queries=queries,
+    )
+
+
+def _sample_truth(
+    rng: random.Random,
+    entities: list[str],
+    attributes: list[AttributeSpec],
+) -> dict[str, dict[str, set[str]]]:
+    truth: dict[str, dict[str, set[str]]] = {}
+    for entity in entities:
+        record: dict[str, set[str]] = {}
+        for attr in attributes:
+            if attr.multi:
+                k = rng.randint(1, max(1, attr.max_values))
+                record[attr.name] = set(rng.sample(list(attr.pool), k))
+            else:
+                record[attr.name] = {rng.choice(list(attr.pool))}
+        truth[entity] = record
+    return truth
+
+
+def _make_source_specs(
+    rng: random.Random,
+    name: str,
+    profiles: list[SourceProfile],
+    variant_rate: float,
+) -> tuple[list[SourceSpec], dict[str, SourceStyle]]:
+    specs: list[SourceSpec] = []
+    styles: dict[str, SourceStyle] = {}
+    for profile in profiles:
+        for i in range(profile.count):
+            reliability = rng.uniform(profile.reliability_low, profile.reliability_high)
+            source_id = f"{name}-{profile.fmt}-{i:02d}"
+            specs.append(
+                SourceSpec(
+                    source_id=source_id,
+                    fmt=profile.fmt,
+                    reliability=round(reliability, 3),
+                    coverage=profile.coverage,
+                )
+            )
+            styles[source_id] = assign_style(rng, variant_rate)
+    return specs, styles
+
+
+def _emit_claims(
+    rng: random.Random,
+    spec: DomainSpec,
+    sources: list[SourceSpec],
+    styles: dict[str, SourceStyle],
+    entities: list[str],
+    truth: dict[str, dict[str, set[str]]],
+) -> list[Claim]:
+    claims: list[Claim] = []
+    attr_by_name = {a.name: a for a in spec.attributes}
+    # Pre-draw one "popular wrong value" per (entity, attribute): the value
+    # unreliable sources herd on when they copy from each other.
+    popular_wrong: dict[tuple[str, str], str | None] = {}
+    for entity in entities:
+        for attr in spec.attributes:
+            popular_wrong[(entity, attr.name)] = _wrong_value(
+                rng, spec, attr_by_name[attr.name], entity, truth,
+                allow_cross_type=False,
+            )
+    for source in sources:
+        style = styles[source.source_id]
+        for entity in entities:
+            if rng.random() >= source.coverage:
+                continue
+            subject = render_variant(entity, spec.entity_kind, style)
+            for attr in spec.attributes:
+                if rng.random() >= attr.report_prob:
+                    continue
+                true_values = truth[entity][attr.name]
+                if rng.random() < source.reliability:
+                    for value in sorted(true_values):
+                        # Multi-valued attributes may be reported partially.
+                        if len(true_values) > 1 and rng.random() < 0.15:
+                            continue
+                        claims.append(Claim(
+                            source.source_id, subject, attr.name,
+                            render_variant(value, attr.value_kind, style),
+                        ))
+                else:
+                    if rng.random() < spec.herd_error_prob:
+                        wrong = popular_wrong[(entity, attr.name)]
+                    else:
+                        wrong = _wrong_value(
+                            rng, spec, attr_by_name[attr.name], entity, truth,
+                            allow_cross_type=True,
+                        )
+                    if wrong is not None:
+                        claims.append(Claim(
+                            source.source_id, subject, attr.name,
+                            render_variant(wrong, attr.value_kind, style),
+                        ))
+    return claims
+
+
+def _wrong_value(
+    rng: random.Random,
+    spec: DomainSpec,
+    attr: AttributeSpec,
+    entity: str,
+    truth: dict[str, dict[str, set[str]]],
+    allow_cross_type: bool = True,
+) -> str | None:
+    true_values = truth[entity][attr.name]
+    if allow_cross_type and rng.random() < spec.cross_type_error_prob:
+        other_attrs = [a for a in spec.attributes if a.name != attr.name]
+        if other_attrs:
+            donor_attr = rng.choice(other_attrs)
+            candidates = [v for v in donor_attr.pool if v not in true_values]
+            if candidates:
+                return rng.choice(candidates)
+    if rng.random() < spec.typed_error_prob:
+        candidates = [v for v in attr.pool if v not in true_values]
+        if candidates:
+            return rng.choice(candidates)
+    others = [e for e in truth if e != entity]
+    if not others:
+        return None
+    donor = rng.choice(others)
+    donor_values = sorted(truth[donor][attr.name] - true_values)
+    return rng.choice(donor_values) if donor_values else None
+
+
+def _sample_queries(
+    rng: random.Random,
+    name: str,
+    truth: dict[str, dict[str, set[str]]],
+    claims: list[Claim],
+    n_queries: int,
+) -> list[QuerySpec]:
+    # Fusion queries target *multi-source* keys (Definition 3): evaluating
+    # a fusion method on a key only one source ever mentions measures that
+    # source's luck, not the method.  Single-claim keys are used only when
+    # multi-source keys run out.
+    # Claims may carry per-source surface variants of the entity name;
+    # count source support under the semantic canonical form.
+    sources_by_key: dict[tuple[str, str], set[str]] = {}
+    for claim in claims:
+        key = (canonical_value(claim.entity), claim.attribute)
+        sources_by_key.setdefault(key, set()).add(claim.source_id)
+    multi = [
+        (entity, attribute)
+        for entity, record in truth.items()
+        for attribute, values in record.items()
+        if values
+        and len(sources_by_key.get((canonical_value(entity), attribute), ())) >= 2
+    ]
+    single = [
+        (entity, attribute)
+        for entity, record in truth.items()
+        for attribute, values in record.items()
+        if values
+        and len(sources_by_key.get((canonical_value(entity), attribute), ())) == 1
+    ]
+    rng.shuffle(multi)
+    rng.shuffle(single)
+    candidates = multi + single
+    queries = []
+    for i, (entity, attribute) in enumerate(candidates[:n_queries]):
+        spoken = attribute.replace("_", " ")
+        queries.append(
+            QuerySpec(
+                qid=f"{name}-q{i:03d}",
+                entity=entity,
+                attribute=attribute,
+                text=f"What is the {spoken} of {entity}?",
+                answers=frozenset(truth[entity][attribute]),
+            )
+        )
+    return queries

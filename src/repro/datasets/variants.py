@@ -1,0 +1,74 @@
+"""Surface-form variation across sources (multi-source heterogeneity).
+
+Real multi-source data disagrees not only on *facts* but on *formats*: one
+feed writes ``Christopher Nolan``, another ``Nolan, Christopher``; one
+quotes ``249.74``, another ``$249.74``; one logs ``715000``, another
+``715,000``.  This is the data heterogeneity MultiRAG's knowledge
+construction module exists to absorb (the adapter + standardization
+phases), and what string-level fusers fragment on.
+
+Each synthetic source is assigned a deterministic *style* — whether it
+uses comma-inverted names, dollar prefixes, thousands separators — and the
+generator renders every claim through :func:`render_variant` accordingly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceStyle:
+    """Formatting conventions of one source."""
+
+    comma_names: bool = False
+    dollar_prices: bool = False
+    grouped_counts: bool = False
+    comma_titles: bool = False
+
+
+def assign_style(rng: random.Random, variant_rate: float) -> SourceStyle:
+    """Draw a style; each convention toggles on with ``variant_rate``."""
+    return SourceStyle(
+        comma_names=rng.random() < variant_rate,
+        dollar_prices=rng.random() < variant_rate,
+        grouped_counts=rng.random() < variant_rate,
+        comma_titles=rng.random() < variant_rate,
+    )
+
+
+def render_variant(value: str, kind: str, style: SourceStyle) -> str:
+    """Render ``value`` of semantic ``kind`` in this source's style."""
+    if kind == "person" and style.comma_names:
+        return invert_name(value)
+    if kind == "title" and style.comma_titles:
+        return invert_title(value)
+    if kind == "price" and style.dollar_prices:
+        return f"${value}"
+    if kind == "count" and style.grouped_counts:
+        return group_thousands(value)
+    return value
+
+
+def invert_name(name: str) -> str:
+    """``First [Middle] Last`` → ``Last, First [Middle]``."""
+    parts = name.split()
+    if len(parts) < 2 or "," in name:
+        return name
+    return f"{parts[-1]}, {' '.join(parts[:-1])}"
+
+
+def invert_title(title: str) -> str:
+    """``The Silent Horizon`` → ``Silent Horizon, The`` (library style)."""
+    parts = title.split()
+    if len(parts) < 2 or parts[0].lower() not in {"the", "a", "an"} or "," in title:
+        return title
+    return f"{' '.join(parts[1:])}, {parts[0]}"
+
+
+def group_thousands(number: str) -> str:
+    """``715000`` → ``715,000``; non-integers pass through unchanged."""
+    if not number.isdigit():
+        return number
+    return f"{int(number):,}"

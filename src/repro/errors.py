@@ -1,0 +1,45 @@
+"""Exception hierarchy for the MultiRAG reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base type.  Subsystems raise the most specific subclass available;
+none of these are raised for programmer errors (those surface as the usual
+``TypeError`` / ``ValueError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class AdapterError(ReproError):
+    """A source adapter could not parse or normalize its input."""
+
+
+class UnknownFormatError(AdapterError):
+    """No adapter is registered for the requested data format."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a knowledge graph or line graph."""
+
+
+class EntityNotFoundError(GraphError):
+    """A referenced entity does not exist in the knowledge graph."""
+
+
+class ExtractionError(ReproError):
+    """LLM-based knowledge extraction failed to produce usable output."""
+
+
+class QueryError(ReproError):
+    """A query could not be parsed or executed."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration values (thresholds, weights, ...)."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset could not be generated or loaded."""

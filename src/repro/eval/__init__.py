@@ -1,0 +1,77 @@
+"""Evaluation: metrics, experiment harness, reporting, error analysis."""
+
+from repro.eval.analysis import ErrorBreakdown, classify_errors
+from repro.eval.hallucheck import (
+    AnswerCheck,
+    ClaimVerdict,
+    check_answer,
+    decompose_answer,
+    hallucination_rate,
+)
+from repro.eval.latency import LatencyTracker
+from repro.eval.harness import (
+    FusionRow,
+    MultiRAGStageReport,
+    QARow,
+    StageRecall,
+    build_substrate,
+    measure_stage_recall,
+    run_fusion_method,
+    run_fusion_methods,
+    run_qa_method,
+    run_qa_methods,
+)
+from repro.eval.metrics import (
+    exact_match,
+    f1_score,
+    mean,
+    normalized,
+    precision,
+    recall,
+    recall_at_k,
+    std,
+)
+from repro.eval.report import generate_report
+from repro.eval.reporting import format_series, format_table
+from repro.eval.stats import (
+    BootstrapCI,
+    PermutationResult,
+    bootstrap_ci,
+    paired_permutation_test,
+)
+
+__all__ = [
+    "AnswerCheck",
+    "BootstrapCI",
+    "PermutationResult",
+    "bootstrap_ci",
+    "paired_permutation_test",
+    "ClaimVerdict",
+    "ErrorBreakdown",
+    "check_answer",
+    "decompose_answer",
+    "hallucination_rate",
+    "FusionRow",
+    "LatencyTracker",
+    "MultiRAGStageReport",
+    "QARow",
+    "StageRecall",
+    "build_substrate",
+    "classify_errors",
+    "exact_match",
+    "f1_score",
+    "format_series",
+    "generate_report",
+    "format_table",
+    "mean",
+    "measure_stage_recall",
+    "normalized",
+    "precision",
+    "recall",
+    "recall_at_k",
+    "run_fusion_method",
+    "run_fusion_methods",
+    "run_qa_method",
+    "run_qa_methods",
+    "std",
+]

@@ -1,0 +1,77 @@
+"""Hallucination / error analysis (paper Q4 discussion and §IV-C(b)).
+
+Classifies each wrong prediction into the paper's three multi-source
+hallucination types:
+
+* ``inconsistency`` — the method surfaced a value that some source claims
+  but that contradicts the ground truth (inter-source conflict won);
+* ``fabrication`` — the predicted value appears in *no* source's claims
+  (pure model hallucination, the closed-book failure mode);
+* ``incomplete`` — nothing wrong was asserted, but part of a multi-valued
+  answer is missing (incomplete inference path).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datasets.schema import MultiSourceDataset, QuerySpec
+from repro.util import canonical_value
+
+
+@dataclass(slots=True)
+class ErrorBreakdown:
+    """Counts of error categories over a query stream."""
+
+    total_queries: int = 0
+    correct: int = 0
+    counts: Counter = field(default_factory=Counter)
+
+    def rate(self, category: str) -> float:
+        errors = self.total_queries - self.correct
+        if errors == 0:
+            return 0.0
+        return self.counts[category] / errors
+
+    def hallucination_rate(self) -> float:
+        """Fraction of all queries with at least one hallucinated value."""
+        if self.total_queries == 0:
+            return 0.0
+        return (self.counts["inconsistency"] + self.counts["fabrication"]) / self.total_queries
+
+
+def classify_errors(
+    dataset: MultiSourceDataset,
+    predictions: dict[str, set[str]],
+) -> ErrorBreakdown:
+    """Classify every query's prediction; ``predictions`` maps qid → values."""
+    claimed_values = {
+        (canonical_value(c.entity), c.attribute, canonical_value(c.value))
+        for c in dataset.claims
+    }
+    breakdown = ErrorBreakdown(total_queries=len(dataset.queries))
+    for query in dataset.queries:
+        predicted = {canonical_value(v) for v in predictions.get(query.qid, set())}
+        gold = {canonical_value(a) for a in query.answers}
+        if predicted == gold:
+            breakdown.correct += 1
+            continue
+        category = _classify_one(query, predicted, gold, claimed_values)
+        breakdown.counts[category] += 1
+    return breakdown
+
+
+def _classify_one(
+    query: QuerySpec,
+    predicted: set[str],
+    gold: set[str],
+    claimed_values: set[tuple[str, str, str]],
+) -> str:
+    wrong = predicted - gold
+    if wrong:
+        for value in wrong:
+            if (canonical_value(query.entity), query.attribute, value) not in claimed_values:
+                return "fabrication"
+        return "inconsistency"
+    return "incomplete"

@@ -1,0 +1,110 @@
+"""Claim-level hallucination checking of generated answers.
+
+Inspired by the RefChecker line of work the paper cites (§V-C):
+fine-grained hallucination detection works at the *triple* level, not the
+sentence level.  :func:`check_answer` decomposes a generated answer into
+the claim values it asserts and grades each against the evidence the
+pipeline retrieved:
+
+* ``supported``     — the value is claimed for the asked key by ≥ 1 source;
+* ``contradicted``  — sources claim the key, but never with this value
+  (the answer sided with nobody — an inter-source hallucination);
+* ``fabricated``    — no source claims the key at all (pure generation).
+
+The answer's *hallucination intensity* is the fraction of asserted values
+that are not supported, mirroring RAGTruth's word-level intensities at
+claim granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kg.graph import KnowledgeGraph
+from repro.util import canonical_value
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimVerdict:
+    """The verdict for one asserted value."""
+
+    value: str
+    verdict: str  # "supported" | "contradicted" | "fabricated"
+    supporting_sources: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class AnswerCheck:
+    """Aggregate verdicts for one generated answer."""
+
+    entity: str
+    attribute: str
+    verdicts: list[ClaimVerdict] = field(default_factory=list)
+
+    @property
+    def supported(self) -> list[ClaimVerdict]:
+        return [v for v in self.verdicts if v.verdict == "supported"]
+
+    @property
+    def hallucinated(self) -> list[ClaimVerdict]:
+        return [v for v in self.verdicts if v.verdict != "supported"]
+
+    def intensity(self) -> float:
+        """Fraction of asserted values that are hallucinated (0 = clean)."""
+        if not self.verdicts:
+            return 0.0
+        return len(self.hallucinated) / len(self.verdicts)
+
+    def is_grounded(self) -> bool:
+        return not self.hallucinated
+
+
+def decompose_answer(answer_text: str) -> list[str]:
+    """Split a generated answer into its asserted values.
+
+    The trustworthy generator joins values with ``;`` — the same
+    decomposition applies to baseline generations that reuse the format.
+    Refusals ("No trustworthy answer ...") assert nothing.
+    """
+    text = answer_text.strip()
+    if not text or text.lower().startswith("no trustworthy answer"):
+        return []
+    return [part.strip() for part in text.split(";") if part.strip()]
+
+
+def check_answer(
+    graph: KnowledgeGraph,
+    entity: str,
+    attribute: str,
+    answer_text: str,
+) -> AnswerCheck:
+    """Grade every value asserted by ``answer_text`` against the graph."""
+    check = AnswerCheck(entity=entity, attribute=attribute)
+    claims = graph.by_key(entity, attribute)
+    claimed: dict[str, list[str]] = {}
+    for claim in claims:
+        claimed.setdefault(canonical_value(claim.obj), []).append(
+            claim.source_id()
+        )
+    for value in decompose_answer(answer_text):
+        key = canonical_value(value)
+        if key in claimed:
+            check.verdicts.append(
+                ClaimVerdict(
+                    value=value,
+                    verdict="supported",
+                    supporting_sources=tuple(sorted(set(claimed[key]))),
+                )
+            )
+        elif claims:
+            check.verdicts.append(ClaimVerdict(value=value, verdict="contradicted"))
+        else:
+            check.verdicts.append(ClaimVerdict(value=value, verdict="fabricated"))
+    return check
+
+
+def hallucination_rate(checks: list[AnswerCheck]) -> float:
+    """Fraction of answers asserting at least one unsupported value."""
+    if not checks:
+        return 0.0
+    return sum(1 for c in checks if c.hallucinated) / len(checks)

@@ -1,0 +1,78 @@
+"""Latency percentile tracking for query streams.
+
+Means hide tails; a retrieval system is judged by its p95/p99.  The
+tracker is a plain reservoir of observations with percentile reads —
+enough telemetry for the benchmark harness without a metrics dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class LatencyTracker:
+    """Collect per-operation latencies and answer percentile queries."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation.
+
+        Raises:
+            ValueError: for negative latencies.
+        """
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative: {seconds}")
+        self.samples.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile (``q`` in [0, 100]).
+
+        Raises:
+            ValueError: when no samples have been observed or ``q`` is out
+                of range.
+        """
+        if not self.samples:
+            raise ValueError("no latency samples observed")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must lie in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100.0) * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no latency samples observed")
+        return sum(self.samples) / len(self.samples)
+
+    def summary(self) -> dict[str, float]:
+        """``{count, mean, p50, p95, p99, max}`` for reporting."""
+        return {
+            "count": float(len(self.samples)),
+            "mean": self.mean(),
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": max(self.samples),
+        }

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every benchmark prints the rows/series the paper reports; this module keeps
+the formatting in one place so all tables look alike.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with column auto-sizing."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}" if abs(value) >= 10 else f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    unit: str = "",
+) -> str:
+    """One figure series as ``name: x=y, x=y, ...`` (for Fig. 5–7 output)."""
+    pairs = ", ".join(f"{x}={y:.1f}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,37 @@
+"""Knowledge-graph substrate: triples, entities, graphs and JSON-LD storage."""
+
+from repro.kg.columnar import ColumnarStore
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.schema import KIND_VALIDATORS, Schema
+from repro.kg.query import PatternQuery, TriplePattern, chain_query, is_variable
+from repro.kg.storage import (
+    JSONLD_CONTEXT,
+    NormalizedRecord,
+    load_graph,
+    make_jsonld,
+    save_graph,
+    triple_from_jsonld,
+    triple_to_jsonld,
+)
+from repro.kg.triple import Entity, Provenance, Triple
+
+__all__ = [
+    "ColumnarStore",
+    "KIND_VALIDATORS",
+    "Schema",
+    "Entity",
+    "PatternQuery",
+    "TriplePattern",
+    "chain_query",
+    "is_variable",
+    "JSONLD_CONTEXT",
+    "KnowledgeGraph",
+    "NormalizedRecord",
+    "Provenance",
+    "Triple",
+    "load_graph",
+    "make_jsonld",
+    "save_graph",
+    "triple_from_jsonld",
+    "triple_to_jsonld",
+]

@@ -1,0 +1,153 @@
+"""On-disk Decomposition Storage Model (DSM) for normalized records.
+
+Definition 1 stores structured data columnar-style so that "all attribute
+information for consistency checks" is reachable "through the use of
+column indices".  :class:`ColumnarStore` persists that layout: every
+normalized record becomes a directory holding one file per column, so a
+consistency check over one attribute reads exactly one small file per
+source instead of re-parsing whole tables.
+
+Layout::
+
+    <root>/
+      _catalog.json                      # record_id -> directory name
+      <slug>/
+        _meta.json                       # record_id, domain, name, meta
+        directed_by.col.json             # one value list per column
+        release_year.col.json
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.kg.storage import NormalizedRecord
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+_COLUMN_SUFFIX = ".col.json"
+
+
+def _slug(text: str) -> str:
+    cleaned = _SLUG_RE.sub("-", text.lower()).strip("-")
+    return cleaned[:80] or "record"
+
+
+class ColumnarStore:
+    """Persist and selectively read DSM column files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._catalog_path = self.root / "_catalog.json"
+        self._catalog: dict[str, str] = {}
+        if self._catalog_path.exists():
+            self._catalog = json.loads(self._catalog_path.read_text())
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def write_record(self, record: NormalizedRecord) -> Path:
+        """Write one record's columns; records without a column index
+        (semi-/unstructured) are rejected — they are not columnar data.
+
+        Raises:
+            GraphError: if the record carries no ``cols_index``.
+        """
+        if record.cols_index is None:
+            raise GraphError(
+                f"record {record.record_id!r} has no column index; "
+                "only structured (DSM) records are columnar"
+            )
+        directory = self._directory_for(record.record_id, create=True)
+        (directory / "_meta.json").write_text(json.dumps({
+            "record_id": record.record_id,
+            "domain": record.domain,
+            "name": record.name,
+            "meta": record.meta,
+            "columns": sorted(record.cols_index),
+        }, ensure_ascii=False))
+        for column, values in record.cols_index.items():
+            path = directory / f"{_slug(column)}{_COLUMN_SUFFIX}"
+            path.write_text(json.dumps({"column": column, "values": values},
+                                        ensure_ascii=False))
+        self._save_catalog()
+        return directory
+
+    def _directory_for(self, record_id: str, create: bool = False) -> Path:
+        name = self._catalog.get(record_id)
+        if name is None:
+            if not create:
+                raise GraphError(f"unknown record {record_id!r}")
+            base = _slug(record_id)
+            name = base
+            counter = 1
+            while (self.root / name).exists():
+                counter += 1
+                name = f"{base}-{counter}"
+            self._catalog[record_id] = name
+            (self.root / name).mkdir(parents=True, exist_ok=True)
+        return self.root / name
+
+    def _save_catalog(self) -> None:
+        self._catalog_path.write_text(json.dumps(self._catalog, indent=1))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def records(self) -> list[str]:
+        """All stored record ids (catalog order is insertion order)."""
+        return list(self._catalog)
+
+    def columns(self, record_id: str) -> list[str]:
+        directory = self._directory_for(record_id)
+        meta = json.loads((directory / "_meta.json").read_text())
+        return list(meta.get("columns", []))
+
+    def read_meta(self, record_id: str) -> dict:
+        directory = self._directory_for(record_id)
+        return json.loads((directory / "_meta.json").read_text())
+
+    def read_column(self, record_id: str, column: str) -> list[str]:
+        """Selectively read one column of one record.
+
+        Raises:
+            GraphError: for unknown records or columns.
+        """
+        directory = self._directory_for(record_id)
+        path = directory / f"{_slug(column)}{_COLUMN_SUFFIX}"
+        if not path.exists():
+            raise GraphError(
+                f"record {record_id!r} has no column {column!r}"
+            )
+        payload = json.loads(path.read_text())
+        return list(payload["values"])
+
+    def scan_column(self, column: str) -> dict[str, list[str]]:
+        """Read ``column`` from every record that has it (cross-source
+        attribute scan — the consistency-check access pattern)."""
+        out: dict[str, list[str]] = {}
+        for record_id in self._catalog:
+            try:
+                out[record_id] = self.read_column(record_id, column)
+            except GraphError:
+                continue
+        return out
+
+    def distinct(self, column: str) -> set[str]:
+        """Distinct values of ``column`` across all sources."""
+        values: set[str] = set()
+        for column_values in self.scan_column(column).values():
+            values.update(column_values)
+        return values
+
+    def value_counts(self, column: str) -> Counter:
+        """Cross-source support counts per value — the raw material of a
+        column-level consistency check."""
+        counts: Counter = Counter()
+        for column_values in self.scan_column(column).values():
+            counts.update(column_values)
+        return counts

@@ -1,0 +1,160 @@
+"""Pattern queries over the knowledge graph.
+
+A light SPARQL-flavoured matcher: a query is a list of triple patterns
+whose terms are either constants or ``?variables``; evaluation returns all
+variable bindings satisfying every pattern.  The KBQA-style baselines use
+single patterns; multi-pattern conjunctions support the multi-hop logical
+forms ("the spouse of the director of X") in one call.
+
+Example::
+
+    q = PatternQuery([
+        TriplePattern("?film", "directed_by", "?director"),
+        TriplePattern("?director", "born_in", "London"),
+    ])
+    for binding in q.evaluate(graph):
+        print(binding["?film"], binding["?director"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+
+Binding = dict[str, str]
+
+
+def is_variable(term: str) -> bool:
+    """Query terms starting with ``?`` are variables."""
+    return term.startswith("?")
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """One ``(subject, predicate, object)`` pattern with optional variables.
+
+    The predicate may be a variable too, though constant predicates are
+    dramatically cheaper (they hit the key/predicate indexes).
+    """
+
+    subject: str
+    predicate: str
+    obj: str
+
+    def variables(self) -> set[str]:
+        return {t for t in (self.subject, self.predicate, self.obj)
+                if is_variable(t)}
+
+    def ground(self, binding: Binding) -> "TriplePattern":
+        """Substitute bound variables with their values."""
+        def resolve(term: str) -> str:
+            return binding.get(term, term)
+
+        return TriplePattern(
+            resolve(self.subject), resolve(self.predicate), resolve(self.obj)
+        )
+
+    def candidates(self, graph: KnowledgeGraph) -> list[Triple]:
+        """Fetch the smallest candidate set the graph's indexes allow."""
+        s_var = is_variable(self.subject)
+        p_var = is_variable(self.predicate)
+        o_var = is_variable(self.obj)
+        if not s_var and not p_var:
+            return graph.by_key(self.subject, self.predicate)
+        if not s_var:
+            return graph.by_subject(self.subject)
+        if not o_var:
+            return graph.by_object(self.obj)
+        if not p_var:
+            return graph.by_predicate(self.predicate)
+        return list(graph.triples())
+
+    def match(self, triple: Triple, binding: Binding) -> Binding | None:
+        """Extend ``binding`` so the (grounded) pattern matches ``triple``;
+        returns ``None`` on mismatch."""
+        extended = dict(binding)
+        for term, value in (
+            (self.subject, triple.subject),
+            (self.predicate, triple.predicate),
+            (self.obj, triple.obj),
+        ):
+            if is_variable(term):
+                bound = extended.get(term)
+                if bound is None:
+                    extended[term] = value
+                elif bound != value:
+                    return None
+            elif term != value:
+                return None
+        return extended
+
+
+@dataclass(frozen=True, slots=True)
+class PatternQuery:
+    """A conjunction of triple patterns evaluated by backtracking join."""
+
+    patterns: tuple[TriplePattern, ...]
+
+    def __init__(self, patterns: list[TriplePattern] | tuple[TriplePattern, ...]):
+        if not patterns:
+            raise QueryError("a pattern query needs at least one pattern")
+        object.__setattr__(self, "patterns", tuple(patterns))
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for pattern in self.patterns:
+            out |= pattern.variables()
+        return out
+
+    def evaluate(self, graph: KnowledgeGraph, limit: int | None = None) -> list[Binding]:
+        """All satisfying bindings (deduplicated), optionally capped."""
+        results: list[Binding] = []
+        seen: set[tuple[tuple[str, str], ...]] = set()
+        for binding in self._search(graph, 0, {}):
+            key = tuple(sorted(binding.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(binding)
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def _search(
+        self, graph: KnowledgeGraph, index: int, binding: Binding
+    ) -> Iterator[Binding]:
+        if index == len(self.patterns):
+            yield dict(binding)
+            return
+        pattern = self.patterns[index].ground(binding)
+        for triple in pattern.candidates(graph):
+            extended = pattern.match(triple, binding)
+            if extended is not None:
+                yield from self._search(graph, index + 1, extended)
+
+    def values(self, graph: KnowledgeGraph, variable: str) -> set[str]:
+        """Convenience: the distinct bindings of one output variable."""
+        if variable not in self.variables():
+            raise QueryError(f"{variable!r} does not occur in the query")
+        return {b[variable] for b in self.evaluate(graph)}
+
+
+def chain_query(start: str, predicates: list[str]) -> PatternQuery:
+    """Build the hop-chain query ``start -p1-> ?v1 -p2-> ?v2 ...``.
+
+    The final variable is ``?v{n}``; use :meth:`PatternQuery.values` with
+    it to read the chain's answers.
+    """
+    if not predicates:
+        raise QueryError("chain_query needs at least one predicate")
+    patterns = []
+    subject = start
+    for i, predicate in enumerate(predicates):
+        var = f"?v{i + 1}"
+        patterns.append(TriplePattern(subject, predicate, var))
+        subject = var
+    return PatternQuery(patterns)

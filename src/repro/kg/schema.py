@@ -1,0 +1,110 @@
+"""Typed relation schema — the knowledge-construction schema of §III-B.
+
+The paper "define[s] relevant entity types in the schema" before running
+LLM extraction, and the node-level authority score uses "entity type
+information" (Eq. 10 via PTCA).  :class:`Schema` is that registry: it maps
+predicates to the value kind they expect and knows how to check whether a
+concrete value plausibly belongs to a kind.
+
+The default schema is derived from the shared relation lexicon; downstream
+users extend it for their own domains::
+
+    schema = Schema.default()
+    schema.register("ticket_price", "price")
+    schema.register("iata_code", "code",
+                    validator=lambda v: len(v) == 3 and v.isalpha())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.llm.lexicon import RELATIONS
+
+Validator = Callable[[str], bool]
+
+
+def _is_year(value: str) -> bool:
+    return value.isdigit() and len(value) == 4
+
+
+def _is_time(value: str) -> bool:
+    return ":" in value and value.replace(":", "").isdigit()
+
+
+def _is_number(value: str) -> bool:
+    return bool(value) and value.replace(".", "", 1).replace(",", "").isdigit()
+
+
+def _is_gate(value: str) -> bool:
+    return 0 < len(value) <= 4
+
+
+def _non_empty(value: str) -> bool:
+    return bool(value)
+
+
+#: built-in value kinds and their plausibility checks.  Open classes
+#: (person, org, city, ...) accept any non-empty string: type checking is
+#: for catching *category* errors, not validating spelling.
+KIND_VALIDATORS: dict[str, Validator] = {
+    "year": _is_year,
+    "time": _is_time,
+    "price": _is_number,
+    "minutes": _is_number,
+    "count": _is_number,
+    "gate": _is_gate,
+}
+
+
+@dataclass(slots=True)
+class Schema:
+    """Predicate → expected value kind, with pluggable validators."""
+
+    _kinds: dict[str, str] = field(default_factory=dict)
+    _validators: dict[str, Validator] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls) -> "Schema":
+        """A schema covering every predicate in the shared lexicon."""
+        schema = cls()
+        for spec in RELATIONS:
+            schema.register(spec.predicate, spec.object_type)
+        return schema
+
+    def register(
+        self,
+        predicate: str,
+        kind: str,
+        validator: Validator | None = None,
+    ) -> None:
+        """Declare (or override) the value kind of ``predicate``.
+
+        ``validator`` overrides the kind's built-in check for this
+        predicate only.
+        """
+        self._kinds[predicate] = kind
+        if validator is not None:
+            self._validators[predicate] = validator
+
+    def kind_of(self, predicate: str) -> str | None:
+        """The declared value kind, or ``None`` for unknown predicates."""
+        return self._kinds.get(predicate)
+
+    def predicates(self) -> list[str]:
+        return sorted(self._kinds)
+
+    def check(self, predicate: str, value: str) -> float:
+        """Type-consistency score of ``value`` for ``predicate`` in [0, 1].
+
+        1.0 = plausibly the right kind, 0.0 = category error, 0.5 = the
+        predicate is not declared (no opinion).
+        """
+        kind = self._kinds.get(predicate)
+        if kind is None:
+            return 0.5
+        validator = self._validators.get(
+            predicate, KIND_VALIDATORS.get(kind, _non_empty)
+        )
+        return 1.0 if validator(value.strip()) else 0.0

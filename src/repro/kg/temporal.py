@@ -1,0 +1,140 @@
+"""Temporal claim tracking — an extension beyond the paper's core.
+
+The paper motivates KGs that "efficiently store data with fixed
+characteristics (such as temporal KGs, event KGs)" and its flagship case
+study (CA981) is inherently temporal: a flight's status *changes*, and a
+stale "on time" is not a conflict with a fresh "delayed" — it is an
+earlier snapshot.  This module adds a validity-time layer over the claim
+model:
+
+* :class:`TimestampedClaim` — a claim observed at a point in time;
+* :class:`TemporalStore` — per-key history with ``as_of`` queries and
+  interval views;
+* :func:`latest_consensus` — freshness-aware conflict resolution: only
+  the claims of the latest observation window compete, older snapshots
+  inform history instead of polluting the candidate set.
+
+The store is deliberately independent of :class:`KnowledgeGraph`; the
+pipeline can consult it before homologous matching to drop superseded
+claims (see ``examples``/future work).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.util import normalize_value
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TimestampedClaim:
+    """One observation: at ``observed_at``, ``source_id`` said the key's
+    value was ``value``.  Ordering is by time (then source, then value)
+    so stores stay sorted."""
+
+    observed_at: float
+    source_id: str
+    entity: str
+    attribute: str
+    value: str
+
+    def key(self) -> tuple[str, str]:
+        return (self.entity, self.attribute)
+
+
+@dataclass(slots=True)
+class TemporalStore:
+    """Sorted per-key claim histories with time-sliced views."""
+
+    _by_key: dict[tuple[str, str], list[TimestampedClaim]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def add(self, claim: TimestampedClaim) -> None:
+        insort(self._by_key[claim.key()], claim)
+
+    def add_all(self, claims: list[TimestampedClaim]) -> None:
+        for claim in claims:
+            self.add(claim)
+
+    def keys(self) -> list[tuple[str, str]]:
+        return sorted(k for k, v in self._by_key.items() if v)
+
+    def history(self, entity: str, attribute: str) -> list[TimestampedClaim]:
+        """Full observation history of one key, oldest first."""
+        return list(self._by_key.get((entity, attribute), ()))
+
+    def as_of(
+        self, entity: str, attribute: str, timestamp: float
+    ) -> list[TimestampedClaim]:
+        """Every observation made at or before ``timestamp``."""
+        claims = self._by_key.get((entity, attribute), [])
+        # Claims sort by observed_at first; find the cut point (ties at
+        # exactly ``timestamp`` are included).
+        cut = bisect_right(claims, timestamp, key=lambda c: c.observed_at)
+        return claims[:cut]
+
+    def latest_per_source(
+        self, entity: str, attribute: str, timestamp: float | None = None
+    ) -> dict[str, TimestampedClaim]:
+        """Each source's most recent observation of the key.
+
+        A source that updated its claim supersedes its own history — the
+        temporal analogue of "this is not a conflict, it is a correction".
+        """
+        claims = (
+            self.as_of(entity, attribute, timestamp)
+            if timestamp is not None
+            else self.history(entity, attribute)
+        )
+        latest: dict[str, TimestampedClaim] = {}
+        for claim in claims:  # sorted ascending; later wins
+            latest[claim.source_id] = claim
+        return latest
+
+    def window(
+        self, entity: str, attribute: str, start: float, end: float
+    ) -> list[TimestampedClaim]:
+        """Observations with ``start <= observed_at <= end``."""
+        if start > end:
+            raise GraphError(f"empty window: start {start} > end {end}")
+        return [
+            c for c in self._by_key.get((entity, attribute), ())
+            if start <= c.observed_at <= end
+        ]
+
+
+def latest_consensus(
+    store: TemporalStore,
+    entity: str,
+    attribute: str,
+    timestamp: float | None = None,
+    staleness: float | None = None,
+) -> tuple[str | None, dict[str, int]]:
+    """Freshness-aware consensus for one key.
+
+    Takes each source's latest observation (optionally discarding those
+    older than ``staleness`` before the most recent observation) and
+    majority-votes over the *current* claims only.  Returns the winning
+    display value (``None`` when the key has no observations) plus the
+    support counts per normalized value.
+    """
+    latest = store.latest_per_source(entity, attribute, timestamp)
+    if not latest:
+        return None, {}
+    newest = max(c.observed_at for c in latest.values())
+    considered = [
+        c for c in latest.values()
+        if staleness is None or newest - c.observed_at <= staleness
+    ]
+    counts: Counter[str] = Counter()
+    display: dict[str, str] = {}
+    for claim in considered:
+        norm = normalize_value(claim.value)
+        counts[norm] += 1
+        display.setdefault(norm, claim.value)
+    winner = min(counts, key=lambda k: (-counts[k], k))
+    return display[winner], dict(counts)

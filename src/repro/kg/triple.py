@@ -1,0 +1,130 @@
+"""Core value types of the knowledge-graph substrate.
+
+A :class:`Triple` is the atomic unit of knowledge: ``(subject, predicate,
+object)`` plus :class:`Provenance` describing which source, domain and file
+format it came from.  Provenance is what makes *multi-source* reasoning
+possible downstream: homologous-group matching (Definition 3 of the paper)
+groups triples that describe the same ``(subject, predicate)`` pair but come
+from different sources, and the confidence machinery weighs them by source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """Where a piece of knowledge came from.
+
+    Attributes:
+        source_id: Unique identifier of the originating source
+            (e.g. ``"movies-src-03"``).
+        domain: Domain of the data file per Definition 1 (e.g. ``"movies"``).
+        fmt: Storage format of the source: ``"csv"``, ``"json"``, ``"xml"``,
+            ``"kg"`` or ``"text"``.
+        chunk_id: Identifier of the text chunk the triple was extracted from,
+            if it came through the unstructured pipeline.
+        record_id: Row / record identifier within the source file.
+        observed_at: Optional observation timestamp of the claim.
+    """
+
+    source_id: str
+    domain: str = ""
+    fmt: str = ""
+    chunk_id: str | None = None
+    record_id: str | None = None
+    #: observation time of the claim (seconds on any consistent clock);
+    #: ``None`` for timeless data.  Set per source snapshot via
+    #: ``RawSource.meta["observed_at"]`` and consumed by the pipeline's
+    #: freshness filter (``MultiRAGConfig.staleness``).
+    observed_at: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A subject-predicate-object statement with provenance.
+
+    Equality and hashing include provenance: the same assertion made by two
+    different sources is represented by two distinct triples.  Use
+    :meth:`spo` when only the statement itself matters.
+    """
+
+    subject: str
+    predicate: str
+    obj: str
+    provenance: Provenance | None = None
+
+    def spo(self) -> tuple[str, str, str]:
+        """Return the bare ``(subject, predicate, object)`` statement key."""
+        return (self.subject, self.predicate, self.obj)
+
+    def key(self) -> tuple[str, str]:
+        """Return the homologous-group key ``(subject, predicate)``.
+
+        Triples sharing this key across sources are *multi-source homologous
+        data* in the sense of Definition 3.
+        """
+        return (self.subject, self.predicate)
+
+    def source_id(self) -> str:
+        """Source identifier, or ``""`` for provenance-free triples."""
+        return self.provenance.source_id if self.provenance else ""
+
+    def shares_node_with(self, other: "Triple") -> bool:
+        """True if the two statements share an endpoint or predicate subject.
+
+        This is the adjacency criterion of the line-graph transform
+        (Definition 2): two line-graph nodes are connected iff the triples
+        they represent have a common node.
+        """
+        mine = {self.subject, self.obj}
+        theirs = {other.subject, other.obj}
+        return bool(mine & theirs)
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        src = f" @{self.source_id()}" if self.provenance else ""
+        return f"({self.subject}, {self.predicate}, {self.obj}){src}"
+
+
+@dataclass(slots=True)
+class Entity:
+    """A named entity with typed attributes.
+
+    Attributes are multi-valued (``dict[str, set[str]]``): a movie can have
+    several directors, a book several authors.  The paper calls out that
+    single-answer fusers (majority vote) fail precisely on such attributes.
+    """
+
+    eid: str
+    name: str
+    etype: str = "thing"
+    attributes: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_attribute(self, name: str, value: str) -> None:
+        """Record ``value`` as one of the values of attribute ``name``."""
+        self.attributes.setdefault(name, set()).add(value)
+
+    def get(self, name: str) -> set[str]:
+        """Return the value set for ``name`` (empty set if absent)."""
+        return self.attributes.get(name, set())
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the JSON-LD serializer."""
+        return {
+            "eid": self.eid,
+            "name": self.name,
+            "etype": self.etype,
+            "attributes": {k: sorted(v) for k, v in self.attributes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Entity":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            eid=data["eid"],
+            name=data["name"],
+            etype=data.get("etype", "thing"),
+            attributes={k: set(v) for k, v in data.get("attributes", {}).items()},
+        )

@@ -1,0 +1,19 @@
+"""Multi-source line graphs: transforms, homologous matching, MLG index."""
+
+from repro.linegraph.homologous import (
+    HomologousGroup,
+    HomologousNode,
+    MatchResult,
+    match_homologous,
+)
+from repro.linegraph.mlg import MultiSourceLineGraph
+from repro.linegraph.transform import LineGraph
+
+__all__ = [
+    "HomologousGroup",
+    "HomologousNode",
+    "LineGraph",
+    "MatchResult",
+    "MultiSourceLineGraph",
+    "match_homologous",
+]

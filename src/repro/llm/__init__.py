@@ -1,0 +1,29 @@
+"""Simulated-LLM substrate: clients, prompts, extraction, generation."""
+
+from repro.llm.base import LLMClient, LLMResponse, UsageMeter, count_tokens
+from repro.llm.budget import BudgetedLLM, BudgetExceededError
+from repro.llm.caching import CachingLLM
+from repro.llm.extraction import ExtractionResult, SchemaFreeExtractor
+from repro.llm.generation import EvidenceItem, generate_trustworthy_answer
+from repro.llm.lexicon import BY_PREDICATE, RELATIONS, split_sentence, verbalize
+from repro.llm.simulated import AUTHORITY_WEIGHTS, SimulatedLLM
+
+__all__ = [
+    "AUTHORITY_WEIGHTS",
+    "BudgetExceededError",
+    "BudgetedLLM",
+    "CachingLLM",
+    "BY_PREDICATE",
+    "EvidenceItem",
+    "ExtractionResult",
+    "LLMClient",
+    "LLMResponse",
+    "RELATIONS",
+    "SchemaFreeExtractor",
+    "SimulatedLLM",
+    "UsageMeter",
+    "count_tokens",
+    "generate_trustworthy_answer",
+    "split_sentence",
+    "verbalize",
+]

@@ -1,0 +1,65 @@
+"""Token/latency budget enforcement for LLM usage.
+
+Cost control for deployments: :class:`BudgetedLLM` wraps any client and
+raises :class:`BudgetExceededError` once accumulated usage would pass the
+configured ceilings.  The experiment harness uses it to guarantee a
+runaway method cannot consume unbounded (simulated) spend.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.llm.base import LLMClient, LLMResponse, count_tokens
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a completion would exceed the configured budget."""
+
+
+class BudgetedLLM(LLMClient):
+    """Enforce token and call ceilings around another LLM client."""
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        max_total_tokens: int | None = None,
+        max_calls: int | None = None,
+    ) -> None:
+        if max_total_tokens is not None and max_total_tokens <= 0:
+            raise ValueError("max_total_tokens must be positive")
+        if max_calls is not None and max_calls <= 0:
+            raise ValueError("max_calls must be positive")
+        super().__init__(inner.base_latency_s, inner.latency_per_token_s)
+        self.inner = inner
+        self.max_total_tokens = max_total_tokens
+        self.max_calls = max_calls
+
+    def _generate(self, prompt: str) -> str:
+        return self.inner._generate(prompt)
+
+    def remaining_tokens(self) -> int | None:
+        """Tokens left before the ceiling; ``None`` when unlimited."""
+        if self.max_total_tokens is None:
+            return None
+        used = self.meter.prompt_tokens + self.meter.completion_tokens
+        return max(0, self.max_total_tokens - used)
+
+    def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
+        """Complete if within budget.
+
+        Raises:
+            BudgetExceededError: when the call count is exhausted or the
+                prompt alone no longer fits the token budget.  The check
+                is conservative: it refuses *before* spending.
+        """
+        if self.max_calls is not None and self.meter.calls >= self.max_calls:
+            raise BudgetExceededError(
+                f"call budget exhausted ({self.max_calls} calls)"
+            )
+        remaining = self.remaining_tokens()
+        if remaining is not None and count_tokens(prompt) > remaining:
+            raise BudgetExceededError(
+                f"token budget exhausted ({self.max_total_tokens} tokens; "
+                f"{remaining} left, prompt needs {count_tokens(prompt)})"
+            )
+        return super().complete(prompt, task)

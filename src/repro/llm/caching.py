@@ -1,0 +1,87 @@
+"""Prompt-level caching wrapper for LLM clients.
+
+Re-running experiments replays thousands of identical prompts (the
+simulated model is deterministic; a real served model is expensive).
+:class:`CachingLLM` memoizes ``prompt → completion text`` around any
+:class:`~repro.llm.base.LLMClient`, with optional JSON persistence so a
+cache survives between processes.
+
+Cache hits still pay the inner client's *accounted* latency into the
+meter — the cache saves wall time, and the simulated cost model must keep
+reporting what the uncached pipeline would have cost (PT comparability).
+Pass ``free_hits=True`` to model a real deployment where a hit costs
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.llm.base import LLMClient, LLMResponse, count_tokens
+
+
+class CachingLLM(LLMClient):
+    """Memoizing decorator over another LLM client."""
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        cache_path: str | Path | None = None,
+        free_hits: bool = False,
+    ) -> None:
+        super().__init__(inner.base_latency_s, inner.latency_per_token_s)
+        self.inner = inner
+        self.free_hits = free_hits
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict[str, str] = {}
+        self._cache_path = Path(cache_path) if cache_path else None
+        if self._cache_path and self._cache_path.exists():
+            self._cache = json.loads(self._cache_path.read_text())
+
+    def _generate(self, prompt: str) -> str:
+        cached = self._cache.get(prompt)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        text = self.inner._generate(prompt)
+        self._cache[prompt] = text
+        return text
+
+    def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
+        is_hit = prompt in self._cache
+        text = self._generate(prompt)
+        prompt_tokens = count_tokens(prompt)
+        completion_tokens = count_tokens(text)
+        if is_hit and self.free_hits:
+            latency = 0.0
+        else:
+            latency = (
+                self.base_latency_s
+                + self.latency_per_token_s * (prompt_tokens + completion_tokens)
+            )
+        response = LLMResponse(
+            text=text,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            latency_s=latency,
+        )
+        self.meter.record(task, response)
+        return response
+
+    # ------------------------------------------------------------------
+    # persistence & stats
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Write the cache to ``cache_path`` (no-op without a path)."""
+        if self._cache_path is not None:
+            self._cache_path.write_text(json.dumps(self._cache))
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

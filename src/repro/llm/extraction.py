@@ -1,0 +1,87 @@
+"""Three-phase LLM knowledge extraction (OpenSPG SchemaFreeExtractor).
+
+Implements the knowledge-construction flow of paper §III-B: entity
+recognition (``ner`` prompt) → relationship extraction constrained to the
+recognized entities (``triple`` prompt) → entity standardization (``std``
+prompt).  The output is a list of provenance-carrying
+:class:`~repro.kg.triple.Triple` plus the recognized entities, i.e. Eq. 3's
+``KB = Σ_D ({e...} ⊔ {r...})`` for one chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExtractionError
+from repro.kg.triple import Entity, Provenance, Triple
+from repro.llm.simulated import SimulatedLLM
+from repro.util import stable_hash
+
+
+@dataclass(slots=True)
+class ExtractionResult:
+    """Entities and triples pulled from one chunk of text."""
+
+    entities: list[Entity] = field(default_factory=list)
+    triples: list[Triple] = field(default_factory=list)
+
+
+class SchemaFreeExtractor:
+    """LLM-driven open-schema extractor over text chunks."""
+
+    def __init__(self, llm: SimulatedLLM) -> None:
+        self.llm = llm
+
+    def extract(self, text: str, provenance: Provenance) -> ExtractionResult:
+        """Run the full NER → triple → std pipeline on ``text``.
+
+        Raises:
+            ExtractionError: if the LLM returned unparseable structures for
+                every phase (all-empty output for non-empty input is *not*
+                an error — noisy extraction can legitimately miss).
+        """
+        try:
+            raw_entities = self.llm.extract_entities(text)
+        except (ValueError, KeyError) as exc:
+            raise ExtractionError(f"NER phase failed: {exc}") from exc
+
+        mentions = [e["name"] for e in raw_entities]
+        try:
+            raw_triples = self.llm.extract_triples(text, mentions)
+        except (ValueError, KeyError) as exc:
+            raise ExtractionError(f"triple phase failed: {exc}") from exc
+
+        try:
+            canonical = self.llm.standardize(text, mentions)
+        except (ValueError, KeyError) as exc:
+            raise ExtractionError(f"std phase failed: {exc}") from exc
+
+        result = ExtractionResult()
+        type_by_mention = {e["name"]: e.get("type", "thing") for e in raw_entities}
+        seen_entities: set[str] = set()
+        for mention in mentions:
+            name = canonical.get(mention, mention)
+            if name in seen_entities:
+                continue
+            seen_entities.add(name)
+            eid = self._entity_id(name)
+            result.entities.append(
+                Entity(eid=eid, name=name, etype=type_by_mention.get(mention, "thing"))
+            )
+
+        for subject, predicate, obj in raw_triples:
+            result.triples.append(
+                Triple(
+                    subject=canonical.get(subject, subject),
+                    predicate=predicate,
+                    obj=canonical.get(obj, obj),
+                    provenance=provenance,
+                )
+            )
+        return result
+
+    @staticmethod
+    def _entity_id(name: str) -> str:
+        """Stable entity id derived from the canonical name."""
+        slug = "-".join(name.lower().split())
+        return f"ent:{slug}-{stable_hash(name) % 10**6:06d}"

@@ -1,0 +1,42 @@
+"""Answer synthesis helpers: format evidence and produce grounded answers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.simulated import SimulatedLLM
+
+
+@dataclass(frozen=True, slots=True)
+class EvidenceItem:
+    """One trustworthy fact handed to the generator."""
+
+    entity: str
+    attribute: str
+    value: str
+    confidence: float
+    source_id: str
+
+    def render(self) -> str:
+        """Pipe-delimited line the simulated LLM consumes."""
+        return (
+            f"{self.entity} | {self.attribute} | {self.value} | "
+            f"confidence={self.confidence:.2f} | source={self.source_id}"
+        )
+
+
+def generate_trustworthy_answer(
+    llm: SimulatedLLM,
+    query: str,
+    evidence: list[EvidenceItem],
+) -> str:
+    """Produce the final answer string grounded in ``evidence``.
+
+    Evidence is ordered most-confident-first before being embedded into the
+    generation context, so the answer leads with the best-supported values —
+    the last step of the MKLGP loop (Algorithm 2, line 7).
+    """
+    ordered = sorted(
+        evidence, key=lambda e: (-e.confidence, e.entity, e.attribute, e.value)
+    )
+    return llm.generate_answer(query, [item.render() for item in ordered])

@@ -1,0 +1,128 @@
+"""Shared relation lexicon.
+
+Dataset generators verbalize facts as natural-language sentences and the
+simulated LLM extracts triples back out of them.  Both sides share this
+lexicon of relation surface forms, so extraction is *possible* — while the
+extractor's injected noise (see :class:`~repro.llm.simulated.SimulatedLLM`)
+keeps it imperfect, modelling real LLM extraction error.
+
+Each entry maps a canonical predicate to its surface phrases and the entity
+types it connects.  The first phrase is the one generators use when
+verbalizing; extra phrases are paraphrases the extractor also understands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class RelationSpec:
+    """Surface realisations and typing of one canonical predicate."""
+
+    predicate: str
+    phrases: tuple[str, ...]
+    subject_type: str
+    object_type: str
+
+
+#: Canonical relation inventory across all reproduction domains.
+RELATIONS: tuple[RelationSpec, ...] = (
+    # movies
+    RelationSpec("directed_by", ("was directed by", "is directed by"), "movie", "person"),
+    RelationSpec("starring", ("stars", "features the actor"), "movie", "person"),
+    RelationSpec("release_year", ("was released in the year",), "movie", "year"),
+    RelationSpec("genre", ("belongs to the genre",), "movie", "genre"),
+    RelationSpec("runtime", ("has a runtime of",), "movie", "minutes"),
+    # books
+    RelationSpec("author", ("was written by", "is authored by"), "book", "person"),
+    RelationSpec("publisher", ("was published by",), "book", "org"),
+    RelationSpec("publication_year", ("was published in the year",), "book", "year"),
+    RelationSpec("isbn", ("has the isbn",), "book", "code"),
+    RelationSpec("language", ("is written in the language",), "book", "language"),
+    # flights
+    RelationSpec("scheduled_departure", ("is scheduled to depart at",), "flight", "time"),
+    RelationSpec("actual_departure", ("actually departed at", "departed at"), "flight", "time"),
+    RelationSpec("scheduled_arrival", ("is scheduled to arrive at",), "flight", "time"),
+    RelationSpec("gate", ("departs from gate",), "flight", "gate"),
+    RelationSpec("status", ("has the status", "is currently"), "flight", "status"),
+    RelationSpec("airline", ("is operated by",), "flight", "org"),
+    RelationSpec("origin", ("flies from",), "flight", "city"),
+    RelationSpec("destination", ("flies to",), "flight", "city"),
+    RelationSpec("delay_reason", ("is delayed because of",), "flight", "cause"),
+    # stocks
+    RelationSpec("open_price", ("opened at the price",), "stock", "price"),
+    RelationSpec("close_price", ("closed at the price",), "stock", "price"),
+    RelationSpec("high_price", ("reached a daily high of",), "stock", "price"),
+    RelationSpec("low_price", ("fell to a daily low of",), "stock", "price"),
+    RelationSpec("volume", ("traded a volume of",), "stock", "count"),
+    RelationSpec("exchange", ("is listed on",), "stock", "org"),
+    # multi-hop / encyclopedic
+    RelationSpec("born_in", ("was born in",), "person", "city"),
+    RelationSpec("capital_of", ("is the capital of",), "city", "country"),
+    RelationSpec("capital", ("has the capital",), "country", "city"),
+    RelationSpec("located_in", ("is located in",), "place", "place"),
+    RelationSpec("spouse", ("is married to",), "person", "person"),
+    RelationSpec("founded", ("founded",), "person", "org"),
+    RelationSpec("founded_in", ("was founded in the year",), "org", "year"),
+    RelationSpec("works_for", ("works for",), "person", "org"),
+    RelationSpec("nationality", ("is a citizen of",), "person", "country"),
+    RelationSpec("award", ("received the award",), "person", "award"),
+    RelationSpec("instrument", ("plays the instrument",), "person", "instrument"),
+)
+
+#: predicate -> spec
+BY_PREDICATE: dict[str, RelationSpec] = {spec.predicate: spec for spec in RELATIONS}
+
+#: surface phrase -> spec, longest phrases first so greedy matching is safe.
+BY_PHRASE: dict[str, RelationSpec] = {
+    phrase: spec for spec in RELATIONS for phrase in spec.phrases
+}
+
+#: phrases ordered longest-first for greedy sentence splitting.
+PHRASES_BY_LENGTH: tuple[str, ...] = tuple(
+    sorted(BY_PHRASE, key=len, reverse=True)
+)
+
+
+def verbalize(subject: str, predicate: str, obj: str) -> str:
+    """Render a triple as the canonical sentence for its predicate.
+
+    Unknown predicates fall back to the generic ``"<s> has <p> <o>."`` form,
+    which the extractor also parses.
+    """
+    spec = BY_PREDICATE.get(predicate)
+    if spec is None:
+        # Keep the predicate as one underscore-joined token so the generic
+        # form round-trips through ``split_sentence``.
+        return f"{subject} has {predicate} {obj}."
+    return f"{subject} {spec.phrases[0]} {obj}."
+
+
+def split_sentence(sentence: str) -> tuple[str, str, str] | None:
+    """Parse one canonical sentence back into ``(subject, predicate, obj)``.
+
+    Returns ``None`` when no lexicon phrase (nor the generic ``has <p>``
+    form) occurs in the sentence.
+    """
+    body = sentence.strip().rstrip(".")
+    lowered = body.lower()
+    for phrase in PHRASES_BY_LENGTH:
+        marker = f" {phrase} "
+        pos = lowered.find(marker)
+        if pos > 0:
+            subject = body[:pos].strip()
+            obj = body[pos + len(marker) :].strip()
+            if subject and obj:
+                return (subject, BY_PHRASE[phrase].predicate, obj)
+    pos = lowered.find(" has ")
+    if pos > 0:
+        rest = body[pos + 5 :].strip()
+        parts = rest.split(" ", 1)
+        if len(parts) == 2:
+            subject = body[:pos].strip()
+            predicate = parts[0].strip().replace(" ", "_")
+            obj = parts[1].strip()
+            if subject and predicate and obj:
+                return (subject, predicate, obj)
+    return None

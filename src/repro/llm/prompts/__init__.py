@@ -1,0 +1,58 @@
+"""OpenSPG-style prompt templates for knowledge construction.
+
+The paper customizes three prompts from the OpenSPG/KAG builder
+(``kag/builder/prompt/default``): ``ner.py`` for entity recognition,
+``triple.py`` for SPO relationship extraction, and ``std.py`` for entity
+standardization / attribute extraction.  This package mirrors that layout.
+
+Every rendered prompt is a plain string with ``###``-delimited sections; the
+first line declares the task (``### TASK: ner``) so the simulated LLM can
+dispatch, exactly as a served model dispatches on instructions.
+"""
+
+from repro.llm.prompts.ner import render_ner_prompt
+from repro.llm.prompts.std import render_std_prompt
+from repro.llm.prompts.triple import render_triple_prompt
+
+SECTION_INPUT = "### INPUT"
+SECTION_ENTITIES = "### ENTITIES"
+SECTION_END = "### END"
+
+
+def parse_sections(prompt: str) -> dict[str, str]:
+    """Split a rendered prompt back into its ``###``-headed sections.
+
+    Returns a mapping from section name (e.g. ``"TASK"``, ``"INPUT"``) to
+    the text beneath that header.
+    """
+    sections: dict[str, str] = {}
+    current: str | None = None
+    lines: list[str] = []
+    for line in prompt.splitlines():
+        if line.startswith("### "):
+            if current is not None:
+                sections[current] = "\n".join(lines).strip()
+            header = line[4:].strip()
+            if header.startswith("TASK:"):
+                sections["TASK"] = header[5:].strip()
+                current = None
+                lines = []
+            else:
+                current = header
+                lines = []
+        elif current is not None:
+            lines.append(line)
+    if current is not None:
+        sections[current] = "\n".join(lines).strip()
+    return sections
+
+
+__all__ = [
+    "SECTION_END",
+    "SECTION_ENTITIES",
+    "SECTION_INPUT",
+    "parse_sections",
+    "render_ner_prompt",
+    "render_std_prompt",
+    "render_triple_prompt",
+]

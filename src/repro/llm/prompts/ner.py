@@ -1,0 +1,59 @@
+"""Entity-recognition prompt (mirrors OpenSPG ``ner.py``).
+
+The schema's entity types are listed in the instruction; ``example.input``
+and ``example.output`` guide the extractor, exactly as the paper describes
+adjusting the defaults for its data.
+"""
+
+from __future__ import annotations
+
+import json
+
+INSTRUCTION = (
+    "You are an expert information extractor. Identify every named entity "
+    "mentioned in the input text. For each entity output its surface name "
+    "and one of the allowed types. Output strict JSON: a list of objects "
+    'with keys "name" and "type".'
+)
+
+EXAMPLE_INPUT = (
+    "Inception was directed by Christopher Nolan. "
+    "Inception was released in the year 2010."
+)
+
+EXAMPLE_OUTPUT = json.dumps(
+    [
+        {"name": "Inception", "type": "movie"},
+        {"name": "Christopher Nolan", "type": "person"},
+        {"name": "2010", "type": "year"},
+    ]
+)
+
+DEFAULT_ENTITY_TYPES = (
+    "movie", "book", "flight", "stock", "person", "org", "city", "country",
+    "year", "time", "price", "genre", "status", "gate", "award", "thing",
+)
+
+TEMPLATE = """### TASK: ner
+### INSTRUCTION
+{instruction}
+Allowed entity types: {types}.
+### EXAMPLE INPUT
+{example_input}
+### EXAMPLE OUTPUT
+{example_output}
+### INPUT
+{text}
+### END
+"""
+
+
+def render_ner_prompt(text: str, entity_types: tuple[str, ...] = DEFAULT_ENTITY_TYPES) -> str:
+    """Render the NER prompt for ``text``."""
+    return TEMPLATE.format(
+        instruction=INSTRUCTION,
+        types=", ".join(entity_types),
+        example_input=EXAMPLE_INPUT,
+        example_output=EXAMPLE_OUTPUT,
+        text=text,
+    )

@@ -1,0 +1,54 @@
+"""Entity-standardization prompt (mirrors OpenSPG ``std.py``).
+
+After recognition, the ``std_prompt`` maps surface mentions to canonical
+entity names and extracts their attributes; the paper adjusts
+``example.input``, ``example.named_entities`` and ``example.output`` to its
+data characteristics, which is what the example sections below model.
+"""
+
+from __future__ import annotations
+
+import json
+
+INSTRUCTION = (
+    "Standardize the named entities found in the input: collapse "
+    "capitalization and whitespace variants of the same real-world entity "
+    "to a single canonical name. Output strict JSON: a mapping from each "
+    "input mention to its canonical name."
+)
+
+EXAMPLE_INPUT = "inception   was directed by CHRISTOPHER NOLAN."
+
+EXAMPLE_NAMED_ENTITIES = json.dumps(["inception", "CHRISTOPHER NOLAN"])
+
+EXAMPLE_OUTPUT = json.dumps(
+    {"inception": "Inception", "CHRISTOPHER NOLAN": "Christopher Nolan"}
+)
+
+TEMPLATE = """### TASK: std
+### INSTRUCTION
+{instruction}
+### EXAMPLE INPUT
+{example_input}
+### EXAMPLE NAMED ENTITIES
+{example_named_entities}
+### EXAMPLE OUTPUT
+{example_output}
+### ENTITIES
+{entities}
+### INPUT
+{text}
+### END
+"""
+
+
+def render_std_prompt(text: str, named_entities: list[str]) -> str:
+    """Render the standardization prompt for ``text``."""
+    return TEMPLATE.format(
+        instruction=INSTRUCTION,
+        example_input=EXAMPLE_INPUT,
+        example_named_entities=EXAMPLE_NAMED_ENTITIES,
+        example_output=EXAMPLE_OUTPUT,
+        entities=json.dumps(named_entities),
+        text=text,
+    )

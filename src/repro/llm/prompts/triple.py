@@ -1,0 +1,60 @@
+"""SPO relationship-extraction prompt (mirrors OpenSPG ``triple.py``).
+
+The instruction requires every extracted Subject-Predicate-Object triple to
+involve an entity from the supplied ``entity_list`` — the constraint the
+paper highlights for effective relationship extraction.
+"""
+
+from __future__ import annotations
+
+import json
+
+INSTRUCTION = (
+    "Extract every Subject-Predicate-Object statement from the input text. "
+    "Both subject and object must be entities from the provided entity "
+    "list (or literal values such as years, times and prices). Output "
+    'strict JSON: a list of [subject, predicate, object] arrays using '
+    "canonical snake_case predicates."
+)
+
+EXAMPLE_INPUT = (
+    "Inception was directed by Christopher Nolan. "
+    "Inception was released in the year 2010."
+)
+
+EXAMPLE_ENTITIES = json.dumps(["Inception", "Christopher Nolan", "2010"])
+
+EXAMPLE_OUTPUT = json.dumps(
+    [
+        ["Inception", "directed_by", "Christopher Nolan"],
+        ["Inception", "release_year", "2010"],
+    ]
+)
+
+TEMPLATE = """### TASK: triple
+### INSTRUCTION
+{instruction}
+### EXAMPLE INPUT
+{example_input}
+### EXAMPLE ENTITIES
+{example_entities}
+### EXAMPLE OUTPUT
+{example_output}
+### ENTITIES
+{entities}
+### INPUT
+{text}
+### END
+"""
+
+
+def render_triple_prompt(text: str, entity_list: list[str]) -> str:
+    """Render the triple-extraction prompt for ``text``."""
+    return TEMPLATE.format(
+        instruction=INSTRUCTION,
+        example_input=EXAMPLE_INPUT,
+        example_entities=EXAMPLE_ENTITIES,
+        example_output=EXAMPLE_OUTPUT,
+        entities=json.dumps(entity_list),
+        text=text,
+    )

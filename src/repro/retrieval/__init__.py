@@ -1,0 +1,25 @@
+"""Retrieval substrate: tokenization, chunking, TF-IDF, BM25, retriever."""
+
+from repro.retrieval.bm25 import BM25Index
+from repro.retrieval.chunking import Chunk, SentenceChunker
+from repro.retrieval.rerank import LLMReranker, retrieve_and_rerank
+from repro.retrieval.retriever import MultiSourceRetriever
+from repro.retrieval.tokenize import STOPWORDS, ngrams, sentences, tokenize
+from repro.retrieval.vector_index import SearchHit, VectorIndex
+from repro.retrieval.vectorizer import TfidfVectorizer
+
+__all__ = [
+    "BM25Index",
+    "LLMReranker",
+    "retrieve_and_rerank",
+    "Chunk",
+    "MultiSourceRetriever",
+    "STOPWORDS",
+    "SearchHit",
+    "SentenceChunker",
+    "TfidfVectorizer",
+    "VectorIndex",
+    "ngrams",
+    "sentences",
+    "tokenize",
+]

@@ -1,0 +1,83 @@
+"""Okapi BM25 index — the sparse-retrieval substrate.
+
+Several baselines (Standard RAG, IRCoT, MetaRAG) retrieve with BM25 in the
+original papers; implementing it here keeps the comparison honest.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Generic, TypeVar
+
+from repro.retrieval.tokenize import tokenize
+from repro.retrieval.vector_index import SearchHit
+
+T = TypeVar("T")
+
+
+class BM25Index(Generic[T]):
+    """Classic Okapi BM25 with the usual ``k1``/``b`` parameters."""
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
+        if k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError("b must lie in [0, 1]")
+        self.k1 = k1
+        self.b = b
+        self._items: list[T] = []
+        self._doc_tokens: list[Counter[str]] = []
+        self._doc_len: list[int] = []
+        self._avg_len = 0.0
+        self._postings: dict[str, list[int]] = defaultdict(list)
+        self._idf: dict[str, float] = {}
+
+    def build(self, items: list[T], texts: list[str]) -> "BM25Index[T]":
+        if len(items) != len(texts):
+            raise ValueError("items and texts must have equal length")
+        self._items = list(items)
+        self._doc_tokens = []
+        self._doc_len = []
+        self._postings = defaultdict(list)
+        for doc_id, text in enumerate(texts):
+            counts = Counter(tokenize(text))
+            self._doc_tokens.append(counts)
+            self._doc_len.append(sum(counts.values()))
+            for term in counts:
+                self._postings[term].append(doc_id)
+        n = len(texts)
+        self._avg_len = (sum(self._doc_len) / n) if n else 0.0
+        self._idf = {
+            term: math.log(1 + (n - len(docs) + 0.5) / (len(docs) + 0.5))
+            for term, docs in self._postings.items()
+        }
+        return self
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def score(self, query: str, doc_id: int) -> float:
+        """BM25 score of one indexed document against ``query``."""
+        counts = self._doc_tokens[doc_id]
+        length = self._doc_len[doc_id]
+        score = 0.0
+        for term in tokenize(query):
+            tf = counts.get(term, 0)
+            if tf == 0:
+                continue
+            idf = self._idf.get(term, 0.0)
+            denom = tf + self.k1 * (1 - self.b + self.b * length / (self._avg_len or 1.0))
+            score += idf * tf * (self.k1 + 1) / denom
+        return score
+
+    def search(self, query: str, k: int = 5) -> list[SearchHit[T]]:
+        """Top-``k`` items by BM25 score; only candidate docs are scored."""
+        candidates: set[int] = set()
+        for term in tokenize(query):
+            candidates.update(self._postings.get(term, ()))
+        scored = sorted(
+            ((self.score(query, d), d) for d in candidates),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        return [SearchHit(self._items[d], s) for s, d in scored[:k]]

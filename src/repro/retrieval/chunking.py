@@ -1,0 +1,87 @@
+"""Document chunking.
+
+The paper slices every source file into chunks before building the
+multi-source line graph, storing "slice numbers, data source locations and
+transformed triple nodes" for cross-indexing.  :class:`Chunk` carries
+exactly that bookkeeping; :class:`SentenceChunker` implements the (simple,
+explicitly not-optimized — see the paper's Restrictive Analysis §IV-E)
+sentence-packing strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.retrieval.tokenize import sentences, tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """A contiguous slice of one source document."""
+
+    chunk_id: str
+    source_id: str
+    doc_id: str
+    seq: int
+    text: str
+    meta: tuple[tuple[str, str], ...] = field(default=())
+
+    def tokens(self) -> list[str]:
+        return tokenize(self.text)
+
+
+class SentenceChunker:
+    """Pack consecutive sentences into chunks of at most ``max_tokens``.
+
+    A sentence longer than ``max_tokens`` becomes its own (oversized) chunk
+    rather than being split mid-sentence — truncating factual statements is
+    exactly the kind of corruption this paper is trying to avoid.
+    """
+
+    def __init__(self, max_tokens: int = 64, overlap: int = 0) -> None:
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        if overlap < 0 or overlap >= max_tokens:
+            raise ValueError("overlap must satisfy 0 <= overlap < max_tokens")
+        self.max_tokens = max_tokens
+        self.overlap = overlap
+
+    def chunk(self, text: str, source_id: str, doc_id: str) -> list[Chunk]:
+        """Split ``text`` into chunks, assigning sequential chunk ids."""
+        sents = sentences(text)
+        chunks: list[Chunk] = []
+        current: list[str] = []
+        current_tokens = 0
+
+        def flush() -> None:
+            nonlocal current, current_tokens
+            if not current:
+                return
+            seq = len(chunks)
+            chunks.append(
+                Chunk(
+                    chunk_id=f"{doc_id}#c{seq}",
+                    source_id=source_id,
+                    doc_id=doc_id,
+                    seq=seq,
+                    text=" ".join(current),
+                )
+            )
+            if self.overlap and current:
+                kept = current[-1:]
+                current = kept
+                current_tokens = len(tokenize(" ".join(kept), drop_stopwords=False))
+            else:
+                current = []
+                current_tokens = 0
+
+        for sent in sents:
+            n_tokens = len(tokenize(sent, drop_stopwords=False))
+            if current and current_tokens + n_tokens > self.max_tokens:
+                flush()
+            current.append(sent)
+            current_tokens += n_tokens
+            if current_tokens >= self.max_tokens:
+                flush()
+        flush()
+        return chunks

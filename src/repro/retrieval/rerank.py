@@ -1,0 +1,57 @@
+"""LLM relevance reranking over retrieved chunks.
+
+A second-stage reranker in the retrieve-then-rerank idiom: the first
+stage's lexical scores order a candidate pool, then the LLM's relevance
+judgement (the ``LLM(q_i, d_l)`` term of the paper's Eq. 1) re-orders the
+pool.  Costs one LLM call per candidate, so pool sizes stay small.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.retrieval.chunking import Chunk
+from repro.retrieval.retriever import MultiSourceRetriever
+from repro.retrieval.vector_index import SearchHit
+
+if TYPE_CHECKING:  # imported lazily to avoid a retrieval<->llm import cycle
+    from repro.llm.simulated import SimulatedLLM
+
+
+class LLMReranker:
+    """Re-order retrieval hits by LLM-judged relevance."""
+
+    def __init__(self, llm: "SimulatedLLM", blend: float = 0.5) -> None:
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError("blend must lie in [0, 1]")
+        self.llm = llm
+        #: weight of the LLM judgement vs the first-stage score.
+        self.blend = blend
+
+    def rerank(
+        self, query: str, hits: list[SearchHit[Chunk]]
+    ) -> list[SearchHit[Chunk]]:
+        """Return ``hits`` re-sorted by blended first-stage + LLM scores."""
+        if not hits:
+            return []
+        top = max(h.score for h in hits) or 1.0
+        rescored = []
+        for hit in hits:
+            llm_score = self.llm.relevance(query, hit.item.text)
+            first_stage = hit.score / top if top else 0.0
+            blended = self.blend * llm_score + (1.0 - self.blend) * first_stage
+            rescored.append(SearchHit(hit.item, blended))
+        rescored.sort(key=lambda h: (-h.score, h.item.chunk_id))
+        return rescored
+
+
+def retrieve_and_rerank(
+    retriever: MultiSourceRetriever,
+    reranker: LLMReranker,
+    query: str,
+    k: int = 5,
+    pool: int = 15,
+) -> list[SearchHit[Chunk]]:
+    """First-stage retrieve a ``pool``, rerank it, return the top ``k``."""
+    hits = retriever.retrieve(query, k=pool)
+    return reranker.rerank(query, hits)[:k]

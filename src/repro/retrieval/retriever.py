@@ -1,0 +1,108 @@
+"""Multi-source retriever facade.
+
+Wraps a chunk corpus drawn from many sources behind a single ``retrieve``
+call.  Supports dense (TF-IDF cosine), sparse (BM25) and hybrid scoring;
+all QA baselines and MultiRAG's multi-document extraction step share this
+component so retrieval quality is held constant across methods.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.retrieval.bm25 import BM25Index
+from repro.retrieval.chunking import Chunk
+from repro.retrieval.vector_index import SearchHit, VectorIndex
+
+
+class MultiSourceRetriever:
+    """Retrieve chunks across all registered sources."""
+
+    def __init__(self, mode: str = "hybrid", rrf_k: int = 60) -> None:
+        if mode not in {"dense", "sparse", "hybrid", "rrf"}:
+            raise ValueError(f"unknown retrieval mode: {mode!r}")
+        self.mode = mode
+        #: rank constant of reciprocal rank fusion (``rrf`` mode).
+        self.rrf_k = rrf_k
+        self._chunks: list[Chunk] = []
+        self._dense: VectorIndex[Chunk] = VectorIndex()
+        self._sparse: BM25Index[Chunk] = BM25Index()
+        self._built = False
+
+    def add_chunks(self, chunks: list[Chunk]) -> None:
+        """Stage chunks for indexing; call :meth:`build` afterwards."""
+        self._chunks.extend(chunks)
+        self._built = False
+
+    def build(self) -> "MultiSourceRetriever":
+        """(Re)build both indexes over all staged chunks."""
+        texts = [c.text for c in self._chunks]
+        self._dense = VectorIndex[Chunk]().build(self._chunks, texts)
+        self._sparse = BM25Index[Chunk]().build(self._chunks, texts)
+        self._built = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def chunks(self) -> list[Chunk]:
+        return list(self._chunks)
+
+    def sources(self) -> list[str]:
+        return sorted({c.source_id for c in self._chunks})
+
+    def retrieve(self, query: str, k: int = 5) -> list[SearchHit[Chunk]]:
+        """Top-``k`` chunks for ``query`` under the configured mode.
+
+        ``hybrid`` sums max-normalized dense and sparse scores over the
+        union of both candidate lists; ``rrf`` combines by reciprocal rank
+        fusion (``Σ 1 / (rrf_k + rank)``), which needs no score
+        calibration between the two indexes.
+        """
+        if not self._built:
+            self.build()
+        if self.mode == "dense":
+            return self._dense.search(query, k)
+        if self.mode == "sparse":
+            return self._sparse.search(query, k)
+
+        pool = max(k * 3, 10)
+        dense_hits = self._dense.search(query, pool)
+        sparse_hits = self._sparse.search(query, pool)
+        combined: dict[str, float] = defaultdict(float)
+        by_id: dict[str, Chunk] = {}
+        if self.mode == "rrf":
+            for hits in (dense_hits, sparse_hits):
+                for rank, hit in enumerate(hits):
+                    by_id[hit.item.chunk_id] = hit.item
+                    combined[hit.item.chunk_id] += 1.0 / (self.rrf_k + rank + 1)
+        else:
+            for hits in (dense_hits, sparse_hits):
+                if not hits:
+                    continue
+                top = hits[0].score or 1.0
+                for hit in hits:
+                    by_id[hit.item.chunk_id] = hit.item
+                    combined[hit.item.chunk_id] += hit.score / top if top else 0.0
+        ranked = sorted(combined.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [SearchHit(by_id[cid], score) for cid, score in ranked[:k]]
+
+    def retrieve_per_source(self, query: str, k_per_source: int = 2) -> list[SearchHit[Chunk]]:
+        """Top chunks for ``query`` with per-source quotas.
+
+        Multi-source fusion needs evidence from *every* source that has an
+        opinion, not just the globally best-matching chunks; this method
+        guarantees each source contributes up to ``k_per_source`` hits.
+        """
+        if not self._built:
+            self.build()
+        hits = self.retrieve(query, k=max(len(self._chunks) // 2, 20))
+        taken: dict[str, int] = defaultdict(int)
+        selected: list[SearchHit[Chunk]] = []
+        for hit in hits:
+            src = hit.item.source_id
+            if taken[src] < k_per_source:
+                taken[src] += 1
+                selected.append(hit)
+        return selected

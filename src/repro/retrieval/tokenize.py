@@ -1,0 +1,40 @@
+"""Tokenization shared by the retrieval stack and the simulated LLM."""
+
+from __future__ import annotations
+
+import re
+
+#: Minimal English stop-word list; enough to keep lexical scoring sane
+#: without pulling in an NLP dependency.
+STOPWORDS: frozenset[str] = frozenset(
+    """a an and are as at be by for from has have in is it its of on or that
+    the their there these this to was were what when where which who whose
+    will with does did about into than then over under not no""".split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[.\-:'][a-z0-9]+)*")
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> list[str]:
+    """Lower-case word tokens of ``text``.
+
+    Hyphenated / dotted compounds (``ca-981``, ``14:30``) stay intact so
+    flight numbers and timestamps survive as single tokens.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stopwords:
+        return [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on ``.!?`` followed by whitespace."""
+    parts = re.split(r"(?<=[.!?])\s+", text.strip())
+    return [p.strip() for p in parts if p.strip()]
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous ``n``-grams of ``tokens``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

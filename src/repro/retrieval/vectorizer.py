@@ -1,0 +1,62 @@
+"""TF-IDF vectorization over a chunk corpus (pure numpy, no sklearn).
+
+This is the dense-retrieval stand-in: cosine similarity over L2-normalized
+TF-IDF vectors.  It is deterministic and dependency-light while exhibiting
+the property the experiments need — lexically related chunks score high,
+unrelated chunks score near zero.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.retrieval.tokenize import tokenize
+
+
+class TfidfVectorizer:
+    """Fit a vocabulary + IDF table on a corpus, then embed texts."""
+
+    def __init__(self, min_df: int = 1) -> None:
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        self.min_df = min_df
+        self.vocabulary: dict[str, int] = {}
+        self.idf: np.ndarray = np.empty(0)
+        self._fitted = False
+
+    def fit(self, texts: list[str]) -> "TfidfVectorizer":
+        """Learn vocabulary and IDF weights from ``texts``."""
+        doc_freq: Counter[str] = Counter()
+        for text in texts:
+            doc_freq.update(set(tokenize(text)))
+        terms = sorted(t for t, df in doc_freq.items() if df >= self.min_df)
+        self.vocabulary = {term: i for i, term in enumerate(terms)}
+        n_docs = max(len(texts), 1)
+        self.idf = np.array(
+            [math.log((1 + n_docs) / (1 + doc_freq[t])) + 1.0 for t in terms],
+            dtype=np.float64,
+        )
+        self._fitted = True
+        return self
+
+    def transform(self, texts: list[str]) -> np.ndarray:
+        """Embed ``texts`` as rows of an L2-normalized TF-IDF matrix."""
+        if not self._fitted:
+            raise RuntimeError("vectorizer must be fit before transform")
+        matrix = np.zeros((len(texts), len(self.vocabulary)), dtype=np.float64)
+        for row, text in enumerate(texts):
+            counts = Counter(tokenize(text))
+            for term, count in counts.items():
+                col = self.vocabulary.get(term)
+                if col is not None:
+                    matrix[row, col] = 1.0 + math.log(count)
+        matrix *= self.idf
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return matrix / norms
+
+    def fit_transform(self, texts: list[str]) -> np.ndarray:
+        return self.fit(texts).transform(texts)

@@ -1,0 +1,100 @@
+"""Small shared utilities: stable hashing, timing, text helpers.
+
+Determinism matters throughout this reproduction: the simulated LLM, the
+dataset generators and the perturbation machinery must all produce the same
+output for the same seed regardless of call order.  ``stable_uniform`` and
+``stable_choice`` therefore derive randomness from a keyed BLAKE2b hash of
+their arguments instead of from shared mutable RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import time
+from collections.abc import Sequence
+from contextlib import contextmanager
+from typing import Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+def stable_hash(*parts: object, seed: int = 0) -> int:
+    """A 64-bit hash of ``parts`` that is stable across processes and runs."""
+    digest = hashlib.blake2b(
+        "\x1f".join(str(p) for p in parts).encode("utf-8"),
+        digest_size=8,
+        key=seed.to_bytes(8, "little", signed=False),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def stable_uniform(*parts: object, seed: int = 0) -> float:
+    """A deterministic pseudo-uniform draw in ``[0, 1)`` keyed by ``parts``."""
+    return stable_hash(*parts, seed=seed) / 2**64
+
+
+def stable_choice(options: Sequence[T], *parts: object, seed: int = 0) -> T:
+    """Pick one element of ``options`` deterministically keyed by ``parts``."""
+    if not options:
+        raise ValueError("cannot choose from an empty sequence")
+    return options[stable_hash(*parts, seed=seed) % len(options)]
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer used by the experiment harness."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.elapsed += time.perf_counter() - start
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+
+
+def normalize_value(value: object) -> str:
+    """Canonical string form of an attribute value for comparisons.
+
+    Lower-cases, strips and collapses internal whitespace so that
+    ``"Christopher  Nolan "`` and ``"christopher nolan"`` agree.
+    """
+    return " ".join(str(value).strip().lower().split())
+
+
+_THOUSANDS_RE = re.compile(r"(\d),(\d{3})\b")
+_ALNUM_RE = re.compile(r"[a-z0-9]+")
+
+
+def canonical_value(value: object) -> str:
+    """Semantic canonical form used for *scoring* predictions.
+
+    Collapses surface variation that does not change meaning — case,
+    punctuation, token order ("Nolan, Christopher" ≡ "Christopher Nolan"),
+    currency prefixes and thousands separators — so a method is graded on
+    *what* it answered, not on which source's spelling it surfaced.
+    Methods' internal grouping intentionally does NOT use this (alignment
+    is part of what is being evaluated); see :func:`normalize_value`.
+    """
+    text = str(value).strip().lower()
+    if text.startswith("$"):
+        text = text[1:]
+    text = _THOUSANDS_RE.sub(r"\1\2", text)
+    tokens = sorted(_ALNUM_RE.findall(text))
+    return " ".join(tokens)
+
+
+def jaccard(a: set[str], b: set[str]) -> float:
+    """Jaccard similarity of two sets; 1.0 when both are empty."""
+    if not a and not b:
+        return 1.0
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)

@@ -1,0 +1,32 @@
+"""Tests for the adapter framework primitives."""
+
+from __future__ import annotations
+
+from repro.adapters import AdapterOutput, RawSource
+from repro.kg.storage import NormalizedRecord
+
+
+class TestRawSource:
+    def test_provenance_carries_identity(self):
+        raw = RawSource("src-9", "movies", "csv", "f.csv", "payload")
+        prov = raw.provenance(record_id="row3")
+        assert prov.source_id == "src-9"
+        assert prov.domain == "movies"
+        assert prov.fmt == "csv"
+        assert prov.record_id == "row3"
+        assert prov.chunk_id is None
+
+    def test_provenance_without_record(self):
+        raw = RawSource("s", "d", "text", "n", "x")
+        assert raw.provenance().record_id is None
+
+    def test_meta_defaults_empty(self):
+        assert RawSource("s", "d", "csv", "n", "x").meta == {}
+
+
+class TestAdapterOutput:
+    def test_defaults(self):
+        record = NormalizedRecord(record_id="r", domain="d", name="n", jsonld={})
+        output = AdapterOutput(record=record)
+        assert output.triples == []
+        assert output.documents == []

@@ -1,0 +1,49 @@
+"""Tests for the native KG adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import KgAdapter, RawSource
+from repro.errors import AdapterError
+
+
+def raw(payload) -> RawSource:
+    return RawSource("kg-src", "movies", "kg", "dump.kg", payload)
+
+
+class TestKgAdapter:
+    def test_triples_passed_through(self):
+        out = KgAdapter().parse(raw({"triples": [["a", "p", "b"], ["c", "q", "d"]]}))
+        assert {t.spo() for t in out.triples} == {("a", "p", "b"), ("c", "q", "d")}
+
+    def test_provenance(self):
+        out = KgAdapter().parse(raw({"triples": [["a", "p", "b"]]}))
+        assert out.triples[0].provenance.source_id == "kg-src"
+        assert out.triples[0].provenance.record_id == "t0"
+
+    def test_blank_components_skipped(self):
+        out = KgAdapter().parse(raw({"triples": [["a", "", "b"], ["x", "p", "y"]]}))
+        assert len(out.triples) == 1
+
+    def test_values_stringified_and_stripped(self):
+        out = KgAdapter().parse(raw({"triples": [[" a ", "p", 2010]]}))
+        assert out.triples[0].spo() == ("a", "p", "2010")
+
+    def test_jsonld_graph(self):
+        out = KgAdapter().parse(raw({"triples": [["a", "p", "b"]]}))
+        assert out.record.jsonld["@graph"][0]["@id"] == "a"
+
+    def test_documents_verbalized(self):
+        out = KgAdapter().parse(
+            raw({"triples": [["Inception", "directed_by", "Nolan"]]})
+        )
+        assert "Inception was directed by Nolan." in out.documents[0][1]
+
+    def test_wrong_arity(self):
+        with pytest.raises(AdapterError):
+            KgAdapter().parse(raw({"triples": [["a", "b"]]}))
+
+    def test_missing_key(self):
+        with pytest.raises(AdapterError):
+            KgAdapter().parse(raw({"edges": []}))

@@ -1,0 +1,135 @@
+"""Tests for the nested-JSON and XML adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import (
+    RawSource,
+    SemiStructuredJsonAdapter,
+    SemiStructuredXmlAdapter,
+    dfs_leaves,
+)
+from repro.errors import AdapterError
+
+
+class TestDfsLeaves:
+    def test_flat_dict(self):
+        assert dfs_leaves({"a": "1", "b": "2"}) == [("a", "1"), ("b", "2")]
+
+    def test_nested_keeps_leaf_key(self):
+        leaves = dfs_leaves({"details": {"year": "2010"}})
+        assert leaves == [("year", "2010")]
+
+    def test_list_values_fan_out(self):
+        leaves = dfs_leaves({"directors": ["a", "b"]})
+        assert leaves == [("directors", "a"), ("directors", "b")]
+
+    def test_none_and_empty_skipped(self):
+        assert dfs_leaves({"a": None, "b": ""}) == []
+
+    def test_numbers_stringified(self):
+        assert dfs_leaves({"year": 2010}) == [("year", "2010")]
+
+    def test_deep_nesting(self):
+        tree = {"l1": {"l2": {"l3": {"value": "deep"}}}}
+        assert dfs_leaves(tree) == [("value", "deep")]
+
+
+class TestJsonAdapter:
+    def payload(self):
+        return {
+            "records": [
+                {
+                    "name": "Inception",
+                    "attributes": {
+                        "directed_by": ["Christopher Nolan"],
+                        "details": {"release_year": "2010"},
+                    },
+                },
+                {"name": "", "attributes": {"ignored": "yes"}},
+            ]
+        }
+
+    def test_triples_with_nested_leaf_keys(self):
+        out = SemiStructuredJsonAdapter().parse(
+            RawSource("s", "movies", "json", "n", self.payload())
+        )
+        spos = {t.spo() for t in out.triples}
+        assert ("Inception", "directed_by", "Christopher Nolan") in spos
+        assert ("Inception", "release_year", "2010") in spos
+
+    def test_nameless_records_skipped(self):
+        out = SemiStructuredJsonAdapter().parse(
+            RawSource("s", "movies", "json", "n", self.payload())
+        )
+        assert all(t.subject == "Inception" for t in out.triples)
+
+    def test_no_cols_index(self):
+        out = SemiStructuredJsonAdapter().parse(
+            RawSource("s", "movies", "json", "n", self.payload())
+        )
+        assert out.record.cols_index is None
+
+    def test_bad_payload(self):
+        with pytest.raises(AdapterError):
+            SemiStructuredJsonAdapter().parse(
+                RawSource("s", "d", "json", "n", ["not", "a", "dict"])
+            )
+
+    def test_missing_records_key(self):
+        with pytest.raises(AdapterError):
+            SemiStructuredJsonAdapter().parse(
+                RawSource("s", "d", "json", "n", {"rows": []})
+            )
+
+
+XML = """<source>
+  <record name="Heat">
+    <directed_by>Michael Mann</directed_by>
+    <directed_by>Second Director</directed_by>
+    <meta><release_year>1995</release_year></meta>
+  </record>
+  <record name="">
+    <ignored>x</ignored>
+  </record>
+</source>"""
+
+
+class TestXmlAdapter:
+    def test_repeated_elements_multi_valued(self):
+        out = SemiStructuredXmlAdapter().parse(
+            RawSource("s", "movies", "xml", "n", XML)
+        )
+        directors = {t.obj for t in out.triples if t.predicate == "directed_by"}
+        assert directors == {"Michael Mann", "Second Director"}
+
+    def test_nested_elements_flattened(self):
+        out = SemiStructuredXmlAdapter().parse(
+            RawSource("s", "movies", "xml", "n", XML)
+        )
+        assert ("Heat", "release_year", "1995") in {t.spo() for t in out.triples}
+
+    def test_nameless_record_skipped(self):
+        out = SemiStructuredXmlAdapter().parse(
+            RawSource("s", "movies", "xml", "n", XML)
+        )
+        assert all(t.subject == "Heat" for t in out.triples)
+
+    def test_documents_verbalized(self):
+        out = SemiStructuredXmlAdapter().parse(
+            RawSource("s", "movies", "xml", "n", XML)
+        )
+        assert "Michael Mann" in out.documents[0][1]
+
+    def test_malformed_xml(self):
+        with pytest.raises(AdapterError):
+            SemiStructuredXmlAdapter().parse(
+                RawSource("s", "d", "xml", "n", "<unclosed>")
+            )
+
+    def test_non_string_payload(self):
+        with pytest.raises(AdapterError):
+            SemiStructuredXmlAdapter().parse(
+                RawSource("s", "d", "xml", "n", {"xml": True})
+            )

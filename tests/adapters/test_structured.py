@@ -1,0 +1,95 @@
+"""Tests for the structured (CSV/DSM) adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import RawSource, StructuredAdapter, split_cell
+from repro.errors import AdapterError
+
+
+def raw(payload: str) -> RawSource:
+    return RawSource("src-1", "movies", "csv", "movies.csv", payload)
+
+
+CSV = (
+    "title,directed_by,release_year\n"
+    "Inception,Christopher Nolan,2010\n"
+    "Heat,Michael Mann;Extra Director,1995\n"
+    "Empty,,\n"
+)
+
+
+@pytest.fixture()
+def output():
+    return StructuredAdapter().parse(raw(CSV))
+
+
+class TestParsing:
+    def test_triples_per_cell_value(self, output):
+        spos = {t.spo() for t in output.triples}
+        assert ("Inception", "directed_by", "Christopher Nolan") in spos
+        assert ("Heat", "directed_by", "Michael Mann") in spos
+        assert ("Heat", "directed_by", "Extra Director") in spos
+
+    def test_empty_cells_produce_nothing(self, output):
+        assert not [t for t in output.triples if t.subject == "Empty"]
+
+    def test_provenance_rows(self, output):
+        t = next(t for t in output.triples if t.subject == "Inception")
+        assert t.provenance.source_id == "src-1"
+        assert t.provenance.fmt == "csv"
+        assert t.provenance.record_id == "row0"
+
+    def test_dsm_column_index(self, output):
+        cols = output.record.cols_index
+        assert cols["directed_by"] == [
+            "Christopher Nolan", "Michael Mann", "Extra Director"
+        ]
+        assert cols["release_year"] == ["2010", "1995"]
+        assert cols["title"] == ["Inception", "Heat", "Empty"]
+
+    def test_jsonld_graph_present(self, output):
+        graph = output.record.jsonld["@graph"]
+        assert any(node["@id"] == "Inception" for node in graph)
+
+    def test_documents_verbalized(self, output):
+        assert len(output.documents) == 1
+        doc_id, text = output.documents[0]
+        assert "Inception was directed by Christopher Nolan." in text
+
+    def test_quoted_cells_with_commas(self):
+        payload = 'title,directed_by\nInception,"Nolan, Christopher"\n'
+        out = StructuredAdapter().parse(raw(payload))
+        assert out.triples[0].obj == "Nolan, Christopher"
+
+
+class TestErrors:
+    def test_non_string_payload(self):
+        with pytest.raises(AdapterError):
+            StructuredAdapter().parse(
+                RawSource("s", "d", "csv", "n", {"not": "text"})
+            )
+
+    def test_empty_payload(self):
+        with pytest.raises(AdapterError):
+            StructuredAdapter().parse(raw(""))
+
+    def test_header_without_attributes(self):
+        with pytest.raises(AdapterError):
+            StructuredAdapter().parse(raw("only_entity\nfoo\n"))
+
+    def test_ragged_row(self):
+        with pytest.raises(AdapterError):
+            StructuredAdapter().parse(raw("a,b\nx,y,z\n"))
+
+
+class TestSplitCell:
+    def test_multi_valued(self):
+        assert split_cell("a;b; c ") == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert split_cell("") == []
+
+    def test_single(self):
+        assert split_cell("x") == ["x"]

@@ -1,0 +1,43 @@
+"""Tests for the unstructured-text adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import RawSource, UnstructuredAdapter
+from repro.errors import AdapterError
+
+
+class TestUnstructuredAdapter:
+    def test_string_payload_single_document(self):
+        out = UnstructuredAdapter().parse(
+            RawSource("s", "wiki", "text", "page", "Some prose here.")
+        )
+        assert out.documents == [("s:page", "Some prose here.")]
+        assert out.triples == []
+
+    def test_dict_payload_many_documents(self):
+        out = UnstructuredAdapter().parse(
+            RawSource("s", "wiki", "text", "pages",
+                      {"Inception": "About a movie.", "Heat": "Another."})
+        )
+        assert ("s:Inception", "About a movie.") in out.documents
+        assert ("s:Heat", "Another.") in out.documents
+
+    def test_no_triples_ever(self):
+        out = UnstructuredAdapter().parse(
+            RawSource("s", "wiki", "text", "p",
+                      "Inception was directed by Nolan.")
+        )
+        # Extraction is the fusion engine's job, not the adapter's.
+        assert out.triples == []
+
+    def test_jsonld_wraps_text(self):
+        out = UnstructuredAdapter().parse(
+            RawSource("s", "wiki", "text", "p", "hello")
+        )
+        assert out.record.jsonld["@graph"][0]["text"] == "hello"
+
+    def test_bad_payload(self):
+        with pytest.raises(AdapterError):
+            UnstructuredAdapter().parse(RawSource("s", "d", "text", "n", 42))

@@ -1,0 +1,79 @@
+"""Tests for the multi-hop QA methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import QA_METHODS
+from repro.datasets import make_hotpotqa_like
+from repro.eval import build_substrate
+from repro.util import canonical_value
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_hotpotqa_like(n_queries=15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def substrate(corpus):
+    return build_substrate(corpus)
+
+
+@pytest.mark.parametrize("name", sorted(QA_METHODS))
+class TestEveryQAMethod:
+    def test_prediction_shape(self, name, corpus, substrate):
+        method = QA_METHODS[name]()
+        method.setup(substrate)
+        prediction = method.answer(corpus.queries[0])
+        assert isinstance(prediction.answers, frozenset)
+        assert isinstance(prediction.candidates, tuple)
+        assert len(prediction.candidates) <= 5
+
+    def test_comparison_yields_yes_no(self, name, corpus, substrate):
+        comparison = next(
+            (q for q in corpus.queries if q.qtype == "comparison"), None
+        )
+        if comparison is None:
+            pytest.skip("no comparison question in sample")
+        method = QA_METHODS[name]()
+        method.setup(substrate)
+        prediction = method.answer(comparison)
+        assert prediction.answers <= {"yes", "no"}
+
+    def test_deterministic(self, name, corpus, substrate):
+        q = corpus.queries[1]
+        m1 = QA_METHODS[name]()
+        m1.setup(substrate)
+        m2 = QA_METHODS[name]()
+        m2.setup(substrate)
+        assert m1.answer(q).answers == m2.answer(q).answers
+
+
+class TestQualityOrdering:
+    """Qualitative Table IV invariants on a small sample."""
+
+    def accuracy(self, name, corpus, substrate) -> float:
+        method = QA_METHODS[name]()
+        method.setup(substrate)
+        hits = 0
+        for q in corpus.queries:
+            predicted = {canonical_value(v) for v in method.answer(q).answers}
+            gold = {canonical_value(a) for a in q.answers}
+            hits += bool(predicted & gold)
+        return hits / len(corpus.queries)
+
+    def test_multirag_beats_standard_rag(self, corpus, substrate):
+        assert self.accuracy("MultiRAG", corpus, substrate) > self.accuracy(
+            "StandardRAG", corpus, substrate
+        )
+
+    def test_multirag_beats_cot(self, corpus, substrate):
+        assert self.accuracy("MultiRAG", corpus, substrate) > self.accuracy(
+            "GPT-3.5-Turbo+CoT", corpus, substrate
+        )
+
+    def test_chained_methods_beat_single_retrieval(self, corpus, substrate):
+        assert self.accuracy("MDQA", corpus, substrate) > self.accuracy(
+            "StandardRAG", corpus, substrate
+        )

@@ -1,0 +1,86 @@
+"""Tests for construction-time source-credibility calibration."""
+
+from __future__ import annotations
+
+from repro.confidence import HistoryStore
+from repro.confidence.calibration import calibrate_history, consensus_values
+from repro.kg import KnowledgeGraph, Provenance, Triple
+from repro.linegraph import match_homologous
+
+
+def build_groups(claims: list[tuple[str, str, str, str]]):
+    graph = KnowledgeGraph()
+    for source, entity, attribute, value in claims:
+        graph.add_triple(
+            Triple(entity, attribute, value, Provenance(source_id=source))
+        )
+    return match_homologous(graph).groups
+
+
+class TestConsensusValues:
+    def test_clear_majority(self):
+        groups = build_groups([
+            ("s1", "E", "a", "x"), ("s2", "E", "a", "x"), ("s3", "E", "a", "y"),
+        ])
+        consensus = consensus_values(groups[0], {"s1": 0.5, "s2": 0.5, "s3": 0.5})
+        assert consensus == {"x"}
+
+    def test_indecisive_tie_returns_empty(self):
+        groups = build_groups([("s1", "E", "a", "x"), ("s2", "E", "a", "y")])
+        consensus = consensus_values(groups[0], {"s1": 0.5, "s2": 0.5})
+        assert consensus == set()
+
+    def test_credibility_breaks_ties(self):
+        groups = build_groups([("s1", "E", "a", "x"), ("s2", "E", "a", "y")])
+        consensus = consensus_values(groups[0], {"s1": 0.9, "s2": 0.2})
+        assert consensus == {"x"}
+
+    def test_co_asserted_values_join_winner(self):
+        groups = build_groups([
+            ("s1", "B", "author", "Alice Adams"),
+            ("s1", "B", "author", "Bob Brown"),
+            ("s2", "B", "author", "Alice Adams"),
+        ])
+        consensus = consensus_values(
+            groups[0], {"s1": 0.5, "s2": 0.5}
+        )
+        assert "alice adams" in consensus
+        assert "bob brown" in consensus
+
+
+class TestCalibrateHistory:
+    def test_separates_good_from_bad(self):
+        claims = []
+        for i in range(40):
+            claims.append(("good1", "E%d" % i, "a", "true%d" % i))
+            claims.append(("good2", "E%d" % i, "a", "true%d" % i))
+            claims.append(("bad", "E%d" % i, "a", "wrong%d" % i))
+        groups = build_groups(claims)
+        cred = calibrate_history(groups, HistoryStore())
+        assert cred["good1"] > 0.7
+        assert cred["bad"] < 0.45
+
+    def test_seeds_history_store(self):
+        claims = [
+            ("a", "E", "k", "v"), ("b", "E", "k", "v"), ("c", "E", "k", "w"),
+        ]
+        groups = build_groups(claims)
+        store = HistoryStore()
+        calibrate_history(groups, store)
+        assert store.credibility("a") > store.credibility("c")
+
+    def test_empty_groups(self):
+        store = HistoryStore()
+        assert calibrate_history([], store) == {}
+
+    def test_deterministic(self):
+        claims = [("s%d" % (i % 3), "E%d" % (i // 3), "a", "v%d" % (i % 2))
+                  for i in range(30)]
+        c1 = calibrate_history(build_groups(claims), HistoryStore())
+        c2 = calibrate_history(build_groups(claims), HistoryStore())
+        assert c1 == c2
+
+    def test_estimates_bounded(self):
+        claims = [("s1", "E", "a", "x"), ("s2", "E", "a", "x")]
+        cred = calibrate_history(build_groups(claims), HistoryStore())
+        assert all(0.0 <= v <= 1.0 for v in cred.values())

@@ -1,0 +1,70 @@
+"""Tests for the historical credibility store (Eq. 11 inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.confidence import HistoryStore
+
+
+class TestHistoryStore:
+    def test_neutral_prior(self):
+        store = HistoryStore()
+        assert store.credibility("unseen") == 0.5
+        assert store.historical_entities("unseen") == 50
+
+    def test_paper_initialization(self):
+        # "The number of entities in historical queries was initialized to 50".
+        store = HistoryStore(init_entities=50, init_credibility=0.5)
+        assert store.historical_entities("any") == 50
+
+    def test_positive_updates_raise_credibility(self):
+        store = HistoryStore()
+        for _ in range(30):
+            store.update("good", accepted=True)
+        assert store.credibility("good") > 0.6
+
+    def test_negative_updates_lower_credibility(self):
+        store = HistoryStore()
+        for _ in range(30):
+            store.update("bad", accepted=False)
+        assert store.credibility("bad") < 0.4
+
+    def test_update_increments_entities(self):
+        store = HistoryStore()
+        store.update("s", accepted=True)
+        assert store.historical_entities("s") == 51
+
+    def test_seed_bulk_counts(self):
+        # Prior: 50 entities at 0.5 (25 correct) + seeded 90/100.
+        store = HistoryStore()
+        store.seed("s", correct=90, total=100)
+        assert store.credibility("s") == pytest.approx(115 / 150)
+
+    def test_seed_validation(self):
+        store = HistoryStore()
+        with pytest.raises(ValueError):
+            store.seed("s", correct=5, total=3)
+        with pytest.raises(ValueError):
+            store.seed("s", correct=-1, total=3)
+
+    def test_snapshot_sorted(self):
+        store = HistoryStore()
+        store.update("b", True)
+        store.update("a", False)
+        snap = store.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert all(0.0 <= v <= 1.0 for v in snap.values())
+
+    def test_reset(self):
+        store = HistoryStore()
+        store.update("s", True)
+        store.reset()
+        assert store.snapshot() == {}
+        assert store.credibility("s") == 0.5
+
+    def test_prior_dampens_small_samples(self):
+        # One correct claim barely moves a 50-entity prior.
+        store = HistoryStore()
+        store.update("s", accepted=True)
+        assert store.credibility("s") == pytest.approx(26 / 51)

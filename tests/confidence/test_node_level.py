@@ -1,0 +1,161 @@
+"""Tests for node-level confidence (Eqs. 8–11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.confidence import HistoryStore, NodeScorer
+from repro.kg import KnowledgeGraph, Provenance, Triple
+from repro.linegraph import match_homologous
+from repro.llm import SimulatedLLM
+
+
+def build_graph(claims: list[tuple[str, str, str, str]]) -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    for source, entity, attribute, value in claims:
+        graph.add_triple(
+            Triple(entity, attribute, value, Provenance(source_id=source))
+        )
+    return graph
+
+
+@pytest.fixture()
+def conflicted():
+    """3 sources agree on 2010, one claims 2011; plus typed context."""
+    graph = build_graph([
+        ("s1", "Inception", "release_year", "2010"),
+        ("s2", "Inception", "release_year", "2010"),
+        ("s3", "Inception", "release_year", "2010"),
+        ("s4", "Inception", "release_year", "2011"),
+    ])
+    group = match_homologous(graph).groups[0]
+    scorer = NodeScorer(graph, SimulatedLLM(seed=0), HistoryStore())
+    return graph, group, scorer
+
+
+def member_with_value(group, value):
+    return next(m for m in group.members if m.obj == value)
+
+
+class TestConsistency:
+    def test_majority_node_more_consistent(self, conflicted):
+        _, group, scorer = conflicted
+        maj = scorer.consistency(member_with_value(group, "2010"), group)
+        minority = scorer.consistency(member_with_value(group, "2011"), group)
+        assert maj > minority
+        assert minority == pytest.approx(0.0)
+
+    def test_no_peers_full_consistency(self):
+        graph = build_graph([("s1", "E", "a", "v")])
+        triple = graph.by_key("E", "a")[0]
+        from repro.linegraph import HomologousGroup, HomologousNode
+        group = HomologousGroup(
+            key=("E", "a"),
+            snode=HomologousNode(name="a", entity="E", num=1),
+            members=[triple],
+        )
+        scorer = NodeScorer(graph, SimulatedLLM(seed=0), HistoryStore())
+        assert scorer.consistency(triple, group) == 1.0
+
+    def test_same_source_peers_count_as_consistent(self):
+        # Multi-valued attribute: one source lists both authors.
+        graph = build_graph([
+            ("s1", "Book", "author", "Alice Adams"),
+            ("s1", "Book", "author", "Bob Brown"),
+            ("s2", "Book", "author", "Alice Adams"),
+        ])
+        group = match_homologous(graph).groups[0]
+        scorer = NodeScorer(graph, SimulatedLLM(seed=0), HistoryStore())
+        bob = member_with_value(group, "Bob Brown")
+        # Bob's peers: Alice@s1 (same source -> 1.0), Alice@s2 (0.0).
+        assert scorer.consistency(bob, group) == pytest.approx(0.5, abs=0.05)
+
+    def test_low_credibility_peers_weigh_less(self, conflicted):
+        graph, group, _ = conflicted
+        history = HistoryStore()
+        history.seed("s1", 5, 100)   # s1 nearly always wrong
+        history.seed("s2", 5, 100)
+        scorer = NodeScorer(graph, SimulatedLLM(seed=0), history)
+        s3_claim = next(m for m in group.members if m.source_id() == "s3")
+        weighted = scorer.consistency(s3_claim, group)
+        neutral_scorer = NodeScorer(graph, SimulatedLLM(seed=0), HistoryStore())
+        neutral = neutral_scorer.consistency(s3_claim, group)
+        # Agreeing peers lost credibility, so weighted consistency drops.
+        assert weighted < neutral
+
+
+class TestAuthority:
+    def test_auth_llm_in_unit_interval(self, conflicted):
+        _, group, scorer = conflicted
+        for member in group.members:
+            assert 0.0 <= scorer.auth_llm(member, group) <= 1.0
+
+    def test_auth_hist_tracks_source_history(self, conflicted):
+        graph, group, _ = conflicted
+        history = HistoryStore()
+        history.seed("s1", 95, 100)
+        history.seed("s4", 5, 100)
+        scorer = NodeScorer(graph, SimulatedLLM(seed=0), history)
+        good = next(m for m in group.members if m.source_id() == "s1")
+        bad = next(m for m in group.members if m.source_id() == "s4")
+        assert scorer.auth_hist(good, group) > scorer.auth_hist(bad, group)
+
+    def test_auth_hist_bounds(self, conflicted):
+        _, group, scorer = conflicted
+        for member in group.members:
+            assert 0.0 <= scorer.auth_hist(member, group) <= 1.0
+
+    def test_alpha_blend(self, conflicted):
+        graph, group, _ = conflicted
+        llm = SimulatedLLM(seed=0)
+        member = group.members[0]
+        pure_llm = NodeScorer(graph, llm, HistoryStore(), alpha=1.0).assess(member, group)
+        pure_hist = NodeScorer(graph, llm, HistoryStore(), alpha=0.0).assess(member, group)
+        assert pure_llm.authority == pytest.approx(pure_llm.auth_llm)
+        assert pure_hist.authority == pytest.approx(pure_hist.auth_hist)
+
+    def test_invalid_params(self, conflicted):
+        graph, _, _ = conflicted
+        with pytest.raises(ValueError):
+            NodeScorer(graph, SimulatedLLM(), HistoryStore(), alpha=1.5)
+        with pytest.raises(ValueError):
+            NodeScorer(graph, SimulatedLLM(), HistoryStore(), beta=0.0)
+
+
+class TestAssess:
+    def test_confidence_is_sum(self, conflicted):
+        _, group, scorer = conflicted
+        assessment = scorer.assess(group.members[0], group)
+        assert assessment.confidence == pytest.approx(
+            assessment.consistency + assessment.authority
+        )
+
+    def test_confidence_range(self, conflicted):
+        _, group, scorer = conflicted
+        for member in group.members:
+            assessment = scorer.assess(member, group)
+            assert 0.0 <= assessment.confidence <= 2.0
+
+    def test_majority_beats_minority(self, conflicted):
+        _, group, scorer = conflicted
+        maj = scorer.assess(member_with_value(group, "2010"), group)
+        minority = scorer.assess(member_with_value(group, "2011"), group)
+        assert maj.confidence > minority.confidence
+
+    def test_type_inconsistent_value_penalized(self):
+        # A year attribute holding a person name scores lower authority.
+        graph = build_graph([
+            ("s1", "E", "release_year", "2010"),
+            ("s2", "E", "release_year", "Michael Mann"),
+        ])
+        group = match_homologous(graph).groups[0]
+        scorer = NodeScorer(graph, SimulatedLLM(seed=0), HistoryStore())
+        year = member_with_value(group, "2010")
+        person = member_with_value(group, "Michael Mann")
+        assert scorer.auth_llm(year, group) > scorer.auth_llm(person, group)
+
+    def test_assessment_properties(self, conflicted):
+        _, group, scorer = conflicted
+        assessment = scorer.assess(group.members[0], group)
+        assert assessment.value == group.members[0].obj
+        assert assessment.source_id == group.members[0].source_id()

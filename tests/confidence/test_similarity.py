@@ -1,0 +1,114 @@
+"""Tests for mutual-information-entropy similarity (Eqs. 4–6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.confidence import (
+    entropy,
+    mutual_information,
+    similarity,
+    value_distribution,
+)
+
+
+class TestValueDistribution:
+    def test_single_value(self):
+        dist = value_distribution(["2010"])
+        assert dist == {"2010": 1.0}
+
+    def test_multi_token_value(self):
+        dist = value_distribution(["christopher nolan"])
+        assert dist == {"christopher": 0.5, "nolan": 0.5}
+
+    def test_normalization(self):
+        dist = value_distribution(["a b", "a"])
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["a"] == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert value_distribution([]) == {}
+
+    def test_case_insensitive(self):
+        assert value_distribution(["NOLAN"]) == value_distribution(["nolan"])
+
+
+class TestEntropy:
+    def test_deterministic_distribution(self):
+        assert entropy({"a": 1.0}) == 0.0
+
+    def test_uniform_two(self):
+        assert entropy({"a": 0.5, "b": 0.5}) == pytest.approx(math.log(2))
+
+    def test_empty(self):
+        assert entropy({}) == 0.0
+
+    def test_nonnegative(self):
+        assert entropy({"a": 0.9, "b": 0.1}) >= 0.0
+
+
+class TestMutualInformation:
+    def test_identical_distributions_high(self):
+        dist = {"a": 0.5, "b": 0.5}
+        assert mutual_information(dist, dist) > 0.5
+
+    def test_disjoint_distributions_zero(self):
+        mi = mutual_information({"a": 1.0}, {"b": 1.0})
+        assert mi == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_inputs(self):
+        assert mutual_information({}, {"a": 1.0}) == 0.0
+
+    def test_symmetry(self):
+        d1 = {"a": 0.7, "b": 0.3}
+        d2 = {"a": 0.2, "c": 0.8}
+        assert mutual_information(d1, d2) == pytest.approx(
+            mutual_information(d2, d1)
+        )
+
+    def test_nonnegative(self):
+        d1 = {"a": 0.6, "b": 0.4}
+        d2 = {"b": 0.5, "c": 0.5}
+        assert mutual_information(d1, d2) >= 0.0
+
+
+class TestSimilarity:
+    def test_identical_single_values(self):
+        assert similarity(["2010"], ["2010"]) == 1.0
+
+    def test_different_single_values(self):
+        assert similarity(["2010"], ["2011"]) == 0.0
+
+    def test_identical_multi_token(self):
+        s = similarity(["christopher nolan"], ["christopher nolan"])
+        assert s > 0.8
+
+    def test_partial_token_overlap(self):
+        s = similarity(["christopher nolan"], ["christopher mann"])
+        assert 0.0 < s < 1.0
+
+    def test_bounds(self):
+        cases = [
+            (["a"], ["a"]), (["a"], ["b"]),
+            (["a b c"], ["a b"]), (["x y"], ["y x"]),
+        ]
+        for v1, v2 in cases:
+            assert 0.0 <= similarity(v1, v2) <= 1.0
+
+    def test_symmetry(self):
+        assert similarity(["a b"], ["b c"]) == pytest.approx(
+            similarity(["b c"], ["a b"])
+        )
+
+    def test_token_order_invariant(self):
+        assert similarity(["nolan christopher"], ["christopher nolan"]) > 0.8
+
+    def test_empty_both(self):
+        assert similarity([], []) == 0.0
+
+    def test_comma_variant_similar(self):
+        # The property the MI similarity exists for: surface variants of
+        # the same value score high without exact matching.
+        assert similarity(["Nolan, Christopher"], ["Christopher Nolan"]) > 0.8

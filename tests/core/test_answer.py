@@ -1,0 +1,35 @@
+"""Tests for answer containers."""
+
+from __future__ import annotations
+
+from repro.core import RankedValue, RetrievalResult
+
+
+class TestRetrievalResult:
+    def result(self) -> RetrievalResult:
+        r = RetrievalResult(query="q")
+        r.answers = [
+            RankedValue("2010", 0.9, ("s1", "s2")),
+            RankedValue("2011", 0.4, ("s3",)),
+        ]
+        return r
+
+    def test_answer_set_normalized(self):
+        assert self.result().answer_set() == {"2010", "2011"}
+
+    def test_answer_set_top_k(self):
+        assert self.result().answer_set(top_k=1) == {"2010"}
+
+    def test_top(self):
+        assert self.result().top().value == "2010"
+
+    def test_top_empty(self):
+        assert RetrievalResult(query="q").top() is None
+
+    def test_answer_set_empty(self):
+        assert RetrievalResult(query="q").answer_set() == set()
+
+    def test_normalization_dedupes_case_variants(self):
+        r = RetrievalResult(query="q")
+        r.answers = [RankedValue("Drama", 0.9), RankedValue("drama", 0.5)]
+        assert r.answer_set() == {"drama"}

@@ -1,0 +1,76 @@
+"""Tests for logic-form generation (MKLGP line 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import generate_logic_form
+
+
+class TestStructuredParsing:
+    def test_what_is_pattern(self):
+        lf = generate_logic_form("What is the release year of Inception?")
+        assert lf.is_structured
+        assert lf.entity == "Inception"
+        assert lf.attribute == "release_year"
+
+    def test_entity_with_leading_article_preserved(self):
+        lf = generate_logic_form("What is the author of The Silent Horizon?")
+        assert lf.entity == "The Silent Horizon"
+
+    def test_pipe_form(self):
+        lf = generate_logic_form("CA981 | status")
+        assert lf.is_structured
+        assert lf.key() == ("CA981", "status")
+
+    def test_who_directed(self):
+        lf = generate_logic_form("Who directed Inception?")
+        assert lf.key() == ("Inception", "directed_by")
+
+    def test_who_wrote(self):
+        lf = generate_logic_form("Who wrote A Crimson Archive?")
+        assert lf.key() == ("A Crimson Archive", "author")
+
+    def test_when_did_depart(self):
+        lf = generate_logic_form("When did CA981 depart?")
+        assert lf.key() == ("CA981", "actual_departure")
+
+    def test_where_born(self):
+        lf = generate_logic_form("Where was Ada Abara born?")
+        assert lf.key() == ("Ada Abara", "born_in")
+
+    def test_case_insensitive(self):
+        lf = generate_logic_form("WHAT IS THE GENRE OF Heat?")
+        assert lf.is_structured
+        assert lf.attribute == "genre"
+
+    def test_alias_mapping(self):
+        lf = generate_logic_form("What is the director of Heat?")
+        assert lf.attribute == "directed_by"
+
+    def test_multiword_attribute(self):
+        lf = generate_logic_form("What is the publication year of A Book?")
+        assert lf.attribute == "publication_year"
+
+
+class TestOpenIntent:
+    def test_freeform_is_open(self):
+        lf = generate_logic_form("tell me everything about flight delays")
+        assert lf.intent == "open"
+        assert not lf.is_structured
+
+    def test_key_raises_for_open(self):
+        lf = generate_logic_form("random question")
+        with pytest.raises(ValueError):
+            lf.key()
+
+    def test_empty_query(self):
+        assert generate_logic_form("").intent == "open"
+
+    def test_malformed_pipe(self):
+        assert generate_logic_form("a | b | c").intent == "open"
+        assert generate_logic_form("| attribute").intent == "open"
+
+    def test_raw_preserved(self):
+        q = "Who directed Inception?"
+        assert generate_logic_form(q).raw == q

@@ -1,0 +1,102 @@
+"""Tests for the multi-hop question planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import plan_question
+
+
+class TestChainPlanning:
+    def test_simple_one_hop(self):
+        plan = plan_question("Who directed The Silent Horizon?")
+        assert plan.qtype == "chain"
+        assert plan.hops == (("The Silent Horizon", "directed_by"),)
+
+    def test_bridge_two_hops(self):
+        plan = plan_question(
+            "Who is the spouse of the director of The Silent Horizon?"
+        )
+        assert plan.hops == (
+            ("The Silent Horizon", "directed_by"), (None, "spouse"),
+        )
+
+    def test_country_of_birth(self):
+        plan = plan_question("In which country was Ada Abara born?")
+        assert plan.hops == (
+            ("Ada Abara", "born_in"), (None, "located_in"),
+        )
+
+    def test_compositional_three_hops(self):
+        plan = plan_question(
+            "In which country was the director of The Silent Horizon born?"
+        )
+        assert plan.hops == (
+            ("The Silent Horizon", "directed_by"),
+            (None, "born_in"),
+            (None, "located_in"),
+        )
+
+    def test_org_of_spouse(self):
+        plan = plan_question(
+            "Which organization does the spouse of Ada Abara work for?"
+        )
+        assert plan.hops == (("Ada Abara", "spouse"), (None, "works_for"))
+
+    def test_deep_nesting(self):
+        plan = plan_question(
+            "Who is the spouse of the author of A Crimson Archive?"
+        )
+        assert plan.hops == (
+            ("A Crimson Archive", "author"), (None, "spouse"),
+        )
+
+    def test_capital(self):
+        plan = plan_question("What is the capital of France?")
+        assert plan.hops == (("France", "capital"),)
+
+    def test_whitespace_normalized(self):
+        plan = plan_question("  Who   directed   Heat ?  ")
+        assert plan.qtype == "chain"
+
+
+class TestComparison:
+    def test_same_city(self):
+        plan = plan_question("Were Ada Abara and Bob Brown born in the same city?")
+        assert plan.qtype == "comparison"
+        assert plan.hops == (("Ada Abara", "born_in"),)
+        assert plan.hops_b == (("Bob Brown", "born_in"),)
+        assert plan.comparator == "equal"
+
+
+class TestUnplanned:
+    @pytest.mark.parametrize("question", [
+        "Tell me everything about flights",
+        "Who is the nemesis of the director of X?",  # unknown noun
+        "",
+    ])
+    def test_unplannable(self, question):
+        plan = plan_question(question)
+        assert plan.qtype == "unplanned"
+        assert not plan.is_planned
+
+
+class TestAgainstGeneratedQuestions:
+    def test_plans_match_generator_decompositions(self):
+        from repro.datasets import make_hotpotqa_like
+
+        corpus = make_hotpotqa_like(n_queries=40, seed=0)
+        planned = 0
+        for query in corpus.queries:
+            plan = plan_question(query.text)
+            if not plan.is_planned:
+                continue
+            planned += 1
+            if query.qtype == "comparison":
+                assert plan.qtype == "comparison"
+                assert plan.hops == query.hops
+                assert plan.hops_b == query.hops_b
+            else:
+                assert plan.hops == query.hops, query.text
+        # Every generated template must be plannable.
+        assert planned == len(corpus.queries)

@@ -1,0 +1,95 @@
+"""Tests for the multi-hop QA corpus generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_2wiki_like, make_hotpotqa_like
+
+
+@pytest.fixture(scope="module")
+def hotpot():
+    return make_hotpotqa_like(n_queries=30, seed=0)
+
+
+@pytest.fixture(scope="module")
+def wiki2():
+    return make_2wiki_like(n_queries=30, seed=1)
+
+
+class TestCorpus:
+    def test_five_sources(self, hotpot):
+        assert [s.source_id for s in hotpot.sources] == [
+            "wiki-a", "wiki-b", "wiki-c", "wiki-d", "wiki-e"
+        ]
+        assert all(s.fmt == "text" for s in hotpot.sources)
+
+    def test_pages_are_dicts(self, hotpot):
+        for source in hotpot.sources:
+            assert isinstance(source.payload, dict)
+            assert source.payload
+
+    def test_noisy_source_contradicts(self, hotpot):
+        # wiki-c injects wrong facts: at least one page must differ from
+        # the fact table.
+        differences = 0
+        wiki_c = next(s for s in hotpot.sources if s.source_id == "wiki-c")
+        for entity, page in wiki_c.payload.items():
+            for (subj, attr), values in hotpot.facts.items():
+                if subj == entity:
+                    for value in values:
+                        if value not in page:
+                            differences += 1
+        assert differences > 0
+
+    def test_comma_style_source(self, hotpot):
+        wiki_b = next(s for s in hotpot.sources if s.source_id == "wiki-b")
+        assert any("," in page for page in wiki_b.payload.values())
+
+
+class TestQuestions:
+    def test_question_counts(self, hotpot, wiki2):
+        assert len(hotpot.queries) == 30
+        assert len(wiki2.queries) == 30
+
+    def test_hotpot_mixture(self, hotpot):
+        qtypes = {q.qtype for q in hotpot.queries}
+        assert "bridge" in qtypes
+
+    def test_2wiki_has_compositional(self, wiki2):
+        assert any(q.qtype == "compositional" for q in wiki2.queries)
+
+    def test_hops_resolve_to_answers(self, hotpot):
+        for q in hotpot.queries:
+            if q.qtype == "comparison":
+                continue
+            frontier = None
+            for entity, attribute in q.hops:
+                subject = entity if entity is not None else frontier
+                values = hotpot.fact(subject, attribute)
+                assert values, f"broken hop in {q.qid}"
+                frontier = sorted(values)[0]
+            # Final frontier's hop values must equal the gold answers.
+            subject = q.hops[-1][0] if q.hops[-1][0] is not None else None
+            assert q.answers
+
+    def test_comparison_answers_yes_no(self, hotpot, wiki2):
+        for ds in (hotpot, wiki2):
+            for q in ds.queries:
+                if q.qtype == "comparison":
+                    assert q.answers <= {"yes", "no"}
+                    assert q.hops_b
+
+    def test_gold_entities_nonempty(self, hotpot):
+        for q in hotpot.queries:
+            assert q.gold_entities
+
+    def test_deterministic(self):
+        a = make_hotpotqa_like(n_queries=10, seed=4)
+        b = make_hotpotqa_like(n_queries=10, seed=4)
+        assert [q.text for q in a.queries] == [q.text for q in b.queries]
+
+    def test_fact_helper(self, hotpot):
+        (entity, attribute), values = next(iter(hotpot.facts.items()))
+        assert hotpot.fact(entity, attribute) == values
+        assert hotpot.fact("missing", "attr") == set()

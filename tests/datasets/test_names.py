@@ -1,0 +1,69 @@
+"""Tests for the name pools feeding the generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import names
+
+
+class TestPools:
+    def test_city_country_aligned(self):
+        assert len(names.CITY_COUNTRY) == len(names.CITIES)
+        assert names.CITY_COUNTRY["Beijing"] == "China"
+
+    def test_person_names_distinct(self):
+        people = names.person_names(random.Random(0), 200)
+        assert len(people) == len(set(people)) == 200
+        assert all(" " in p for p in people)
+
+    def test_person_names_deterministic(self):
+        a = names.person_names(random.Random(5), 30)
+        b = names.person_names(random.Random(5), 30)
+        assert a == b
+
+    def test_work_titles_distinct_and_prefixed(self):
+        titles = names.work_titles(random.Random(0), 150, prefix="The")
+        assert len(set(titles)) == 150
+        assert all(t.startswith("The ") for t in titles)
+
+    def test_work_titles_overflow_pool(self):
+        # More titles than adj × noun combinations forces suffixing.
+        titles = names.work_titles(random.Random(0), 450)
+        assert len(set(titles)) == 450
+
+    def test_flight_codes_shape(self):
+        codes = names.flight_codes(random.Random(0), 50)
+        assert len(set(codes)) == 50
+        assert all(code[:2].isalpha() and code[2:].isdigit() for code in codes)
+
+    def test_stock_symbols_shape(self):
+        symbols = names.stock_symbols(random.Random(0), 80)
+        assert len(set(symbols)) == 80
+        assert all(s.isalpha() and s.isupper() and 3 <= len(s) <= 4
+                   for s in symbols)
+
+    def test_times_of_day(self):
+        times = names.times_of_day(step_minutes=30)
+        assert len(times) == 48
+        assert times[0] == "00:00"
+        assert "23:30" in times
+
+    def test_price_pool_distinct_two_decimals(self):
+        prices = names.price_pool(random.Random(0), 100)
+        assert len(set(prices)) == 100
+        for price in prices:
+            whole, frac = price.split(".")
+            assert len(frac) == 2
+            assert whole.isdigit()
+
+    @pytest.mark.parametrize("pool", [
+        names.GENRES, names.PUBLISHERS, names.AIRLINES, names.CITIES,
+        names.COUNTRIES, names.EXCHANGES, names.FLIGHT_STATUSES,
+        names.DELAY_REASONS, names.ORGS, names.AWARDS, names.INSTRUMENTS,
+    ])
+    def test_static_pools_nonempty_and_distinct(self, pool):
+        assert pool
+        assert len(pool) == len(set(pool))

@@ -1,0 +1,109 @@
+"""Tests for the perturbation machinery (Fig. 5–6 experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    corrupt_consistency,
+    corrupt_sources,
+    make_books,
+    mask_relations,
+)
+from repro.errors import DatasetError
+from repro.util import canonical_value
+
+
+@pytest.fixture(scope="module")
+def base():
+    return make_books(seed=0)
+
+
+class TestMaskRelations:
+    def test_removes_requested_fraction(self, base):
+        masked = mask_relations(base, 0.5, seed=1)
+        assert len(masked.claims) == pytest.approx(len(base.claims) * 0.5, rel=0.1)
+
+    def test_zero_fraction_identity(self, base):
+        assert mask_relations(base, 0.0) is base
+
+    def test_queries_keep_at_least_one_claim(self, base):
+        masked = mask_relations(base, 0.7, seed=1)
+        claimed = {(canonical_value(c.entity), c.attribute) for c in masked.claims}
+        for q in masked.queries:
+            assert (canonical_value(q.entity), q.attribute) in claimed
+
+    def test_no_new_claims(self, base):
+        masked = mask_relations(base, 0.3, seed=1)
+        assert set(masked.claims) <= set(base.claims)
+
+    def test_deterministic(self, base):
+        a = mask_relations(base, 0.3, seed=9)
+        b = mask_relations(base, 0.3, seed=9)
+        assert a.claims == b.claims
+
+    def test_invalid_fraction(self, base):
+        with pytest.raises(DatasetError):
+            mask_relations(base, 1.5)
+
+    def test_name_encodes_level(self, base):
+        assert mask_relations(base, 0.3, seed=1).name.endswith("mask30")
+
+
+class TestCorruptConsistency:
+    def test_adds_requested_increment(self, base):
+        corrupted = corrupt_consistency(base, 0.5, seed=1)
+        added = len(corrupted.claims) - len(base.claims)
+        assert added == pytest.approx(len(base.claims) * 0.5, rel=0.15)
+
+    def test_original_claims_preserved(self, base):
+        corrupted = corrupt_consistency(base, 0.3, seed=1)
+        assert set(base.claims) <= set(corrupted.claims)
+
+    def test_increments_use_same_attribute_values(self, base):
+        corrupted = corrupt_consistency(base, 0.3, seed=1)
+        values_by_attr: dict = {}
+        for c in base.claims:
+            values_by_attr.setdefault(c.attribute, set()).add(c.value)
+        new = [c for c in corrupted.claims if c not in set(base.claims)]
+        assert new
+        for c in new:
+            assert c.value in values_by_attr[c.attribute]
+
+    def test_zero_identity(self, base):
+        assert corrupt_consistency(base, 0.0) is base
+
+    def test_invalid_fraction(self, base):
+        with pytest.raises(DatasetError):
+            corrupt_consistency(base, -0.1)
+
+
+class TestCorruptSources:
+    def test_only_selected_sources_changed(self, base):
+        target = {base.source_specs[0].source_id}
+        corrupted = corrupt_sources(base, 0.9, source_ids=target, seed=1)
+        for before, after in zip(base.claims, corrupted.claims):
+            if before.source_id not in target:
+                assert before == after
+
+    def test_claim_count_unchanged(self, base):
+        corrupted = corrupt_sources(base, 0.5, seed=1)
+        assert len(corrupted.claims) == len(base.claims)
+
+    def test_higher_level_more_changes(self, base):
+        def n_changed(level):
+            corrupted = corrupt_sources(base, level, seed=1)
+            return sum(1 for a, b in zip(base.claims, corrupted.claims) if a != b)
+
+        assert n_changed(0.8) > n_changed(0.2) > 0
+
+    def test_zero_identity(self, base):
+        assert corrupt_sources(base, 0.0) is base
+
+    def test_default_targets_half_the_sources(self, base):
+        corrupted = corrupt_sources(base, 1.0, seed=1)
+        changed_sources = {
+            a.source_id
+            for a, b in zip(base.claims, corrupted.claims) if a != b
+        }
+        assert len(changed_sources) <= len(base.source_specs) // 2

@@ -1,0 +1,109 @@
+"""Tests for dataset schema: claims, materialization, restriction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import get_adapter
+from repro.datasets import Claim, MultiSourceDataset, QuerySpec, SourceSpec
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def dataset() -> MultiSourceDataset:
+    specs = [
+        SourceSpec("s-csv", "csv", 0.8, 0.9),
+        SourceSpec("s-json", "json", 0.6, 0.9),
+        SourceSpec("s-xml", "xml", 0.7, 0.9),
+        SourceSpec("s-kg", "kg", 0.9, 0.9),
+        SourceSpec("s-text", "text", 0.5, 0.9),
+    ]
+    claims = [
+        Claim("s-csv", "Inception", "release_year", "2010"),
+        Claim("s-csv", "Inception", "directed_by", "Christopher Nolan"),
+        Claim("s-json", "Inception", "release_year", "2011"),
+        Claim("s-xml", "Inception", "release_year", "2010"),
+        Claim("s-kg", "Heat", "directed_by", "Michael Mann"),
+        Claim("s-text", "Heat", "release_year", "1995"),
+    ]
+    truth = {
+        "Inception": {"release_year": {"2010"}, "directed_by": {"Christopher Nolan"}},
+        "Heat": {"directed_by": {"Michael Mann"}, "release_year": {"1995"}},
+    }
+    queries = [
+        QuerySpec("q0", "Inception", "release_year",
+                  "What is the release year of Inception?", frozenset({"2010"})),
+        QuerySpec("q1", "Heat", "directed_by",
+                  "Who directed Heat?", frozenset({"Michael Mann"})),
+    ]
+    return MultiSourceDataset(
+        name="mini", domain="movies", source_specs=specs,
+        claims=claims, truth=truth, queries=queries,
+    )
+
+
+class TestViews:
+    def test_claims_by_source(self, dataset):
+        grouped = dataset.claims_by_source()
+        assert len(grouped["s-csv"]) == 2
+
+    def test_formats(self, dataset):
+        assert dataset.formats() == ["csv", "json", "kg", "text", "xml"]
+
+    def test_spec_lookup(self, dataset):
+        assert dataset.spec("s-kg").reliability == 0.9
+        with pytest.raises(DatasetError):
+            dataset.spec("nope")
+
+    def test_config_name(self, dataset):
+        assert dataset.config_name() == "C/J/K/T/X"
+
+
+class TestRestrictFormats:
+    def test_restrict_keeps_matching_sources(self, dataset):
+        sub = dataset.restrict_formats({"csv", "json"})
+        assert {s.fmt for s in sub.source_specs} == {"csv", "json"}
+        assert all(c.source_id in {"s-csv", "s-json"} for c in sub.claims)
+
+    def test_restrict_filters_unanswerable_queries(self, dataset):
+        sub = dataset.restrict_formats({"kg"})
+        assert [q.qid for q in sub.queries] == ["q1"]
+
+    def test_restrict_unknown_format(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.restrict_formats({"parquet"})
+
+    def test_restrict_name_encodes_letters(self, dataset):
+        assert dataset.restrict_formats({"csv", "json"}).name.endswith("C/J")
+
+
+class TestMaterialization:
+    def test_every_format_produces_parseable_source(self, dataset):
+        for raw in dataset.raw_sources():
+            output = get_adapter(raw.fmt).parse(raw)
+            assert output.record.domain == "movies"
+
+    def test_round_trip_claims_through_adapters(self, dataset):
+        recovered = set()
+        for raw in dataset.raw_sources():
+            if raw.fmt == "text":
+                continue  # text needs LLM extraction
+            for t in get_adapter(raw.fmt).parse(raw).triples:
+                recovered.add((t.source_id(), t.subject, t.predicate, t.obj))
+        expected = {
+            (c.source_id, c.entity, c.attribute, c.value)
+            for c in dataset.claims if c.source_id != "s-text"
+        }
+        assert recovered == expected
+
+    def test_stats_by_format(self, dataset):
+        stats = dataset.stats_by_format()
+        assert stats["csv"]["sources"] == 1
+        assert stats["csv"]["relations"] == 2
+        assert stats["kg"]["relations"] == 1
+
+
+class TestQuerySpec:
+    def test_normalized_answers(self, dataset):
+        q = dataset.queries[0]
+        assert q.normalized_answers() == {"2010"}

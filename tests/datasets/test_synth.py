@@ -1,0 +1,121 @@
+"""Tests for the synthetic dataset machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import AttributeSpec, DomainSpec, SourceProfile, generate_dataset
+from repro.errors import DatasetError
+from repro.util import canonical_value
+
+
+def small_spec(**overrides) -> DomainSpec:
+    defaults = dict(
+        domain="toy",
+        entity_pool=[f"Entity{i}" for i in range(30)],
+        attributes=[
+            AttributeSpec("color", ("red", "green", "blue"), report_prob=0.9),
+            AttributeSpec("tags", ("x", "y", "z", "w"), multi=True,
+                          max_values=2, report_prob=0.9),
+        ],
+    )
+    defaults.update(overrides)
+    return DomainSpec(**defaults)
+
+
+PROFILES = [SourceProfile("csv", 3, 0.5, 0.9, coverage=0.8),
+            SourceProfile("json", 3, 0.5, 0.9, coverage=0.8)]
+
+
+class TestGeneration:
+    def test_basic_shape(self):
+        ds = generate_dataset("toy", small_spec(), PROFILES,
+                              n_entities=20, n_queries=15, seed=1)
+        assert len(ds.source_specs) == 6
+        assert len(ds.queries) == 15
+        assert ds.claims
+
+    def test_deterministic(self):
+        a = generate_dataset("toy", small_spec(), PROFILES, 20, 10, seed=5)
+        b = generate_dataset("toy", small_spec(), PROFILES, 20, 10, seed=5)
+        assert a.claims == b.claims
+        assert a.queries == b.queries
+
+    def test_seed_changes_data(self):
+        a = generate_dataset("toy", small_spec(), PROFILES, 20, 10, seed=1)
+        b = generate_dataset("toy", small_spec(), PROFILES, 20, 10, seed=2)
+        assert a.claims != b.claims
+
+    def test_truth_within_pools(self):
+        ds = generate_dataset("toy", small_spec(), PROFILES, 20, 10, seed=1)
+        for record in ds.truth.values():
+            assert record["color"] <= {"red", "green", "blue"}
+            assert 1 <= len(record["tags"]) <= 2
+
+    def test_queries_answerable(self):
+        ds = generate_dataset("toy", small_spec(), PROFILES, 20, 10, seed=1)
+        claimed = {(canonical_value(c.entity), c.attribute) for c in ds.claims}
+        for q in ds.queries:
+            assert (canonical_value(q.entity), q.attribute) in claimed
+            assert q.answers
+
+    def test_queries_prefer_multi_source_keys(self):
+        ds = generate_dataset("toy", small_spec(), PROFILES, 20, 10, seed=1)
+        sources_by_key: dict = {}
+        for c in ds.claims:
+            key = (canonical_value(c.entity), c.attribute)
+            sources_by_key.setdefault(key, set()).add(c.source_id)
+        multi = sum(
+            1 for q in ds.queries
+            if len(sources_by_key[(canonical_value(q.entity), q.attribute)]) >= 2
+        )
+        assert multi == len(ds.queries)
+
+    def test_reliability_controls_error_rate(self):
+        reliable = [SourceProfile("csv", 4, 0.95, 1.0, coverage=0.9)]
+        unreliable = [SourceProfile("csv", 4, 0.05, 0.15, coverage=0.9)]
+
+        def error_rate(profiles):
+            ds = generate_dataset("toy", small_spec(), profiles, 25, 10, seed=3)
+            wrong = sum(
+                1 for c in ds.claims
+                if canonical_value(c.value)
+                not in {canonical_value(v)
+                        for v in ds.truth[_truth_entity(ds, c)][c.attribute]}
+            )
+            return wrong / len(ds.claims)
+
+        def _truth_entity(ds, claim):
+            target = canonical_value(claim.entity)
+            return next(e for e in ds.truth if canonical_value(e) == target)
+
+        assert error_rate(reliable) < 0.15 < error_rate(unreliable)
+
+    def test_errors_on_bad_inputs(self):
+        with pytest.raises(DatasetError):
+            generate_dataset("toy", small_spec(attributes=[]), PROFILES, 10, 5)
+        with pytest.raises(DatasetError):
+            generate_dataset("toy", small_spec(), PROFILES, 1000, 5)
+
+
+class TestVariants:
+    def test_variant_rate_produces_styled_values(self):
+        spec = small_spec(
+            attributes=[AttributeSpec(
+                "owner", ("Alice Adams", "Bob Brown", "Cara Cole"),
+                report_prob=1.0, value_kind="person",
+            )],
+            variant_rate=1.0,
+        )
+        ds = generate_dataset("toy", spec, PROFILES, 20, 5, seed=2)
+        assert any("," in c.value for c in ds.claims)
+
+    def test_zero_variant_rate_is_clean(self):
+        spec = small_spec(
+            attributes=[AttributeSpec(
+                "owner", ("Alice Adams", "Bob Brown"), value_kind="person",
+            )],
+            variant_rate=0.0,
+        )
+        ds = generate_dataset("toy", spec, PROFILES, 20, 5, seed=2)
+        assert not any("," in c.value for c in ds.claims)

@@ -1,0 +1,84 @@
+"""Tests for surface-form variant rendering."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.variants import (
+    SourceStyle,
+    assign_style,
+    group_thousands,
+    invert_name,
+    invert_title,
+    render_variant,
+)
+
+
+class TestInvertName:
+    def test_two_part_name(self):
+        assert invert_name("Christopher Nolan") == "Nolan, Christopher"
+
+    def test_three_part_name(self):
+        assert invert_name("Mary Jane Watson") == "Watson, Mary Jane"
+
+    def test_single_token_unchanged(self):
+        assert invert_name("Cher") == "Cher"
+
+    def test_already_inverted_unchanged(self):
+        assert invert_name("Nolan, Christopher") == "Nolan, Christopher"
+
+
+class TestInvertTitle:
+    def test_the_prefix(self):
+        assert invert_title("The Silent Horizon") == "Silent Horizon, The"
+
+    def test_a_prefix(self):
+        assert invert_title("A Crimson Archive") == "Crimson Archive, A"
+
+    def test_no_article_unchanged(self):
+        assert invert_title("Silent Horizon") == "Silent Horizon"
+
+
+class TestGroupThousands:
+    def test_grouping(self):
+        assert group_thousands("715000") == "715,000"
+
+    def test_small_number(self):
+        assert group_thousands("42") == "42"
+
+    def test_non_numeric_unchanged(self):
+        assert group_thousands("249.74") == "249.74"
+
+
+class TestRenderVariant:
+    def test_styles_apply_by_kind(self):
+        style = SourceStyle(comma_names=True, dollar_prices=True,
+                            grouped_counts=True, comma_titles=True)
+        assert render_variant("Alice Adams", "person", style) == "Adams, Alice"
+        assert render_variant("The Book", "title", style) == "Book, The"
+        assert render_variant("249.74", "price", style) == "$249.74"
+        assert render_variant("715000", "count", style) == "715,000"
+
+    def test_plain_kind_never_varies(self):
+        style = SourceStyle(True, True, True, True)
+        assert render_variant("NYSE", "plain", style) == "NYSE"
+
+    def test_disabled_style_passthrough(self):
+        style = SourceStyle()
+        assert render_variant("Alice Adams", "person", style) == "Alice Adams"
+
+
+class TestAssignStyle:
+    def test_rate_one_enables_all(self):
+        style = assign_style(random.Random(0), 1.0)
+        assert style.comma_names and style.dollar_prices
+        assert style.grouped_counts and style.comma_titles
+
+    def test_rate_zero_disables_all(self):
+        style = assign_style(random.Random(0), 0.0)
+        assert style == SourceStyle()
+
+    def test_deterministic(self):
+        assert assign_style(random.Random(5), 0.5) == assign_style(
+            random.Random(5), 0.5
+        )

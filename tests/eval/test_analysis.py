@@ -1,0 +1,74 @@
+"""Tests for hallucination error analysis."""
+
+from __future__ import annotations
+
+from repro.datasets import Claim, MultiSourceDataset, QuerySpec, SourceSpec
+from repro.eval import classify_errors
+
+
+def make_dataset() -> MultiSourceDataset:
+    claims = [
+        Claim("s1", "E1", "a", "true1"),
+        Claim("s2", "E1", "a", "wrong1"),
+        Claim("s1", "E2", "a", "true2"),
+        Claim("s1", "E3", "a", "true3a"),
+        Claim("s2", "E3", "a", "true3b"),
+    ]
+    truth = {
+        "E1": {"a": {"true1"}},
+        "E2": {"a": {"true2"}},
+        "E3": {"a": {"true3a", "true3b"}},
+    }
+    queries = [
+        QuerySpec("q1", "E1", "a", "?", frozenset({"true1"})),
+        QuerySpec("q2", "E2", "a", "?", frozenset({"true2"})),
+        QuerySpec("q3", "E3", "a", "?", frozenset({"true3a", "true3b"})),
+    ]
+    return MultiSourceDataset(
+        name="t", domain="d",
+        source_specs=[SourceSpec("s1", "csv", 0.9, 1.0),
+                      SourceSpec("s2", "csv", 0.5, 1.0)],
+        claims=claims, truth=truth, queries=queries,
+    )
+
+
+class TestClassifyErrors:
+    def test_all_correct(self):
+        ds = make_dataset()
+        preds = {"q1": {"true1"}, "q2": {"true2"}, "q3": {"true3a", "true3b"}}
+        breakdown = classify_errors(ds, preds)
+        assert breakdown.correct == 3
+        assert breakdown.hallucination_rate() == 0.0
+
+    def test_inconsistency_error(self):
+        ds = make_dataset()
+        preds = {"q1": {"wrong1"}, "q2": {"true2"}, "q3": {"true3a", "true3b"}}
+        breakdown = classify_errors(ds, preds)
+        assert breakdown.counts["inconsistency"] == 1
+        assert breakdown.rate("inconsistency") == 1.0
+
+    def test_fabrication_error(self):
+        ds = make_dataset()
+        preds = {"q1": {"never-claimed"}, "q2": {"true2"},
+                 "q3": {"true3a", "true3b"}}
+        breakdown = classify_errors(ds, preds)
+        assert breakdown.counts["fabrication"] == 1
+
+    def test_incomplete_error(self):
+        ds = make_dataset()
+        preds = {"q1": {"true1"}, "q2": {"true2"}, "q3": {"true3a"}}
+        breakdown = classify_errors(ds, preds)
+        assert breakdown.counts["incomplete"] == 1
+        # Missing values are not hallucinations.
+        assert breakdown.hallucination_rate() == 0.0
+
+    def test_missing_prediction_counts_as_incomplete(self):
+        ds = make_dataset()
+        preds = {"q2": {"true2"}, "q3": {"true3a", "true3b"}}
+        breakdown = classify_errors(ds, preds)
+        assert breakdown.counts["incomplete"] == 1
+
+    def test_rates_empty_when_perfect(self):
+        ds = make_dataset()
+        preds = {"q1": {"true1"}, "q2": {"true2"}, "q3": {"true3a", "true3b"}}
+        assert classify_errors(ds, preds).rate("fabrication") == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness on a miniature dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FUSION_METHODS, QA_METHODS
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.datasets import make_books, make_hotpotqa_like
+from repro.eval import (
+    build_substrate,
+    measure_stage_recall,
+    run_fusion_method,
+    run_qa_method,
+)
+
+
+@pytest.fixture(scope="module")
+def books():
+    return make_books(seed=0, scale=0.4, n_queries=20)
+
+
+@pytest.fixture(scope="module")
+def substrate(books):
+    return build_substrate(books)
+
+
+class TestBuildSubstrate:
+    def test_contents(self, substrate, books):
+        assert len(substrate.graph) > 0
+        assert substrate.chunks
+        assert substrate.retriever.sources()
+        assert substrate.dataset is books
+
+    def test_truth_oracle(self, substrate, books):
+        oracle = substrate.truth_oracle()
+        q = books.queries[0]
+        assert oracle[f"{q.entity}|{q.attribute}"] == set(q.answers)
+
+    def test_fresh_llm_isolated_meters(self, substrate):
+        a = substrate.fresh_llm()
+        b = substrate.fresh_llm()
+        a.relevance("x", "y")
+        assert b.meter.calls == 0
+
+
+class TestRunFusionMethod:
+    def test_row_fields(self, substrate, books):
+        row = run_fusion_method(FUSION_METHODS["MV"](), substrate, books)
+        assert row.method == "MV"
+        assert row.dataset == "books"
+        assert 0.0 <= row.f1 <= 100.0
+        assert row.queries == 20
+        assert row.total_time_s >= row.setup_time_s
+
+    def test_llm_methods_report_prompt_time(self, substrate, books):
+        row = run_fusion_method(FUSION_METHODS["CoT"](), substrate, books)
+        assert row.prompt_time_s > 0.0
+
+    def test_statistical_methods_no_prompt_time(self, substrate, books):
+        row = run_fusion_method(FUSION_METHODS["LTM"](), substrate, books)
+        assert row.prompt_time_s == 0.0
+
+
+class TestRunQAMethod:
+    def test_row_fields(self):
+        ds = make_hotpotqa_like(n_queries=10, seed=0)
+        substrate = build_substrate(ds)
+        row = run_qa_method(QA_METHODS["StandardRAG"](), substrate, ds)
+        assert 0.0 <= row.precision <= 100.0
+        assert 0.0 <= row.recall_at_5 <= 100.0
+        assert row.queries == 10
+
+
+class TestStageRecall:
+    def test_stage_recalls_ordered(self, books):
+        rag = MultiRAG(MultiRAGConfig())
+        rag.ingest(books.raw_sources())
+        report = measure_stage_recall(rag, books)
+        averaged = report.averaged()
+        # Filtering can only lose candidate answers, never add them.
+        assert averaged.before_subgraph >= averaged.after_node - 1e-9
+        assert 0.0 <= averaged.after_node <= 100.0
+        assert len(report.rows) == len(books.queries)

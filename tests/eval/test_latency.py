@@ -1,0 +1,66 @@
+"""Tests for the latency percentile tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.latency import LatencyTracker
+
+
+class TestLatencyTracker:
+    def test_percentiles_of_known_sequence(self):
+        tracker = LatencyTracker()
+        for value in range(1, 101):  # 1..100 ms
+            tracker.observe(value / 1000)
+        assert tracker.p50 == pytest.approx(0.0505, abs=1e-4)
+        assert tracker.p95 == pytest.approx(0.09505, abs=1e-4)
+        assert tracker.p99 > tracker.p95 > tracker.p50
+
+    def test_single_sample(self):
+        tracker = LatencyTracker()
+        tracker.observe(0.25)
+        assert tracker.p50 == tracker.p99 == 0.25
+
+    def test_interpolation(self):
+        tracker = LatencyTracker()
+        tracker.observe(0.0)
+        tracker.observe(1.0)
+        assert tracker.percentile(50.0) == 0.5
+        assert tracker.percentile(25.0) == 0.25
+
+    def test_mean_and_summary(self):
+        tracker = LatencyTracker()
+        for value in (0.1, 0.2, 0.3):
+            tracker.observe(value)
+        summary = tracker.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(0.2)
+        assert summary["max"] == 0.3
+
+    def test_errors(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ValueError):
+            tracker.percentile(50.0)
+        with pytest.raises(ValueError):
+            tracker.mean()
+        with pytest.raises(ValueError):
+            tracker.observe(-0.1)
+        tracker.observe(0.1)
+        with pytest.raises(ValueError):
+            tracker.percentile(101.0)
+
+    def test_len(self):
+        tracker = LatencyTracker()
+        tracker.observe(0.1)
+        tracker.observe(0.1)
+        assert len(tracker) == 2
+
+    def test_order_invariant(self):
+        a = LatencyTracker()
+        b = LatencyTracker()
+        values = [0.5, 0.1, 0.9, 0.3]
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a.p95 == b.p95

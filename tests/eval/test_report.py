@@ -1,0 +1,83 @@
+"""Tests for the Markdown report generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.eval.report import generate_report
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "table2.json").write_text(json.dumps([
+        {"dataset": "books", "config": "C/J", "method": "MV", "f1": 60.0,
+         "setup_time_s": 0, "query_time_s": 0, "prompt_time_s": 0,
+         "queries": 10},
+        {"dataset": "books", "config": "C/J", "method": "MultiRAG",
+         "f1": 70.0, "setup_time_s": 0, "query_time_s": 0,
+         "prompt_time_s": 0, "queries": 10},
+    ]))
+    (tmp_path / "table3.json").write_text(json.dumps({
+        "books|full": {"f1": 70.0, "qt": 0.05, "pt": 20.0},
+        "books|w/o MCC": {"f1": 60.0, "qt": 0.01, "pt": 5.0},
+    }))
+    (tmp_path / "table4.json").write_text(json.dumps({
+        "hotpotqa-like|MultiRAG": {"dataset": "hotpotqa-like",
+                                   "method": "MultiRAG",
+                                   "precision": 80.0, "recall_at_5": 80.0,
+                                   "queries": 60},
+    }))
+    (tmp_path / "fig7.json").write_text(json.dumps({
+        "alphas": [0.0, 0.5, 1.0], "f1": [78.0, 76.8, 75.9],
+        "pt": [21.5, 21.5, 21.5],
+    }))
+    return tmp_path
+
+
+class TestGenerateReport:
+    def test_all_sections_rendered(self, results_dir):
+        report = generate_report(results_dir)
+        assert "## Table II" in report
+        assert "## Table III" in report
+        assert "## Table IV" in report
+        assert "alpha sweep" in report
+
+    def test_table2_cells(self, results_dir):
+        report = generate_report(results_dir)
+        assert "| books | C/J | 60.0 | 70.0 |" in report
+
+    def test_table3_rows(self, results_dir):
+        report = generate_report(results_dir)
+        assert "| books | w/o MCC | 60.0 | 0.010 | 5.0 |" in report
+
+    def test_table4_headers(self, results_dir):
+        report = generate_report(results_dir)
+        assert "hotpotqa P" in report
+
+    def test_partial_artifacts_ok(self, tmp_path):
+        (tmp_path / "fig7.json").write_text(json.dumps({
+            "alphas": [0.5], "f1": [76.8], "pt": [21.5],
+        }))
+        report = generate_report(tmp_path)
+        assert "alpha sweep" in report
+        assert "Table II" not in report
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            generate_report(tmp_path)
+
+    def test_cli_report_command(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "report.md"
+        assert main(["report", str(results_dir), "-o", str(out_path)]) == 0
+        assert "## Table II" in out_path.read_text()
+
+    def test_cli_report_stdout(self, results_dir, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(results_dir)]) == 0
+        assert "Benchmark report" in capsys.readouterr().out

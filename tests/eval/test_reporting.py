@@ -1,0 +1,40 @@
+"""Tests for the table/series renderers."""
+
+from __future__ import annotations
+
+from repro.eval import format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["method", "f1"], [["MultiRAG", 77.9], ["MV", 62.8]])
+        lines = out.splitlines()
+        assert lines[0].startswith("method")
+        assert "MultiRAG" in lines[2]
+        # All rows have identical width.
+        assert len(set(len(line) for line in lines[:1] + lines[2:])) == 1
+
+    def test_title_prefixed(self):
+        out = format_table(["a"], [["x"]], title="Table II")
+        assert out.splitlines()[0] == "Table II"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[77.123456], [0.123456]])
+        assert "77.1" in out
+        assert "0.123" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "-" in out
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        out = format_series("MultiRAG", [0, 30, 50], [66.8, 63.0, 61.5])
+        assert out.startswith("MultiRAG:")
+        assert "0=66.8" in out
+        assert "50=61.5" in out
+
+    def test_unit_suffix(self):
+        out = format_series("QT", ["a"], [1.5], unit="s")
+        assert "a=1.5s" in out

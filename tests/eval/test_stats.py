@@ -1,0 +1,79 @@
+"""Tests for significance statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.stats import (
+    BootstrapCI,
+    bootstrap_ci,
+    paired_permutation_test,
+)
+
+
+class TestBootstrapCI:
+    def test_interval_contains_mean(self):
+        scores = [0.6, 0.8, 0.7, 0.9, 0.5, 0.7, 0.65]
+        ci = bootstrap_ci(scores, seed=1)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.contains(ci.mean)
+
+    def test_constant_scores_degenerate(self):
+        ci = bootstrap_ci([0.5] * 20, seed=1)
+        assert ci.low == ci.high == ci.mean == 0.5
+
+    def test_wider_confidence_wider_interval(self):
+        scores = [i / 10 for i in range(11)]
+        narrow = bootstrap_ci(scores, confidence=0.5, seed=3)
+        wide = bootstrap_ci(scores, confidence=0.99, seed=3)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_deterministic(self):
+        scores = [0.2, 0.4, 0.9]
+        assert bootstrap_ci(scores, seed=7) == bootstrap_ci(scores, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.5], confidence=1.0)
+
+    def test_type(self):
+        assert isinstance(bootstrap_ci([1.0, 0.0], seed=0), BootstrapCI)
+
+
+class TestPairedPermutation:
+    def test_clear_difference_significant(self):
+        a = [0.9] * 30
+        b = [0.1] * 30
+        result = paired_permutation_test(a, b, seed=2)
+        assert result.observed_difference == pytest.approx(0.8)
+        assert result.significant()
+
+    def test_identical_scores_not_significant(self):
+        scores = [0.5, 0.7, 0.2] * 5
+        result = paired_permutation_test(scores, scores, seed=2)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_noise_not_significant(self):
+        import random
+
+        rng = random.Random(0)
+        a = [rng.random() for _ in range(25)]
+        b = [x + rng.uniform(-0.01, 0.01) for x in a]
+        result = paired_permutation_test(a, b, seed=4)
+        assert not result.significant(alpha=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_permutation_test([], [])
+
+    def test_deterministic(self):
+        a = [0.1, 0.9, 0.4, 0.6]
+        b = [0.2, 0.5, 0.4, 0.3]
+        r1 = paired_permutation_test(a, b, seed=9)
+        r2 = paired_permutation_test(a, b, seed=9)
+        assert r1 == r2

@@ -1,0 +1,35 @@
+"""Every example script must run end to end (examples are documentation)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "2010",
+    "flight_status.py": "delayed until after 14:30",
+    "multi_domain_fusion.py": "MultiRAG",
+    "multihop_qa.py": "accuracy",
+    "custom_domain.py": "never reaches the answer",
+    "temporal_tracking.py": "fresh consensus",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs_and_prints_marker(script, capsys, monkeypatch):
+    # Examples import `repro` only; run each as __main__ in-process.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED_MARKERS[script] in out, script
+    assert "Traceback" not in out
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)

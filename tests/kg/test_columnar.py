@@ -1,0 +1,103 @@
+"""Tests for the on-disk DSM columnar store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import RawSource, StructuredAdapter
+from repro.errors import GraphError
+from repro.kg.columnar import ColumnarStore
+from repro.kg.storage import NormalizedRecord
+
+
+def record(record_id: str, cols: dict[str, list[str]] | None) -> NormalizedRecord:
+    return NormalizedRecord(
+        record_id=record_id, domain="movies", name="f.csv",
+        jsonld={}, meta={"origin": "test"}, cols_index=cols,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path) -> ColumnarStore:
+    return ColumnarStore(tmp_path / "dsm")
+
+
+class TestWriteRead:
+    def test_round_trip_column(self, store):
+        store.write_record(record("norm:a", {"year": ["2010", "1995"]}))
+        assert store.read_column("norm:a", "year") == ["2010", "1995"]
+
+    def test_meta_preserved(self, store):
+        store.write_record(record("norm:a", {"year": []}))
+        meta = store.read_meta("norm:a")
+        assert meta["record_id"] == "norm:a"
+        assert meta["meta"] == {"origin": "test"}
+
+    def test_columns_listed(self, store):
+        store.write_record(record("norm:a", {"b_col": ["1"], "a_col": ["2"]}))
+        assert store.columns("norm:a") == ["a_col", "b_col"]
+
+    def test_unstructured_record_rejected(self, store):
+        with pytest.raises(GraphError):
+            store.write_record(record("norm:x", None))
+
+    def test_unknown_record(self, store):
+        with pytest.raises(GraphError):
+            store.read_column("norm:missing", "year")
+
+    def test_unknown_column(self, store):
+        store.write_record(record("norm:a", {"year": ["2010"]}))
+        with pytest.raises(GraphError):
+            store.read_column("norm:a", "nope")
+
+    def test_record_ids_with_odd_characters(self, store):
+        store.write_record(record("norm:src/1:weird name!", {"c": ["v"]}))
+        assert store.read_column("norm:src/1:weird name!", "c") == ["v"]
+
+    def test_colliding_slugs_get_distinct_directories(self, store):
+        store.write_record(record("a/b", {"c": ["1"]}))
+        store.write_record(record("a.b", {"c": ["2"]}))
+        assert store.read_column("a/b", "c") == ["1"]
+        assert store.read_column("a.b", "c") == ["2"]
+
+    def test_persistence_across_instances(self, tmp_path):
+        root = tmp_path / "dsm"
+        ColumnarStore(root).write_record(record("norm:a", {"year": ["2010"]}))
+        reopened = ColumnarStore(root)
+        assert reopened.records() == ["norm:a"]
+        assert reopened.read_column("norm:a", "year") == ["2010"]
+
+
+class TestCrossSourceScans:
+    def fill(self, store):
+        store.write_record(record("src1", {"year": ["2010", "2010"]}))
+        store.write_record(record("src2", {"year": ["2011"], "genre": ["drama"]}))
+        store.write_record(record("src3", {"genre": ["drama", "comedy"]}))
+
+    def test_scan_column(self, store):
+        self.fill(store)
+        scanned = store.scan_column("year")
+        assert set(scanned) == {"src1", "src2"}
+
+    def test_distinct(self, store):
+        self.fill(store)
+        assert store.distinct("year") == {"2010", "2011"}
+        assert store.distinct("missing") == set()
+
+    def test_value_counts(self, store):
+        self.fill(store)
+        counts = store.value_counts("year")
+        assert counts["2010"] == 2
+        assert counts["2011"] == 1
+
+
+class TestAdapterIntegration:
+    def test_structured_adapter_records_are_storable(self, store):
+        output = StructuredAdapter().parse(RawSource(
+            "s1", "movies", "csv", "m.csv",
+            "title,directed_by\nInception,Christopher Nolan\nHeat,Michael Mann\n",
+        ))
+        store.write_record(output.record)
+        assert store.read_column(output.record.record_id, "directed_by") == [
+            "Christopher Nolan", "Michael Mann"
+        ]

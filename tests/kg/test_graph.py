@@ -1,0 +1,160 @@
+"""Tests for the KnowledgeGraph store: indexes, traversal, removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EntityNotFoundError
+from repro.kg import Entity, KnowledgeGraph, Provenance, Triple
+
+
+def prov(source: str) -> Provenance:
+    return Provenance(source_id=source, domain="d", fmt="csv")
+
+
+@pytest.fixture()
+def graph() -> KnowledgeGraph:
+    g = KnowledgeGraph("test")
+    g.add_triple(Triple("a", "knows", "b", prov("s1")))
+    g.add_triple(Triple("a", "knows", "c", prov("s1")))
+    g.add_triple(Triple("b", "knows", "c", prov("s2")))
+    g.add_triple(Triple("c", "works_at", "org", prov("s2")))
+    return g
+
+
+class TestMutation:
+    def test_add_and_len(self, graph):
+        assert len(graph) == 4
+
+    def test_duplicate_same_source_rejected(self, graph):
+        assert not graph.add_triple(Triple("a", "knows", "b", prov("s1")))
+        assert len(graph) == 4
+
+    def test_same_statement_other_source_accepted(self, graph):
+        assert graph.add_triple(Triple("a", "knows", "b", prov("s9")))
+        assert len(graph) == 5
+
+    def test_add_triples_returns_count(self):
+        g = KnowledgeGraph()
+        n = g.add_triples([
+            Triple("a", "p", "b", prov("s")),
+            Triple("a", "p", "b", prov("s")),
+            Triple("a", "p", "c", prov("s")),
+        ])
+        assert n == 2
+
+    def test_remove_triple(self, graph):
+        t = Triple("a", "knows", "b", prov("s1"))
+        assert graph.remove_triple(t)
+        assert len(graph) == 3
+        assert t.spo() not in graph
+
+    def test_remove_missing_returns_false(self, graph):
+        assert not graph.remove_triple(Triple("x", "y", "z", prov("s")))
+
+    def test_removed_then_readd(self, graph):
+        t = Triple("a", "knows", "b", prov("s1"))
+        graph.remove_triple(t)
+        assert graph.add_triple(t)
+        assert ("a", "knows", "b") in graph
+
+
+class TestLookup:
+    def test_by_subject(self, graph):
+        assert {t.obj for t in graph.by_subject("a")} == {"b", "c"}
+
+    def test_by_object(self, graph):
+        assert {t.subject for t in graph.by_object("c")} == {"a", "b"}
+
+    def test_by_predicate(self, graph):
+        assert len(graph.by_predicate("knows")) == 3
+
+    def test_by_key(self, graph):
+        assert [t.obj for t in graph.by_key("c", "works_at")] == ["org"]
+
+    def test_by_source(self, graph):
+        assert len(graph.by_source("s1")) == 2
+
+    def test_keys_reflect_removal(self, graph):
+        graph.remove_triple(Triple("c", "works_at", "org", prov("s2")))
+        assert ("c", "works_at") not in graph.keys()
+
+    def test_sources(self, graph):
+        assert graph.sources() == ["s1", "s2"]
+
+    def test_predicates(self, graph):
+        assert graph.predicates() == ["knows", "works_at"]
+
+    def test_contains(self, graph):
+        assert ("a", "knows", "b") in graph
+        assert ("a", "knows", "zzz") not in graph
+
+
+class TestEntities:
+    def test_add_entity_merges_attributes(self):
+        g = KnowledgeGraph()
+        g.add_entity(Entity(eid="e", name="E", attributes={"k": {"v1"}}))
+        g.add_entity(Entity(eid="e", name="E", attributes={"k": {"v2"}}))
+        assert g.entity("e").get("k") == {"v1", "v2"}
+        assert g.num_entities() == 1
+
+    def test_entity_not_found(self):
+        with pytest.raises(EntityNotFoundError):
+            KnowledgeGraph().entity("missing")
+
+    def test_has_entity(self):
+        g = KnowledgeGraph()
+        g.add_entity(Entity(eid="e", name="E"))
+        assert g.has_entity("e")
+        assert not g.has_entity("f")
+
+
+class TestTraversal:
+    def test_neighbors_bidirectional(self, graph):
+        assert graph.neighbors("c") == {"a", "b", "org"}
+
+    def test_degree(self, graph):
+        assert graph.degree("c") == 3
+        assert graph.degree("org") == 1
+        assert graph.degree("nope") == 0
+
+    def test_bfs_direct_edge(self, graph):
+        paths = graph.bfs_paths("a", "b")
+        assert len(paths) == 1
+        assert len(paths[0]) == 1
+
+    def test_bfs_two_hops(self, graph):
+        paths = graph.bfs_paths("a", "org")
+        assert paths
+        assert len(paths[0]) == 2
+
+    def test_bfs_same_node(self, graph):
+        assert graph.bfs_paths("a", "a") == [[]]
+
+    def test_bfs_unreachable(self, graph):
+        graph.add_triple(Triple("island", "p", "island2", prov("s")))
+        assert graph.bfs_paths("a", "island") == []
+
+    def test_bfs_respects_max_hops(self, graph):
+        assert graph.bfs_paths("a", "org", max_hops=1) == []
+
+    def test_connected_component(self, graph):
+        assert graph.connected_component("a") == {"a", "b", "c", "org"}
+
+    def test_connected_component_max_size(self, graph):
+        component = graph.connected_component("a", max_size=2)
+        assert len(component) >= 2
+
+    def test_subgraph_induced(self, graph):
+        sub = graph.subgraph({"a", "b", "c"})
+        assert len(sub) == 3
+        assert not sub.by_key("c", "works_at")
+
+
+class TestStats:
+    def test_stats_counts(self, graph):
+        stats = graph.stats()
+        assert stats["relations"] == 4
+        assert stats["predicates"] == 2
+        assert stats["sources"] == 2
+        assert stats["entities"] >= 4

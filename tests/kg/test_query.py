@@ -1,0 +1,124 @@
+"""Tests for pattern queries over the knowledge graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.kg import (
+    KnowledgeGraph,
+    PatternQuery,
+    Provenance,
+    Triple,
+    TriplePattern,
+    chain_query,
+    is_variable,
+)
+
+
+@pytest.fixture()
+def graph() -> KnowledgeGraph:
+    g = KnowledgeGraph()
+    prov = Provenance(source_id="s")
+    facts = [
+        ("Inception", "directed_by", "Nolan"),
+        ("Memento", "directed_by", "Nolan"),
+        ("Heat", "directed_by", "Mann"),
+        ("Nolan", "born_in", "London"),
+        ("Mann", "born_in", "Chicago"),
+        ("London", "located_in", "UK"),
+    ]
+    for s, p, o in facts:
+        g.add_triple(Triple(s, p, o, prov))
+    return g
+
+
+class TestIsVariable:
+    def test_variable(self):
+        assert is_variable("?x")
+
+    def test_constant(self):
+        assert not is_variable("Nolan")
+
+
+class TestSinglePattern:
+    def test_object_variable(self, graph):
+        q = PatternQuery([TriplePattern("Inception", "directed_by", "?d")])
+        assert q.values(graph, "?d") == {"Nolan"}
+
+    def test_subject_variable(self, graph):
+        q = PatternQuery([TriplePattern("?film", "directed_by", "Nolan")])
+        assert q.values(graph, "?film") == {"Inception", "Memento"}
+
+    def test_predicate_variable(self, graph):
+        q = PatternQuery([TriplePattern("Nolan", "?p", "London")])
+        assert q.values(graph, "?p") == {"born_in"}
+
+    def test_all_variables(self, graph):
+        q = PatternQuery([TriplePattern("?s", "?p", "?o")])
+        assert len(q.evaluate(graph)) == 6
+
+    def test_no_match(self, graph):
+        q = PatternQuery([TriplePattern("Nobody", "directed_by", "?d")])
+        assert q.evaluate(graph) == []
+
+    def test_fully_ground_pattern(self, graph):
+        q = PatternQuery([TriplePattern("Heat", "directed_by", "Mann")])
+        assert q.evaluate(graph) == [{}]
+
+
+class TestConjunction:
+    def test_two_hop_join(self, graph):
+        q = PatternQuery([
+            TriplePattern("?film", "directed_by", "?d"),
+            TriplePattern("?d", "born_in", "London"),
+        ])
+        assert q.values(graph, "?film") == {"Inception", "Memento"}
+
+    def test_shared_variable_consistency(self, graph):
+        q = PatternQuery([
+            TriplePattern("?x", "directed_by", "Nolan"),
+            TriplePattern("?x", "directed_by", "Mann"),
+        ])
+        assert q.evaluate(graph) == []
+
+    def test_three_hop(self, graph):
+        q = PatternQuery([
+            TriplePattern("Inception", "directed_by", "?d"),
+            TriplePattern("?d", "born_in", "?city"),
+            TriplePattern("?city", "located_in", "?country"),
+        ])
+        assert q.values(graph, "?country") == {"UK"}
+
+    def test_limit(self, graph):
+        q = PatternQuery([TriplePattern("?s", "?p", "?o")])
+        assert len(q.evaluate(graph, limit=3)) == 3
+
+    def test_duplicate_bindings_deduplicated(self, graph):
+        graph.add_triple(
+            Triple("Inception", "directed_by", "Nolan",
+                   Provenance(source_id="s2"))
+        )
+        q = PatternQuery([TriplePattern("Inception", "directed_by", "?d")])
+        assert len(q.evaluate(graph)) == 1
+
+
+class TestChainQuery:
+    def test_chain(self, graph):
+        q = chain_query("Inception", ["directed_by", "born_in", "located_in"])
+        assert q.values(graph, "?v3") == {"UK"}
+
+    def test_empty_chain_raises(self):
+        with pytest.raises(QueryError):
+            chain_query("x", [])
+
+
+class TestErrors:
+    def test_empty_query_raises(self):
+        with pytest.raises(QueryError):
+            PatternQuery([])
+
+    def test_unknown_output_variable(self, graph):
+        q = PatternQuery([TriplePattern("?s", "directed_by", "?o")])
+        with pytest.raises(QueryError):
+            q.values(graph, "?nope")

@@ -1,0 +1,95 @@
+"""Tests for JSON-LD storage: normalized records and graph round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg import (
+    JSONLD_CONTEXT,
+    KnowledgeGraph,
+    NormalizedRecord,
+    Provenance,
+    Triple,
+    load_graph,
+    make_jsonld,
+    save_graph,
+    triple_from_jsonld,
+    triple_to_jsonld,
+)
+
+
+class TestJsonLd:
+    def test_make_jsonld_has_context_and_id(self):
+        doc = make_jsonld("ent:1", {"name": "Inception"})
+        assert doc["@context"] == JSONLD_CONTEXT
+        assert doc["@id"] == "ent:1"
+        assert doc["name"] == "Inception"
+
+    def test_triple_round_trip_with_provenance(self):
+        t = Triple(
+            "Inception", "directed_by", "Christopher Nolan",
+            Provenance("s1", "movies", "csv", record_id="row3"),
+        )
+        restored = triple_from_jsonld(triple_to_jsonld(t))
+        assert restored.spo() == t.spo()
+        assert restored.provenance.source_id == "s1"
+        assert restored.provenance.record_id == "row3"
+
+    def test_triple_round_trip_without_provenance(self):
+        t = Triple("a", "p", "b")
+        restored = triple_from_jsonld(triple_to_jsonld(t))
+        assert restored.spo() == t.spo()
+        assert restored.provenance is None
+
+    def test_from_jsonld_missing_predicate_raises(self):
+        with pytest.raises(ValueError):
+            triple_from_jsonld({"@id": "x", "@context": "c"})
+
+
+class TestNormalizedRecord:
+    def test_round_trip(self):
+        record = NormalizedRecord(
+            record_id="norm:1",
+            domain="movies",
+            name="a.csv",
+            jsonld={"@graph": []},
+            meta={"origin": "test"},
+            cols_index={"title": ["Inception"]},
+        )
+        restored = NormalizedRecord.from_dict(record.to_dict())
+        assert restored == record
+
+    def test_column_lookup(self):
+        record = NormalizedRecord(
+            record_id="r", domain="d", name="n", jsonld={},
+            cols_index={"year": ["2010", "1995"]},
+        )
+        assert record.column("year") == ["2010", "1995"]
+        assert record.column("absent") == []
+
+    def test_column_without_index(self):
+        record = NormalizedRecord(record_id="r", domain="d", name="n", jsonld={})
+        assert record.column("anything") == []
+
+    def test_cols_index_omitted_from_dict_when_none(self):
+        record = NormalizedRecord(record_id="r", domain="d", name="n", jsonld={})
+        assert "cols_index" not in record.to_dict()
+
+
+class TestGraphPersistence:
+    def test_save_load_round_trip(self, tmp_path, tiny_graph):
+        path = tmp_path / "graph.json"
+        save_graph(tiny_graph, path)
+        restored = load_graph(path)
+        assert len(restored) == len(tiny_graph)
+        assert {t.spo() for t in restored.triples()} == {
+            t.spo() for t in tiny_graph.triples()
+        }
+        assert restored.sources() == tiny_graph.sources()
+
+    def test_load_preserves_name(self, tmp_path):
+        g = KnowledgeGraph(name="custom-name")
+        g.add_triple(Triple("a", "p", "b"))
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        assert load_graph(path).name == "custom-name"

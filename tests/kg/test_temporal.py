@@ -1,0 +1,105 @@
+"""Tests for the temporal claim store and freshness-aware consensus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.kg.temporal import TemporalStore, TimestampedClaim, latest_consensus
+
+
+def claim(t: float, source: str, value: str,
+          entity: str = "CA981", attribute: str = "status") -> TimestampedClaim:
+    return TimestampedClaim(
+        observed_at=t, source_id=source, entity=entity,
+        attribute=attribute, value=value,
+    )
+
+
+@pytest.fixture()
+def store() -> TemporalStore:
+    s = TemporalStore()
+    s.add_all([
+        claim(10.0, "airline", "on time"),
+        claim(10.0, "tracker", "on time"),
+        claim(10.0, "forum", "on time"),
+        claim(20.0, "airline", "delayed"),
+        claim(22.0, "tracker", "delayed"),
+        # the forum never updates its stale "on time".
+    ])
+    return s
+
+
+class TestTemporalStore:
+    def test_history_sorted(self, store):
+        history = store.history("CA981", "status")
+        times = [c.observed_at for c in history]
+        assert times == sorted(times)
+        assert len(history) == 5
+
+    def test_as_of_cuts_future(self, store):
+        early = store.as_of("CA981", "status", 15.0)
+        assert {c.value for c in early} == {"on time"}
+        assert len(early) == 3
+
+    def test_as_of_inclusive(self, store):
+        assert len(store.as_of("CA981", "status", 20.0)) == 4
+
+    def test_latest_per_source_supersedes(self, store):
+        latest = store.latest_per_source("CA981", "status")
+        assert latest["airline"].value == "delayed"
+        assert latest["forum"].value == "on time"
+        assert len(latest) == 3
+
+    def test_latest_per_source_as_of(self, store):
+        latest = store.latest_per_source("CA981", "status", timestamp=15.0)
+        assert latest["airline"].value == "on time"
+
+    def test_window(self, store):
+        assert len(store.window("CA981", "status", 19.0, 23.0)) == 2
+
+    def test_window_invalid(self, store):
+        with pytest.raises(GraphError):
+            store.window("CA981", "status", 5.0, 1.0)
+
+    def test_keys(self, store):
+        store.add(claim(1.0, "x", "B1", attribute="gate"))
+        assert store.keys() == [("CA981", "gate"), ("CA981", "status")]
+
+    def test_unknown_key_empty(self, store):
+        assert store.history("ZZ999", "status") == []
+        assert store.as_of("ZZ999", "status", 99.0) == []
+
+
+class TestLatestConsensus:
+    def test_fresh_majority_wins(self, store):
+        winner, counts = latest_consensus(store, "CA981", "status")
+        # Two sources updated to "delayed"; the stale forum still says
+        # "on time" — simple latest-per-source majority: delayed 2 v 1.
+        assert winner == "delayed"
+        assert counts == {"delayed": 2, "on time": 1}
+
+    def test_staleness_discards_old_sources(self, store):
+        winner, counts = latest_consensus(
+            store, "CA981", "status", staleness=5.0
+        )
+        # The forum's observation (t=10) is > 5 older than the newest
+        # (t=22) and is dropped entirely.
+        assert winner == "delayed"
+        assert counts == {"delayed": 2}
+
+    def test_as_of_past(self, store):
+        winner, _ = latest_consensus(store, "CA981", "status", timestamp=12.0)
+        assert winner == "on time"
+
+    def test_empty_key(self, store):
+        winner, counts = latest_consensus(store, "ZZ999", "status")
+        assert winner is None
+        assert counts == {}
+
+    def test_deterministic_tie_break(self):
+        s = TemporalStore()
+        s.add_all([claim(1.0, "a", "x"), claim(1.0, "b", "y")])
+        winner1, _ = latest_consensus(s, "CA981", "status")
+        winner2, _ = latest_consensus(s, "CA981", "status")
+        assert winner1 == winner2

@@ -1,0 +1,71 @@
+"""Tests for Triple, Provenance and Entity value types."""
+
+from __future__ import annotations
+
+from repro.kg import Entity, Provenance, Triple
+
+
+def prov(source: str = "s1") -> Provenance:
+    return Provenance(source_id=source, domain="movies", fmt="csv")
+
+
+class TestTriple:
+    def test_spo_key(self):
+        t = Triple("Inception", "directed_by", "Christopher Nolan", prov())
+        assert t.spo() == ("Inception", "directed_by", "Christopher Nolan")
+        assert t.key() == ("Inception", "directed_by")
+
+    def test_source_id(self):
+        assert Triple("a", "b", "c", prov("sX")).source_id() == "sX"
+
+    def test_source_id_without_provenance(self):
+        assert Triple("a", "b", "c").source_id() == ""
+
+    def test_equality_includes_provenance(self):
+        t1 = Triple("a", "p", "b", prov("s1"))
+        t2 = Triple("a", "p", "b", prov("s2"))
+        assert t1 != t2
+        assert t1.spo() == t2.spo()
+
+    def test_hashable(self):
+        t1 = Triple("a", "p", "b", prov())
+        t2 = Triple("a", "p", "b", prov())
+        assert len({t1, t2}) == 1
+
+    def test_shares_node_with_common_subject(self):
+        a = Triple("x", "p", "y")
+        b = Triple("x", "q", "z")
+        assert a.shares_node_with(b)
+
+    def test_shares_node_with_subject_object_link(self):
+        a = Triple("x", "p", "y")
+        b = Triple("y", "q", "z")
+        assert a.shares_node_with(b)
+        assert b.shares_node_with(a)
+
+    def test_no_shared_node(self):
+        assert not Triple("a", "p", "b").shares_node_with(Triple("c", "q", "d"))
+
+
+class TestEntity:
+    def test_add_attribute_accumulates(self):
+        e = Entity(eid="e1", name="Inception", etype="movie")
+        e.add_attribute("directed_by", "Nolan")
+        e.add_attribute("directed_by", "Nolan")
+        e.add_attribute("directed_by", "Thomas")
+        assert e.get("directed_by") == {"Nolan", "Thomas"}
+
+    def test_get_missing_attribute(self):
+        assert Entity(eid="e", name="n").get("nope") == set()
+
+    def test_round_trip_dict(self):
+        e = Entity(eid="e1", name="Inception", etype="movie")
+        e.add_attribute("genre", "thriller")
+        restored = Entity.from_dict(e.to_dict())
+        assert restored.eid == e.eid
+        assert restored.name == e.name
+        assert restored.etype == e.etype
+        assert restored.attributes == e.attributes
+
+    def test_default_type(self):
+        assert Entity(eid="e", name="n").etype == "thing"

@@ -1,0 +1,71 @@
+"""Tests for the line-graph transform (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg import Provenance, Triple
+from repro.linegraph import LineGraph
+
+
+def t(s: str, p: str, o: str, src: str = "s1") -> Triple:
+    return Triple(s, p, o, Provenance(source_id=src))
+
+
+class TestLineGraph:
+    def test_nodes_are_triples(self):
+        triples = [t("a", "p", "b"), t("b", "q", "c")]
+        lg = LineGraph(triples)
+        assert len(lg) == 2
+        assert lg.nodes == triples
+
+    def test_adjacency_via_shared_node(self):
+        t1, t2, t3 = t("a", "p", "b"), t("b", "q", "c"), t("x", "r", "y")
+        lg = LineGraph([t1, t2, t3])
+        assert lg.neighbors(t1) == [t2]
+        assert lg.neighbors(t3) == []
+
+    def test_shared_subject_adjacent(self):
+        t1, t2 = t("a", "p", "b"), t("a", "q", "c")
+        lg = LineGraph([t1, t2])
+        assert lg.degree(t1) == 1
+
+    def test_unknown_triple_no_neighbors(self):
+        lg = LineGraph([t("a", "p", "b")])
+        assert lg.neighbors(t("z", "z", "z")) == []
+        assert not lg.contains(t("z", "z", "z"))
+
+    def test_homologous_group_is_complete_graph(self):
+        # Fig. 4: four homologous claims form a complete graph of order 4.
+        members = [t("e", "attr", f"v{i}", src=f"s{i}") for i in range(4)]
+        lg = LineGraph(members)
+        assert lg.is_complete()
+        for member in members:
+            assert lg.degree(member) == 3
+
+    def test_not_complete(self):
+        lg = LineGraph([t("a", "p", "b"), t("c", "q", "d")])
+        assert not lg.is_complete()
+
+    def test_edges_deduplicated(self):
+        # Two triples share BOTH endpoints; the edge must appear once.
+        t1, t2 = t("a", "p", "b", "s1"), t("a", "q", "b", "s2")
+        edges = list(LineGraph([t1, t2]).edges())
+        assert len(edges) == 1
+
+    def test_edges_cap_raises(self):
+        members = [t("e", "attr", f"v{i}", src=f"s{i}") for i in range(10)]
+        lg = LineGraph(members)
+        with pytest.raises(OverflowError):
+            list(lg.edges(max_edges=5))
+
+    def test_empty_graph_complete(self):
+        assert LineGraph([]).is_complete()
+
+    def test_single_node_complete(self):
+        assert LineGraph([t("a", "p", "b")]).is_complete()
+
+    def test_self_loop_subject_object(self):
+        loop = t("a", "self", "a")
+        lg = LineGraph([loop, t("a", "p", "b")])
+        assert lg.degree(loop) == 1

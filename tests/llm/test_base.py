@@ -1,0 +1,69 @@
+"""Tests for the LLM client base: accounting and latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm import LLMClient, LLMResponse, SimulatedLLM, UsageMeter, count_tokens
+
+
+class EchoLLM(LLMClient):
+    """Minimal concrete client for testing the base accounting."""
+
+    def _generate(self, prompt: str) -> str:
+        return "echo " + prompt
+
+
+class TestCountTokens:
+    def test_words(self):
+        assert count_tokens("one two three") == 3
+
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+
+class TestLatencyModel:
+    def test_latency_grows_with_tokens(self):
+        llm = EchoLLM(base_latency_s=0.01, latency_per_token_s=0.001)
+        short = llm.complete("hi")
+        long = llm.complete("a " * 100)
+        assert long.latency_s > short.latency_s
+
+    def test_latency_formula(self):
+        llm = EchoLLM(base_latency_s=0.5, latency_per_token_s=0.1)
+        response = llm.complete("one two")
+        # prompt 2 tokens + completion 3 tokens ("echo one two").
+        assert response.prompt_tokens == 2
+        assert response.completion_tokens == 3
+        assert response.latency_s == pytest.approx(0.5 + 0.1 * 5)
+
+
+class TestUsageMeter:
+    def test_record_and_snapshot(self):
+        meter = UsageMeter()
+        meter.record("taskA", LLMResponse("x", 10, 5, 0.2))
+        meter.record("taskA", LLMResponse("y", 1, 1, 0.1))
+        meter.record("taskB", LLMResponse("z", 2, 2, 0.1))
+        snap = meter.snapshot()
+        assert snap["calls"] == 3
+        assert snap["prompt_tokens"] == 13
+        assert snap["completion_tokens"] == 8
+        assert snap["simulated_latency_s"] == pytest.approx(0.4)
+        assert meter.by_task == {"taskA": 2, "taskB": 1}
+
+    def test_reset(self):
+        meter = UsageMeter()
+        meter.record("t", LLMResponse("x", 1, 1, 0.1))
+        meter.reset()
+        assert meter.calls == 0
+        assert meter.by_task == {}
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        a = SimulatedLLM(seed=42)
+        b = SimulatedLLM(seed=42)
+        text = "Inception was directed by Christopher Nolan."
+        assert a.complete(text).text == b.complete(text).text
+        assert a.relevance("q", text) == b.relevance("q", text)
+        assert a.authority({"agreement": 0.4}) == b.authority({"agreement": 0.4})

@@ -1,0 +1,55 @@
+"""Tests for the budgeted LLM wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm import SimulatedLLM
+from repro.llm.budget import BudgetedLLM, BudgetExceededError
+
+PROMPT = "### TASK: relevance\n### QUERY\nq\n### INPUT\ntext body here\n### END\n"
+
+
+class TestCallBudget:
+    def test_calls_under_budget_succeed(self):
+        llm = BudgetedLLM(SimulatedLLM(seed=0), max_calls=2)
+        llm.complete(PROMPT)
+        llm.complete(PROMPT)
+        with pytest.raises(BudgetExceededError, match="call budget"):
+            llm.complete(PROMPT)
+
+    def test_token_budget_refuses_before_spending(self):
+        llm = BudgetedLLM(SimulatedLLM(seed=0), max_total_tokens=5)
+        with pytest.raises(BudgetExceededError, match="token budget"):
+            llm.complete(PROMPT)
+        # Refusal spends nothing.
+        assert llm.meter.calls == 0
+        assert llm.remaining_tokens() == 5
+
+    def test_remaining_tokens_decreases(self):
+        llm = BudgetedLLM(SimulatedLLM(seed=0), max_total_tokens=10_000)
+        before = llm.remaining_tokens()
+        llm.complete(PROMPT)
+        assert llm.remaining_tokens() < before
+
+    def test_unlimited_by_default(self):
+        llm = BudgetedLLM(SimulatedLLM(seed=0))
+        assert llm.remaining_tokens() is None
+        for _ in range(20):
+            llm.complete(PROMPT)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetedLLM(SimulatedLLM(seed=0), max_total_tokens=0)
+        with pytest.raises(ValueError):
+            BudgetedLLM(SimulatedLLM(seed=0), max_calls=-1)
+
+    def test_delegates_generation(self):
+        inner = SimulatedLLM(seed=0)
+        budgeted = BudgetedLLM(SimulatedLLM(seed=0), max_calls=5)
+        assert budgeted.complete(PROMPT).text == inner.complete(PROMPT).text
+
+    def test_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(BudgetExceededError, ReproError)

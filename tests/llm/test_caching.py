@@ -1,0 +1,76 @@
+"""Tests for the caching LLM wrapper."""
+
+from __future__ import annotations
+
+from repro.llm import SimulatedLLM
+from repro.llm.caching import CachingLLM
+
+
+def make(tmp_path=None, **kwargs) -> CachingLLM:
+    inner = SimulatedLLM(seed=0, extraction_noise=0.0)
+    path = tmp_path / "cache.json" if tmp_path else None
+    return CachingLLM(inner, cache_path=path, **kwargs)
+
+
+PROMPT = "### TASK: relevance\n### QUERY\nq\n### INPUT\nsome text\n### END\n"
+
+
+class TestCaching:
+    def test_hit_returns_same_text(self):
+        llm = make()
+        first = llm.complete(PROMPT)
+        second = llm.complete(PROMPT)
+        assert first.text == second.text
+        assert llm.hits == 1
+        assert llm.misses == 1
+        assert llm.hit_rate() == 0.5
+
+    def test_inner_called_once(self):
+        llm = make()
+        llm.complete(PROMPT)
+        llm.complete(PROMPT)
+        # inner meter only sees the miss (CachingLLM calls _generate).
+        assert llm.inner.meter.calls == 0  # accounting is on the wrapper
+        assert len(llm) == 1
+
+    def test_hits_still_accounted_by_default(self):
+        llm = make()
+        llm.complete(PROMPT)
+        llm.complete(PROMPT)
+        # Both calls carry simulated latency (PT comparability).
+        assert llm.meter.calls == 2
+        assert llm.meter.simulated_latency_s > 0
+
+    def test_free_hits_mode(self):
+        llm = make(free_hits=True)
+        miss = llm.complete(PROMPT)
+        hit = llm.complete(PROMPT)
+        assert miss.latency_s > 0
+        assert hit.latency_s == 0.0
+
+    def test_different_prompts_both_miss(self):
+        llm = make()
+        llm.complete(PROMPT)
+        llm.complete(PROMPT.replace("some text", "other text"))
+        assert llm.misses == 2
+
+    def test_persistence_round_trip(self, tmp_path):
+        llm = make(tmp_path)
+        llm.complete(PROMPT)
+        llm.save()
+
+        reloaded = make(tmp_path)
+        reloaded.complete(PROMPT)
+        assert reloaded.hits == 1
+        assert reloaded.misses == 0
+
+    def test_semantic_helpers_work_through_cache(self):
+        inner = SimulatedLLM(seed=0, extraction_noise=0.0)
+        cached = CachingLLM(SimulatedLLM(seed=0, extraction_noise=0.0))
+        text = "Inception was directed by Christopher Nolan."
+        # The wrapper is itself an LLMClient; semantic wrappers live on
+        # SimulatedLLM, so compare completions at the prompt level.
+        from repro.llm.prompts import render_ner_prompt
+
+        prompt = render_ner_prompt(text)
+        assert cached.complete(prompt).text == inner.complete(prompt).text

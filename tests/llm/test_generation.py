@@ -1,0 +1,47 @@
+"""Tests for evidence formatting and trustworthy answer generation."""
+
+from __future__ import annotations
+
+from repro.llm import EvidenceItem, SimulatedLLM, generate_trustworthy_answer
+
+
+def item(value: str, confidence: float, source: str = "s1") -> EvidenceItem:
+    return EvidenceItem(
+        entity="CA981", attribute="actual_departure", value=value,
+        confidence=confidence, source_id=source,
+    )
+
+
+class TestEvidenceItem:
+    def test_render_format(self):
+        line = item("14:30", 0.89).render()
+        assert line == "CA981 | actual_departure | 14:30 | confidence=0.89 | source=s1"
+
+
+class TestGenerateTrustworthyAnswer:
+    def test_highest_confidence_leads(self):
+        llm = SimulatedLLM(seed=0)
+        answer = generate_trustworthy_answer(
+            llm, "when did CA981 depart?",
+            [item("12:00", 0.4, "forum"), item("14:30", 0.9, "airline")],
+        )
+        assert answer.startswith("14:30")
+
+    def test_duplicate_values_collapsed(self):
+        llm = SimulatedLLM(seed=0)
+        answer = generate_trustworthy_answer(
+            llm, "q", [item("14:30", 0.9, "a"), item("14:30", 0.8, "b")]
+        )
+        assert answer == "14:30"
+
+    def test_empty_evidence(self):
+        llm = SimulatedLLM(seed=0)
+        answer = generate_trustworthy_answer(llm, "what happened?", [])
+        assert "what happened?" in answer
+
+    def test_deterministic_tie_break(self):
+        llm = SimulatedLLM(seed=0)
+        evidence = [item("b-value", 0.5, "s1"), item("a-value", 0.5, "s2")]
+        a1 = generate_trustworthy_answer(llm, "q", evidence)
+        a2 = generate_trustworthy_answer(llm, "q", list(reversed(evidence)))
+        assert a1 == a2

@@ -1,0 +1,62 @@
+"""Tests for the shared relation lexicon: verbalize / split round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm import BY_PREDICATE, RELATIONS, split_sentence, verbalize
+
+
+class TestVerbalizeRoundTrip:
+    @pytest.mark.parametrize("spec", RELATIONS, ids=lambda s: s.predicate)
+    def test_every_predicate_round_trips(self, spec):
+        sentence = verbalize("Subject Entity", spec.predicate, "Object Value")
+        parsed = split_sentence(sentence)
+        assert parsed == ("Subject Entity", spec.predicate, "Object Value")
+
+    def test_unknown_predicate_generic_form(self):
+        sentence = verbalize("X", "custom_attr", "Y value")
+        assert split_sentence(sentence) == ("X", "custom_attr", "Y value")
+
+    def test_paraphrases_also_parse(self):
+        assert split_sentence("Inception is directed by Nolan.") == (
+            "Inception", "directed_by", "Nolan"
+        )
+
+
+class TestSplitSentence:
+    def test_unparseable_returns_none(self):
+        assert split_sentence("This sentence matches nothing at all") is None
+
+    def test_empty_string(self):
+        assert split_sentence("") is None
+
+    def test_longest_phrase_wins(self):
+        # "actually departed at" must beat its substring "departed at".
+        parsed = split_sentence("CA981 actually departed at 14:30.")
+        assert parsed == ("CA981", "actual_departure", "14:30")
+
+    def test_case_insensitive_matching(self):
+        parsed = split_sentence("INCEPTION WAS DIRECTED BY NOLAN.")
+        assert parsed is not None
+        assert parsed[1] == "directed_by"
+        # Original casing of subject/object preserved.
+        assert parsed[0] == "INCEPTION"
+
+    def test_phrase_at_start_not_matched(self):
+        # The phrase must have a subject before it.
+        assert split_sentence("was directed by Nolan.") is None
+
+
+class TestLexiconIntegrity:
+    def test_by_predicate_complete(self):
+        assert set(BY_PREDICATE) == {s.predicate for s in RELATIONS}
+
+    def test_no_duplicate_phrases(self):
+        phrases = [p for s in RELATIONS for p in s.phrases]
+        assert len(phrases) == len(set(phrases))
+
+    def test_types_nonempty(self):
+        for spec in RELATIONS:
+            assert spec.subject_type
+            assert spec.object_type

@@ -1,0 +1,55 @@
+"""Tests for prompt rendering and section parsing."""
+
+from __future__ import annotations
+
+from repro.llm.prompts import (
+    parse_sections,
+    render_ner_prompt,
+    render_std_prompt,
+    render_triple_prompt,
+)
+
+
+class TestRendering:
+    def test_ner_prompt_structure(self):
+        prompt = render_ner_prompt("Some input text.")
+        sections = parse_sections(prompt)
+        assert sections["TASK"] == "ner"
+        assert sections["INPUT"] == "Some input text."
+        assert "EXAMPLE INPUT" in sections
+        assert "EXAMPLE OUTPUT" in sections
+
+    def test_triple_prompt_carries_entities(self):
+        prompt = render_triple_prompt("text", ["Inception", "Nolan"])
+        sections = parse_sections(prompt)
+        assert sections["TASK"] == "triple"
+        assert "Inception" in sections["ENTITIES"]
+
+    def test_std_prompt_structure(self):
+        prompt = render_std_prompt("text", ["a", "b"])
+        sections = parse_sections(prompt)
+        assert sections["TASK"] == "std"
+        assert "EXAMPLE NAMED ENTITIES" in sections
+
+    def test_custom_entity_types_in_instruction(self):
+        prompt = render_ner_prompt("text", entity_types=("widget", "gadget"))
+        assert "widget" in prompt
+        assert "gadget" in prompt
+
+
+class TestParseSections:
+    def test_multiline_section_bodies(self):
+        prompt = "### TASK: x\n### INPUT\nline one\nline two\n### END\n"
+        sections = parse_sections(prompt)
+        assert sections["INPUT"] == "line one\nline two"
+
+    def test_task_extracted(self):
+        assert parse_sections("### TASK: relevance\n")["TASK"] == "relevance"
+
+    def test_empty_prompt(self):
+        assert parse_sections("") == {}
+
+    def test_no_task_header(self):
+        sections = parse_sections("### INPUT\nhello\n")
+        assert "TASK" not in sections
+        assert sections["INPUT"] == "hello"

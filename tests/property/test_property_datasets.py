@@ -1,0 +1,89 @@
+"""Property-based tests for dataset generation and perturbation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    AttributeSpec,
+    DomainSpec,
+    SourceProfile,
+    corrupt_consistency,
+    generate_dataset,
+    mask_relations,
+)
+from repro.util import canonical_value
+
+seeds = st.integers(min_value=0, max_value=50)
+fractions = st.floats(min_value=0.0, max_value=0.9)
+
+
+def make(seed: int):
+    spec = DomainSpec(
+        domain="toy",
+        entity_pool=[f"E{i}" for i in range(15)],
+        attributes=[
+            AttributeSpec("color", ("red", "green", "blue")),
+            AttributeSpec("size", ("small", "large")),
+        ],
+    )
+    profiles = [SourceProfile("csv", 4, 0.4, 0.9, coverage=0.8)]
+    return generate_dataset("toy", spec, profiles, 12, 8, seed=seed)
+
+
+class TestGenerationProperties:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_queries_always_answerable(self, seed):
+        ds = make(seed)
+        claimed = {(canonical_value(c.entity), c.attribute) for c in ds.claims}
+        for q in ds.queries:
+            assert (canonical_value(q.entity), q.attribute) in claimed
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_claims_reference_known_sources(self, seed):
+        ds = make(seed)
+        known = {s.source_id for s in ds.source_specs}
+        assert {c.source_id for c in ds.claims} <= known
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_dataset(self, seed):
+        assert make(seed).claims == make(seed).claims
+
+
+class TestPerturbationProperties:
+    @given(seeds, fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_masking_is_subset(self, seed, fraction):
+        ds = make(seed)
+        masked = mask_relations(ds, fraction, seed=seed)
+        assert set(masked.claims) <= set(ds.claims)
+        assert len(masked.claims) <= len(ds.claims)
+
+    @given(seeds, fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_masking_keeps_queries_answerable(self, seed, fraction):
+        ds = make(seed)
+        masked = mask_relations(ds, fraction, seed=seed)
+        claimed = {(canonical_value(c.entity), c.attribute)
+                   for c in masked.claims}
+        for q in masked.queries:
+            assert (canonical_value(q.entity), q.attribute) in claimed
+
+    @given(seeds, fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_corruption_is_superset(self, seed, fraction):
+        ds = make(seed)
+        corrupted = corrupt_consistency(ds, fraction, seed=seed)
+        assert set(ds.claims) <= set(corrupted.claims)
+
+    @given(seeds, fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_corruption_preserves_truth_and_queries(self, seed, fraction):
+        ds = make(seed)
+        corrupted = corrupt_consistency(ds, fraction, seed=seed)
+        assert corrupted.truth == ds.truth
+        assert corrupted.queries == ds.queries

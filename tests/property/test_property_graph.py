@@ -1,0 +1,113 @@
+"""Property-based tests for KnowledgeGraph / line-graph invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import KnowledgeGraph, Provenance, Triple
+from repro.linegraph import LineGraph, MultiSourceLineGraph, match_homologous
+
+names = st.sampled_from(["a", "b", "c", "d", "e", "f"])
+predicates = st.sampled_from(["p", "q", "r"])
+sources = st.sampled_from(["s1", "s2", "s3"])
+
+triples = st.builds(
+    lambda s, p, o, src: Triple(s, p, o, Provenance(source_id=src)),
+    names, predicates, names, sources,
+)
+
+triple_lists = st.lists(triples, max_size=25)
+
+
+def build_graph(items: list[Triple]) -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    graph.add_triples(items)
+    return graph
+
+
+class TestGraphInvariants:
+    @given(triple_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_len_equals_distinct_claims(self, items):
+        graph = build_graph(items)
+        distinct = {(t.spo(), t.source_id()) for t in items}
+        assert len(graph) == len(distinct)
+
+    @given(triple_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_indexes_consistent(self, items):
+        graph = build_graph(items)
+        for triple in graph.triples():
+            assert triple in graph.by_subject(triple.subject)
+            assert triple in graph.by_object(triple.obj)
+            assert triple in graph.by_key(triple.subject, triple.predicate)
+            assert triple in graph.by_source(triple.source_id())
+
+    @given(triple_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_degree_matches_incidence(self, items):
+        graph = build_graph(items)
+        for node in {t.subject for t in graph.triples()}:
+            incident = sum(
+                1 for t in graph.triples()
+                if t.subject == node or t.obj == node
+            )
+            # Self-loops are counted twice by degree (subject + object).
+            loops = sum(
+                1 for t in graph.triples()
+                if t.subject == node and t.obj == node
+            )
+            assert graph.degree(node) == incident + loops
+
+
+class TestHomologousInvariants:
+    @given(triple_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_partition_complete(self, items):
+        graph = build_graph(items)
+        result = match_homologous(graph)
+        in_groups = sum(len(g.members) for g in result.groups)
+        assert in_groups + len(result.isolated) == len(graph)
+
+    @given(triple_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_groups_are_multi_source(self, items):
+        graph = build_graph(items)
+        for group in match_homologous(graph).groups:
+            assert len(group.sources()) >= 2
+            assert len({m.key() for m in group.members}) == 1
+
+    @given(triple_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_mlg_candidates_match_graph_key_index(self, items):
+        graph = build_graph(items)
+        mlg = MultiSourceLineGraph(graph)
+        for key in graph.keys():
+            assert sorted(
+                t.spo() + (t.source_id(),) for t in mlg.candidates(*key)
+            ) == sorted(
+                t.spo() + (t.source_id(),) for t in graph.by_key(*key)
+            )
+
+
+class TestLineGraphInvariants:
+    @given(triple_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_neighbor_symmetry(self, items):
+        graph = build_graph(items)
+        lg = LineGraph(graph.triples())
+        for node in lg.nodes:
+            for neighbor in lg.neighbors(node):
+                assert node in lg.neighbors(neighbor)
+
+    @given(triple_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_iff_shared_node(self, items):
+        graph = build_graph(items)
+        lg = LineGraph(graph.triples())
+        nodes = lg.nodes
+        for i, a in enumerate(nodes):
+            neighbors = set(lg.neighbors(a))
+            for b in nodes[i + 1:]:
+                assert (b in neighbors) == a.shares_node_with(b)

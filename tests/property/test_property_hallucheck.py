@@ -1,0 +1,94 @@
+"""Property-based tests for hallucination checking and pattern queries."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import check_answer, decompose_answer
+from repro.kg import KnowledgeGraph, PatternQuery, Provenance, Triple, TriplePattern
+
+values = st.sampled_from(["2010", "2011", "drama", "Alice Adams", "x1"])
+claims = st.lists(
+    st.tuples(st.sampled_from(["s1", "s2", "s3"]), values),
+    max_size=8,
+)
+
+
+def graph_for(entity: str, attribute: str, claim_list) -> KnowledgeGraph:
+    g = KnowledgeGraph()
+    for source, value in claim_list:
+        g.add_triple(
+            Triple(entity, attribute, value, Provenance(source_id=source))
+        )
+    return g
+
+
+class TestHallucheckProperties:
+    @given(claims, st.lists(values, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_verdict_partition(self, claim_list, asserted):
+        graph = graph_for("E", "a", claim_list)
+        answer = "; ".join(asserted)
+        check = check_answer(graph, "E", "a", answer)
+        assert len(check.verdicts) == len(decompose_answer(answer))
+        assert len(check.supported) + len(check.hallucinated) == len(check.verdicts)
+        assert 0.0 <= check.intensity() <= 1.0
+
+    @given(claims)
+    @settings(max_examples=100, deadline=None)
+    def test_claimed_values_always_supported(self, claim_list):
+        graph = graph_for("E", "a", claim_list)
+        for _, value in claim_list:
+            check = check_answer(graph, "E", "a", value)
+            assert check.is_grounded()
+
+    @given(st.lists(values, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_empty_graph_everything_fabricated(self, asserted):
+        graph = KnowledgeGraph()
+        check = check_answer(graph, "E", "a", "; ".join(asserted))
+        assert all(v.verdict == "fabricated" for v in check.verdicts)
+
+
+triples = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.sampled_from(["p", "q"]),
+        st.sampled_from(["a", "b", "c", "d"]),
+    ),
+    max_size=15,
+)
+
+
+class TestPatternQueryProperties:
+    @given(triples)
+    @settings(max_examples=80, deadline=None)
+    def test_wildcard_query_returns_every_statement(self, spo_list):
+        graph = KnowledgeGraph()
+        for s, p, o in spo_list:
+            graph.add_triple(Triple(s, p, o, Provenance(source_id="s")))
+        q = PatternQuery([TriplePattern("?s", "?p", "?o")])
+        bindings = {
+            (b["?s"], b["?p"], b["?o"]) for b in q.evaluate(graph)
+        }
+        assert bindings == {t.spo() for t in graph.triples()}
+
+    @given(triples)
+    @settings(max_examples=80, deadline=None)
+    def test_ground_queries_match_containment(self, spo_list):
+        graph = KnowledgeGraph()
+        for s, p, o in spo_list:
+            graph.add_triple(Triple(s, p, o, Provenance(source_id="s")))
+        for s, p, o in spo_list[:5]:
+            q = PatternQuery([TriplePattern(s, p, o)])
+            assert q.evaluate(graph) == [{}]
+
+    @given(triples)
+    @settings(max_examples=50, deadline=None)
+    def test_limit_respected(self, spo_list):
+        graph = KnowledgeGraph()
+        for s, p, o in spo_list:
+            graph.add_triple(Triple(s, p, o, Provenance(source_id="s")))
+        q = PatternQuery([TriplePattern("?s", "?p", "?o")])
+        assert len(q.evaluate(graph, limit=2)) <= 2

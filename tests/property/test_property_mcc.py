@@ -1,0 +1,89 @@
+"""Property-based tests for MCC invariants (Algorithm 1)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence import HistoryStore, NodeScorer, mcc
+from repro.kg import KnowledgeGraph, Provenance, Triple
+from repro.linegraph import match_homologous
+from repro.llm import SimulatedLLM
+
+claims = st.lists(
+    st.tuples(
+        st.sampled_from(["s1", "s2", "s3", "s4"]),
+        st.sampled_from(["E1", "E2"]),
+        st.sampled_from(["attr1", "attr2"]),
+        st.sampled_from(["v1", "v2", "v3"]),
+    ),
+    min_size=1, max_size=20,
+)
+
+thresholds = st.floats(min_value=0.0, max_value=2.0)
+
+
+def setup(claim_list):
+    graph = KnowledgeGraph()
+    for source, entity, attribute, value in claim_list:
+        graph.add_triple(
+            Triple(entity, attribute, value, Provenance(source_id=source))
+        )
+    groups = match_homologous(graph).groups
+    scorer = NodeScorer(graph, SimulatedLLM(seed=0), HistoryStore())
+    return groups, scorer
+
+
+class TestMCCInvariants:
+    @given(claims, thresholds)
+    @settings(max_examples=80, deadline=None)
+    def test_accepted_and_rejected_partition_assessed(self, claim_list, theta):
+        groups, scorer = setup(claim_list)
+        result = mcc(groups, scorer, node_threshold=theta)
+        for decision in result.decisions:
+            assessed = len(decision.accepted) + len(decision.rejected)
+            assert assessed <= len(decision.group.members)
+            # No node appears in both lists.
+            accepted_ids = {id(a.triple) for a in decision.accepted}
+            rejected_ids = {id(a.triple) for a in decision.rejected}
+            assert not accepted_ids & rejected_ids
+
+    @given(claims)
+    @settings(max_examples=80, deadline=None)
+    def test_nonempty_groups_always_answer_with_fallback(self, claim_list):
+        groups, scorer = setup(claim_list)
+        result = mcc(groups, scorer, node_threshold=1.99, fallback_best=True)
+        for decision in result.decisions:
+            assert decision.accepted
+
+    @given(claims, thresholds)
+    @settings(max_examples=80, deadline=None)
+    def test_confidences_bounded(self, claim_list, theta):
+        groups, scorer = setup(claim_list)
+        result = mcc(groups, scorer, node_threshold=theta)
+        for assessment in result.accepted_assessments():
+            assert 0.0 <= assessment.confidence <= 2.0
+
+    @given(claims)
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, claim_list):
+        groups1, scorer1 = setup(claim_list)
+        groups2, scorer2 = setup(claim_list)
+        r1 = mcc(groups1, scorer1)
+        r2 = mcc(groups2, scorer2)
+        assert [
+            sorted(a.value for a in d.accepted) for d in r1.decisions
+        ] == [
+            sorted(a.value for a in d.accepted) for d in r2.decisions
+        ]
+
+    @given(claims)
+    @settings(max_examples=50, deadline=None)
+    def test_stricter_threshold_never_accepts_more(self, claim_list):
+        groups1, scorer1 = setup(claim_list)
+        groups2, scorer2 = setup(claim_list)
+        loose = mcc(groups1, scorer1, node_threshold=0.5, fallback_best=False)
+        strict = mcc(groups2, scorer2, node_threshold=1.5, fallback_best=False)
+        assert len(strict.accepted_assessments()) <= len(
+            loose.accepted_assessments()
+        )

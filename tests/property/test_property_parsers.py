@@ -1,0 +1,54 @@
+"""Property-based robustness: the query parsers never raise on any input."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import generate_logic_form, plan_question
+from repro.llm import split_sentence
+from repro.retrieval import sentences, tokenize
+
+arbitrary_text = st.text(max_size=200)
+
+
+class TestParserTotality:
+    @given(arbitrary_text)
+    @settings(max_examples=200, deadline=None)
+    def test_logic_form_never_raises(self, text):
+        lf = generate_logic_form(text)
+        assert lf.intent in {"attribute_lookup", "open"}
+        assert lf.raw == text
+
+    @given(arbitrary_text)
+    @settings(max_examples=200, deadline=None)
+    def test_planner_never_raises(self, text):
+        plan = plan_question(text)
+        assert plan.qtype in {"chain", "comparison", "unplanned"}
+
+    @given(arbitrary_text)
+    @settings(max_examples=200, deadline=None)
+    def test_split_sentence_never_raises(self, text):
+        result = split_sentence(text)
+        assert result is None or len(result) == 3
+
+    @given(arbitrary_text)
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_and_sentences_never_raise(self, text):
+        tokens = tokenize(text)
+        assert all(isinstance(t, str) for t in tokens)
+        for sentence in sentences(text):
+            assert sentence.strip()
+
+
+class TestStructuredParsesAreConsistent:
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu"),
+                                          max_codepoint=0x7F),
+                   min_size=1, max_size=20).filter(str.strip))
+    @settings(max_examples=100, deadline=None)
+    def test_what_is_pattern_always_structured(self, entity):
+        entity = entity.strip()
+        lf = generate_logic_form(f"What is the genre of {entity}?")
+        assert lf.is_structured
+        assert lf.attribute == "genre"
+        assert lf.entity == entity

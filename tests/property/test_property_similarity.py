@@ -1,0 +1,59 @@
+"""Property-based tests for the mutual-information similarity (Eqs. 4–6)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence import entropy, mutual_information, similarity, value_distribution
+
+value_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           max_codepoint=0x7F),
+    min_size=1, max_size=12,
+).filter(lambda s: s.strip())
+
+value_lists = st.lists(value_text, min_size=1, max_size=4)
+
+
+class TestSimilarityProperties:
+    @given(value_lists, value_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_bounded(self, v1, v2):
+        assert 0.0 <= similarity(v1, v2) <= 1.0
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric(self, v1, v2):
+        assert abs(similarity(v1, v2) - similarity(v2, v1)) < 1e-9
+
+    @given(value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_self_similarity_maximal_for_single_values(self, values):
+        # A node compared with an identical node is at least as similar as
+        # with any other fixed node's values.
+        assert similarity(values, values) >= similarity(values, ["@@other@@"])
+
+    @given(value_text)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_singletons_perfect(self, value):
+        assert similarity([value], [value]) == 1.0
+
+
+class TestDistributionProperties:
+    @given(value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_distribution_sums_to_one(self, values):
+        dist = value_distribution(values)
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+    @given(value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_entropy_nonnegative(self, values):
+        assert entropy(value_distribution(values)) >= 0.0
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_mutual_information_nonnegative(self, v1, v2):
+        mi = mutual_information(value_distribution(v1), value_distribution(v2))
+        assert mi >= 0.0

@@ -1,0 +1,108 @@
+"""Property-based tests for the temporal store and the columnar store."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.columnar import ColumnarStore
+from repro.kg.storage import NormalizedRecord
+from repro.kg.temporal import TemporalStore, TimestampedClaim, latest_consensus
+
+observations = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.sampled_from(["s1", "s2", "s3"]),
+        st.sampled_from(["v1", "v2", "v3"]),
+    ),
+    max_size=20,
+)
+
+
+def build_store(obs) -> TemporalStore:
+    store = TemporalStore()
+    store.add_all([
+        TimestampedClaim(t, source, "E", "a", value) for t, source, value in obs
+    ])
+    return store
+
+
+class TestTemporalProperties:
+    @given(observations)
+    @settings(max_examples=100, deadline=None)
+    def test_history_sorted(self, obs):
+        store = build_store(obs)
+        times = [c.observed_at for c in store.history("E", "a")]
+        assert times == sorted(times)
+
+    @given(observations, st.floats(min_value=0.0, max_value=100.0,
+                                   allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_as_of_monotone(self, obs, cut):
+        store = build_store(obs)
+        early = store.as_of("E", "a", cut)
+        later = store.as_of("E", "a", 100.0)
+        assert len(early) <= len(later)
+        assert all(c.observed_at <= cut for c in early)
+
+    @given(observations)
+    @settings(max_examples=100, deadline=None)
+    def test_latest_per_source_is_each_sources_max(self, obs):
+        store = build_store(obs)
+        latest = store.latest_per_source("E", "a")
+        for source, claim in latest.items():
+            source_times = [t for t, s, _ in obs if s == source]
+            assert claim.observed_at == max(source_times)
+
+    @given(observations)
+    @settings(max_examples=100, deadline=None)
+    def test_consensus_winner_among_values(self, obs):
+        store = build_store(obs)
+        winner, counts = latest_consensus(store, "E", "a")
+        if obs:
+            assert winner in {"v1", "v2", "v3"}
+            assert sum(counts.values()) == len({s for _, s, _ in obs})
+        else:
+            assert winner is None
+
+
+record_contents = st.dictionaries(
+    st.sampled_from(["col_a", "col_b", "col_c"]),
+    st.lists(st.sampled_from(["x", "y", "z", "10", "2010"]), max_size=6),
+    min_size=1, max_size=3,
+)
+
+
+class TestColumnarProperties:
+    @staticmethod
+    def _store_with(tables, directory) -> ColumnarStore:
+        store = ColumnarStore(directory)
+        for i, cols in enumerate(tables):
+            store.write_record(NormalizedRecord(
+                record_id=f"rec-{i}", domain="d", name="n", jsonld={},
+                cols_index=cols,
+            ))
+        return store
+
+    @given(st.lists(record_contents, min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_every_column(self, tables):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as directory:
+            store = self._store_with(tables, directory)
+            for i, cols in enumerate(tables):
+                for column, values in cols.items():
+                    assert store.read_column(f"rec-{i}", column) == values
+
+    @given(st.lists(record_contents, min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_matches_union(self, tables):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as directory:
+            store = self._store_with(tables, directory)
+            expected: set[str] = set()
+            for cols in tables:
+                expected.update(cols.get("col_a", ()))
+            assert store.distinct("col_a") == expected

@@ -1,0 +1,69 @@
+"""Tests for the BM25 index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval import BM25Index
+
+ITEMS = ["nolan", "mann", "villeneuve", "stocks"]
+TEXTS = [
+    "Inception was directed by Christopher Nolan and stars Leonardo",
+    "Heat was directed by Michael Mann",
+    "Arrival was directed by Denis Villeneuve",
+    "The stock closed at a high price today on the exchange",
+]
+
+
+@pytest.fixture()
+def index() -> BM25Index[str]:
+    return BM25Index[str]().build(ITEMS, TEXTS)
+
+
+class TestBM25:
+    def test_top_hit(self, index):
+        hits = index.search("Christopher Nolan Inception", k=1)
+        assert hits[0].item == "nolan"
+
+    def test_only_candidates_scored(self, index):
+        hits = index.search("exchange", k=4)
+        assert [h.item for h in hits] == ["stocks"]
+
+    def test_no_match(self, index):
+        assert index.search("zzzz", k=3) == []
+
+    def test_scores_descending(self, index):
+        hits = index.search("directed stock", k=4)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_direct(self, index):
+        assert index.score("Michael Mann", 1) > index.score("Michael Mann", 0)
+
+    def test_term_frequency_saturation(self):
+        idx = BM25Index[str]().build(
+            ["a", "b"],
+            ["nolan nolan nolan nolan nolan nolan", "nolan"],
+        )
+        s_many = idx.score("nolan", 0)
+        s_one = idx.score("nolan", 1)
+        # More occurrences help, but sub-linearly (k1 saturation).
+        assert s_many > s_one
+        assert s_many < 6 * s_one
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BM25Index(k1=-1)
+        with pytest.raises(ValueError):
+            BM25Index(b=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            BM25Index[str]().build(["a"], [])
+
+    def test_len(self, index):
+        assert len(index) == 4
+
+    def test_empty_build(self):
+        idx = BM25Index[str]().build([], [])
+        assert idx.search("x") == []

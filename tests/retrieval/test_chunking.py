@@ -1,0 +1,71 @@
+"""Tests for the sentence chunker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval import SentenceChunker
+from repro.retrieval.tokenize import tokenize
+
+
+class TestSentenceChunker:
+    def test_single_small_text_one_chunk(self):
+        chunks = SentenceChunker(max_tokens=50).chunk(
+            "A short sentence.", source_id="s", doc_id="d"
+        )
+        assert len(chunks) == 1
+        assert chunks[0].source_id == "s"
+        assert chunks[0].doc_id == "d"
+        assert chunks[0].seq == 0
+
+    def test_chunk_ids_sequential(self):
+        text = " ".join(f"Sentence number {i} with several words inside." for i in range(20))
+        chunks = SentenceChunker(max_tokens=16).chunk(text, "s", "doc")
+        assert [c.seq for c in chunks] == list(range(len(chunks)))
+        assert chunks[0].chunk_id == "doc#c0"
+        assert len(chunks) > 1
+
+    def test_respects_max_tokens(self):
+        text = " ".join(f"Word salad sentence {i} example here." for i in range(30))
+        chunks = SentenceChunker(max_tokens=20).chunk(text, "s", "d")
+        for chunk in chunks:
+            n = len(tokenize(chunk.text, drop_stopwords=False))
+            # A single long sentence may overflow, but packed chunks of
+            # multiple sentences must respect the cap plus one sentence.
+            assert n <= 40
+
+    def test_sentences_not_split(self):
+        text = "Alpha beta gamma delta. Epsilon zeta eta theta."
+        chunks = SentenceChunker(max_tokens=5).chunk(text, "s", "d")
+        # Each sentence is atomic even though it exceeds max_tokens.
+        assert len(chunks) == 2
+        assert chunks[0].text.endswith(".")
+
+    def test_empty_text(self):
+        assert SentenceChunker().chunk("", "s", "d") == []
+
+    def test_all_text_preserved(self):
+        text = "One two three. Four five six. Seven eight nine."
+        chunks = SentenceChunker(max_tokens=4).chunk(text, "s", "d")
+        joined = " ".join(c.text for c in chunks)
+        for word in ["One", "five", "nine."]:
+            assert word in joined
+
+    def test_overlap_repeats_sentence(self):
+        text = "First sentence here now. Second sentence here now. Third sentence here now."
+        chunks = SentenceChunker(max_tokens=5, overlap=2).chunk(text, "s", "d")
+        assert len(chunks) >= 2
+        # With overlap, a later chunk starts with the previous chunk's tail.
+        assert chunks[1].text.split(".")[0] + "." in chunks[0].text
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SentenceChunker(max_tokens=0)
+        with pytest.raises(ValueError):
+            SentenceChunker(max_tokens=5, overlap=5)
+        with pytest.raises(ValueError):
+            SentenceChunker(max_tokens=5, overlap=-1)
+
+    def test_chunk_tokens_helper(self):
+        chunk = SentenceChunker().chunk("Inception was directed by Nolan.", "s", "d")[0]
+        assert "inception" in chunk.tokens()

@@ -1,0 +1,78 @@
+"""Tests for the LLM reranker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm import SimulatedLLM
+from repro.retrieval import (
+    Chunk,
+    LLMReranker,
+    MultiSourceRetriever,
+    retrieve_and_rerank,
+)
+from repro.retrieval.vector_index import SearchHit
+
+
+def chunk(cid: str, text: str) -> Chunk:
+    return Chunk(chunk_id=cid, source_id="s", doc_id=cid, seq=0, text=text)
+
+
+@pytest.fixture()
+def llm() -> SimulatedLLM:
+    return SimulatedLLM(seed=0)
+
+
+class TestLLMReranker:
+    def test_relevant_chunk_promoted(self, llm):
+        hits = [
+            SearchHit(chunk("c1", "totally unrelated filler words"), 0.9),
+            SearchHit(chunk("c2", "Inception was directed by Nolan"), 0.8),
+        ]
+        reranker = LLMReranker(llm, blend=1.0)
+        reranked = reranker.rerank("Inception Nolan directed", hits)
+        assert reranked[0].item.chunk_id == "c2"
+
+    def test_blend_zero_preserves_first_stage(self, llm):
+        hits = [
+            SearchHit(chunk("c1", "anything"), 0.9),
+            SearchHit(chunk("c2", "Inception Nolan"), 0.5),
+        ]
+        reranked = LLMReranker(llm, blend=0.0).rerank("Inception", hits)
+        assert reranked[0].item.chunk_id == "c1"
+
+    def test_empty_hits(self, llm):
+        assert LLMReranker(llm).rerank("q", []) == []
+
+    def test_invalid_blend(self, llm):
+        with pytest.raises(ValueError):
+            LLMReranker(llm, blend=1.5)
+
+    def test_scores_descending(self, llm):
+        hits = [SearchHit(chunk(f"c{i}", f"text {i} Inception" * i), 1.0 - i / 10)
+                for i in range(5)]
+        reranked = LLMReranker(llm).rerank("Inception", hits)
+        scores = [h.score for h in reranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_llm_usage_accounted(self, llm):
+        hits = [SearchHit(chunk("c1", "text"), 1.0)]
+        before = llm.meter.calls
+        LLMReranker(llm).rerank("q", hits)
+        assert llm.meter.calls == before + 1
+
+
+class TestRetrieveAndRerank:
+    def test_pipeline(self, llm):
+        retriever = MultiSourceRetriever()
+        retriever.add_chunks([
+            chunk("c1", "Inception was directed by Christopher Nolan."),
+            chunk("c2", "Heat was directed by Michael Mann."),
+            chunk("c3", "The stock market closed higher today."),
+        ])
+        retriever.build()
+        hits = retrieve_and_rerank(
+            retriever, LLMReranker(llm), "who directed Inception", k=2
+        )
+        assert len(hits) == 2
+        assert hits[0].item.chunk_id == "c1"

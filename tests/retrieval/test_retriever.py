@@ -1,0 +1,85 @@
+"""Tests for the multi-source retriever facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval import Chunk, MultiSourceRetriever
+
+
+def chunk(cid: str, source: str, text: str) -> Chunk:
+    return Chunk(chunk_id=cid, source_id=source, doc_id=cid.split("#")[0],
+                 seq=0, text=text)
+
+
+CHUNKS = [
+    chunk("d1#c0", "src-a", "Inception was directed by Christopher Nolan."),
+    chunk("d2#c0", "src-a", "Heat was directed by Michael Mann."),
+    chunk("d3#c0", "src-b", "Inception was released in the year 2010."),
+    chunk("d4#c0", "src-b", "The stock traded a volume of 715000."),
+    chunk("d5#c0", "src-c", "Inception belongs to the genre thriller."),
+]
+
+
+@pytest.fixture(params=["dense", "sparse", "hybrid"])
+def retriever(request) -> MultiSourceRetriever:
+    r = MultiSourceRetriever(mode=request.param)
+    r.add_chunks(CHUNKS)
+    return r.build()
+
+
+class TestRetrieve:
+    def test_relevant_first(self, retriever):
+        hits = retriever.retrieve("Inception directed", k=2)
+        assert hits[0].item.chunk_id == "d1#c0"
+
+    def test_k_respected(self, retriever):
+        assert len(retriever.retrieve("Inception", k=3)) <= 3
+
+    def test_sources_listed(self, retriever):
+        assert retriever.sources() == ["src-a", "src-b", "src-c"]
+
+    def test_len(self, retriever):
+        assert len(retriever) == 5
+
+
+class TestPerSourceQuota:
+    def test_every_source_heard(self):
+        r = MultiSourceRetriever()
+        r.add_chunks(CHUNKS)
+        r.build()
+        hits = r.retrieve_per_source("Inception", k_per_source=1)
+        sources = {h.item.source_id for h in hits}
+        assert {"src-a", "src-b", "src-c"} <= sources
+
+    def test_quota_respected(self):
+        r = MultiSourceRetriever()
+        r.add_chunks(CHUNKS + [chunk("d6#c0", "src-a", "Inception stars someone.")])
+        r.build()
+        hits = r.retrieve_per_source("Inception", k_per_source=1)
+        from collections import Counter
+        counts = Counter(h.item.source_id for h in hits)
+        assert max(counts.values()) == 1
+
+
+class TestLifecycle:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            MultiSourceRetriever(mode="quantum")
+
+    def test_auto_build_on_retrieve(self):
+        r = MultiSourceRetriever()
+        r.add_chunks(CHUNKS)
+        # no explicit build()
+        assert r.retrieve("Inception", k=1)
+
+    def test_add_after_build_triggers_rebuild(self):
+        r = MultiSourceRetriever()
+        r.add_chunks(CHUNKS[:2])
+        r.build()
+        r.add_chunks(CHUNKS[2:])
+        hits = r.retrieve("stock volume", k=1)
+        assert hits[0].item.chunk_id == "d4#c0"
+
+    def test_empty_retriever(self):
+        assert MultiSourceRetriever().retrieve("anything") == []

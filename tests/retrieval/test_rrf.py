@@ -1,0 +1,68 @@
+"""Tests for the reciprocal-rank-fusion retrieval mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval import Chunk, MultiSourceRetriever
+
+
+def chunk(cid: str, text: str) -> Chunk:
+    return Chunk(chunk_id=cid, source_id="s", doc_id=cid, seq=0, text=text)
+
+
+CHUNKS = [
+    chunk("c1", "Inception was directed by Christopher Nolan."),
+    chunk("c2", "Heat was directed by Michael Mann."),
+    chunk("c3", "Inception was released in the year 2010."),
+    chunk("c4", "The stock market closed higher on heavy volume."),
+]
+
+
+@pytest.fixture()
+def rrf() -> MultiSourceRetriever:
+    r = MultiSourceRetriever(mode="rrf")
+    r.add_chunks(CHUNKS)
+    return r.build()
+
+
+class TestRRF:
+    def test_relevant_first(self, rrf):
+        hits = rrf.retrieve("Inception Nolan", k=2)
+        assert hits[0].item.chunk_id == "c1"
+
+    def test_scores_bounded_by_two_lists(self, rrf):
+        hits = rrf.retrieve("Inception", k=4)
+        # Max possible RRF score: rank-1 in both lists.
+        assert all(h.score <= 2.0 / (rrf.rrf_k + 1) + 1e-12 for h in hits)
+
+    def test_scores_descending(self, rrf):
+        hits = rrf.retrieve("directed Inception stock", k=4)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_agreement_across_indexes_wins(self, rrf):
+        # c1 matches both lexically and by idf-weighted cosine; it must
+        # outrank chunks only one index likes.
+        hits = rrf.retrieve("Inception directed Nolan", k=4)
+        assert hits[0].item.chunk_id == "c1"
+        assert hits[0].score > hits[-1].score
+
+    def test_custom_rrf_k(self):
+        r = MultiSourceRetriever(mode="rrf", rrf_k=1)
+        r.add_chunks(CHUNKS)
+        r.build()
+        hits = r.retrieve("Inception", k=2)
+        assert hits
+        assert hits[0].score <= 1.0  # 2 * 1/(1+1)
+
+    def test_rrf_vs_hybrid_same_top_for_clear_queries(self):
+        hybrid = MultiSourceRetriever(mode="hybrid")
+        hybrid.add_chunks(CHUNKS)
+        hybrid.build()
+        rrf = MultiSourceRetriever(mode="rrf")
+        rrf.add_chunks(CHUNKS)
+        rrf.build()
+        q = "Michael Mann Heat"
+        assert (hybrid.retrieve(q, k=1)[0].item.chunk_id
+                == rrf.retrieve(q, k=1)[0].item.chunk_id == "c2")

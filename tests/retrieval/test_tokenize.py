@@ -1,0 +1,75 @@
+"""Tests for tokenization, sentence splitting and n-grams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval import STOPWORDS, ngrams, sentences, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Christopher NOLAN") == ["christopher", "nolan"]
+
+    def test_drops_stopwords_by_default(self):
+        assert "the" not in tokenize("the movie was directed by him")
+
+    def test_keeps_stopwords_when_asked(self):
+        tokens = tokenize("the movie", drop_stopwords=False)
+        assert "the" in tokens
+
+    def test_compound_tokens_survive(self):
+        assert tokenize("flight CA981 departs at 14:30") == [
+            "flight", "ca981", "departs", "14:30"
+        ]
+
+    def test_hyphenated(self):
+        assert tokenize("isbn 978-3-16") == ["isbn", "978-3-16"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_punctuation_removed(self):
+        assert tokenize("hello, world!") == ["hello", "world"]
+
+
+class TestSentences:
+    def test_splits_on_periods(self):
+        out = sentences("One sentence. Two sentence. Three.")
+        assert len(out) == 3
+
+    def test_question_and_exclamation(self):
+        out = sentences("Really? Yes! Fine.")
+        assert len(out) == 3
+
+    def test_whitespace_only(self):
+        assert sentences("   ") == []
+
+    def test_no_terminal_punctuation(self):
+        assert sentences("no punctuation here") == ["no punctuation here"]
+
+    def test_abbreviation_limitation_documented(self):
+        # Simple splitter: splits after any period+space; acceptable for
+        # the generated corpora which avoid abbreviations.
+        out = sentences("Dr. Smith arrived.")
+        assert len(out) == 2
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_n_longer_than_input(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+def test_stopwords_is_frozen():
+    assert isinstance(STOPWORDS, frozenset)
+    assert "the" in STOPWORDS

@@ -1,0 +1,51 @@
+"""Tests for the cosine top-k vector index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval import VectorIndex
+
+ITEMS = ["doc-nolan", "doc-mann", "doc-villeneuve", "doc-stocks"]
+TEXTS = [
+    "Inception was directed by Christopher Nolan",
+    "Heat was directed by Michael Mann",
+    "Arrival was directed by Denis Villeneuve",
+    "The stock closed at a high price today",
+]
+
+
+@pytest.fixture()
+def index() -> VectorIndex[str]:
+    return VectorIndex[str]().build(ITEMS, TEXTS)
+
+
+class TestVectorIndex:
+    def test_top_hit_relevance(self, index):
+        hits = index.search("who directed Inception", k=2)
+        assert hits[0].item == "doc-nolan"
+
+    def test_scores_descending(self, index):
+        hits = index.search("directed movie", k=4)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_caps_results(self, index):
+        assert len(index.search("directed", k=2)) == 2
+
+    def test_k_larger_than_corpus(self, index):
+        assert len(index.search("directed", k=100)) == len(ITEMS)
+
+    def test_empty_index(self):
+        assert VectorIndex[str]().build([], []).search("anything") == []
+
+    def test_len(self, index):
+        assert len(index) == 4
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            VectorIndex[str]().build(["a"], [])
+
+    def test_query_with_no_overlap(self, index):
+        hits = index.search("zzzz qqqq", k=2)
+        assert all(h.score == 0.0 for h in hits)

@@ -1,0 +1,71 @@
+"""Tests for the TF-IDF vectorizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval import TfidfVectorizer
+
+CORPUS = [
+    "Inception was directed by Christopher Nolan",
+    "Heat was directed by Michael Mann",
+    "Arrival was directed by Denis Villeneuve",
+    "The stock closed at a high price today",
+]
+
+
+class TestTfidfVectorizer:
+    def test_rows_are_unit_norm(self):
+        matrix = TfidfVectorizer().fit_transform(CORPUS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_self_similarity_highest(self):
+        vec = TfidfVectorizer()
+        matrix = vec.fit_transform(CORPUS)
+        sims = matrix @ matrix[0]
+        assert np.argmax(sims) == 0
+
+    def test_related_closer_than_unrelated(self):
+        vec = TfidfVectorizer()
+        matrix = vec.fit_transform(CORPUS)
+        sims = matrix @ matrix[0]
+        assert sims[1] > sims[3]
+
+    def test_unknown_terms_yield_zero_vector(self):
+        vec = TfidfVectorizer()
+        vec.fit(CORPUS)
+        out = vec.transform(["zzz qqq www"])
+        assert np.allclose(out, 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["x"])
+
+    def test_min_df_filters_rare_terms(self):
+        vec = TfidfVectorizer(min_df=2)
+        vec.fit(CORPUS)
+        assert "inception" not in vec.vocabulary
+        assert "directed" in vec.vocabulary
+
+    def test_min_df_validation(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_df=0)
+
+    def test_empty_corpus(self):
+        vec = TfidfVectorizer()
+        matrix = vec.fit_transform([])
+        assert matrix.shape == (0, 0)
+
+    def test_idf_weights_rarer_terms_higher(self):
+        vec = TfidfVectorizer()
+        vec.fit(CORPUS)
+        rare = vec.idf[vec.vocabulary["inception"]]
+        common = vec.idf[vec.vocabulary["directed"]]
+        assert rare > common
+
+    def test_deterministic(self):
+        m1 = TfidfVectorizer().fit_transform(CORPUS)
+        m2 = TfidfVectorizer().fit_transform(CORPUS)
+        assert np.array_equal(m1, m2)

@@ -1,0 +1,53 @@
+"""Public API surface checks: exports exist, names stay stable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.adapters", "repro.baselines", "repro.confidence", "repro.core",
+    "repro.datasets", "repro.eval", "repro.kg", "repro.linegraph",
+    "repro.llm", "repro.retrieval",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+def test_module_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} needs a module docstring"
+
+
+def test_public_classes_documented():
+    """Every exported class and function carries a docstring."""
+    import inspect
+
+    undocumented = []
+    for module_name in SUBPACKAGES:
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{module_name}.{name}")
+    assert undocumented == []

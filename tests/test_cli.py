@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    directory = tmp_path / "corpus"
+    code = main(["generate", "books", str(directory), "--scale", "0.3"])
+    assert code == 0
+    return directory
+
+
+class TestGenerate:
+    def test_generates_files(self, corpus):
+        assert (corpus / "queries.json").exists()
+        assert any(p.suffix == ".csv" for p in corpus.iterdir())
+
+    def test_scale_respected(self, tmp_path, capsys):
+        main(["generate", "movies", str(tmp_path / "m"), "--scale", "0.2"])
+        out = capsys.readouterr().out
+        assert "13 sources" in out
+
+
+class TestStats:
+    def test_lists_sources(self, corpus, capsys):
+        assert main(["stats", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "books-csv-00" in out
+        assert "xml" in out
+
+
+class TestIngest:
+    def test_saves_graph(self, corpus, tmp_path, capsys):
+        graph_path = tmp_path / "kg.json"
+        assert main(["ingest", str(corpus), "--graph", str(graph_path)]) == 0
+        payload = json.loads(graph_path.read_text())
+        assert payload["triples"]
+
+    def test_without_graph_flag(self, corpus):
+        assert main(["ingest", str(corpus)]) == 0
+
+
+class TestQuery:
+    def test_answers_question(self, corpus, capsys):
+        manifest = json.loads((corpus / "queries.json").read_text())
+        question = manifest["queries"][0]["text"]
+        assert main(["query", str(corpus), question]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("answer:")
+
+    def test_explain_flag(self, corpus, capsys):
+        manifest = json.loads((corpus / "queries.json").read_text())
+        question = manifest["queries"][0]["text"]
+        assert main(["query", str(corpus), question, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "group (" in out or "nothing to adjudicate" in out
+
+
+class TestEvaluate:
+    def test_prints_f1(self, corpus, capsys):
+        assert main(["evaluate", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "mean F1" in out
+
+
+class TestErrors:
+    def test_missing_directory_exit_code(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "missing")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_deterministic_across_runs(self, corpus, capsys):
+        main(["evaluate", str(corpus)])
+        first = capsys.readouterr().out
+        main(["evaluate", str(corpus)])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,37 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc_cls",
+    [
+        errors.AdapterError,
+        errors.UnknownFormatError,
+        errors.GraphError,
+        errors.EntityNotFoundError,
+        errors.ExtractionError,
+        errors.QueryError,
+        errors.ConfigError,
+        errors.DatasetError,
+    ],
+)
+def test_subclass_of_repro_error(exc_cls):
+    assert issubclass(exc_cls, errors.ReproError)
+
+
+def test_unknown_format_is_adapter_error():
+    assert issubclass(errors.UnknownFormatError, errors.AdapterError)
+
+
+def test_entity_not_found_is_graph_error():
+    assert issubclass(errors.EntityNotFoundError, errors.GraphError)
+
+
+def test_catchable_as_base(tiny_graph):
+    with pytest.raises(errors.ReproError):
+        tiny_graph.entity("does-not-exist")

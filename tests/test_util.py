@@ -1,0 +1,145 @@
+"""Tests for repro.util: stable hashing, canonicalization, timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util import (
+    Stopwatch,
+    canonical_value,
+    jaccard,
+    normalize_value,
+    stable_choice,
+    stable_hash,
+    stable_uniform,
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", "b", seed=3) == stable_hash("a", "b", seed=3)
+
+    def test_seed_changes_value(self):
+        assert stable_hash("a", seed=1) != stable_hash("a", seed=2)
+
+    def test_parts_order_matters(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_non_string_parts(self):
+        assert stable_hash(1, 2.5, None) == stable_hash(1, 2.5, None)
+
+
+class TestStableUniform:
+    def test_range(self):
+        for i in range(200):
+            value = stable_uniform("key", i, seed=5)
+            assert 0.0 <= value < 1.0
+
+    def test_roughly_uniform(self):
+        draws = [stable_uniform("u", i) for i in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+
+    def test_deterministic(self):
+        assert stable_uniform("x", seed=9) == stable_uniform("x", seed=9)
+
+
+class TestStableChoice:
+    def test_choice_in_options(self):
+        options = ["a", "b", "c"]
+        assert stable_choice(options, "k") in options
+
+    def test_deterministic(self):
+        options = list(range(10))
+        assert stable_choice(options, "k", 1) == stable_choice(options, "k", 1)
+
+    def test_empty_options_raises(self):
+        with pytest.raises(ValueError):
+            stable_choice([], "k")
+
+    def test_covers_all_options(self):
+        options = ["a", "b", "c", "d"]
+        seen = {stable_choice(options, i) for i in range(100)}
+        assert seen == set(options)
+
+
+class TestNormalizeValue:
+    def test_case_and_whitespace(self):
+        assert normalize_value("  Christopher  Nolan ") == "christopher nolan"
+
+    def test_non_string_input(self):
+        assert normalize_value(2010) == "2010"
+
+    def test_preserves_token_order(self):
+        assert normalize_value("b a") != normalize_value("a b")
+
+
+class TestCanonicalValue:
+    def test_comma_inverted_name(self):
+        assert canonical_value("Nolan, Christopher") == canonical_value(
+            "Christopher Nolan"
+        )
+
+    def test_dollar_prefix(self):
+        assert canonical_value("$249.74") == canonical_value("249.74")
+
+    def test_thousands_separator(self):
+        assert canonical_value("715,000") == canonical_value("715000")
+
+    def test_title_inversion(self):
+        assert canonical_value("Silent Horizon, The") == canonical_value(
+            "The Silent Horizon"
+        )
+
+    def test_distinct_values_stay_distinct(self):
+        assert canonical_value("2010") != canonical_value("2011")
+        assert canonical_value("Michael Mann") != canonical_value("Christopher Nolan")
+
+    def test_case_insensitive(self):
+        assert canonical_value("DRAMA") == canonical_value("drama")
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            time.sleep(0.01)
+        first = watch.elapsed
+        assert first >= 0.01
+        with watch.measure():
+            time.sleep(0.01)
+        assert watch.elapsed > first
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_exception_still_records(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.measure():
+                raise RuntimeError("boom")
+        assert watch.elapsed > 0.0
