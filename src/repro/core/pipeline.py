@@ -33,6 +33,7 @@ from repro.confidence.node_level import NodeScorer
 from repro.core.answer import RankedValue, RetrievalResult
 from repro.core.config import MultiRAGConfig
 from repro.core.logic_form import LogicForm, generate_logic_form
+from repro.errors import StateError
 from repro.kg.triple import Provenance, Triple
 from repro.linegraph.homologous import HomologousGroup, HomologousNode
 from repro.linegraph.mlg import MultiSourceLineGraph
@@ -329,7 +330,10 @@ class MultiRAG:
         Each query needs ``entity``, ``attribute`` and ``answers``
         attributes.  Returns per-query F1 plus aggregate statistics.
         """
-        from repro.eval.metrics import f1_score, mean
+        # Deliberate upward edge: evaluate() is an orchestration
+        # convenience and eval.metrics is a leaf (scoring math only);
+        # importing lazily keeps core importable without eval.
+        from repro.eval.metrics import f1_score, mean  # repro-lint: ignore[LAY001]
 
         report = EvaluationReport()
         for query in queries:
@@ -351,7 +355,7 @@ class MultiRAG:
     # ------------------------------------------------------------------
     def _require_ingested(self) -> None:
         if self.fusion is None or self.scorer is None:
-            raise RuntimeError("call ingest() before querying")
+            raise StateError("call ingest() before querying")
 
     def _resolve_entity(self, name: str) -> str | None:
         assert self.fusion is not None

@@ -21,6 +21,22 @@ class UnknownFormatError(AdapterError):
     """No adapter is registered for the requested data format."""
 
 
+class StateError(ReproError):
+    """An operation was invoked before the state it needs was built.
+
+    Raised e.g. when querying a pipeline before :meth:`ingest` or
+    transforming with an unfitted vectorizer.
+    """
+
+
+class ContractViolation(ReproError):
+    """A runtime contract check failed (see :mod:`repro.lint.contracts`).
+
+    Signals an internal-invariant breach — confidence bounds, MLG
+    referential integrity, SVs/LVs disjointness — not a user error.
+    """
+
+
 class GraphError(ReproError):
     """Invalid operation on a knowledge graph or line graph."""
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable, Iterator
 
+from repro.errors import GraphError
 from repro.kg.triple import Triple
 
 
@@ -58,7 +59,11 @@ class LineGraph:
         if idx is None:
             return []
         neighbor_ids: set[int] = set()
-        for endpoint in {triple.subject, triple.obj}:
+        endpoints = (
+            (triple.subject,) if triple.obj == triple.subject
+            else (triple.subject, triple.obj)
+        )
+        for endpoint in endpoints:
             neighbor_ids.update(self._buckets.get(endpoint, ()))
         neighbor_ids.discard(idx)
         return [self._triples[i] for i in sorted(neighbor_ids)]
@@ -70,7 +75,7 @@ class LineGraph:
         """Iterate explicit line-graph edges (i < j), capped at ``max_edges``.
 
         Raises:
-            OverflowError: when the edge count would exceed ``max_edges`` —
+            GraphError: when the edge count would exceed ``max_edges`` —
             the caller should be using lazy adjacency instead.
         """
         emitted = 0
@@ -87,7 +92,7 @@ class LineGraph:
                     seen.add(pair)
                     emitted += 1
                     if emitted > max_edges:
-                        raise OverflowError(
+                        raise GraphError(
                             f"line graph exceeds {max_edges} explicit edges; "
                             "use neighbors() instead"
                         )

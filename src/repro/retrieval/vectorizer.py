@@ -13,6 +13,7 @@ from collections import Counter
 
 import numpy as np
 
+from repro.errors import StateError
 from repro.retrieval.tokenize import tokenize
 
 
@@ -45,7 +46,7 @@ class TfidfVectorizer:
     def transform(self, texts: list[str]) -> np.ndarray:
         """Embed ``texts`` as rows of an L2-normalized TF-IDF matrix."""
         if not self._fitted:
-            raise RuntimeError("vectorizer must be fit before transform")
+            raise StateError("vectorizer must be fit before transform")
         matrix = np.zeros((len(texts), len(self.vocabulary)), dtype=np.float64)
         for row, text in enumerate(texts):
             counts = Counter(tokenize(text))

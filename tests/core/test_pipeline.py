@@ -19,7 +19,9 @@ class TestIngest:
         assert report.mlg_stats["groups"] >= 2
 
     def test_query_before_ingest_raises(self):
-        with pytest.raises(RuntimeError):
+        from repro.errors import StateError
+
+        with pytest.raises(StateError):
             MultiRAG(MultiRAGConfig()).query("Who directed Inception?")
 
     def test_mlg_absent_without_mka(self, sources):

@@ -134,6 +134,8 @@ class TestPipelineAddSource:
         from repro.adapters import RawSource
         from repro.core import MultiRAG, MultiRAGConfig
 
+        from repro.errors import StateError
+
         rag = MultiRAG(MultiRAGConfig())
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StateError):
             rag.add_source(RawSource("s", "d", "csv", "n", "a,b\nx,y\n"))

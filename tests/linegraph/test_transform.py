@@ -56,7 +56,9 @@ class TestLineGraph:
     def test_edges_cap_raises(self):
         members = [t("e", "attr", f"v{i}", src=f"s{i}") for i in range(10)]
         lg = LineGraph(members)
-        with pytest.raises(OverflowError):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
             list(lg.edges(max_edges=5))
 
     def test_empty_graph_complete(self):

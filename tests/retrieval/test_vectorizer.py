@@ -40,7 +40,9 @@ class TestTfidfVectorizer:
         assert np.allclose(out, 0.0)
 
     def test_transform_before_fit_raises(self):
-        with pytest.raises(RuntimeError):
+        from repro.errors import StateError
+
+        with pytest.raises(StateError):
             TfidfVectorizer().transform(["x"])
 
     def test_min_df_filters_rare_terms(self):
