@@ -81,3 +81,17 @@ def test_bench_retriever(benchmark, substrate):
     queries = [f"movie {i} directed genre" for i in range(20)]
     hits = benchmark(lambda: [retriever.retrieve(q, k=5) for q in queries])
     assert len(hits) == 20
+
+
+def test_bench_lint_full_pass(benchmark):
+    """A full static-analysis pass over the package: the gate must stay
+    cheap enough to run on every push (and every test run)."""
+    from pathlib import Path
+
+    import repro
+    from repro.lint import lint_paths
+
+    src = Path(repro.__file__).resolve().parent
+    report = benchmark(lambda: lint_paths([src]))
+    assert report.ok
+    assert report.files_checked > 100

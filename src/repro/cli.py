@@ -7,6 +7,7 @@
     python -m repro query corpus/ "Who wrote A Crimson Archive?" --explain
     python -m repro evaluate corpus/               # F1 over queries.json
     python -m repro ingest corpus/ --graph kg.json # cache the fused graph
+    python -m repro lint                           # static-analysis gate
 
 All commands are offline and deterministic (--seed).
 """
@@ -108,6 +109,38 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.family:12s} [{rule.severity}] "
+                  f"{rule.description}")
+        return 0
+
+    paths = args.paths
+    if not paths:
+        # Default target: the installed repro package itself, so the gate
+        # works from any working directory.
+        paths = [str(Path(__file__).resolve().parent)]
+    try:
+        report = lint_paths(
+            paths,
+            select=set(args.select.split(",")) if args.select else None,
+            include_suppressed=args.no_ignore,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,6 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("evaluate", help="score queries.json with MultiRAG")
     p.add_argument("directory")
     p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the static-analysis gate (determinism, layering, "
+             "errors, hygiene)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: the repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (json is machine-readable)")
+    p.add_argument("--select",
+                   help="comma-separated rule ids to run (e.g. DET001,LAY001)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("--no-ignore", action="store_true",
+                   help="report findings even on suppressed lines")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("report",
                        help="compile results/*.json into a Markdown report")

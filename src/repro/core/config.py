@@ -49,6 +49,11 @@ class MultiRAGConfig:
     enable_graph_level: bool = True
     enable_node_level: bool = True
     update_history: bool = True
+    #: validate runtime contracts (MLG referential integrity, MCC
+    #: disjointness, confidence bounds — see ``repro.lint.contracts``)
+    #: at the end of ingest/query.  Off by default: the checks are
+    #: O(graph) and meant for tests and debugging, not production runs.
+    debug_contracts: bool = False
     seed: int = 0
     extraction_noise: float = 0.05
     extra: dict[str, object] = field(default_factory=dict)

@@ -35,6 +35,7 @@ from repro.core.config import MultiRAGConfig
 from repro.core.logic_form import LogicForm, generate_logic_form
 from repro.errors import StateError
 from repro.kg.triple import Provenance, Triple
+from repro.lint.contracts import check_mcc_result, check_mlg, check_ranked_answers
 from repro.linegraph.homologous import HomologousGroup, HomologousNode
 from repro.linegraph.mlg import MultiSourceLineGraph
 from repro.llm.generation import EvidenceItem, generate_trustworthy_answer
@@ -130,6 +131,8 @@ class MultiRAG:
         self._entity_by_norm = {}
         for triple in graph.triples():
             self._entity_by_norm.setdefault(normalize_value(triple.subject), triple.subject)
+        if self.config.debug_contracts and self.mlg is not None:
+            check_mlg(self.mlg)
         logger.info(
             "ingest complete: %d triples, %d entities, mlg=%s",
             len(graph), graph.num_entities(),
@@ -273,6 +276,9 @@ class MultiRAG:
             result.stage_values["after_node_filtering"] = [
                 a.value for a in result.answers
             ]
+            if self.config.debug_contracts:
+                check_mcc_result(mcc_result)
+                check_ranked_answers(result.answers)
             if self.config.update_history:
                 self._update_history(candidates, result)
         else:

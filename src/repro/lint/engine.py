@@ -1,0 +1,260 @@
+"""The lint engine: file discovery, parsing, suppression, rule dispatch.
+
+Pure stdlib (``ast`` + ``pathlib``) so the gate runs offline with zero
+third-party dependencies.  Inline suppression::
+
+    risky_call()  # repro-lint: ignore[DET001]
+    another()     # repro-lint: ignore          (all rules, this line)
+
+and a file-level pragma within the first ten lines::
+
+    # repro-lint: skip-file
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleUnderLint, Rule, all_rules
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+_SKIP_FILE_SCAN_LINES = 10
+
+#: pseudo rule id for files Python itself cannot parse.
+SYNTAX_ERROR_ID = "SYN001"
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format_text(self) -> str:
+        """Human-readable report, one line per finding plus a summary."""
+        lines = [finding.format() for finding in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} "
+            f"file(s), {self.suppressed} suppressed"
+        )
+        if self.findings:
+            per_rule = ", ".join(
+                f"{rule}×{n}" for rule, n in self.counts_by_rule().items()
+            )
+            summary += f" [{per_rule}]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report for ``repro lint --format json``."""
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "ok": self.ok,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files kept, dirs walked), sorted.
+
+    Raises:
+        ValueError: when a path does not exist.
+    """
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise ValueError(f"no such file or directory: {path}")
+    return sorted(set(out))
+
+
+def _package_parts(path: Path) -> tuple[str, ...]:
+    """Dotted module path rooted at the last ``repro`` directory.
+
+    ``.../src/repro/kg/graph.py`` → ``("repro", "kg", "graph")``; paths
+    outside a ``repro`` tree get ``()`` and skip the layering rules.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "repro":
+            middle = tuple(parts[i + 1:-1])
+            return ("repro", *middle, stem)
+    return ()
+
+
+def load_module(
+    path: Path, display_path: str | None = None
+) -> ModuleUnderLint | Finding:
+    """Parse one file; a syntax error becomes a SYN001 finding."""
+    source = Path(path).read_text(encoding="utf-8")
+    display = display_path if display_path is not None else str(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule_id=SYNTAX_ERROR_ID,
+            severity=Severity.ERROR,
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            message=f"file does not parse: {exc.msg}",
+        )
+    return ModuleUnderLint(
+        path=Path(path),
+        display_path=display,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        package_parts=_package_parts(Path(path)),
+    )
+
+
+def _is_suppressed(finding: Finding, module: ModuleUnderLint) -> bool:
+    match = _SUPPRESS_RE.search(module.line_text(finding.line))
+    if not match:
+        return False
+    ids = match.group("ids")
+    if ids is None:
+        return True
+    wanted = {part.strip() for part in ids.split(",") if part.strip()}
+    return finding.rule_id in wanted
+
+
+def _skip_file(module: ModuleUnderLint) -> bool:
+    return any(
+        _SKIP_FILE_RE.search(line)
+        for line in module.lines[:_SKIP_FILE_SCAN_LINES]
+    )
+
+
+def lint_module(
+    module: ModuleUnderLint,
+    rules: Iterable[Rule] | None = None,
+    include_suppressed: bool = False,
+) -> tuple[list[Finding], int]:
+    """Run ``rules`` over one parsed module → (findings, n_suppressed)."""
+    if _skip_file(module):
+        return [], 0
+    active = list(rules) if rules is not None else all_rules()
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in active:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not include_suppressed and _is_suppressed(finding, module):
+                suppressed += 1
+                continue
+            kept.append(finding)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+    include_suppressed: bool = False,
+) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    ``select`` restricts the run to the given rule ids (e.g.
+    ``{"DET001", "LAY001"}``); None runs everything.
+    """
+    rules = _select_rules(select)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            report.findings.append(loaded)
+            report.files_checked += 1
+            continue
+        findings, suppressed = lint_module(
+            loaded, rules, include_suppressed=include_suppressed
+        )
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def lint_source(
+    source: str,
+    display_path: str = "repro/snippet.py",
+    select: Iterable[str] | None = None,
+    include_suppressed: bool = False,
+) -> list[Finding]:
+    """Lint an in-memory source string (test and tooling hook).
+
+    ``display_path`` is also used to derive the module's package for the
+    layering rules, so ``"repro/kg/bad.py"`` lints as ``repro.kg.bad``.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=SYNTAX_ERROR_ID,
+                severity=Severity.ERROR,
+                path=display_path,
+                line=exc.lineno or 1,
+                col=exc.offset or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = ModuleUnderLint(
+        path=Path(display_path),
+        display_path=display_path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        package_parts=_package_parts(Path(display_path)),
+    )
+    findings, _ = lint_module(
+        module, _select_rules(select), include_suppressed=include_suppressed
+    )
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _select_rules(select: Iterable[str] | None) -> list[Rule] | None:
+    if select is None:
+        return None
+    wanted = set(select)
+    rules = [rule for rule in all_rules() if rule.rule_id in wanted]
+    unknown = wanted - {rule.rule_id for rule in rules}
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return rules

@@ -1,0 +1,58 @@
+"""Finding and severity types shared by every lint rule.
+
+A :class:`Finding` is one file/line-anchored violation.  Findings are
+plain frozen dataclasses so reports can be sorted, deduplicated and
+serialized without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    Both severities fail the lint gate (``repro lint`` exits non-zero on
+    any finding); the level is an aid for triage, not an escape hatch.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation anchored to a file position."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE-ID [severity] message`` — grep-friendly."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (used by ``repro lint --format json``)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)

@@ -1,0 +1,13 @@
+"""Rule family modules; importing this package registers every rule.
+
+Families:
+
+* ``determinism`` (DET) — seeded randomness, no wall clock, no hash-order.
+* ``layering`` (LAY) — the package dependency DAG.
+* ``errors`` (ERR) — the ReproError raise/except contract.
+* ``hygiene`` (API) — mutable defaults, return annotations, float equality.
+"""
+
+from repro.lint.rules import determinism, errors, hygiene, layering
+
+__all__ = ["determinism", "errors", "hygiene", "layering"]

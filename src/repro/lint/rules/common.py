@@ -1,0 +1,83 @@
+"""Shared AST helpers for the rule family modules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ImportMap:
+    """What names a module binds to which imported targets.
+
+    ``modules`` maps a local name to the dotted module it aliases
+    (``import random`` → ``{"random": "random"}``; ``import numpy as np``
+    → ``{"np": "numpy"}``).  ``members`` maps a local name to
+    ``(module, original_name)`` for ``from X import Y [as Z]``.
+    """
+
+    modules: dict[str, str] = field(default_factory=dict)
+    members: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+def collect_imports(tree: ast.Module) -> ImportMap:
+    """Walk ``tree`` and record every name bound by an import statement."""
+    imports = ImportMap()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports.modules[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports.members[local] = (node.module, alias.name)
+    return imports
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_target(node: ast.Call, imports: ImportMap) -> str | None:
+    """Resolve a call's function to its fully-qualified imported name.
+
+    ``rnd.choice(...)`` with ``import random as rnd`` resolves to
+    ``random.choice``; ``choice(...)`` with ``from random import choice``
+    also resolves to ``random.choice``.  Returns None when the target is
+    not an imported name (a local function, a method on an instance, ...).
+    """
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in imports.modules:
+        module = imports.modules[head]
+        return f"{module}.{rest}" if rest else module
+    if not rest and head in imports.members:
+        module, original = imports.members[head]
+        return f"{module}.{original}"
+    if rest and head in imports.members:
+        module, original = imports.members[head]
+        return f"{module}.{original}.{rest}"
+    return None
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """True for a set display or a bare ``set(...)``/``frozenset(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )

@@ -1,0 +1,152 @@
+"""API-hygiene rules (API) — interface-level foot-guns.
+
+These guard the public surface: mutable defaults that alias state across
+calls, unannotated public returns that erode the typed API, and exact
+float comparison on confidence values (Eqs. 7–11 produce floats; two
+mathematically equal scores need not be bit-equal).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleUnderLint, Rule, register_rule
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "defaultdict", "Counter", "deque", "bytearray",
+    "OrderedDict",
+})
+
+#: operand-name fragments that mark a value as a confidence-scale float.
+_CONFIDENCE_FRAGMENTS = ("confidence", "conf", "threshold", "authority")
+
+
+def _functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+    """Yield ``(function, is_public)`` for module- and class-level defs."""
+
+    def walk(body: list[ast.stmt], public_scope: bool) -> Iterator[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]
+    ]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                public = public_scope and not node.name.startswith("_")
+                yield node, public
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(
+                    node.body, public_scope and not node.name.startswith("_")
+                )
+
+    yield from walk(tree.body, True)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """API001 — no mutable default arguments."""
+
+    rule_id = "API001"
+    family = "hygiene"
+    severity = Severity.ERROR
+    description = (
+        "mutable default arguments are evaluated once and shared across "
+        "calls; default to None (or use dataclasses.field(default_factory))"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {node.name}(); "
+                        f"default to None and build inside the body",
+                    )
+
+
+@register_rule
+class ReturnAnnotationRule(Rule):
+    """API002 — public functions declare their return type."""
+
+    rule_id = "API002"
+    family = "hygiene"
+    severity = Severity.WARNING
+    description = (
+        "public functions and methods must annotate their return type; "
+        "the package ships py.typed and the annotations are the API docs"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        for node, public in _functions(module.tree):
+            if public and node.returns is None:
+                yield self.finding(
+                    module, node,
+                    f"public function {node.name}() has no return "
+                    f"annotation",
+                )
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """API003 — no exact == / != on confidence-scale floats."""
+
+    rule_id = "API003"
+    family = "hygiene"
+    severity = Severity.WARNING
+    description = (
+        "exact float equality on confidence/threshold values is "
+        "numerically fragile; compare with math.isclose or an explicit "
+        "epsilon"
+    )
+
+    def _is_confidence_operand(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return False
+        lowered = name.lower()
+        return any(fragment in lowered for fragment in _CONFIDENCE_FRAGMENTS)
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            conf_count = sum(
+                1 for o in operands if self._is_confidence_operand(o)
+            )
+            has_float_literal = any(
+                self._is_float_literal(o) for o in operands
+            )
+            if conf_count and (conf_count >= 2 or has_float_literal):
+                yield self.finding(
+                    module, node,
+                    "exact equality on a confidence-scale float; use "
+                    "math.isclose or an epsilon band",
+                )

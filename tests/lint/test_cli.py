@@ -1,0 +1,90 @@
+"""The ``repro lint`` CLI gate: exit codes, JSON output, rule listing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+@pytest.fixture()
+def dirty_dir(tmp_path):
+    bad = tmp_path / "pkg"
+    bad.mkdir()
+    (bad / "unseeded.py").write_text(
+        "import random\n\n\ndef roll() -> float:\n    return random.random()\n"
+    )
+    return bad
+
+
+class TestExitCodes:
+    def test_zero_on_clean_tree(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_default_target_is_the_package(self, capsys):
+        assert main(["lint"]) == 0
+        assert "finding(s)" in capsys.readouterr().out
+
+    def test_nonzero_on_violation(self, dirty_dir, capsys):
+        assert main(["lint", str(dirty_dir)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_nonzero_on_layering_violation(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "kg"
+        pkg.mkdir(parents=True)
+        (pkg / "sneaky.py").write_text(
+            "from repro.core.pipeline import MultiRAG\n"
+        )
+        assert main(["lint", str(pkg)]) == 1
+        assert "LAY001" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestOptions:
+    def test_json_format(self, dirty_dir, capsys):
+        assert main(["lint", str(dirty_dir), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        rule_ids = {f["rule_id"] for f in payload["findings"]}
+        assert "DET001" in rule_ids
+        finding = payload["findings"][0]
+        assert {"rule_id", "severity", "path", "line", "col",
+                "message"} <= finding.keys()
+
+    def test_select(self, dirty_dir, capsys):
+        assert main(["lint", str(dirty_dir), "--select", "LAY001"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(dirty_dir), "--select", "DET001"]) == 1
+
+    def test_unknown_select_is_usage_error(self, dirty_dir, capsys):
+        assert main(["lint", str(dirty_dir), "--select", "NOPE999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_no_ignore(self, tmp_path, capsys):
+        target = tmp_path / "sup.py"
+        target.write_text(
+            "import random\n"
+            "x = random.random()  # repro-lint: ignore[DET001]\n"
+        )
+        assert main(["lint", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(target), "--no-ignore"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        listed = [line.split()[0] for line in out.splitlines() if line]
+        assert len(listed) >= 10
+        assert {"DET001", "LAY001", "ERR001", "API001"} <= set(listed)

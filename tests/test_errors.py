@@ -18,6 +18,8 @@ from repro import errors
         errors.QueryError,
         errors.ConfigError,
         errors.DatasetError,
+        errors.StateError,
+        errors.ContractViolation,
     ],
 )
 def test_subclass_of_repro_error(exc_cls):
@@ -35,3 +37,17 @@ def test_entity_not_found_is_graph_error():
 def test_catchable_as_base(tiny_graph):
     with pytest.raises(errors.ReproError):
         tiny_graph.entity("does-not-exist")
+
+
+def test_hierarchy_covers_every_raise_site():
+    """ERR003 over all of src/repro finds nothing: every raise in the
+    library uses a ReproError subclass or a sanctioned builtin, i.e. the
+    hierarchy in errors.py is exhaustive for the codebase."""
+    from pathlib import Path
+
+    from repro import lint
+
+    src = Path(lint.__file__).resolve().parents[1]
+    report = lint.lint_paths([src], select={"ERR003"})
+    assert report.files_checked > 50
+    assert report.findings == [], report.format_text()
