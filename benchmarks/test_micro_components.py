@@ -95,3 +95,63 @@ def test_bench_lint_full_pass(benchmark):
     report = benchmark(lambda: lint_paths([src]))
     assert report.ok
     assert report.files_checked > 100
+
+
+def test_bench_lint_warm_cache(benchmark, tmp_path):
+    """A cache-warm lint pass: content hashing plus closure-key checks
+    only, no parsing and no flow analysis.  Must beat the cold pass by a
+    wide margin — this is the per-edit developer loop."""
+    from pathlib import Path
+
+    import repro
+    from repro.lint import lint_paths
+
+    src = Path(repro.__file__).resolve().parent
+    cache = tmp_path / "lint-cache"
+    cold = lint_paths([src], cache_dir=cache)  # prime
+    report = benchmark(lambda: lint_paths([src], cache_dir=cache))
+    assert report.ok
+    assert report.flow_cached
+    assert report.cache_hits == report.files_checked
+    assert report.files_checked == cold.files_checked
+
+
+def test_bench_lint_cold_vs_warm(tmp_path):
+    """Record the cold/warm ratio explicitly: the incremental cache must
+    make warm runs measurably faster than cold ones."""
+    import time
+    from pathlib import Path
+
+    import repro
+    from repro.lint import lint_paths
+
+    src = Path(repro.__file__).resolve().parent
+    cache = tmp_path / "lint-cache"
+    start = time.perf_counter()
+    cold = lint_paths([src], cache_dir=cache)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = lint_paths([src], cache_dir=cache)
+    warm_s = time.perf_counter() - start
+    assert cold.ok and warm.ok
+    assert warm.flow_cached
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+    print(f"\nlint cold {cold_s:.3f}s -> warm {warm_s:.3f}s "
+          f"({cold_s / max(warm_s, 1e-9):.0f}x)")
+    assert warm_s < cold_s
+
+
+def test_bench_callgraph_construction(benchmark):
+    """Whole-program view construction (symbol table + call graph): the
+    fixed cost every cold flow pass pays on top of per-file linting."""
+    from pathlib import Path
+
+    import repro
+    from repro.lint import build_program_for_paths
+
+    src = Path(repro.__file__).resolve().parent
+    program = benchmark(lambda: build_program_for_paths([src]))
+    assert len(program.callgraph.flows) > 400
+    assert len(program.symtab.modules) > 100

@@ -59,7 +59,14 @@ class DataFusionEngine:
         self.standardize = standardize
 
     def fuse(self, sources: list[RawSource], graph_name: str = "fused") -> FusionResult:
-        """Run ``D_Fusion = ⋃ A_i(D_i)`` over ``sources``."""
+        """Run ``D_Fusion = ⋃ A_i(D_i)`` over ``sources``.
+
+        Raises:
+            UnknownFormatError: if a source declares a format with no adapter.
+            AdapterError: if a source payload does not match its format.
+            ExtractionError: if LLM extraction fails on an unstructured chunk.
+            EntityNotFoundError: if entity registration meets a dangling id.
+        """
         start = time.perf_counter()
         graph = KnowledgeGraph(name=graph_name)
         result = FusionResult(graph=graph)

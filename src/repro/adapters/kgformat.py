@@ -15,6 +15,12 @@ class KgAdapter(Adapter):
     fmt = "kg"
 
     def parse(self, raw: RawSource) -> AdapterOutput:
+        """Parse a pre-built KG export into triples.
+
+        Raises:
+            AdapterError: if the payload is not a triples dict or a triple
+                is malformed.
+        """
         payload = raw.payload
         if not isinstance(payload, dict) or "triples" not in payload:
             raise AdapterError(

@@ -57,6 +57,11 @@ class SemiStructuredJsonAdapter(Adapter):
     fmt = "json"
 
     def parse(self, raw: RawSource) -> AdapterOutput:
+        """Flatten nested JSON records into triples.
+
+        Raises:
+            AdapterError: if the payload is not a records dict.
+        """
         payload = raw.payload
         if not isinstance(payload, dict) or "records" not in payload:
             raise AdapterError(
@@ -100,6 +105,12 @@ class SemiStructuredXmlAdapter(Adapter):
     fmt = "xml"
 
     def parse(self, raw: RawSource) -> AdapterOutput:
+        """Flatten an XML record tree into triples.
+
+        Raises:
+            AdapterError: if the payload is not text or is not well-formed
+                XML.
+        """
         if not isinstance(raw.payload, str):
             raise AdapterError(
                 f"xml adapter expects text payload, got {type(raw.payload).__name__}"

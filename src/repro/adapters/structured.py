@@ -36,6 +36,12 @@ class StructuredAdapter(Adapter):
     fmt = "csv"
 
     def parse(self, raw: RawSource) -> AdapterOutput:
+        """Normalize a CSV table into DSM columns and triples.
+
+        Raises:
+            AdapterError: if the payload is not text, is empty, or lacks an
+                entity column.
+        """
         if not isinstance(raw.payload, str):
             raise AdapterError(
                 f"csv adapter expects text payload, got {type(raw.payload).__name__}"

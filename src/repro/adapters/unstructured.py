@@ -19,6 +19,12 @@ class UnstructuredAdapter(Adapter):
     fmt = "text"
 
     def parse(self, raw: RawSource) -> AdapterOutput:
+        """Wrap raw text payloads as retrievable documents.
+
+        Raises:
+            AdapterError: if the payload is neither text nor a mapping of
+                named documents.
+        """
         payload = raw.payload
         if isinstance(payload, str):
             documents = [(f"{raw.source_id}:{raw.name}", payload)]

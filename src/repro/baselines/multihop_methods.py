@@ -477,6 +477,13 @@ class QAMultiRAG(QAMethod):
         self.config = config or MultiRAGConfig()
 
     def setup(self, substrate: Substrate) -> None:
+        """Build and ingest the full MultiRAG pipeline.
+
+        Raises:
+            ReproError: if pipeline construction or ingestion fails
+                (bad config, unknown format, extraction or contract
+                failure).
+        """
         super().setup(substrate)
         self.pipeline = MultiRAG(
             config=self.config,
@@ -503,6 +510,13 @@ class QAMultiRAG(QAMethod):
         return tuple(ranked)
 
     def answer(self, query: MultiHopQuery) -> QAPrediction:
+        """Plan the question and answer it hop by hop with MultiRAG.
+
+        Raises:
+            StateError: if :meth:`setup` has not run.
+            ContractViolation: if a pipeline contract check fails in
+                ``debug_contracts`` mode.
+        """
         plan = plan_question(query.text)
         if plan.qtype == "comparison":
             return _comparison_prediction(

@@ -71,6 +71,13 @@ class MultiRAGMethod(FusionMethod):
         self.config = config or MultiRAGConfig()
 
     def setup(self, substrate: Substrate) -> None:
+        """Build and ingest the full MultiRAG pipeline.
+
+        Raises:
+            ReproError: if pipeline construction or ingestion fails
+                (bad config, dataset materialization, unknown format,
+                extraction or contract failure).
+        """
         super().setup(substrate)
         self.pipeline = MultiRAG(
             config=self.config,
@@ -79,6 +86,13 @@ class MultiRAGMethod(FusionMethod):
         self.build_report = self.pipeline.ingest(substrate.dataset.raw_sources())
 
     def query(self, entity: str, attribute: str) -> set[str]:
+        """Answer one (entity, attribute) key query.
+
+        Raises:
+            StateError: if :meth:`setup` has not run.
+            ContractViolation: if a pipeline contract check fails in
+                ``debug_contracts`` mode.
+        """
         result = self.pipeline.query_key(entity, attribute)
         return {a.value for a in result.answers}
 

@@ -22,7 +22,7 @@ from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import DATASET_FACTORIES
 from repro.datasets.loader import load_queries, load_sources, write_dataset
 from repro.errors import ReproError
-from repro.eval.metrics import f1_score, mean
+from repro.metrics import f1_score, mean
 from repro.eval.reporting import format_table
 from repro.kg.storage import save_graph
 
@@ -42,6 +42,11 @@ def _build_pipeline(directory: str, seed: int) -> MultiRAG:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    """Synthesize a benchmark corpus to disk.
+
+    Raises:
+        DatasetError: if the dataset cannot be materialized or written.
+    """
     factory = DATASET_FACTORIES[args.dataset]
     dataset = factory(seed=args.seed, scale=args.scale)
     root = write_dataset(dataset, args.directory)
@@ -51,6 +56,11 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    """List the sources found in a corpus directory.
+
+    Raises:
+        DatasetError: if the corpus directory cannot be loaded.
+    """
     sources = load_sources(args.directory)
     rows = []
     for raw in sources:
@@ -62,6 +72,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_ingest(args: argparse.Namespace) -> int:
+    """Fuse a corpus and optionally cache the resulting graph.
+
+    Raises:
+        ReproError: if loading, fusing or ingesting the corpus fails.
+    """
     rag = _build_pipeline(args.directory, args.seed)
     if args.graph:
         save_graph(rag.fusion.graph, args.graph)
@@ -70,6 +85,11 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    """Answer one question over a corpus.
+
+    Raises:
+        ReproError: if loading, ingesting or querying the corpus fails.
+    """
     rag = _build_pipeline(args.directory, args.seed)
     result = rag.query(args.question)
     print(f"answer: {result.generated_text}")
@@ -83,6 +103,11 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    """Compile results/*.json into a Markdown report.
+
+    Raises:
+        DatasetError: if the results directory cannot be read.
+    """
     from repro.eval.report import generate_report
 
     markdown = generate_report(args.results)
@@ -97,6 +122,11 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Score queries.json with the full MultiRAG pipeline.
+
+    Raises:
+        ReproError: if loading, ingesting or querying the corpus fails.
+    """
     queries = load_queries(args.directory)
     rag = _build_pipeline(args.directory, args.seed)
     scores = []
@@ -112,7 +142,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.lint import all_rules, lint_paths
+    from repro.lint import all_rules, build_program_for_paths, lint_paths
 
     if args.list_rules:
         for rule in all_rules():
@@ -125,11 +155,23 @@ def cmd_lint(args: argparse.Namespace) -> int:
         # Default target: the installed repro package itself, so the gate
         # works from any working directory.
         paths = [str(Path(__file__).resolve().parent)]
+
+    if args.graph:
+        program = build_program_for_paths(paths)
+        if args.graph == "dot":
+            print(program.callgraph.to_dot())
+        else:
+            print(program.callgraph.to_json())
+        return 0
+
     try:
         report = lint_paths(
             paths,
             select=set(args.select.split(",")) if args.select else None,
             include_suppressed=args.no_ignore,
+            flow=not args.no_flow,
+            cache_dir=None if args.no_cache else Path(args.cache_dir),
+            changed_only=args.changed_only,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -191,6 +233,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the rule catalogue and exit")
     p.add_argument("--no-ignore", action="store_true",
                    help="report findings even on suppressed lines")
+    p.add_argument("--graph", choices=["dot", "json"],
+                   help="print the whole-program call graph and exit")
+    p.add_argument("--changed-only", action="store_true",
+                   help="report only files changed since the cached run "
+                        "(plus their reverse import closure)")
+    p.add_argument("--no-flow", action="store_true",
+                   help="skip whole-program flow rules (per-file rules only)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the incremental cache")
+    p.add_argument("--cache-dir", default=".repro-lint-cache",
+                   help="incremental cache directory "
+                        "(default: .repro-lint-cache)")
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("report",

@@ -45,6 +45,11 @@ def mklgp(pipeline: MultiRAG, question: str) -> tuple[RetrievalResult, MKLGPTrac
     * line 5 ``SVs, LVs ← MCC(SG', q, D_q)`` — multi-level confidence;
     * lines 6–7 — confidence-ranked nodes are embedded into the prompt and
       the trustworthy answer is generated.
+
+    Raises:
+        StateError: if ``pipeline`` has not ingested any sources.
+        ContractViolation: if ``debug_contracts`` finds an invalid MCC
+            result or answer ranking.
     """
     trace = MKLGPTrace()
     trace.logic_form = generate_logic_form(question)

@@ -40,6 +40,7 @@ from repro.linegraph.homologous import HomologousGroup, HomologousNode
 from repro.linegraph.mlg import MultiSourceLineGraph
 from repro.llm.generation import EvidenceItem, generate_trustworthy_answer
 from repro.llm.simulated import SimulatedLLM
+from repro.metrics import f1_score, mean
 from repro.retrieval.chunking import SentenceChunker
 from repro.retrieval.retriever import MultiSourceRetriever
 from repro.util import normalize_value
@@ -105,7 +106,14 @@ class MultiRAG:
     # knowledge construction (MKA)
     # ------------------------------------------------------------------
     def ingest(self, sources: list[RawSource]) -> BuildReport:
-        """Fuse ``sources`` and build the MLG index (when MKA is enabled)."""
+        """Fuse ``sources`` and build the MLG index (when MKA is enabled).
+
+        Raises:
+            UnknownFormatError: if a source declares a format with no adapter.
+            ExtractionError: if LLM extraction fails on an unstructured chunk.
+            EntityNotFoundError: if fusion meets a dangling entity id.
+            ContractViolation: if ``debug_contracts`` finds a malformed MLG.
+        """
         start = time.perf_counter()
         self.fusion = self.engine.fuse(sources)
         graph = self.fusion.graph
@@ -156,6 +164,12 @@ class MultiRAG:
         seeding the new groups' consistency feedback into the history.
         Returns the MLG update counts (``joined`` / ``promoted`` /
         ``isolated``) plus ``claims_added``.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            UnknownFormatError: if the source declares a format with no
+                adapter.
+            ExtractionError: if LLM extraction fails on a text chunk.
         """
         from repro.adapters.base import get_adapter
         from repro.kg.triple import Entity
@@ -235,7 +249,13 @@ class MultiRAG:
     # retrieval (MKLGP)
     # ------------------------------------------------------------------
     def query(self, question: str) -> RetrievalResult:
-        """Answer ``question`` through the full MKLGP flow."""
+        """Answer ``question`` through the full MKLGP flow.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
+        """
         self._require_ingested()
         start = time.perf_counter()
         prompt_before = self.llm.meter.simulated_latency_s
@@ -296,7 +316,13 @@ class MultiRAG:
         return result
 
     def query_key(self, entity: str, attribute: str) -> RetrievalResult:
-        """Structured shortcut: answer the claim key ``(entity, attribute)``."""
+        """Structured shortcut: answer the claim key ``(entity, attribute)``.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
+        """
         return self.query(f"{entity} | {attribute}")
 
     def query_chain(self, hops: list[tuple[str | None, str]]) -> RetrievalResult:
@@ -306,6 +332,11 @@ class MultiRAG:
         hop" — the bridge-entity pattern of HotpotQA/2Wiki questions.
         The returned result carries the final hop's answers; traces of all
         hops are concatenated.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
         """
         self._require_ingested()
         result: RetrievalResult | None = None
@@ -335,12 +366,12 @@ class MultiRAG:
 
         Each query needs ``entity``, ``attribute`` and ``answers``
         attributes.  Returns per-query F1 plus aggregate statistics.
-        """
-        # Deliberate upward edge: evaluate() is an orchestration
-        # convenience and eval.metrics is a leaf (scoring math only);
-        # importing lazily keeps core importable without eval.
-        from repro.eval.metrics import f1_score, mean  # repro-lint: ignore[LAY001]
 
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
+        """
         report = EvaluationReport()
         for query in queries:
             result = self.query_key(query.entity, query.attribute)

@@ -22,7 +22,11 @@ PAPER_STATS = {
 
 
 def make_books(scale: float = 1.0, seed: int = 0, n_queries: int = 100) -> MultiSourceDataset:
-    """Generate the synthetic Books dataset."""
+    """Generate the synthetic Books dataset.
+
+    Raises:
+        DatasetError: if generation produces an inconsistent spec.
+    """
     rng = random.Random(seed * 7919 + 23)
     n_entities = max(20, int(90 * scale))
     titles = names.work_titles(rng, n_entities, prefix="A")

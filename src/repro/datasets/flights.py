@@ -21,7 +21,11 @@ PAPER_STATS = {
 
 
 def make_flights(scale: float = 1.0, seed: int = 0, n_queries: int = 100) -> MultiSourceDataset:
-    """Generate the synthetic Flights dataset."""
+    """Generate the synthetic Flights dataset.
+
+    Raises:
+        DatasetError: if generation produces an inconsistent spec.
+    """
     rng = random.Random(seed * 7919 + 37)
     n_entities = max(20, int(110 * scale))
     codes = names.flight_codes(rng, n_entities)

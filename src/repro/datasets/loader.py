@@ -37,7 +37,12 @@ def _suffix_for(fmt: str) -> str:
 
 
 def write_dataset(dataset: MultiSourceDataset, directory: str | Path) -> Path:
-    """Write every source (and the query manifest) under ``directory``."""
+    """Write every source (and the query manifest) under ``directory``.
+
+    Raises:
+        DatasetError: if a source cannot be materialized or its format has
+            no known file suffix.
+    """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
     for raw in dataset.raw_sources():
@@ -110,7 +115,11 @@ def load_sources(directory: str | Path, domain: str = "") -> list[RawSource]:
 
 
 def load_queries(directory: str | Path) -> list[QuerySpec]:
-    """Read the ``queries.json`` manifest written by :func:`write_dataset`."""
+    """Read the ``queries.json`` manifest written by :func:`write_dataset`.
+
+    Raises:
+        DatasetError: if ``directory`` has no ``queries.json``.
+    """
     path = Path(directory) / "queries.json"
     if not path.exists():
         raise DatasetError(f"no queries.json under {directory}")

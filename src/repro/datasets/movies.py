@@ -22,7 +22,11 @@ PAPER_STATS = {
 
 
 def make_movies(scale: float = 1.0, seed: int = 0, n_queries: int = 100) -> MultiSourceDataset:
-    """Generate the synthetic Movies dataset."""
+    """Generate the synthetic Movies dataset.
+
+    Raises:
+        DatasetError: if generation produces an inconsistent spec.
+    """
     rng = random.Random(seed * 7919 + 11)
     n_entities = max(20, int(120 * scale))
     titles = names.work_titles(rng, n_entities)

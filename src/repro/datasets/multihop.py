@@ -313,7 +313,11 @@ def _make_one(
 def make_hotpotqa_like(
     n_queries: int = 60, seed: int = 0, contradiction_rate: float = 0.3
 ) -> MultiHopDataset:
-    """HotpotQA-flavoured corpus: mostly 2-hop bridge + some comparison."""
+    """HotpotQA-flavoured corpus: mostly 2-hop bridge + some comparison.
+
+    Raises:
+        DatasetError: if the question mixture names an unknown type.
+    """
     rng = random.Random(seed * 104729 + 1)
     world = _World(rng, n_persons=40, n_films=30)
     sources = _build_sources(world, rng, "hotpotqa", contradiction_rate)
@@ -329,7 +333,11 @@ def make_hotpotqa_like(
 def make_2wiki_like(
     n_queries: int = 60, seed: int = 1, contradiction_rate: float = 0.3
 ) -> MultiHopDataset:
-    """2WikiMultiHopQA-flavoured corpus: compositional chains + comparison."""
+    """2WikiMultiHopQA-flavoured corpus: compositional chains + comparison.
+
+    Raises:
+        DatasetError: if the question mixture names an unknown type.
+    """
     rng = random.Random(seed * 104729 + 2)
     world = _World(rng, n_persons=40, n_films=30)
     sources = _build_sources(world, rng, "2wiki", contradiction_rate)

@@ -34,7 +34,11 @@ def mask_relations(
     fraction: float,
     seed: int = 0,
 ) -> MultiSourceDataset:
-    """Remove ``fraction`` of claims, keeping every query answerable."""
+    """Remove ``fraction`` of claims, keeping every query answerable.
+
+    Raises:
+        DatasetError: if ``fraction`` lies outside ``[0, 1]``.
+    """
     _check_fraction(fraction)
     if fraction == 0.0:
         return dataset
@@ -77,6 +81,9 @@ def corrupt_consistency(
     seed: int = 0,
 ) -> MultiSourceDataset:
     """Add ``fraction`` × |claims| shuffled-copy claims (triple increments).
+
+    Raises:
+        DatasetError: if ``fraction`` lies outside ``[0, 1]``.
 
     Each increment copies an existing claim's (entity, attribute) but takes
     its value from a *different* claim of the same attribute — the paper's
@@ -126,6 +133,9 @@ def corrupt_sources(
 
     ``source_ids`` defaults to the first half of the dataset's sources,
     matching Fig. 6's "corruption level in different sources" sweep.
+
+    Raises:
+        DatasetError: if ``level`` lies outside ``[0, 1]``.
     """
     _check_fraction(level)
     if level == 0.0:

@@ -83,6 +83,11 @@ class MultiSourceDataset:
     # views
     # ------------------------------------------------------------------
     def spec(self, source_id: str) -> SourceSpec:
+        """The :class:`SourceSpec` with the given id.
+
+        Raises:
+            DatasetError: if no source has that id.
+        """
         for spec in self.source_specs:
             if spec.source_id == source_id:
                 return spec
@@ -102,6 +107,9 @@ class MultiSourceDataset:
 
         This is how Table II's source configurations (J/K, J/C, J/K/C, ...)
         are produced from the full dataset.
+
+        Raises:
+            DatasetError: if no source matches the requested formats.
         """
         specs = [s for s in self.source_specs if s.fmt in fmts]
         if not specs:
@@ -130,7 +138,11 @@ class MultiSourceDataset:
     # materialization
     # ------------------------------------------------------------------
     def raw_sources(self) -> list[RawSource]:
-        """Materialize every source's claims into its storage format."""
+        """Materialize every source's claims into its storage format.
+
+        Raises:
+            DatasetError: if a spec names a format with no materializer.
+        """
         grouped = self.claims_by_source()
         sources: list[RawSource] = []
         for spec in self.source_specs:

@@ -21,7 +21,11 @@ PAPER_STATS = {
 
 
 def make_stocks(scale: float = 1.0, seed: int = 0, n_queries: int = 100) -> MultiSourceDataset:
-    """Generate the synthetic Stocks dataset."""
+    """Generate the synthetic Stocks dataset.
+
+    Raises:
+        DatasetError: if generation produces an inconsistent spec.
+    """
     rng = random.Random(seed * 7919 + 53)
     n_entities = max(20, int(90 * scale))
     symbols = names.stock_symbols(rng, n_entities)

@@ -63,7 +63,12 @@ def build_substrate(
     seed: int = 0,
     extraction_noise: float = 0.05,
 ) -> Substrate:
-    """Fuse a dataset once into the substrate all methods share."""
+    """Fuse a dataset once into the substrate all methods share.
+
+    Raises:
+        ReproError: if materializing or fusing the dataset fails
+            (dataset, format, extraction or entity errors).
+    """
     llm = SimulatedLLM(seed=seed, extraction_noise=extraction_noise)
     engine = DataFusionEngine(llm=llm)
     if isinstance(dataset, MultiHopDataset):
@@ -124,7 +129,11 @@ def run_fusion_methods(
     dataset: MultiSourceDataset,
     seed: int = 0,
 ) -> list[FusionRow]:
-    """Run several methods against one shared substrate."""
+    """Run several methods against one shared substrate.
+
+    Raises:
+        ReproError: if building the substrate fails.
+    """
     substrate = build_substrate(dataset, seed=seed)
     return [run_fusion_method(m, substrate, dataset) for m in methods]
 
@@ -156,7 +165,11 @@ def run_qa_methods(
     dataset: MultiHopDataset,
     seed: int = 0,
 ) -> list[QARow]:
-    """Run several QA methods against one shared substrate."""
+    """Run several QA methods against one shared substrate.
+
+    Raises:
+        ReproError: if building the substrate fails.
+    """
     substrate = build_substrate(dataset, seed=seed)
     return [run_qa_method(m, substrate, dataset) for m in methods]
 

@@ -3,6 +3,7 @@
 from repro.kg.columnar import ColumnarStore
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.schema import KIND_VALIDATORS, Schema
+from repro.kg.temporal import TemporalStore, TimestampedClaim, latest_consensus
 from repro.kg.query import PatternQuery, TriplePattern, chain_query, is_variable
 from repro.kg.storage import (
     JSONLD_CONTEXT,
@@ -28,7 +29,10 @@ __all__ = [
     "KnowledgeGraph",
     "NormalizedRecord",
     "Provenance",
+    "TemporalStore",
+    "TimestampedClaim",
     "Triple",
+    "latest_consensus",
     "load_graph",
     "make_jsonld",
     "save_graph",

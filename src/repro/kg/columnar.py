@@ -103,11 +103,21 @@ class ColumnarStore:
         return list(self._catalog)
 
     def columns(self, record_id: str) -> list[str]:
+        """Column names stored for one record.
+
+        Raises:
+            GraphError: for unknown records.
+        """
         directory = self._directory_for(record_id)
         meta = json.loads((directory / "_meta.json").read_text())
         return list(meta.get("columns", []))
 
     def read_meta(self, record_id: str) -> dict:
+        """The record's ``_meta.json`` payload.
+
+        Raises:
+            GraphError: for unknown records.
+        """
         directory = self._directory_for(record_id)
         return json.loads((directory / "_meta.json").read_text())
 
@@ -133,7 +143,7 @@ class ColumnarStore:
         for record_id in self._catalog:
             try:
                 out[record_id] = self.read_column(record_id, column)
-            except GraphError:
+            except GraphError:  # repro-lint: ignore[EXC003] — records lacking the column are skipped by design
                 continue
         return out
 

@@ -137,7 +137,11 @@ class PatternQuery:
                 yield from self._search(graph, index + 1, extended)
 
     def values(self, graph: KnowledgeGraph, variable: str) -> set[str]:
-        """Convenience: the distinct bindings of one output variable."""
+        """Convenience: the distinct bindings of one output variable.
+
+        Raises:
+            QueryError: if ``variable`` does not occur in the query.
+        """
         if variable not in self.variables():
             raise QueryError(f"{variable!r} does not occur in the query")
         return {b[variable] for b in self.evaluate(graph)}
@@ -148,6 +152,9 @@ def chain_query(start: str, predicates: list[str]) -> PatternQuery:
 
     The final variable is ``?v{n}``; use :meth:`PatternQuery.values` with
     it to read the chain's answers.
+
+    Raises:
+        QueryError: if ``predicates`` is empty.
     """
     if not predicates:
         raise QueryError("chain_query needs at least one predicate")

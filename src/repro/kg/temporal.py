@@ -98,7 +98,11 @@ class TemporalStore:
     def window(
         self, entity: str, attribute: str, start: float, end: float
     ) -> list[TimestampedClaim]:
-        """Observations with ``start <= observed_at <= end``."""
+        """Observations with ``start <= observed_at <= end``.
+
+        Raises:
+            GraphError: if ``start`` is greater than ``end``.
+        """
         if start > end:
             raise GraphError(f"empty window: start {start} > end {end}")
         return [

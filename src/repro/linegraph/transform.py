@@ -103,6 +103,9 @@ class LineGraph:
 
         A homologous group's line subgraph is a complete graph of order
         ``num`` (Fig. 4 of the paper shows the order-4 case).
+
+        Raises:
+            GraphError: if the explicit edge list exceeds the safety bound.
         """
         n = len(self._triples)
         if n <= 1:

@@ -31,12 +31,15 @@ from repro.lint.contracts import (
 from repro.lint.engine import (
     SYNTAX_ERROR_ID,
     LintReport,
+    build_program_for_paths,
     iter_python_files,
     lint_paths,
     lint_source,
+    lint_sources,
 )
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import (
+    FlowRule,
     ModuleUnderLint,
     Rule,
     all_rules,
@@ -47,12 +50,14 @@ from repro.lint.registry import (
 
 __all__ = [
     "Finding",
+    "FlowRule",
     "LintReport",
     "ModuleUnderLint",
     "Rule",
     "SYNTAX_ERROR_ID",
     "Severity",
     "all_rules",
+    "build_program_for_paths",
     "check_assessment",
     "check_mcc_result",
     "check_mlg",
@@ -63,6 +68,7 @@ __all__ = [
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "register_rule",
     "rule_ids",
 ]

@@ -21,7 +21,18 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import ModuleUnderLint, Rule, all_rules
+from repro.lint.flow.cache import (
+    PROGRAM_KEY,
+    FileEntry,
+    FlowEntry,
+    LintCache,
+    content_sha,
+    deserialize_findings,
+    rules_fingerprint,
+)
+from repro.lint.flow.program import Program, build_program
+from repro.lint.flow.symbols import imported_module_targets, module_name_of
+from repro.lint.registry import FlowRule, ModuleUnderLint, Rule, all_rules
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?"
@@ -40,6 +51,11 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: files whose per-file findings were served from the incremental
+    #: cache without re-linting (0 when no cache directory is in use).
+    cache_hits: int = 0
+    #: True when the whole-program pass was served from the cache.
+    flow_cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -73,6 +89,8 @@ class LintReport:
                 "files_checked": self.files_checked,
                 "suppressed": self.suppressed,
                 "ok": self.ok,
+                "cache_hits": self.cache_hits,
+                "flow_cached": self.flow_cached,
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=2,
@@ -116,10 +134,17 @@ def _package_parts(path: Path) -> tuple[str, ...]:
 
 
 def load_module(
-    path: Path, display_path: str | None = None
+    path: Path,
+    display_path: str | None = None,
+    source: str | None = None,
 ) -> ModuleUnderLint | Finding:
-    """Parse one file; a syntax error becomes a SYN001 finding."""
-    source = Path(path).read_text(encoding="utf-8")
+    """Parse one file; a syntax error becomes a SYN001 finding.
+
+    ``source`` skips the filesystem read when the caller already holds
+    the file's content (the engine hashes every file before parsing).
+    """
+    if source is None:
+        source = Path(path).read_text(encoding="utf-8")
     display = display_path if display_path is not None else str(path)
     try:
         tree = ast.parse(source, filename=str(path))
@@ -143,14 +168,7 @@ def load_module(
 
 
 def _is_suppressed(finding: Finding, module: ModuleUnderLint) -> bool:
-    match = _SUPPRESS_RE.search(module.line_text(finding.line))
-    if not match:
-        return False
-    ids = match.group("ids")
-    if ids is None:
-        return True
-    wanted = {part.strip() for part in ids.split(",") if part.strip()}
-    return finding.rule_id in wanted
+    return _match_suppression(finding, module.lines)
 
 
 def _skip_file(module: ModuleUnderLint) -> bool:
@@ -182,32 +200,400 @@ def lint_module(
     return kept, suppressed
 
 
+@dataclass(slots=True)
+class _FlowPassResult:
+    """Outcome of the whole-program pass, grouped for cache storage."""
+
+    kept: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    #: dotted module → kept findings from closure-keyed rules (EXC/TNT).
+    closure_kept: dict[str, list[Finding]] = field(default_factory=dict)
+    closure_suppressed: dict[str, int] = field(default_factory=dict)
+    #: kept findings from program-keyed rules (reachability).
+    program_kept: list[Finding] = field(default_factory=list)
+    program_suppressed: int = 0
+    program: Program | None = None
+
+
+def _run_flow_pass(
+    flow_rules: Sequence[FlowRule],
+    modules: list[ModuleUnderLint],
+    lines_map: dict[str, list[str]],
+    module_by_display: dict[str, str],
+    include_suppressed: bool,
+) -> _FlowPassResult:
+    """Build the program and run every flow rule over it.
+
+    Findings anchored in ``# repro-lint: skip-file`` files are dropped;
+    inline suppressions apply exactly as they do for per-file rules.
+    """
+    result = _FlowPassResult(
+        closure_kept={m: [] for m in sorted(module_by_display.values())},
+        closure_suppressed={m: 0 for m in module_by_display.values()},
+    )
+    program = build_program(modules)
+    result.program = program
+    skip_displays = {
+        display for display, lines in lines_map.items()
+        if any(
+            _SKIP_FILE_RE.search(line)
+            for line in lines[:_SKIP_FILE_SCAN_LINES]
+        )
+    }
+    for rule in flow_rules:
+        program_keyed = rule.family == "reachability"
+        for finding in rule.check_program(program):
+            lines = lines_map.get(finding.path)
+            module_name = module_by_display.get(finding.path)
+            if lines is None or module_name is None:
+                continue  # anchored outside this run's file set
+            if finding.path in skip_displays:
+                continue
+            suppressed_here = _match_suppression(finding, lines)
+            if suppressed_here and not include_suppressed:
+                result.suppressed += 1
+                if program_keyed:
+                    result.program_suppressed += 1
+                else:
+                    result.closure_suppressed[module_name] += 1
+                continue
+            result.kept.append(finding)
+            if program_keyed:
+                result.program_kept.append(finding)
+            else:
+                result.closure_kept[module_name].append(finding)
+    return result
+
+
+def _match_suppression(finding: Finding, lines: list[str]) -> bool:
+    if not (1 <= finding.line <= len(lines)):
+        return False
+    match = _SUPPRESS_RE.search(lines[finding.line - 1])
+    if not match:
+        return False
+    ids = match.group("ids")
+    if ids is None:
+        return True
+    wanted = {part.strip() for part in ids.split(",") if part.strip()}
+    return finding.rule_id in wanted
+
+
+def _load_for_flow(
+    path: str,
+    source: str,
+    sha: str,
+    cache: LintCache | None,
+) -> ModuleUnderLint | None:
+    """Materialise a ModuleUnderLint for the flow pass, preferring the
+    cached AST pickle over re-parsing."""
+    if cache is not None:
+        tree = cache.load_ast(sha)
+        if tree is not None:
+            return ModuleUnderLint(
+                path=Path(path),
+                display_path=path,
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+                package_parts=_package_parts(Path(path)),
+            )
+    loaded = load_module(Path(path), source=source)
+    return loaded if isinstance(loaded, ModuleUnderLint) else None
+
+
 def lint_paths(
     paths: Sequence[Path | str],
     select: Iterable[str] | None = None,
     include_suppressed: bool = False,
+    *,
+    flow: bool = True,
+    cache_dir: Path | str | None = None,
+    changed_only: bool = False,
 ) -> LintReport:
     """Lint every Python file under ``paths``.
 
     ``select`` restricts the run to the given rule ids (e.g.
-    ``{"DET001", "LAY001"}``); None runs everything.
+    ``{"DET001", "LAY001"}``); None runs everything.  ``flow`` toggles
+    the whole-program pass (exception-flow, reachability, taint).
+    ``cache_dir`` enables the incremental cache: per-file findings are
+    keyed by content hash, flow findings by the hash of each module's
+    transitive import closure (reachability by the whole program), and
+    parsed ASTs are pickled for cheap partial rebuilds.  The cache only
+    engages for full runs (no ``select``, no ``include_suppressed``).
+    ``changed_only`` filters the report to files that changed since the
+    cached run plus — for flow findings — everything that transitively
+    imports them.
     """
-    rules = _select_rules(select)
+    selected = _select_rules(select)
+    active: list[Rule] = selected if selected is not None else all_rules()
+    file_rules = [r for r in active if not isinstance(r, FlowRule)]
+    flow_rules = [r for r in active if isinstance(r, FlowRule)] if flow else []
+
+    cache: LintCache | None = None
+    if cache_dir is not None and select is None and not include_suppressed:
+        ids = sorted(r.rule_id for r in active)
+        if not flow:
+            # a per-file-only run must not reuse (or clobber) the flow
+            # entries of full runs — give it its own cache universe.
+            ids.append("<per-file-only>")
+        cache = LintCache(Path(cache_dir), rules_fingerprint(ids))
+
     report = LintReport()
+    sources: dict[str, str] = {}
+    lines_map: dict[str, list[str]] = {}
+    shas: dict[str, str] = {}
+    #: display path → (dotted module name or "", raw import targets)
+    meta: dict[str, tuple[str, list[str]]] = {}
+    parsed: dict[str, ModuleUnderLint] = {}
+    per_file_kept: dict[str, list[Finding]] = {}
+    per_file_suppressed: dict[str, int] = {}
+
     for path in iter_python_files(paths):
-        loaded = load_module(path)
+        display = str(path)
+        source = path.read_text(encoding="utf-8")
+        sha = content_sha(source)
+        sources[display] = source
+        lines_map[display] = source.splitlines()
+        shas[display] = sha
+        entry = cache.file_hit(display, sha) if cache is not None else None
+        if entry is not None:
+            report.cache_hits += 1
+            per_file_kept[display] = deserialize_findings(entry.findings)
+            per_file_suppressed[display] = entry.suppressed
+            meta[display] = (entry.module, entry.imports)
+            continue
+        loaded = load_module(path, source=source)
+        if isinstance(loaded, Finding):
+            per_file_kept[display] = [loaded]
+            per_file_suppressed[display] = 0
+            meta[display] = ("", [])
+            continue
+        parsed[display] = loaded
+        meta[display] = (
+            module_name_of(loaded),
+            list(imported_module_targets(loaded.tree)),
+        )
+        if cache is not None:
+            cache.save_ast(sha, loaded.tree)
+        findings, suppressed = lint_module(
+            loaded, file_rules, include_suppressed=include_suppressed
+        )
+        per_file_kept[display] = findings
+        per_file_suppressed[display] = suppressed
+
+    report.files_checked = len(shas)
+    changed_displays = (
+        cache.changed_files(shas) if cache is not None else set(shas)
+    )
+
+    # ------------------------------------------------------------------
+    # whole-program pass
+    # ------------------------------------------------------------------
+    module_by_display = {
+        display: name
+        for display, (name, _) in sorted(meta.items())
+        if name
+    }
+    flow_kept: list[Finding] = []
+    flow_suppressed = 0
+    flow_store: dict[str, FlowEntry] = {}
+    module_imports: dict[str, list[str]] = {}
+    if flow_rules and module_by_display:
+        module_shas: dict[str, str] = {}
+        for display in sorted(module_by_display):
+            name = module_by_display[display]
+            module_shas[name] = shas[display]
+            module_imports[name] = meta[display][1]
+        keys = LintCache.closure_keys(module_shas, module_imports)
+
+        hit_entries: dict[str, FlowEntry] | None = None
+        if cache is not None:
+            candidates: dict[str, FlowEntry] = {}
+            complete = True
+            for name in sorted(module_shas):
+                hit = cache.flow_hit(name, keys[name])
+                if hit is None:
+                    complete = False
+                    break
+                candidates[name] = hit
+            program_hit = cache.flow_hit(PROGRAM_KEY, keys[PROGRAM_KEY])
+            if complete and program_hit is not None:
+                candidates[PROGRAM_KEY] = program_hit
+                hit_entries = candidates
+
+        if hit_entries is not None:
+            report.flow_cached = True
+            flow_store = hit_entries
+            for name in sorted(hit_entries):
+                entry_hit = hit_entries[name]
+                flow_kept.extend(deserialize_findings(entry_hit.findings))
+                flow_suppressed += entry_hit.suppressed
+        else:
+            modules = []
+            for display in sorted(module_by_display):
+                unit = parsed.get(display)
+                if unit is None:
+                    unit = _load_for_flow(
+                        display, sources[display], shas[display], cache
+                    )
+                if unit is not None:
+                    modules.append(unit)
+            pass_result = _run_flow_pass(
+                flow_rules, modules, lines_map, module_by_display,
+                include_suppressed,
+            )
+            flow_kept = pass_result.kept
+            flow_suppressed = pass_result.suppressed
+            for name in sorted(pass_result.closure_kept):
+                flow_store[name] = FlowEntry(
+                    key=keys[name],
+                    findings=[
+                        f.to_dict() for f in pass_result.closure_kept[name]
+                    ],
+                    suppressed=pass_result.closure_suppressed[name],
+                )
+            flow_store[PROGRAM_KEY] = FlowEntry(
+                key=keys[PROGRAM_KEY],
+                findings=[f.to_dict() for f in pass_result.program_kept],
+                suppressed=pass_result.program_suppressed,
+            )
+
+    # ------------------------------------------------------------------
+    # report assembly (+ --changed-only filtering)
+    # ------------------------------------------------------------------
+    keep_per_file = per_file_kept
+    keep_flow = flow_kept
+    if changed_only:
+        affected = _dependents_of_changed(
+            changed_displays, module_by_display, module_imports
+        )
+        keep_per_file = {
+            display: findings
+            for display, findings in per_file_kept.items()
+            if display in changed_displays
+        }
+        keep_flow = [
+            finding for finding in flow_kept
+            if finding.path in changed_displays
+            or module_by_display.get(finding.path) in affected
+        ]
+
+    for display in sorted(keep_per_file):
+        report.findings.extend(keep_per_file[display])
+    report.findings.extend(keep_flow)
+    report.suppressed = sum(per_file_suppressed.values()) + flow_suppressed
+    report.findings.sort(key=Finding.sort_key)
+
+    if cache is not None:
+        files_out = {
+            display: FileEntry(
+                sha=shas[display],
+                module=meta[display][0],
+                imports=meta[display][1],
+                findings=[f.to_dict() for f in per_file_kept[display]],
+                suppressed=per_file_suppressed.get(display, 0),
+            )
+            for display in sorted(shas)
+        }
+        cache.replace(files_out, flow_store)
+    return report
+
+
+def _dependents_of_changed(
+    changed_displays: set[str],
+    module_by_display: dict[str, str],
+    module_imports: dict[str, list[str]],
+) -> set[str]:
+    """Changed modules plus everything that transitively imports them."""
+    changed_modules = {
+        module_by_display[display]
+        for display in changed_displays
+        if display in module_by_display
+    }
+    known = set(module_by_display.values())
+    reverse: dict[str, set[str]] = {}
+    for module in sorted(known):
+        for target in module_imports.get(module, []):
+            parts = target.split(".")
+            for cut in range(1, len(parts) + 1):
+                prefix = ".".join(parts[:cut])
+                if prefix in known and prefix != module:
+                    reverse.setdefault(prefix, set()).add(module)
+    seen: set[str] = set()
+    stack = sorted(changed_modules)
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(sorted(reverse.get(current, ())))
+    return seen
+
+
+def lint_sources(
+    files: dict[str, str],
+    select: Iterable[str] | None = None,
+    include_suppressed: bool = False,
+    *,
+    flow: bool = True,
+) -> LintReport:
+    """Lint a set of in-memory sources as one program (test hook).
+
+    ``files`` maps display paths (used to derive module names, e.g.
+    ``"repro/kg/bad.py"``) to source text.  Runs the per-file rules on
+    each file and, when ``flow`` is set, the whole-program rules over
+    the set as a unit — the multi-module analogue of
+    :func:`lint_source`.
+    """
+    selected = _select_rules(select)
+    active: list[Rule] = selected if selected is not None else all_rules()
+    file_rules = [r for r in active if not isinstance(r, FlowRule)]
+    flow_rules = [r for r in active if isinstance(r, FlowRule)] if flow else []
+
+    report = LintReport()
+    lines_map: dict[str, list[str]] = {}
+    module_by_display: dict[str, str] = {}
+    modules: list[ModuleUnderLint] = []
+    for display in sorted(files):
+        source = files[display]
+        lines_map[display] = source.splitlines()
+        loaded = load_module(Path(display), display, source=source)
+        report.files_checked += 1
         if isinstance(loaded, Finding):
             report.findings.append(loaded)
-            report.files_checked += 1
             continue
+        name = module_name_of(loaded)
+        if name:
+            module_by_display[display] = name
+            modules.append(loaded)
         findings, suppressed = lint_module(
-            loaded, rules, include_suppressed=include_suppressed
+            loaded, file_rules, include_suppressed=include_suppressed
         )
         report.findings.extend(findings)
         report.suppressed += suppressed
-        report.files_checked += 1
+    if flow_rules and modules:
+        pass_result = _run_flow_pass(
+            flow_rules, modules, lines_map, module_by_display,
+            include_suppressed,
+        )
+        report.findings.extend(pass_result.kept)
+        report.suppressed += pass_result.suppressed
     report.findings.sort(key=Finding.sort_key)
     return report
+
+
+def build_program_for_paths(paths: Sequence[Path | str]) -> Program:
+    """Parse ``paths`` and build the whole-program view (``--graph``).
+
+    Raises:
+        ValueError: when a path does not exist.
+    """
+    modules = []
+    for path in iter_python_files(paths):
+        loaded = load_module(path)
+        if isinstance(loaded, ModuleUnderLint):
+            modules.append(loaded)
+    return build_program(modules)
 
 
 def lint_source(

@@ -54,5 +54,24 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache).
+
+        Raises:
+            ValueError: when a field has the wrong type or severity value.
+        """
+        try:
+            return cls(
+                rule_id=str(data["rule_id"]),
+                severity=Severity(str(data["severity"])),
+                path=str(data["path"]),
+                line=int(data["line"]),  # type: ignore[call-overload]
+                col=int(data["col"]),  # type: ignore[call-overload]
+                message=str(data["message"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed finding record: {exc}") from exc
+
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)

@@ -1,0 +1,42 @@
+"""Whole-program flow analysis for the lint gate.
+
+The per-file rules check what a single module can prove about itself;
+this subpackage builds the project-wide view — symbol table, import and
+call graphs — and runs the three flow-rule families over it:
+
+* ``exceptions`` (EXC) — which ReproError subclasses escape where, and
+  whether public docstrings declare them;
+* ``reachability`` (DC) — code no entry point can reach;
+* ``taint`` (TNT) — unvetted adapter/retrieval text reaching an LLM
+  sink without passing the MCC gate.
+
+Everything is stdlib ``ast``; the code under analysis is never imported.
+The rule modules self-register on import via ``repro.lint.rules`` —
+importing this package alone stays side-effect free.
+"""
+
+from repro.lint.flow.callgraph import CallGraph, FunctionFlow, build_call_graph
+from repro.lint.flow.program import REPRO_ERROR_QUAL, Program, build_program
+from repro.lint.flow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    SymbolTable,
+    build_symbol_table,
+    module_name_of,
+)
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionFlow",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "Program",
+    "REPRO_ERROR_QUAL",
+    "SymbolTable",
+    "build_call_graph",
+    "build_program",
+    "build_symbol_table",
+    "module_name_of",
+]

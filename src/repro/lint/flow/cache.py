@@ -1,0 +1,317 @@
+"""Incremental lint cache — content-hashed findings and parsed ASTs.
+
+Layout under the cache directory (default ``.repro-lint-cache/``)::
+
+    index.json        one JSON document:
+                        fingerprint   rule-set + format version hash
+                        files         display path → {sha, module,
+                                      imports, findings, suppressed}
+                        flow          module name → {key, findings,
+                                      suppressed}
+    asts/<sha>.pkl    pickled ``ast.Module`` for each content hash
+
+Invalidation semantics:
+
+* **per-file findings** are keyed by the file's content hash alone — a
+  per-file rule sees nothing but the file.
+* **flow findings** anchor to a module but depend on everything that
+  module can reach, so each module's entry is keyed by the hash of the
+  content hashes of its *transitive import closure* (for the
+  reachability family, of the whole program — its roots live anywhere).
+  The closure is computed from cached import metadata, so a fully-warm
+  run decides "nothing to do" without parsing a single file.
+* the whole cache is discarded when the rule set or cache format
+  changes (``fingerprint``).
+
+Corrupt or unreadable cache state never fails a lint run — entries
+degrade to misses and are rebuilt.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: bump to invalidate every existing cache (format or semantics change).
+CACHE_FORMAT_VERSION = 1
+
+#: marker for the program-wide closure key (reachability family).
+PROGRAM_KEY = "<program>"
+
+
+def content_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_fingerprint(rule_ids: list[str]) -> str:
+    payload = f"v{CACHE_FORMAT_VERSION}:" + ",".join(sorted(rule_ids))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(slots=True)
+class FileEntry:
+    """Cached per-file lint outcome plus flow-relevant metadata."""
+
+    sha: str
+    #: dotted module name ("" for files outside a repro package tree).
+    module: str
+    #: absolute dotted targets of the module's import statements.
+    imports: list[str] = field(default_factory=list)
+    findings: list[dict[str, object]] = field(default_factory=list)
+    suppressed: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "sha": self.sha,
+            "module": self.module,
+            "imports": self.imports,
+            "findings": self.findings,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass(slots=True)
+class FlowEntry:
+    """Cached flow findings for one module, keyed by closure hash."""
+
+    key: str
+    findings: list[dict[str, object]] = field(default_factory=list)
+    suppressed: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "key": self.key,
+            "findings": self.findings,
+            "suppressed": self.suppressed,
+        }
+
+
+class LintCache:
+    """Load/store interface over one cache directory.
+
+    The cache is advisory: every read degrades to a miss on any
+    inconsistency, and writes overwrite wholesale.
+    """
+
+    def __init__(self, cache_dir: Path, fingerprint: str) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.fingerprint = fingerprint
+        self.files: dict[str, FileEntry] = {}
+        self.flow: dict[str, FlowEntry] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        index = self.cache_dir / "index.json"
+        try:
+            data = json.loads(index.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("fingerprint") != self.fingerprint:
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            for display in sorted(files):
+                raw = files[display]
+                if not isinstance(raw, dict):
+                    continue
+                try:
+                    self.files[display] = FileEntry(
+                        sha=str(raw["sha"]),
+                        module=str(raw.get("module", "")),
+                        imports=[str(i) for i in raw.get("imports", [])],
+                        findings=list(raw.get("findings", [])),
+                        suppressed=int(raw.get("suppressed", 0)),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+        flow = data.get("flow")
+        if isinstance(flow, dict):
+            for module in sorted(flow):
+                raw = flow[module]
+                if not isinstance(raw, dict):
+                    continue
+                try:
+                    self.flow[module] = FlowEntry(
+                        key=str(raw["key"]),
+                        findings=list(raw.get("findings", [])),
+                        suppressed=int(raw.get("suppressed", 0)),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def file_hit(self, display: str, sha: str) -> FileEntry | None:
+        entry = self.files.get(display)
+        if entry is not None and entry.sha == sha:
+            return entry
+        return None
+
+    def changed_files(self, shas: dict[str, str]) -> set[str]:
+        """Display paths whose content differs from the cached run
+        (including files the cache has never seen)."""
+        return {
+            display for display, sha in shas.items()
+            if self.files.get(display) is None or self.files[display].sha != sha
+        }
+
+    def flow_hit(self, module: str, key: str) -> FlowEntry | None:
+        entry = self.flow.get(module)
+        if entry is not None and entry.key == key:
+            return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # closure keys (computed from metadata, no parsing required)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def closure_keys(
+        module_shas: dict[str, str],
+        module_imports: dict[str, list[str]],
+    ) -> dict[str, str]:
+        """Per-module flow keys plus the :data:`PROGRAM_KEY` entry.
+
+        ``module_shas`` maps dotted module name → content hash;
+        ``module_imports`` maps dotted module name → imported dotted
+        targets (raw, possibly outside the program — filtered here).
+        """
+        known = set(module_shas)
+        edges: dict[str, list[str]] = {}
+        for module in sorted(known):
+            targets = set()
+            for target in module_imports.get(module, []):
+                # an import of repro.kg.graph pulls in repro and repro.kg
+                parts = target.split(".")
+                for cut in range(1, len(parts) + 1):
+                    prefix = ".".join(parts[:cut])
+                    if prefix in known and prefix != module:
+                        targets.add(prefix)
+            edges[module] = sorted(targets)
+
+        keys: dict[str, str] = {}
+        closure_cache: dict[str, frozenset[str]] = {}
+
+        def closure(module: str) -> frozenset[str]:
+            cached = closure_cache.get(module)
+            if cached is not None:
+                return cached
+            seen: set[str] = set()
+            stack = [module]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(edges.get(current, ()))
+            result = frozenset(seen)
+            closure_cache[module] = result
+            return result
+
+        for module in sorted(known):
+            payload = ";".join(
+                f"{m}={module_shas[m]}" for m in sorted(closure(module))
+            )
+            keys[module] = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        program_payload = ";".join(
+            f"{m}={module_shas[m]}" for m in sorted(known)
+        )
+        keys[PROGRAM_KEY] = hashlib.sha256(
+            program_payload.encode("utf-8")
+        ).hexdigest()
+        return keys
+
+    # ------------------------------------------------------------------
+    # ASTs
+    # ------------------------------------------------------------------
+    def ast_path(self, sha: str) -> Path:
+        return self.cache_dir / "asts" / f"{sha}.pkl"
+
+    def load_ast(self, sha: str) -> ast.Module | None:
+        try:
+            with self.ast_path(sha).open("rb") as fh:
+                tree = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        return tree if isinstance(tree, ast.Module) else None
+
+    def save_ast(self, sha: str, tree: ast.Module) -> None:
+        path = self.ast_path(sha)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("wb") as fh:
+                pickle.dump(tree, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        except (OSError, pickle.PicklingError, RecursionError):
+            return
+
+    # ------------------------------------------------------------------
+    # persisting
+    # ------------------------------------------------------------------
+    def replace(
+        self,
+        files: dict[str, FileEntry],
+        flow: dict[str, FlowEntry],
+    ) -> None:
+        """Overwrite the cache with this run's outcome and write it out."""
+        self.files = dict(files)
+        self.flow = dict(flow)
+        payload = {
+            "fingerprint": self.fingerprint,
+            "files": {
+                display: self.files[display].to_dict()
+                for display in sorted(self.files)
+            },
+            "flow": {
+                module: self.flow[module].to_dict()
+                for module in sorted(self.flow)
+            },
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            index = self.cache_dir / "index.json"
+            index.write_text(
+                json.dumps(payload, indent=1), encoding="utf-8"
+            )
+        except OSError:
+            return
+        self._prune_asts()
+
+    def _prune_asts(self) -> None:
+        """Drop pickled ASTs no current file entry references."""
+        live = {entry.sha for entry in self.files.values()}
+        asts_dir = self.cache_dir / "asts"
+        try:
+            stale = [
+                path for path in sorted(asts_dir.glob("*.pkl"))
+                if path.stem not in live
+            ]
+        except OSError:
+            return
+        for path in stale:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+
+
+def deserialize_findings(raw: list[dict[str, object]]) -> list[Finding]:
+    """Cached finding dicts → Finding objects; malformed entries dropped."""
+    out: list[Finding] = []
+    for item in raw:
+        try:
+            out.append(Finding.from_dict(item))
+        except ValueError:
+            continue
+    return out

@@ -1,0 +1,576 @@
+"""Exception-flow rules (EXC) — which ``ReproError`` subclasses escape.
+
+The repo's error contract says every library failure derives from
+:class:`repro.errors.ReproError`; the per-file ERR rules keep raise and
+except sites honest about *types*.  These whole-program rules close the
+remaining gap: **propagation**.  ``compute_exception_escapes`` runs a
+fixpoint over the precise call graph — direct raises, minus what
+enclosing ``try``/``except`` blocks catch, plus whatever escapes each
+resolved callee — so the lint gate knows, for every function, exactly
+which ReproError subclasses a caller must be prepared for.
+
+Three rules consume that result:
+
+* EXC001 — a public function lets a ReproError subclass escape that its
+  docstring's ``Raises:`` section does not declare.
+* EXC002 — a handler for a ReproError subclass that no statically-known
+  raise in the guarded block can ever produce (dead handler).
+* EXC003 — a handler that catches a ReproError subclass and silently
+  discards it (body is only ``pass``/``...``/``continue``).
+
+Only precisely-resolved call edges feed the propagation, so an escape
+reported here is real as far as the AST can see; unresolved calls mean
+the analysis under-approximates (documents too little, never wrongly).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.callgraph import FunctionFlow
+from repro.lint.flow.program import Program
+from repro.lint.flow.symbols import FunctionInfo, ModuleSymbols
+from repro.lint.registry import FlowRule, register_rule
+from repro.lint.rules.common import dotted_name
+
+
+@dataclass(slots=True)
+class _Frame:
+    """One enclosing ``try`` block's handler set, as seen from a site."""
+
+    try_id: int
+    caught: frozenset[str]
+    catch_all: bool
+
+    def catches(self, program: Program, exc: str) -> bool:
+        if self.catch_all:
+            return True
+        return any(program.catches(h, exc) for h in sorted(self.caught))
+
+
+@dataclass(slots=True)
+class _Site:
+    """A raise or call site together with its try-nesting context."""
+
+    node: ast.AST
+    frames: tuple[_Frame, ...]
+
+
+@dataclass(slots=True)
+class _FunctionContext:
+    """Raise/call sites of one function, with catch context attached."""
+
+    raises: list[tuple[_Site, str]] = field(default_factory=list)
+    reraises: list[tuple[_Site, frozenset[str]]] = field(default_factory=list)
+    calls: list[_Site] = field(default_factory=list)
+
+
+def _handler_frame(
+    program: Program, module: ModuleSymbols, node: ast.Try
+) -> _Frame:
+    caught: set[str] = set()
+    catch_all = False
+    for handler in node.handlers:
+        if handler.type is None:
+            catch_all = True
+            continue
+        types = (
+            handler.type.elts if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for type_node in types:
+            qual = _resolve_exception(program, module, type_node)
+            if qual is None:
+                # Unknown or builtin type: assume it may catch anything.
+                catch_all = True
+            else:
+                caught.add(qual)
+    return _Frame(try_id=id(node), caught=frozenset(caught), catch_all=catch_all)
+
+
+def _resolve_exception(
+    program: Program, module: ModuleSymbols, node: ast.expr
+) -> str | None:
+    """Qualified name of an exception expression, if it is a ReproError."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    resolved = program.symtab.resolve(module.name, dotted)
+    if resolved is None or resolved[0] != "class":
+        # An imported-but-unindexed repro.errors name still counts when
+        # the errors module is in the program under a different path.
+        resolved_q = program.symtab.resolve_qualified(
+            f"repro.errors.{dotted.rsplit('.', 1)[-1]}"
+        )
+        if resolved_q is None or resolved_q[0] != "class":
+            return None
+        resolved = resolved_q
+    qual = resolved[1]
+    return qual if program.is_repro_error(qual) else None
+
+
+def _walk_function(
+    program: Program,
+    module: ModuleSymbols,
+    body: list[ast.stmt],
+) -> _FunctionContext:
+    ctx = _FunctionContext()
+
+    def walk(
+        stmts: Iterable[ast.stmt],
+        frames: tuple[_Frame, ...],
+        handler_caught: frozenset[str],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Try):
+                frame = _handler_frame(program, module, stmt)
+                walk(stmt.body, frames + (frame,), handler_caught)
+                for handler in stmt.handlers:
+                    caught = frame.caught if not frame.catch_all else frozenset()
+                    walk(handler.body, frames, caught)
+                walk(stmt.orelse, frames, handler_caught)
+                walk(stmt.finalbody, frames, handler_caught)
+                continue
+            if isinstance(stmt, ast.Raise):
+                site = _Site(node=stmt, frames=frames)
+                if stmt.exc is None:
+                    if handler_caught:
+                        ctx.reraises.append((site, handler_caught))
+                else:
+                    exc_node = stmt.exc
+                    if isinstance(exc_node, ast.Call):
+                        exc_node = exc_node.func
+                    qual = _resolve_exception(program, module, exc_node)
+                    if qual is not None:
+                        ctx.raises.append((site, qual))
+            for node in _iter_expressions(stmt):
+                if isinstance(node, ast.Call):
+                    ctx.calls.append(_Site(node=node, frames=frames))
+            for block in _nested_blocks(stmt):
+                walk(block, frames, handler_caught)
+    walk(body, (), frozenset())
+    return ctx
+
+
+def _iter_expressions(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Every expression node directly under ``stmt`` (not nested stmts)."""
+    stack: list[ast.AST] = [
+        child for child in ast.iter_child_nodes(stmt)
+        if not isinstance(child, ast.stmt)
+    ]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(
+            child for child in ast.iter_child_nodes(node)
+            if not isinstance(child, ast.stmt)
+        )
+
+
+def _nested_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    """Statement blocks nested under ``stmt`` (loop/if/with bodies...).
+
+    Nested ``def`` bodies are folded into the enclosing function, matching
+    the call-graph visitor: a closure runs, at the latest, when its parent
+    does, so folding over-approximates — the safe direction here.
+    """
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            if not isinstance(stmt, ast.Try):
+                yield block
+    for case in getattr(stmt, "cases", []) or []:
+        yield case.body
+
+
+def _escapes_frames(
+    program: Program, exc: str, frames: tuple[_Frame, ...]
+) -> bool:
+    return not any(frame.catches(program, exc) for frame in frames)
+
+
+def _call_targets_by_id(
+    program: Program, flow: FunctionFlow
+) -> dict[int, list[str] | None]:
+    """Map call-node ids to resolved callee qualnames.
+
+    The value is ``None`` for an unresolved call (unknown callee — may
+    raise anything) and a (possibly empty) list for resolved ones.  A
+    ``ClassName(...)`` instantiation resolves to whichever of
+    ``__init__``/``__post_init__`` the program defines; a dataclass with
+    neither resolves to the empty list (its synthesised ``__init__``
+    raises nothing the analysis tracks).
+    """
+    by_id: dict[int, list[str] | None] = {}
+    for call_site in flow.calls:
+        if call_site.target is None:
+            by_id[id(call_site.node)] = None
+        elif call_site.kind == "class":
+            targets = []
+            for method in ("__init__", "__post_init__"):
+                found = program.symtab.find_method(call_site.target, method)
+                if found is not None:
+                    targets.append(found)
+            by_id[id(call_site.node)] = targets
+        else:
+            by_id[id(call_site.node)] = [call_site.target]
+    return by_id
+
+
+def compute_exception_escapes(
+    program: Program,
+) -> tuple[dict[str, frozenset[str]], dict[str, dict[str, str]]]:
+    """Fixpoint escape analysis over the precise call graph.
+
+    Returns ``(escapes, origins)``: ``escapes[qualname]`` is the set of
+    ReproError subclass qualnames that can propagate out of the function;
+    ``origins[qualname][exc]`` names the raise site or callee the
+    exception reaches the function through (for findings and docs).
+
+    The result is memoised on ``program`` — EXC001 and EXC002 share it.
+    """
+    cached = program.analysis_cache.get("exception_escapes")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    contexts: dict[str, _FunctionContext] = {}
+    for mod_name in sorted(program.modules):
+        module = program.modules[mod_name]
+        for qual in sorted(module.functions):
+            func = module.functions[qual]
+            contexts[qual] = _walk_function(
+                program, module, list(func.node.body)
+            )
+
+    flows = program.callgraph.flows
+    escapes: dict[str, set[str]] = {qual: set() for qual in contexts}
+    origins: dict[str, dict[str, str]] = {qual: {} for qual in contexts}
+
+    # Seed with direct raises and re-raises.
+    for qual in sorted(contexts):
+        ctx = contexts[qual]
+        for site, exc in ctx.raises:
+            if _escapes_frames(program, exc, site.frames):
+                escapes[qual].add(exc)
+                origins[qual].setdefault(exc, "raised directly")
+        for site, caught in ctx.reraises:
+            for exc in sorted(caught):
+                if _escapes_frames(program, exc, site.frames):
+                    escapes[qual].add(exc)
+                    origins[qual].setdefault(exc, "re-raised from a handler")
+
+    # Map each function's call sites to resolved callees once.
+    resolved_calls: dict[str, list[tuple[str, tuple[_Frame, ...]]]] = {}
+    for qual in sorted(contexts):
+        flow = flows.get(qual)
+        if flow is None:
+            resolved_calls[qual] = []
+            continue
+        by_id = _call_targets_by_id(program, flow)
+        entries = []
+        for site in contexts[qual].calls:
+            for target in by_id.get(id(site.node)) or ():
+                if target in contexts:
+                    entries.append((target, site.frames))
+        resolved_calls[qual] = entries
+
+    # Reverse edges for the worklist.
+    callers: dict[str, set[str]] = {qual: set() for qual in contexts}
+    for qual in sorted(resolved_calls):
+        for target, _ in resolved_calls[qual]:
+            callers.setdefault(target, set()).add(qual)
+
+    pending = sorted(contexts)
+    pending_set = set(pending)
+    while pending:
+        qual = pending.pop()
+        pending_set.discard(qual)
+        changed = False
+        for target, frames in resolved_calls[qual]:
+            for exc in sorted(escapes.get(target, ())):
+                if exc in escapes[qual]:
+                    continue
+                if _escapes_frames(program, exc, frames):
+                    escapes[qual].add(exc)
+                    origins[qual].setdefault(exc, f"via {target}()")
+                    changed = True
+        if changed:
+            for caller in sorted(callers.get(qual, ())):
+                if caller not in pending_set:
+                    pending.append(caller)
+                    pending_set.add(caller)
+
+    result = (
+        {qual: frozenset(excs) for qual, excs in escapes.items()},
+        origins,
+    )
+    program.analysis_cache["exception_escapes"] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# docstring Raises: parsing
+# ----------------------------------------------------------------------
+_SECTION_HEADERS = re.compile(
+    r"^\s*(Args|Arguments|Returns|Return|Yields|Yield|Attributes|Note|Notes|"
+    r"Example|Examples|See Also|Warns|Warning|Warnings)\s*:?\s*$"
+)
+_RAISES_HEADER = re.compile(r"^\s*Raises\s*:?\s*$")
+_RAISES_ENTRY = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_.]*)\s*:")
+_SPHINX_RAISES = re.compile(r":raises?\s+([A-Za-z_][A-Za-z0-9_.]*)\s*:")
+
+
+def documented_raises(docstring: str | None) -> frozenset[str]:
+    """Bare exception class names declared in a docstring.
+
+    Understands the Google-style ``Raises:`` section used throughout the
+    repo and Sphinx-style ``:raises X:`` fields.
+    """
+    if not docstring:
+        return frozenset()
+    names = {m.group(1).rsplit(".", 1)[-1]
+             for m in _SPHINX_RAISES.finditer(docstring)}
+    in_section = False
+    for line in docstring.splitlines():
+        if _RAISES_HEADER.match(line):
+            in_section = True
+            continue
+        if in_section:
+            if not line.strip() or _SECTION_HEADERS.match(line):
+                in_section = False
+                continue
+            match = _RAISES_ENTRY.match(line)
+            if match:
+                names.add(match.group(1).rsplit(".", 1)[-1])
+    return frozenset(names)
+
+
+def _documented_covers(
+    program: Program, documented: frozenset[str], exc: str
+) -> bool:
+    """A declared name covers ``exc`` itself or any of its ancestors
+    (documenting ``ReproError`` covers every subclass)."""
+    bare = exc.rsplit(".", 1)[-1]
+    if bare in documented:
+        return True
+    return any(
+        ancestor.rsplit(".", 1)[-1] in documented
+        for ancestor in sorted(program.symtab.ancestors(exc))
+    )
+
+
+def _should_document(func: FunctionInfo, module: ModuleSymbols) -> bool:
+    """EXC001 scope: public named functions/methods of public modules."""
+    if not module.is_public:
+        return False
+    if not func.is_public or func.is_dunder:
+        return False
+    if func.cls is not None and func.cls.startswith("_"):
+        return False
+    return True
+
+
+@register_rule
+class UndocumentedEscapeRule(FlowRule):
+    """EXC001 — escaping ReproErrors must appear in the docstring."""
+
+    rule_id = "EXC001"
+    family = "exceptions"
+    severity = Severity.WARNING
+    description = (
+        "a ReproError subclass can escape this public function but its "
+        "docstring Raises: section does not declare it; document the "
+        "exception (or an ancestor) so callers know what to catch"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        escapes, origins = compute_exception_escapes(program)
+        for mod_name in sorted(program.modules):
+            module = program.modules[mod_name]
+            for qual in sorted(module.functions):
+                func = module.functions[qual]
+                escaping = escapes.get(qual, frozenset())
+                if not escaping or not _should_document(func, module):
+                    continue
+                documented = documented_raises(func.docstring())
+                for exc in sorted(escaping):
+                    if _documented_covers(program, documented, exc):
+                        continue
+                    bare = exc.rsplit(".", 1)[-1]
+                    origin = origins.get(qual, {}).get(exc, "")
+                    detail = f" ({origin})" if origin else ""
+                    yield self.program_finding(
+                        module.module.display_path, func.lineno,
+                        f"{bare} can escape {func.name}(){detail} but is "
+                        f"not documented in its Raises: section",
+                    )
+
+
+@register_rule
+class DeadHandlerRule(FlowRule):
+    """EXC002 — handlers that no statically-known raise can reach."""
+
+    rule_id = "EXC002"
+    family = "exceptions"
+    severity = Severity.WARNING
+    description = (
+        "this except handler names a ReproError subclass that nothing in "
+        "the guarded block can raise (per whole-program propagation); "
+        "the handler is dead code or the block lost the raising call"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        escapes, _ = compute_exception_escapes(program)
+        for mod_name in sorted(program.modules):
+            module = program.modules[mod_name]
+            for qual in sorted(module.functions):
+                func = module.functions[qual]
+                yield from self._check_function(
+                    program, module, qual, func, escapes
+                )
+
+    def _check_function(
+        self,
+        program: Program,
+        module: ModuleSymbols,
+        qual: str,
+        func: FunctionInfo,
+        escapes: dict[str, frozenset[str]],
+    ) -> Iterable[Finding]:
+        ctx = _walk_function(program, module, list(func.node.body))
+        flow = program.callgraph.flows.get(qual)
+        targets_by_id: dict[int, list[str] | None] = {}
+        if flow is not None:
+            targets_by_id = _call_targets_by_id(program, flow)
+        for try_node in [
+            n for n in ast.walk(func.node) if isinstance(n, ast.Try)
+        ]:
+            possible = self._possible_in_body(
+                program, try_node, ctx, targets_by_id, escapes
+            )
+            if possible is None:
+                continue  # unresolved calls: anything may be raised
+            for handler in try_node.handlers:
+                if handler.type is None:
+                    continue
+                types = (
+                    handler.type.elts
+                    if isinstance(handler.type, ast.Tuple)
+                    else [handler.type]
+                )
+                for type_node in types:
+                    caught = _resolve_exception(program, module, type_node)
+                    if caught is None:
+                        continue
+                    if not any(
+                        program.catches(caught, exc)
+                        for exc in sorted(possible)
+                    ):
+                        bare = caught.rsplit(".", 1)[-1]
+                        yield self.program_finding(
+                            module.module.display_path, handler.lineno,
+                            f"except {bare}: can never fire — nothing in "
+                            f"the try block raises it (statically)",
+                        )
+
+    def _possible_in_body(
+        self,
+        program: Program,
+        try_node: ast.Try,
+        ctx: _FunctionContext,
+        targets_by_id: dict[int, list[str] | None],
+        escapes: dict[str, frozenset[str]],
+    ) -> frozenset[str] | None:
+        """ReproErrors that can surface from ``try_node``'s body, or None
+        when an unresolved call makes the set unknowable."""
+        possible: set[str] = set()
+        try_id = id(try_node)
+
+        def inner_frames(frames: tuple[_Frame, ...]) -> tuple[_Frame, ...]:
+            for i, frame in enumerate(frames):
+                if frame.try_id == try_id:
+                    return frames[i + 1:]
+            return frames  # pragma: no cover — site filter guards this
+
+        def in_body(frames: tuple[_Frame, ...]) -> bool:
+            return any(frame.try_id == try_id for frame in frames)
+
+        for site, exc in ctx.raises:
+            if in_body(site.frames) and _escapes_frames(
+                program, exc, inner_frames(site.frames)
+            ):
+                possible.add(exc)
+        for site, caught in ctx.reraises:
+            if in_body(site.frames):
+                for exc in sorted(caught):
+                    if _escapes_frames(program, exc, inner_frames(site.frames)):
+                        possible.add(exc)
+        for site in ctx.calls:
+            if not in_body(site.frames):
+                continue
+            targets = targets_by_id.get(id(site.node))
+            if targets is None:
+                return None
+            for target in targets:
+                if target not in escapes:
+                    return None
+                for exc in sorted(escapes[target]):
+                    if _escapes_frames(program, exc, inner_frames(site.frames)):
+                        possible.add(exc)
+        return frozenset(possible)
+
+
+@register_rule
+class SwallowedErrorRule(FlowRule):
+    """EXC003 — ReproErrors caught and silently discarded."""
+
+    rule_id = "EXC003"
+    family = "exceptions"
+    severity = Severity.WARNING
+    description = (
+        "this handler catches a ReproError subclass and does nothing "
+        "with it (body is only pass/.../continue); handle it, log it, "
+        "or let it propagate"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        for mod_name in sorted(program.modules):
+            module = program.modules[mod_name]
+            for node in ast.walk(module.module.tree):
+                if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                    continue
+                types = (
+                    node.type.elts if isinstance(node.type, ast.Tuple)
+                    else [node.type]
+                )
+                caught = [
+                    qual for qual in (
+                        _resolve_exception(program, module, t) for t in types
+                    )
+                    if qual is not None
+                ]
+                if not caught:
+                    continue
+                if all(self._is_noop(stmt) for stmt in node.body):
+                    bare = ", ".join(
+                        sorted(q.rsplit(".", 1)[-1] for q in caught)
+                    )
+                    yield self.program_finding(
+                        module.module.display_path, node.lineno,
+                        f"{bare} caught and silently swallowed; handle, "
+                        f"log, or re-raise it",
+                    )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        )

@@ -1,0 +1,563 @@
+"""Taint rules (TNT) — unvetted source text must pass the MCC gate.
+
+MultiRAG's central claim is that multi-source hallucination is mitigated
+by *gating* retrieved evidence through multi-level confidence calculation
+before it reaches the generator.  These rules turn that architecture
+into a checked invariant:
+
+* **sources** — values returned by calls into ``repro.adapters.*`` or
+  ``repro.retrieval.*`` (parsed documents, retrieved chunks: text the
+  program did not author);
+* **sinks** — prompt rendering (``repro.llm.prompts.render_*``) and
+  answer generation (``repro.llm.generation.*``,
+  ``SimulatedLLM.generate_answer``);
+* **sanitizers** — calls into ``repro.confidence.*`` (the MCC gate and
+  its credibility machinery): their results are considered vetted.
+
+* TNT001 — a source-tainted value is passed directly to a sink.
+* TNT002 — a source-tainted value is passed to a function that
+  (transitively) forwards that parameter into a sink.
+
+The dataflow is an intraprocedural label propagation (labels:
+``"<source>"`` plus ``"param:N"``) joined across functions by summaries
+computed to a fixpoint over the precise call graph.  Deliberate
+precision compromises, chosen so the *actual* gated pipeline verifies
+clean and the findings that remain are real:
+
+* stores through attributes/subscripts do not taint the base object
+  (building a result record out of mixed fields must not poison the
+  vetted parts);
+* method calls on a tainted receiver do not taint their result unless
+  an explicit argument does (``result.mcc.accepted_assessments()`` is
+  vetted even when other fields of ``result`` are not) — plain
+  attribute reads *do* propagate (``chunk.text`` stays tainted);
+* modules whose job is the model boundary or a deliberately ungated
+  control arm are policy-exempt as *reporting* locations (adapters,
+  retrieval, llm, datasets, and the baselines — the paper's contrast
+  group); their summaries still feed callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.callgraph import CallSite, FunctionFlow
+from repro.lint.flow.program import Program
+from repro.lint.flow.symbols import FunctionInfo, ModuleSymbols
+from repro.lint.registry import FlowRule, register_rule
+
+SOURCE_LABEL = "<source>"
+
+#: call targets under these prefixes produce unvetted source text.
+SOURCE_PREFIXES = ("repro.adapters.", "repro.retrieval.")
+#: call targets under these prefixes vet their inputs (the MCC gate).
+SANITIZER_PREFIXES = ("repro.confidence.",)
+#: modules where raw source text is legitimate (the model boundary and
+#: the deliberately ungated baselines).
+EXEMPT_MODULE_PREFIXES = (
+    "repro.adapters",
+    "repro.retrieval",
+    "repro.llm",
+    "repro.baselines",
+    "repro.datasets",
+)
+#: unresolved attribute calls with these names count as sinks.
+SINK_ATTR_NAMES = frozenset({"generate_answer"})
+
+
+def is_source(target: str) -> bool:
+    return target.startswith(SOURCE_PREFIXES)
+
+
+def is_sanitizer(target: str) -> bool:
+    return target.startswith(SANITIZER_PREFIXES)
+
+
+def is_sink(target: str) -> bool:
+    if target.startswith("repro.llm.generation."):
+        return True
+    if target.startswith("repro.llm.prompts."):
+        return target.rsplit(".", 1)[-1].startswith("render_")
+    return target.endswith(".generate_answer")
+
+
+def is_exempt_module(module_name: str) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in EXEMPT_MODULE_PREFIXES
+    )
+
+
+@dataclass(slots=True)
+class TaintSummary:
+    """Cross-function taint behaviour of one function."""
+
+    #: labels the return value can carry ("<source>", "param:N").
+    returns: frozenset[str] = frozenset()
+    #: parameter indices that (transitively) reach a sink inside.
+    param_sinks: frozenset[int] = frozenset()
+
+
+@dataclass(slots=True)
+class TaintHit:
+    """One sink reached by source-tainted data."""
+
+    rule_id: str
+    module: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(slots=True)
+class _FunctionTaint:
+    """Evaluation output for one function body."""
+
+    summary: TaintSummary = field(default_factory=TaintSummary)
+    hits: list[TaintHit] = field(default_factory=list)
+
+
+_Labels = frozenset[str]
+_EMPTY: _Labels = frozenset()
+
+
+def _param_names(func: FunctionInfo) -> list[str]:
+    args = func.node.args
+    return [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+class _Evaluator:
+    """Label propagation over one function body."""
+
+    def __init__(
+        self,
+        program: Program,
+        module: ModuleSymbols,
+        flow: FunctionFlow,
+        summaries: dict[str, TaintSummary],
+        collect_hits: bool,
+    ) -> None:
+        self.program = program
+        self.module = module
+        self.flow = flow
+        self.summaries = summaries
+        self.collect_hits = collect_hits
+        self.env: dict[str, _Labels] = {}
+        self.returns: set[str] = set()
+        self.param_sinks: set[int] = set()
+        self.hits: list[TaintHit] = []
+        self.sites: dict[int, CallSite] = {
+            id(site.node): site for site in flow.calls
+        }
+        func = flow.info
+        if func.name != "<module>":
+            for i, name in enumerate(_param_names(func)):
+                self.env[name] = frozenset({f"param:{i}"})
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self, body: list[ast.stmt]) -> _FunctionTaint:
+        # Two passes approximate the loop fixpoint: labels assigned late
+        # in a loop body reach uses earlier in the next iteration.
+        self.exec_block(body)
+        self.hits.clear()
+        self.exec_block(body)
+        return _FunctionTaint(
+            summary=TaintSummary(
+                returns=frozenset(self.returns),
+                param_sinks=frozenset(self.param_sinks),
+            ),
+            hits=list(self.hits),
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._exec_assign(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns.update(self.eval(stmt.value))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_target(stmt.target, self.eval(stmt.iter))
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, labels)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.While,)):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject)
+            for case in stmt.cases:
+                self.exec_block(case.body)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Closure bodies fold into the parent, consistent with the
+            # other analyses.
+            self.exec_block(stmt.body)
+        # remaining statement kinds move no data the labels track
+
+    def _exec_assign(
+        self, stmt: ast.Assign | ast.AnnAssign | ast.AugAssign
+    ) -> None:
+        if stmt.value is None:
+            return
+        labels = self.eval(stmt.value)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._bind_target(target, labels)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = (
+                    self.env.get(stmt.target.id, _EMPTY) | labels
+                )
+        else:
+            self._bind_target(stmt.target, labels)
+
+    def _bind_target(self, target: ast.expr, labels: _Labels) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, labels)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, labels)
+        # Attribute/Subscript stores: deliberately no base-object taint.
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.expr) -> _Labels:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            # Plain field read: the chunk's .text is as tainted as the
+            # chunk itself.
+            return self.eval(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value) | self.eval(node.slice)
+        if isinstance(node, ast.NamedExpr):
+            labels = self.eval(node.value)
+            self._bind_target(node.target, labels)
+            return labels
+        if isinstance(node, ast.Lambda):
+            return _EMPTY
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        # Generic join over child expressions (BinOp, BoolOp, Compare,
+        # JoinedStr, containers, Starred, Await, ...).
+        labels: set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels.update(self.eval(child))
+        return frozenset(labels)
+
+    def _eval_comprehension(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp,
+    ) -> _Labels:
+        for gen in node.generators:
+            self._bind_target(gen.target, self.eval(gen.iter))
+            for cond in gen.ifs:
+                self.eval(cond)
+        if isinstance(node, ast.DictComp):
+            return self.eval(node.key) | self.eval(node.value)
+        return self.eval(node.elt)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def _eval_call(self, node: ast.Call) -> _Labels:
+        arg_labels: list[_Labels] = []
+        for arg in node.args:
+            value = arg.value if isinstance(arg, ast.Starred) else arg
+            arg_labels.append(self.eval(value))
+        kw_labels: dict[str, _Labels] = {}
+        extra: list[_Labels] = []
+        for kw in node.keywords:
+            labels = self.eval(kw.value)
+            if kw.arg is None:
+                extra.append(labels)
+            else:
+                kw_labels[kw.arg] = labels
+        joined = frozenset().union(*arg_labels, *kw_labels.values(), *extra)
+
+        site = self.sites.get(id(node))
+        target = site.target if site is not None else None
+
+        if target is not None and is_sanitizer(target):
+            return _EMPTY
+        if target is not None and is_source(target):
+            return joined | {SOURCE_LABEL}
+        if target is not None and is_sink(target):
+            self._record_sink_args("TNT001", node, target, arg_labels,
+                                   kw_labels, extra)
+            return _EMPTY
+        if site is not None and site.attr in SINK_ATTR_NAMES:
+            self._record_sink_args("TNT001", node, site.attr or "", arg_labels,
+                                   kw_labels, extra)
+            return _EMPTY
+        if target is not None and site is not None:
+            return self._eval_resolved_call(
+                node, site, target, arg_labels, kw_labels
+            )
+        # Unresolved call: assume arguments pass through to the result.
+        # The receiver of an unresolved method call is deliberately NOT
+        # joined in (see the module docstring).
+        return joined
+
+    def _eval_resolved_call(
+        self,
+        node: ast.Call,
+        site: CallSite,
+        target: str,
+        arg_labels: list[_Labels],
+        kw_labels: dict[str, _Labels],
+    ) -> _Labels:
+        targets: list[str] = []
+        if site.kind == "class":
+            for method in ("__init__", "__post_init__"):
+                found = self.program.symtab.find_method(target, method)
+                if found is not None:
+                    targets.append(found)
+            if not targets:
+                # Synthesised dataclass __init__: the instance carries
+                # whatever its field values carry.
+                return frozenset().union(*arg_labels, *kw_labels.values())
+        else:
+            targets.append(target)
+
+        result: set[str] = set()
+        for callee_qual in targets:
+            callee = self.program.symtab.functions.get(callee_qual)
+            summary = self.summaries.get(callee_qual)
+            if callee is None or summary is None:
+                result.update(
+                    frozenset().union(*arg_labels, *kw_labels.values())
+                )
+                continue
+            mapping = self._map_args(callee, arg_labels, kw_labels)
+            for label in sorted(summary.returns):
+                if label == SOURCE_LABEL:
+                    result.add(SOURCE_LABEL)
+                elif label.startswith("param:"):
+                    result.update(mapping.get(int(label.split(":")[1]), _EMPTY))
+            for index in sorted(summary.param_sinks):
+                labels = mapping.get(index, _EMPTY)
+                if SOURCE_LABEL in labels:
+                    self._record_hit(
+                        "TNT002", node,
+                        f"unvetted source text flows into {callee.name}() "
+                        f"which forwards it to an LLM sink; route it "
+                        f"through the MCC gate (repro.confidence) first",
+                    )
+                for label in sorted(labels):
+                    if label.startswith("param:"):
+                        self.param_sinks.add(int(label.split(":")[1]))
+        return frozenset(result)
+
+    def _map_args(
+        self,
+        callee: FunctionInfo,
+        arg_labels: list[_Labels],
+        kw_labels: dict[str, _Labels],
+    ) -> dict[int, _Labels]:
+        """Map call-site argument labels onto callee parameter indices."""
+        names = _param_names(callee)
+        offset = 0
+        if callee.cls is not None and "staticmethod" not in callee.decorators:
+            offset = 1  # the bound receiver occupies parameter 0
+        mapping: dict[int, _Labels] = {}
+        for i, labels in enumerate(arg_labels):
+            mapping[i + offset] = labels
+        for name, labels in kw_labels.items():
+            if name in names:
+                mapping[names.index(name)] = labels
+        return mapping
+
+    def _record_sink_args(
+        self,
+        rule_id: str,
+        node: ast.Call,
+        target: str,
+        arg_labels: list[_Labels],
+        kw_labels: dict[str, _Labels],
+        extra: list[_Labels],
+    ) -> None:
+        tainted = any(
+            SOURCE_LABEL in labels
+            for labels in (*arg_labels, *kw_labels.values(), *extra)
+        )
+        for labels in (*arg_labels, *kw_labels.values(), *extra):
+            for label in sorted(labels):
+                if label.startswith("param:"):
+                    self.param_sinks.add(int(label.split(":")[1]))
+        if tainted:
+            bare = target.rsplit(".", 1)[-1]
+            self._record_hit(
+                rule_id, node,
+                f"unvetted source text reaches LLM sink {bare}(); route "
+                f"it through the MCC gate (repro.confidence) first",
+            )
+
+    def _record_hit(self, rule_id: str, node: ast.Call, message: str) -> None:
+        if not self.collect_hits:
+            return
+        self.hits.append(
+            TaintHit(
+                rule_id=rule_id,
+                module=self.module.name,
+                path=self.module.module.display_path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=message,
+            )
+        )
+
+
+def compute_taint(
+    program: Program,
+) -> tuple[dict[str, TaintSummary], list[TaintHit]]:
+    """Fixpoint taint summaries plus the sink hits they imply.
+
+    The result is memoised on ``program`` — TNT001 and TNT002 share it.
+    """
+    cached = program.analysis_cache.get("taint")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+
+    flows = program.callgraph.flows
+    summaries: dict[str, TaintSummary] = {
+        qual: TaintSummary() for qual in flows
+    }
+
+    def evaluate(qual: str, collect_hits: bool) -> _FunctionTaint:
+        flow = flows[qual]
+        module = program.modules.get(flow.info.module)
+        if module is None:  # pragma: no cover — flows come from modules
+            return _FunctionTaint()
+        body = (
+            module.toplevel
+            if flow.info.name == "<module>"
+            else list(flow.info.node.body)
+        )
+        evaluator = _Evaluator(program, module, flow, summaries, collect_hits)
+        return evaluator.run(body)
+
+    # Reverse precise edges drive the summary worklist.
+    callers: dict[str, set[str]] = {}
+    for caller in sorted(program.callgraph.edges):
+        for callee in sorted(program.callgraph.edges[caller]):
+            callers.setdefault(callee, set()).add(caller)
+
+    pending = sorted(flows)
+    pending_set = set(pending)
+    iterations = 0
+    limit = max(64, 8 * len(flows))
+    while pending and iterations < limit:
+        iterations += 1
+        qual = pending.pop()
+        pending_set.discard(qual)
+        new_summary = evaluate(qual, collect_hits=False).summary
+        if new_summary != summaries[qual]:
+            summaries[qual] = new_summary
+            for caller in sorted(callers.get(qual, ())):
+                if caller not in pending_set:
+                    pending.append(caller)
+                    pending_set.add(caller)
+
+    hits: list[TaintHit] = []
+    for qual in sorted(flows):
+        hits.extend(evaluate(qual, collect_hits=True).hits)
+
+    result = (summaries, hits)
+    program.analysis_cache["taint"] = result
+    return result
+
+
+class _TaintRule(FlowRule):
+    """Shared reporting shell for the two TNT rules."""
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        _, hits = compute_taint(program)
+        seen: set[tuple[str, int, str]] = set()
+        for hit in hits:
+            if hit.rule_id != self.rule_id or is_exempt_module(hit.module):
+                continue
+            key = (hit.path, hit.line, hit.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.program_finding(
+                hit.path, hit.line, hit.message, col=hit.col
+            )
+
+
+@register_rule
+class DirectTaintRule(_TaintRule):
+    """TNT001 — source text passed straight to an LLM sink."""
+
+    rule_id = "TNT001"
+    family = "taint"
+    severity = Severity.ERROR
+    description = (
+        "text returned by an adapter or retriever reaches prompt "
+        "rendering / answer generation without passing the MCC gate "
+        "(repro.confidence); gate it or move the code to an exempt "
+        "model-boundary module"
+    )
+
+
+@register_rule
+class IndirectTaintRule(_TaintRule):
+    """TNT002 — source text reaches a sink through helper functions."""
+
+    rule_id = "TNT002"
+    family = "taint"
+    severity = Severity.ERROR
+    description = (
+        "text returned by an adapter or retriever is passed to a "
+        "function that forwards it into an LLM sink without the MCC "
+        "gate; gate the value before the call"
+    )

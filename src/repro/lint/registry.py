@@ -13,11 +13,14 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.lint.findings import Finding, Severity
 
-_RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+if TYPE_CHECKING:
+    from repro.lint.flow.program import Program
+
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,3}\d{3}$")
 
 
 @dataclass(slots=True)
@@ -93,6 +96,38 @@ class Rule:
         )
 
 
+class FlowRule(Rule):
+    """Base class for whole-program rules (exception-flow, reachability,
+    taint).
+
+    Flow rules run once per lint invocation over the :class:`Program`
+    built from the entire file set, instead of once per module; findings
+    still anchor to a file and line, so the inline-suppression machinery
+    applies unchanged.  ``check`` is inert — the engine dispatches flow
+    rules through :meth:`check_program`.
+    """
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        return ()
+
+    def check_program(self, program: "Program") -> Iterable[Finding]:
+        """Yield findings over the whole program; override in subclasses."""
+        raise NotImplementedError
+
+    def program_finding(
+        self, path: str, line: int, message: str, col: int = 1
+    ) -> Finding:
+        """Build a finding anchored at an explicit file position."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 
@@ -134,5 +169,10 @@ def rule_ids() -> list[str]:
 
 def _ensure_rules_loaded() -> None:
     # The family modules self-register on import; importing here (not at
-    # module top) avoids a registry<->rules import cycle.
+    # module top) avoids a registry<->rules import cycle.  The flow-rule
+    # modules import after the per-file families so rules.common is fully
+    # initialised before the flow machinery pulls it in.
     import repro.lint.rules  # noqa: F401  (import-for-side-effect)
+    import repro.lint.flow.exceptions  # noqa: F401
+    import repro.lint.flow.reachability  # noqa: F401
+    import repro.lint.flow.taint  # noqa: F401

@@ -1,13 +1,24 @@
 """Rule family modules; importing this package registers every rule.
 
-Families:
+Per-file families:
 
 * ``determinism`` (DET) — seeded randomness, no wall clock, no hash-order.
 * ``layering`` (LAY) — the package dependency DAG.
 * ``errors`` (ERR) — the ReproError raise/except contract.
 * ``hygiene`` (API) — mutable defaults, return annotations, float equality.
+
+Whole-program families (from :mod:`repro.lint.flow`):
+
+* ``exceptions`` (EXC) — undocumented/dead/swallowed ReproError flow.
+* ``reachability`` (DC) — code no entry point can reach.
+* ``taint`` (TNT) — unvetted source text reaching LLM sinks ungated.
 """
 
 from repro.lint.rules import determinism, errors, hygiene, layering
 
 __all__ = ["determinism", "errors", "hygiene", "layering"]
+
+# The flow-rule modules live in repro.lint.flow (they need the symbol
+# table and call graph, which in turn use rules.common — importing them
+# here would cycle through this package's own initialisation).  The
+# registry's lazy loader imports them alongside this package.

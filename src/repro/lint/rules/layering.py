@@ -24,6 +24,7 @@ from repro.lint.registry import ModuleUnderLint, Rule, register_rule
 ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "util": frozenset(),
+    "metrics": frozenset({"errors", "util"}),
     "lint": frozenset({"errors"}),
     "retrieval": frozenset({"errors", "util"}),
     "llm": frozenset({"errors", "util", "retrieval"}),
@@ -36,15 +37,15 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "datasets": frozenset({"errors", "util", "adapters", "llm"}),
     "core": frozenset({
         "errors", "util", "adapters", "confidence", "datasets", "kg",
-        "linegraph", "lint", "llm", "retrieval",
+        "linegraph", "lint", "llm", "metrics", "retrieval",
     }),
     "baselines": frozenset({
         "errors", "util", "confidence", "core", "datasets", "kg",
-        "linegraph", "llm", "retrieval",
+        "linegraph", "llm", "metrics", "retrieval",
     }),
     "eval": frozenset({
         "errors", "util", "adapters", "baselines", "confidence", "core",
-        "datasets", "kg", "linegraph", "llm", "retrieval",
+        "datasets", "kg", "linegraph", "llm", "metrics", "retrieval",
     }),
 }
 

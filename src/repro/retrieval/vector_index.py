@@ -45,7 +45,12 @@ class VectorIndex(Generic[T]):
         return len(self._items)
 
     def search(self, query: str, k: int = 5) -> list[SearchHit[T]]:
-        """Top-``k`` items by cosine similarity to ``query``."""
+        """Top-``k`` items by cosine similarity to ``query``.
+
+        Raises:
+            StateError: if the index was built without fitting the
+                vectorizer.
+        """
         if self._matrix is None or not self._items:
             return []
         qvec = self._vectorizer.transform([query])[0]

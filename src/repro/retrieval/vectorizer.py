@@ -44,7 +44,11 @@ class TfidfVectorizer:
         return self
 
     def transform(self, texts: list[str]) -> np.ndarray:
-        """Embed ``texts`` as rows of an L2-normalized TF-IDF matrix."""
+        """Embed ``texts`` as rows of an L2-normalized TF-IDF matrix.
+
+        Raises:
+            StateError: if called before :meth:`fit`.
+        """
         if not self._fitted:
             raise StateError("vectorizer must be fit before transform")
         matrix = np.zeros((len(texts), len(self.vocabulary)), dtype=np.float64)

@@ -34,14 +34,16 @@ def stable_uniform(*parts: object, seed: int = 0) -> float:
     return stable_hash(*parts, seed=seed) / 2**64
 
 
-def stable_choice(options: Sequence[T], *parts: object, seed: int = 0) -> T:
+def stable_choice(  # repro-lint: ignore[DC001] — test-facing utility API
+    options: Sequence[T], *parts: object, seed: int = 0
+) -> T:
     """Pick one element of ``options`` deterministically keyed by ``parts``."""
     if not options:
         raise ValueError("cannot choose from an empty sequence")
     return options[stable_hash(*parts, seed=seed) % len(options)]
 
 
-class Stopwatch:
+class Stopwatch:  # repro-lint: ignore[DC002] — test-facing utility API
     """Accumulating wall-clock timer used by the experiment harness."""
 
     def __init__(self) -> None:
@@ -90,7 +92,7 @@ def canonical_value(value: object) -> str:
     return " ".join(tokens)
 
 
-def jaccard(a: set[str], b: set[str]) -> float:
+def jaccard(a: set[str], b: set[str]) -> float:  # repro-lint: ignore[DC001] — test-facing utility API
     """Jaccard similarity of two sets; 1.0 when both are empty."""
     if not a and not b:
         return 1.0

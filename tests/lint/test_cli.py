@@ -87,4 +87,78 @@ class TestOptions:
         out = capsys.readouterr().out
         listed = [line.split()[0] for line in out.splitlines() if line]
         assert len(listed) >= 10
-        assert {"DET001", "LAY001", "ERR001", "API001"} <= set(listed)
+        assert {"DET001", "LAY001", "ERR001", "API001",
+                "EXC001", "DC001", "TNT001"} <= set(listed)
+
+
+EXC_DIRTY = (
+    "from repro.errors import ReproError\n"
+    "\n"
+    "\n"
+    "def load(path: str) -> str:\n"
+    '    """Load."""\n'
+    "    raise ReproError(path)\n"
+)
+
+
+@pytest.fixture()
+def flow_dirty_dir(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("from repro.cli import load\n")
+    (pkg / "errors.py").write_text(
+        "class ReproError(Exception):\n    pass\n"
+    )
+    (pkg / "cli.py").write_text(EXC_DIRTY)
+    return pkg
+
+
+class TestFlowOptions:
+    def test_flow_rules_fire_through_the_cli(self, flow_dirty_dir, capsys):
+        assert main(["lint", str(flow_dirty_dir)]) == 1
+        assert "EXC001" in capsys.readouterr().out
+
+    def test_no_flow_skips_flow_rules(self, flow_dirty_dir, capsys):
+        assert main(["lint", str(flow_dirty_dir), "--no-flow"]) == 0
+
+    def test_graph_json(self, capsys):
+        assert main(["lint", str(SRC / "lint"), "--graph", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "modules" in payload and "calls" in payload
+        assert any(m.startswith("repro.lint") for m in payload["modules"])
+
+    def test_graph_dot(self, capsys):
+        assert main(["lint", str(SRC / "lint"), "--graph", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "->" in out
+
+    def test_cache_warm_run_agrees(self, flow_dirty_dir, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["lint", str(flow_dirty_dir), "--format", "json",
+                     "--cache-dir", cache]) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["lint", str(flow_dirty_dir), "--format", "json",
+                     "--cache-dir", cache]) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["findings"] == cold["findings"]
+        assert warm["cache_hits"] == warm["files_checked"]
+        assert warm["flow_cached"] is True
+        assert cold["cache_hits"] == 0
+
+    def test_no_cache_never_writes(self, flow_dirty_dir, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["lint", str(flow_dirty_dir), "--no-cache",
+              "--cache-dir", str(cache)])
+        capsys.readouterr()
+        assert not cache.exists()
+
+    def test_changed_only_quiet_when_nothing_changed(
+        self, flow_dirty_dir, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        main(["lint", str(flow_dirty_dir), "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["lint", str(flow_dirty_dir), "--cache-dir", cache,
+                     "--changed-only"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
