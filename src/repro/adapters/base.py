@@ -69,6 +69,21 @@ class Adapter(ABC):
         """Normalize ``raw``; raise :class:`~repro.errors.AdapterError` on
         malformed payloads."""
 
+    def span_attributes(
+        self, raw: RawSource, output: AdapterOutput
+    ) -> dict[str, Any]:
+        """Deterministic attributes for the ``adapter:<fmt>`` trace span.
+
+        Subclasses extend with format-specific detail (row/record/column
+        counts); keys must be deterministic values only — no wall time.
+        """
+        return {
+            "source_id": raw.source_id,
+            "fmt": self.fmt,
+            "num_triples": len(output.triples),
+            "num_documents": len(output.documents),
+        }
+
 
 ADAPTER_REGISTRY: dict[str, Adapter] = {}
 

@@ -9,7 +9,6 @@ corpus shared by all retrieval methods.
 
 from __future__ import annotations
 
-import logging
 import time
 from dataclasses import dataclass, field
 
@@ -19,10 +18,12 @@ from repro.kg.storage import NormalizedRecord
 from repro.kg.triple import Entity, Provenance, Triple
 from repro.llm.extraction import SchemaFreeExtractor
 from repro.llm.simulated import SimulatedLLM
+from repro.obs.context import NOOP, Observability
+from repro.obs.log import get_logger
 from repro.retrieval.chunking import Chunk, SentenceChunker
 
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 @dataclass(slots=True)
@@ -47,10 +48,12 @@ class DataFusionEngine:
         llm: SimulatedLLM | None = None,
         chunker: SentenceChunker | None = None,
         standardize: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         self.llm = llm or SimulatedLLM()
         self.chunker = chunker or SentenceChunker(max_tokens=64)
         self.extractor = SchemaFreeExtractor(self.llm)
+        self.obs = obs if obs is not None else NOOP
         #: run the LLM standardization phase (the ``std`` prompt of paper
         #: §III-B) over every entity and value after fusion, unifying
         #: per-source surface variants ("Nolan, Christopher" →
@@ -70,32 +73,56 @@ class DataFusionEngine:
         start = time.perf_counter()
         graph = KnowledgeGraph(name=graph_name)
         result = FusionResult(graph=graph)
+        metrics = self.obs.metrics
 
         for raw in sources:
             adapter = get_adapter(raw.fmt)
-            output = adapter.parse(raw)
-            result.records.append(output.record)
-            graph.add_triples(output.triples)
-            self._register_entities(graph, output.triples)
+            with self.obs.tracer.span(f"adapter:{raw.fmt}") as span:
+                output = adapter.parse(raw)
+                result.records.append(output.record)
+                graph.add_triples(output.triples)
+                self._register_entities(graph, output.triples)
 
-            for doc_id, text in output.documents:
-                chunks = self.chunker.chunk(text, source_id=raw.source_id, doc_id=doc_id)
-                result.chunks.extend(chunks)
-                if raw.fmt == "text":
-                    # Unstructured sources carry no parsed triples: recover
-                    # them with the three-phase LLM extractor per chunk.
-                    for chunk in chunks:
-                        provenance = Provenance(
-                            source_id=raw.source_id,
-                            domain=raw.domain,
-                            fmt=raw.fmt,
-                            chunk_id=chunk.chunk_id,
-                        )
-                        extraction = self.extractor.extract(chunk.text, provenance)
-                        graph.add_triples(extraction.triples)
-                        for entity in extraction.entities:
-                            graph.add_entity(entity)
-                        result.extraction_calls += 1
+                chunks_before = len(result.chunks)
+                extractions_before = result.extraction_calls
+                usage_before = self.llm.meter.checkpoint()
+                for doc_id, text in output.documents:
+                    chunks = self.chunker.chunk(
+                        text, source_id=raw.source_id, doc_id=doc_id
+                    )
+                    result.chunks.extend(chunks)
+                    if raw.fmt == "text":
+                        # Unstructured sources carry no parsed triples:
+                        # recover them with the three-phase LLM extractor
+                        # per chunk.
+                        for chunk in chunks:
+                            provenance = Provenance(
+                                source_id=raw.source_id,
+                                domain=raw.domain,
+                                fmt=raw.fmt,
+                                chunk_id=chunk.chunk_id,
+                            )
+                            extraction = self.extractor.extract(
+                                chunk.text, provenance
+                            )
+                            graph.add_triples(extraction.triples)
+                            for entity in extraction.entities:
+                                graph.add_entity(entity)
+                            result.extraction_calls += 1
+                if span.enabled:
+                    span.set(
+                        **adapter.span_attributes(raw, output),
+                        num_chunks=len(result.chunks) - chunks_before,
+                        **self.llm.meter.delta(usage_before),
+                    )
+            metrics.counter(f"fusion.sources.{raw.fmt}").inc()
+            metrics.counter("fusion.triples").inc(len(output.triples))
+            metrics.counter("fusion.chunks").inc(
+                len(result.chunks) - chunks_before
+            )
+            metrics.counter("fusion.extraction_calls").inc(
+                result.extraction_calls - extractions_before
+            )
 
         if self.standardize:
             result.graph = self._standardize_graph(graph)

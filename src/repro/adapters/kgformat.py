@@ -51,5 +51,14 @@ class KgAdapter(Adapter):
         documents = [(f"{raw.source_id}:{raw.name}", " ".join(doc_lines))]
         return AdapterOutput(record=record, triples=triples, documents=documents)
 
+    def span_attributes(
+        self, raw: RawSource, output: AdapterOutput
+    ) -> dict[str, object]:
+        attrs = super().span_attributes(raw, output)
+        declared = raw.payload.get("triples", []) if isinstance(raw.payload, dict) else []
+        attrs["declared_triples"] = len(declared)
+        attrs["skipped_triples"] = len(declared) - len(output.triples)
+        return attrs
+
 
 register_adapter(KgAdapter())

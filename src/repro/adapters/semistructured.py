@@ -94,6 +94,13 @@ class SemiStructuredJsonAdapter(Adapter):
         documents = [(f"{raw.source_id}:{raw.name}", " ".join(doc_lines))]
         return AdapterOutput(record=record, triples=triples, documents=documents)
 
+    def span_attributes(
+        self, raw: RawSource, output: AdapterOutput
+    ) -> dict[str, object]:
+        attrs = super().span_attributes(raw, output)
+        attrs["num_records"] = len(output.record.jsonld.get("@graph", []))
+        return attrs
+
 
 class SemiStructuredXmlAdapter(Adapter):
     """XML ``<source><record name="..."><attr>value</attr>...</record></source>``.
@@ -145,6 +152,13 @@ class SemiStructuredXmlAdapter(Adapter):
         )
         documents = [(f"{raw.source_id}:{raw.name}", " ".join(doc_lines))]
         return AdapterOutput(record=record, triples=triples, documents=documents)
+
+    def span_attributes(
+        self, raw: RawSource, output: AdapterOutput
+    ) -> dict[str, object]:
+        attrs = super().span_attributes(raw, output)
+        attrs["num_records"] = len(output.record.jsonld.get("@graph", []))
+        return attrs
 
     def _element_leaves(self, element: ET.Element) -> list[tuple[str, str]]:
         """DFS over an XML subtree yielding ``(leaf_tag, text)`` pairs."""

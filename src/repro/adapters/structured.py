@@ -99,5 +99,14 @@ class StructuredAdapter(Adapter):
         documents = [(f"{raw.source_id}:{raw.name}", " ".join(doc_lines))]
         return AdapterOutput(record=record, triples=triples, documents=documents)
 
+    def span_attributes(
+        self, raw: RawSource, output: AdapterOutput
+    ) -> dict[str, object]:
+        attrs = super().span_attributes(raw, output)
+        index = output.record.cols_index or {}
+        attrs["num_columns"] = len(index)
+        attrs["num_rows"] = len(output.record.jsonld.get("@graph", []))
+        return attrs
+
 
 register_adapter(StructuredAdapter())

@@ -48,5 +48,14 @@ class UnstructuredAdapter(Adapter):
         )
         return AdapterOutput(record=record, triples=[], documents=documents)
 
+    def span_attributes(
+        self, raw: RawSource, output: AdapterOutput
+    ) -> dict[str, object]:
+        attrs = super().span_attributes(raw, output)
+        attrs["num_chars"] = sum(len(text) for _, text in output.documents)
+        # Triples arrive only later, from the LLM extractor over chunks.
+        attrs["deferred_extraction"] = True
+        return attrs
+
 
 register_adapter(UnstructuredAdapter())

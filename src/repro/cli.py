@@ -5,7 +5,9 @@
     python -m repro generate books corpus/         # synthesize a corpus
     python -m repro stats corpus/                  # what's in it
     python -m repro query corpus/ "Who wrote A Crimson Archive?" --explain
+    python -m repro query corpus/ "..." --trace out.jsonl --metrics out.json
     python -m repro evaluate corpus/               # F1 over queries.json
+    python -m repro trace out.jsonl                # per-stage waterfall
     python -m repro ingest corpus/ --graph kg.json # cache the fused graph
     python -m repro lint                           # static-analysis gate
 
@@ -25,10 +27,37 @@ from repro.errors import ReproError
 from repro.metrics import f1_score, mean
 from repro.eval.reporting import format_table
 from repro.kg.storage import save_graph
+from repro.obs import NOOP, Observability
 
 
-def _build_pipeline(directory: str, seed: int) -> MultiRAG:
-    rag = MultiRAG(MultiRAGConfig(seed=seed))
+def _make_obs(args: argparse.Namespace) -> Observability:
+    """One live bundle when any telemetry flag was passed, else NOOP."""
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "audit", False)
+    ):
+        return Observability.enable()
+    return NOOP
+
+
+def _export_obs(obs: Observability, args: argparse.Namespace) -> None:
+    if getattr(args, "trace", None):
+        obs.tracer.export(args.trace)
+        print(f"trace written to {args.trace} "
+              f"(render with: python -m repro trace {args.trace})",
+              file=sys.stderr)
+    if getattr(args, "metrics", None):
+        from pathlib import Path
+
+        Path(args.metrics).write_text(obs.metrics.to_json() + "\n")
+        print(f"metrics snapshot written to {args.metrics}", file=sys.stderr)
+
+
+def _build_pipeline(
+    directory: str, seed: int, obs: Observability | None = None
+) -> MultiRAG:
+    rag = MultiRAG(MultiRAGConfig(seed=seed), obs=obs)
     sources = load_sources(directory)
     report = rag.ingest(sources)
     print(
@@ -90,7 +119,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     Raises:
         ReproError: if loading, ingesting or querying the corpus fails.
     """
-    rag = _build_pipeline(args.directory, args.seed)
+    obs = _make_obs(args)
+    rag = _build_pipeline(args.directory, args.seed, obs=obs)
     result = rag.query(args.question)
     print(f"answer: {result.generated_text}")
     for ranked in result.answers:
@@ -99,6 +129,21 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.explain and result.mcc is not None:
         print()
         print(explain(result.mcc))
+    if args.audit and result.audit:
+        print()
+        print("decision audit:")
+        for event in result.audit:
+            detail = ""
+            if event.score is not None:
+                threshold = (
+                    f" vs θ={event.threshold:.2f}"
+                    if event.threshold is not None else ""
+                )
+                detail = f" (score={event.score:.3f}{threshold})"
+            subject = event.value or "<group>"
+            print(f"  [{event.level:9s}] {event.action:7s} {subject}"
+                  f"{detail}  {event.reason}")
+    _export_obs(obs, args)
     return 0
 
 
@@ -128,7 +173,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         ReproError: if loading, ingesting or querying the corpus fails.
     """
     queries = load_queries(args.directory)
-    rag = _build_pipeline(args.directory, args.seed)
+    obs = _make_obs(args)
+    rag = _build_pipeline(args.directory, args.seed, obs=obs)
     scores = []
     for query in queries:
         predicted = {
@@ -136,6 +182,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         }
         scores.append(f1_score(predicted, query.answers))
     print(f"queries: {len(queries)}  mean F1: {100 * mean(scores):.1f}%")
+    if obs.metrics.enabled:
+        from repro.obs.metrics import format_metrics
+
+        print()
+        print(format_metrics(obs.metrics.snapshot()))
+    _export_obs(obs, args)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Pretty-print a trace file as a per-stage waterfall.
+
+    Raises:
+        StateError: if the file is not a trace export.
+    """
+    from repro.obs import load_trace, render_waterfall
+
+    spans = load_trace(args.file)
+    try:
+        print(render_waterfall(spans))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Detach
+        # stdout so the interpreter's shutdown flush cannot re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -212,11 +284,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("question")
     p.add_argument("--explain", action="store_true",
                    help="print the confidence breakdown of every candidate")
+    p.add_argument("--audit", action="store_true",
+                   help="print every kept/dropped decision MCC made")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record spans and write the trace (JSONL; .json "
+                        "for the array form)")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write the metrics snapshot as JSON")
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("evaluate", help="score queries.json with MultiRAG")
     p.add_argument("directory")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record spans and write the trace (JSONL; .json "
+                        "for the array form)")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write the metrics snapshot as JSON")
     p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser(
+        "trace",
+        help="pretty-print a --trace file as a per-stage waterfall",
+    )
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "lint",

@@ -18,14 +18,14 @@ costs one pass per round.
 
 from __future__ import annotations
 
-import logging
 from collections import defaultdict
 
 from repro.confidence.history import HistoryStore
 from repro.linegraph.homologous import HomologousGroup
+from repro.obs.log import get_logger
 from repro.util import normalize_value
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 def consensus_values(

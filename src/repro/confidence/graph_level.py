@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.confidence.similarity import similarity
 from repro.linegraph.homologous import HomologousGroup
+from repro.obs.context import NOOP, Observability
 
 
 def graph_confidence(group: HomologousGroup) -> float:
@@ -50,16 +51,21 @@ class GraphAssessment:
 def assess_groups(
     groups: list[HomologousGroup],
     threshold: float = 0.5,
+    obs: Observability | None = None,
 ) -> list[GraphAssessment]:
     """Score every group and mark which clear the graph threshold.
 
     Also writes the confidence back onto each group's center node so later
     stages (and the case-study trace) can read it.
     """
+    obs = obs if obs is not None else NOOP
+    metrics = obs.metrics
     assessments = []
     for group in groups:
         conf = graph_confidence(group)
         group.snode.confidence = conf
+        metrics.histogram("confidence.graph.c_g").observe(conf)
+        metrics.counter("confidence.graph.assessed").inc()
         assessments.append(
             GraphAssessment(group=group, confidence=conf, passed=conf >= threshold)
         )

@@ -25,6 +25,16 @@ from repro.confidence.graph_level import graph_confidence
 from repro.confidence.node_level import NodeAssessment, NodeScorer
 from repro.kg.triple import Triple
 from repro.linegraph.homologous import HomologousGroup
+from repro.obs.audit import (
+    ACTION_DROPPED,
+    ACTION_KEPT,
+    LEVEL_FALLBACK,
+    LEVEL_FAST_PATH,
+    LEVEL_GRAPH,
+    LEVEL_NODE,
+    AuditEvent,
+)
+from repro.obs.context import NOOP, Observability
 from repro.util import normalize_value
 
 
@@ -74,6 +84,7 @@ def mcc(
     fast_path_nodes: int = 2,
     fallback_best: bool = True,
     hedge_margin: float = 0.15,
+    obs: Observability | None = None,
 ) -> MCCResult:
     """Run Algorithm 1 over ``groups``; returns accepted/rejected nodes.
 
@@ -84,15 +95,46 @@ def mcc(
     need to be extracted to ensure the robustness of the overall
     retrieval" (paper §IV-C) — an empty answer is never the trustworthy
     choice when candidates exist.
+
+    With an enabled ``obs`` bundle the pass emits ``mcc.graph`` /
+    ``mcc.node`` spans, confidence metrics, and one audit event per
+    candidate recording whether it was kept or dropped, by which level,
+    and at what score vs. threshold.
     """
+    obs = obs if obs is not None else NOOP
+    metrics = obs.metrics
     result = MCCResult()
     for group in groups:
+        key = f"{group.snode.entity}|{group.snode.name}"
         graph_conf: float | None = None
         fast_path = False
         if enable_graph_level:
-            graph_conf = graph_confidence(group)
-            group.snode.confidence = graph_conf
-            fast_path = graph_conf >= graph_threshold
+            with obs.tracer.span("mcc.graph", key=key) as gspan:
+                graph_conf = graph_confidence(group)
+                group.snode.confidence = graph_conf
+                fast_path = graph_conf >= graph_threshold
+                if gspan.enabled:
+                    gspan.set(
+                        graph_conf=round(graph_conf, 6),
+                        fast_path=fast_path,
+                        members=len(group.members),
+                    )
+            metrics.histogram("mcc.graph_conf").observe(graph_conf)
+            metrics.counter(
+                "mcc.fast_path" if fast_path else "mcc.full_scrutiny"
+            ).inc()
+            if obs.audit.enabled:
+                obs.audit.record(AuditEvent(
+                    stage="mcc.graph", action=ACTION_KEPT, key=key,
+                    value="", source_id="", level=LEVEL_GRAPH,
+                    threshold=graph_threshold, score=graph_conf,
+                    reason=(
+                        "consistent group: fast path (top consensus nodes "
+                        "only)" if fast_path
+                        else "conflicted group: full node-level scrutiny"
+                    ),
+                ))
+        metrics.histogram("mcc.group_size").observe(len(group.members))
 
         decision = GroupDecision(group=group, graph_conf=graph_conf, fast_path=fast_path)
 
@@ -105,9 +147,11 @@ def mcc(
             ranked_members = _consensus_ranked(group)
             if fast_path:
                 kept = ranked_members[:max(1, fast_path_nodes)]
-                result.lvs.extend(ranked_members[len(kept):])
+                dropped = ranked_members[len(kept):]
+                result.lvs.extend(dropped)
             else:
                 kept = ranked_members
+                dropped = []
             decision.accepted = [
                 NodeAssessment(
                     triple=m, consistency=1.0, auth_llm=0.5, auth_hist=0.5,
@@ -115,6 +159,18 @@ def mcc(
                 )
                 for m in kept
             ]
+            if obs.audit.enabled:
+                for member in kept:
+                    obs.audit.record(_node_event(
+                        ACTION_KEPT, key, member, LEVEL_GRAPH, None, None,
+                        "kept by consensus rank (node-level scoring "
+                        "disabled)",
+                    ))
+                for member in dropped:
+                    obs.audit.record(_node_event(
+                        ACTION_DROPPED, key, member, LEVEL_GRAPH, None, None,
+                        "beyond fast-path cap (node-level scoring disabled)",
+                    ))
             result.decisions.append(decision)
             continue
 
@@ -126,16 +182,24 @@ def mcc(
             to_assess = members
             skipped = []
 
-        for member in to_assess:
-            assessment = scorer.assess(member, group)
-            group.set_weight(member, assessment.confidence)
-            result.nodes_scored += 1
-            if assessment.confidence > node_threshold:
-                decision.accepted.append(assessment)
-            else:
-                decision.rejected.append(assessment)
-                result.lvs.append(member)
+        with obs.tracer.span("mcc.node", key=key) as nspan:
+            for member in to_assess:
+                assessment = scorer.assess(member, group)
+                group.set_weight(member, assessment.confidence)
+                result.nodes_scored += 1
+                if assessment.confidence > node_threshold:
+                    decision.accepted.append(assessment)
+                else:
+                    decision.rejected.append(assessment)
+                    result.lvs.append(member)
+            if nspan.enabled:
+                nspan.set(
+                    assessed=len(to_assess), skipped=len(skipped),
+                    accepted=len(decision.accepted),
+                    rejected=len(decision.rejected),
+                )
 
+        promoted_ids: set[int] = set()
         if not decision.accepted and decision.rejected and fallback_best:
             # Low-confidence subgraph: "more nodes need to be extracted to
             # ensure the robustness of the overall retrieval" (§IV-C).
@@ -151,9 +215,13 @@ def mcc(
             for assessment in promoted:
                 decision.rejected.remove(assessment)
                 decision.accepted.append(assessment)
+            promoted_ids = {id(a) for a in promoted}
             promoted_triples = {id(a.triple) for a in promoted}
             result.lvs = [t for t in result.lvs if id(t) not in promoted_triples]
+            metrics.counter("mcc.fallback_promotions").inc(len(promoted))
 
+        skipped_kept: list[Triple] = []
+        skipped_dropped: list[Triple] = []
         if decision.accepted:
             # Fast-path members that agree with an accepted value inherit
             # acceptance implicitly (they carry no extra information), but
@@ -162,11 +230,84 @@ def mcc(
             for member in skipped:
                 if normalize_value(member.obj) not in accepted_values:
                     result.lvs.append(member)
+                    skipped_dropped.append(member)
+                else:
+                    skipped_kept.append(member)
         else:
             result.lvs.extend(skipped)
+            skipped_dropped.extend(skipped)
+
+        metrics.counter("mcc.accepted").inc(len(decision.accepted))
+        metrics.counter("mcc.rejected").inc(
+            len(decision.rejected) + len(skipped_dropped)
+        )
+        if obs.audit.enabled:
+            _emit_node_audit(
+                obs, key, decision, promoted_ids, skipped_kept,
+                skipped_dropped, node_threshold,
+            )
 
         result.decisions.append(decision)
     return result
+
+
+def _node_event(
+    action: str,
+    key: str,
+    member: Triple,
+    level: str,
+    threshold: float | None,
+    score: float | None,
+    reason: str,
+) -> AuditEvent:
+    """One candidate-level audit event (``value`` identifies the claim)."""
+    return AuditEvent(
+        stage="mcc.node", action=action, key=key, value=member.obj,
+        source_id=member.source_id(), level=level, threshold=threshold,
+        score=score, reason=reason,
+    )
+
+
+def _emit_node_audit(
+    obs: Observability,
+    key: str,
+    decision: GroupDecision,
+    promoted_ids: set[int],
+    skipped_kept: list[Triple],
+    skipped_dropped: list[Triple],
+    node_threshold: float,
+) -> None:
+    """Exactly one audit event per group member, after the decision is
+    final — so a fallback-promoted node records one *kept* event, not a
+    drop followed by a promotion."""
+    for assessment in decision.accepted:
+        promoted = id(assessment) in promoted_ids
+        obs.audit.record(_node_event(
+            ACTION_KEPT, key, assessment.triple,
+            LEVEL_FALLBACK if promoted else LEVEL_NODE,
+            node_threshold, round(assessment.confidence, 6),
+            (
+                "below θ but best of a low-confidence subgraph "
+                "(fallback/hedge promotion)" if promoted
+                else "C(v) cleared the node threshold θ"
+            ),
+        ))
+    for assessment in decision.rejected:
+        obs.audit.record(_node_event(
+            ACTION_DROPPED, key, assessment.triple, LEVEL_NODE,
+            node_threshold, round(assessment.confidence, 6),
+            "C(v) below the node threshold θ",
+        ))
+    for member in skipped_kept:
+        obs.audit.record(_node_event(
+            ACTION_KEPT, key, member, LEVEL_FAST_PATH, None, None,
+            "fast-path skip: agrees with an accepted value",
+        ))
+    for member in skipped_dropped:
+        obs.audit.record(_node_event(
+            ACTION_DROPPED, key, member, LEVEL_FAST_PATH, None, None,
+            "fast-path skip: disagrees with every accepted value",
+        ))
 
 
 def _consensus_ranked(group: HomologousGroup) -> list[Triple]:

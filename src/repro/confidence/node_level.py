@@ -31,6 +31,7 @@ from repro.kg.triple import Triple
 from repro.kg.schema import Schema
 from repro.linegraph.homologous import HomologousGroup
 from repro.llm.simulated import SimulatedLLM
+from repro.obs.context import NOOP, Observability
 from repro.util import normalize_value
 
 
@@ -65,6 +66,7 @@ class NodeScorer:
         alpha: float = 0.5,
         beta: float = 0.5,
         schema: Schema | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValueError("alpha must lie in [0, 1]")
@@ -76,6 +78,7 @@ class NodeScorer:
         self.alpha = alpha
         self.beta = beta
         self.schema = schema or Schema.default()
+        self.obs = obs if obs is not None else NOOP
         self._max_degree = max((graph.degree(e.eid) for e in graph.entities()),
                                default=1) or 1
 
@@ -191,6 +194,9 @@ class NodeScorer:
         a_llm = self.auth_llm(triple, group)
         a_hist = self.auth_hist(triple, group)
         authority = self.alpha * a_llm + (1.0 - self.alpha) * a_hist
+        metrics = self.obs.metrics
+        metrics.counter("confidence.node.assessed").inc()
+        metrics.histogram("confidence.node.c_v").observe(s_n + authority)
         return NodeAssessment(
             triple=triple,
             consistency=s_n,

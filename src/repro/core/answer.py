@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.confidence.mcc import MCCResult
+from repro.obs.audit import AuditEvent
 from repro.util import normalize_value
 
 
@@ -36,6 +37,10 @@ class RetrievalResult:
     prompt_time_s: float = 0.0
     candidates_considered: int = 0
     trace: list[str] = field(default_factory=list)
+    #: this query's slice of the decision-audit trail (empty unless the
+    #: pipeline runs with an enabled audit log): one event per candidate
+    #: value MCC kept or dropped, plus one group-level event per group.
+    audit: list[AuditEvent] = field(default_factory=list)
 
     def answer_set(self, top_k: int | None = None) -> set[str]:
         """Normalized answer values (optionally the top-``k`` only)."""

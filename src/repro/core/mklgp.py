@@ -17,6 +17,7 @@ from repro.core.answer import RetrievalResult
 from repro.core.logic_form import LogicForm, generate_logic_form
 from repro.core.pipeline import MultiRAG
 from repro.kg.triple import Triple
+from repro.obs.audit import AuditEvent
 from repro.retrieval.chunking import Chunk
 
 
@@ -29,6 +30,9 @@ class MKLGPTrace:
     candidates: list[Triple] = field(default_factory=list)
     mcc: MCCResult | None = None
     result: RetrievalResult | None = None
+    #: line 5's decision trail: one audit event per candidate MCC kept or
+    #: dropped (populated when the pipeline runs with an enabled audit log).
+    audit: list[AuditEvent] = field(default_factory=list)
 
 
 def mklgp(pipeline: MultiRAG, question: str) -> tuple[RetrievalResult, MKLGPTrace]:
@@ -60,6 +64,7 @@ def mklgp(pipeline: MultiRAG, question: str) -> tuple[RetrievalResult, MKLGPTrac
     result = pipeline.query(question)
     trace.result = result
     trace.mcc = result.mcc
+    trace.audit = list(result.audit)
     if result.mcc is not None:
         trace.candidates = [
             m for d in result.mcc.decisions for m in d.group.members

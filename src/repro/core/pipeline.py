@@ -19,10 +19,10 @@ The combination of :meth:`query` steps is exactly the MKLGP algorithm
 
 from __future__ import annotations
 
-import logging
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.adapters.base import RawSource
 from repro.adapters.fusion import DataFusionEngine, FusionResult
@@ -41,12 +41,15 @@ from repro.linegraph.mlg import MultiSourceLineGraph
 from repro.llm.generation import EvidenceItem, generate_trustworthy_answer
 from repro.llm.simulated import SimulatedLLM
 from repro.metrics import f1_score, mean
+from repro.obs.context import NOOP, Observability
+from repro.obs.log import get_logger
+from repro.obs.metrics import format_metrics
 from repro.retrieval.chunking import SentenceChunker
 from repro.retrieval.retriever import MultiSourceRetriever
 from repro.util import normalize_value
 
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 @dataclass(slots=True)
@@ -69,10 +72,23 @@ class EvaluationReport:
     mean_f1: float = 0.0
     query_time_s: float = 0.0
     prompt_time_s: float = 0.0
+    #: metrics snapshot of the run (empty unless the pipeline's metrics
+    #: registry is enabled); see :func:`repro.obs.metrics.format_metrics`.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def worst(self, n: int = 5) -> list[tuple[str, float]]:
-        """The ``n`` lowest-scoring queries (for error triage)."""
-        return sorted(self.per_query, key=lambda pair: pair[1])[:n]
+        """The ``n`` lowest-scoring queries (for error triage).
+
+        Score ties break on query id so the triage list is stable across
+        runs regardless of evaluation order.
+        """
+        return sorted(self.per_query, key=lambda pair: (pair[1], pair[0]))[:n]
+
+    def metrics_table(self) -> str:
+        """Aligned text rendering of :attr:`metrics` ("" when empty)."""
+        if not self.metrics:
+            return ""
+        return format_metrics(self.metrics)
 
 
 class MultiRAG:
@@ -82,8 +98,10 @@ class MultiRAG:
         self,
         config: MultiRAGConfig | None = None,
         llm: SimulatedLLM | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.config = config or MultiRAGConfig()
+        self.obs = obs if obs is not None else NOOP
         self.llm = llm or SimulatedLLM(
             seed=self.config.seed,
             extraction_noise=self.config.extraction_noise,
@@ -95,8 +113,9 @@ class MultiRAG:
             llm=self.llm,
             chunker=SentenceChunker(max_tokens=self.config.chunk_max_tokens),
             standardize=True,
+            obs=self.obs,
         )
-        self.retriever = MultiSourceRetriever()
+        self.retriever = MultiSourceRetriever(obs=self.obs)
         self.fusion: FusionResult | None = None
         self.mlg: MultiSourceLineGraph | None = None
         self.scorer: NodeScorer | None = None
@@ -115,32 +134,59 @@ class MultiRAG:
             ContractViolation: if ``debug_contracts`` finds a malformed MLG.
         """
         start = time.perf_counter()
-        self.fusion = self.engine.fuse(sources)
-        graph = self.fusion.graph
-        self.retriever = MultiSourceRetriever()
-        self.retriever.add_chunks(self.fusion.chunks)
-        self.retriever.build()
-        if self.config.enable_mka:
-            self.mlg = MultiSourceLineGraph(graph, min_sources=self.config.min_sources)
-            if self.config.update_history:
-                # Construction-time consistency feedback (Definition 5):
-                # every homologous group seeds its sources' historical
-                # credibility before the first query.
-                calibrate_history(self.mlg.groups, self.history)
-        else:
-            self.mlg = None
-        self.scorer = NodeScorer(
-            graph=graph,
-            llm=self.llm,
-            history=self.history,
-            alpha=self.config.alpha,
-            beta=self.config.beta,
-        )
-        self._entity_by_norm = {}
-        for triple in graph.triples():
-            self._entity_by_norm.setdefault(normalize_value(triple.subject), triple.subject)
-        if self.config.debug_contracts and self.mlg is not None:
-            check_mlg(self.mlg)
+        usage_before = self.llm.meter.checkpoint()
+        with self.obs.tracer.span("ingest", num_sources=len(sources)) as span:
+            self.fusion = self.engine.fuse(sources)
+            graph = self.fusion.graph
+            self.retriever = MultiSourceRetriever(obs=self.obs)
+            self.retriever.add_chunks(self.fusion.chunks)
+            self.retriever.build()
+            if self.config.enable_mka:
+                with self.obs.tracer.span("linegraph.build") as mlg_span:
+                    self.mlg = MultiSourceLineGraph(
+                        graph, min_sources=self.config.min_sources
+                    )
+                    if self.config.update_history:
+                        # Construction-time consistency feedback
+                        # (Definition 5): every homologous group seeds its
+                        # sources' historical credibility before the first
+                        # query.
+                        calibrate_history(self.mlg.groups, self.history)
+                    if mlg_span.enabled:
+                        # build_time_s is wall clock — spans carry wall
+                        # time only in their timing fields, never attrs.
+                        mlg_span.set(**{
+                            k: v for k, v in self.mlg.stats().items()
+                            if k != "build_time_s"
+                        })
+            else:
+                self.mlg = None
+            self.scorer = NodeScorer(
+                graph=graph,
+                llm=self.llm,
+                history=self.history,
+                alpha=self.config.alpha,
+                beta=self.config.beta,
+                obs=self.obs,
+            )
+            self._entity_by_norm = {}
+            for triple in graph.triples():
+                self._entity_by_norm.setdefault(normalize_value(triple.subject), triple.subject)
+            if self.config.debug_contracts and self.mlg is not None:
+                check_mlg(self.mlg)
+            if span.enabled:
+                span.set(
+                    num_triples=len(graph),
+                    num_entities=graph.num_entities(),
+                    num_chunks=len(self.fusion.chunks),
+                    extraction_calls=self.fusion.extraction_calls,
+                    **self.llm.meter.delta(usage_before),
+                )
+        metrics = self.obs.metrics
+        metrics.counter("pipeline.ingested_sources").inc(len(sources))
+        metrics.gauge("pipeline.triples").set(len(graph))
+        metrics.gauge("pipeline.entities").set(graph.num_entities())
+        metrics.gauge("pipeline.chunks").set(len(self.fusion.chunks))
         logger.info(
             "ingest complete: %d triples, %d entities, mlg=%s",
             len(graph), graph.num_entities(),
@@ -241,7 +287,7 @@ class MultiRAG:
         # Degree statistics changed; rebuild the scorer's normalization.
         self.scorer = NodeScorer(
             graph=graph, llm=self.llm, history=self.history,
-            alpha=self.config.alpha, beta=self.config.beta,
+            alpha=self.config.alpha, beta=self.config.beta, obs=self.obs,
         )
         return stats
 
@@ -259,53 +305,78 @@ class MultiRAG:
         self._require_ingested()
         start = time.perf_counter()
         prompt_before = self.llm.meter.simulated_latency_s
+        usage_before = self.llm.meter.checkpoint()
+        audit_mark = self.obs.audit.mark()
 
-        logic_form = generate_logic_form(question)
-        result = RetrievalResult(query=question)
-        result.trace.append(f"logic_form: {logic_form.intent}")
+        with self.obs.tracer.span("mklgp") as span:
+            logic_form = generate_logic_form(question)
+            result = RetrievalResult(query=question)
+            result.trace.append(f"logic_form: {logic_form.intent}")
 
-        if logic_form.is_structured:
-            entity = self._resolve_entity(logic_form.entity or "")
-            if entity is None:
-                result.trace.append("entity: unresolved")
-                candidates: list[Triple] = []
+            if logic_form.is_structured:
+                entity = self._resolve_entity(logic_form.entity or "")
+                if entity is None:
+                    result.trace.append("entity: unresolved")
+                    candidates: list[Triple] = []
+                else:
+                    result.trace.append(f"entity: {entity}")
+                    candidates = self._candidates(entity, logic_form.attribute or "")
             else:
-                result.trace.append(f"entity: {entity}")
-                candidates = self._candidates(entity, logic_form.attribute or "")
-        else:
-            candidates = self._open_candidates(logic_form)
+                candidates = self._open_candidates(logic_form)
 
-        candidates = self._apply_freshness(candidates)
-        result.candidates_considered = len(candidates)
-        result.stage_values["before_subgraph_filtering"] = [t.obj for t in candidates]
+            candidates = self._apply_freshness(candidates)
+            result.candidates_considered = len(candidates)
+            result.stage_values["before_subgraph_filtering"] = [t.obj for t in candidates]
 
-        if candidates:
-            group = self._as_group(candidates)
-            mcc_result = self._run_mcc([group])
-            result.mcc = mcc_result
-            # After subgraph filtering, before node filtering: fast-path
-            # groups have been narrowed to their top consensus nodes, while
-            # conflicted groups still carry every member into node-level
-            # scrutiny — i.e. exactly the nodes MCC assessed.
-            result.stage_values["before_node_filtering"] = [
-                a.value
-                for d in mcc_result.decisions
-                for a in (d.accepted + d.rejected)
-            ]
-            result.answers = self._rank_answers(mcc_result)
-            result.stage_values["after_node_filtering"] = [
-                a.value for a in result.answers
-            ]
-            if self.config.debug_contracts:
-                check_mcc_result(mcc_result)
-                check_ranked_answers(result.answers)
-            if self.config.update_history:
-                self._update_history(candidates, result)
-        else:
-            result.stage_values["before_node_filtering"] = []
-            result.stage_values["after_node_filtering"] = []
+            if candidates:
+                group = self._as_group(candidates)
+                mcc_result = self._run_mcc([group])
+                result.mcc = mcc_result
+                # After subgraph filtering, before node filtering: fast-path
+                # groups have been narrowed to their top consensus nodes, while
+                # conflicted groups still carry every member into node-level
+                # scrutiny — i.e. exactly the nodes MCC assessed.
+                result.stage_values["before_node_filtering"] = [
+                    a.value
+                    for d in mcc_result.decisions
+                    for a in (d.accepted + d.rejected)
+                ]
+                result.answers = self._rank_answers(mcc_result)
+                result.stage_values["after_node_filtering"] = [
+                    a.value for a in result.answers
+                ]
+                if self.config.debug_contracts:
+                    check_mcc_result(mcc_result)
+                    check_ranked_answers(result.answers)
+                if self.config.update_history:
+                    self._update_history(candidates, result)
+            else:
+                result.stage_values["before_node_filtering"] = []
+                result.stage_values["after_node_filtering"] = []
 
-        result.generated_text = self._generate(question, result)
+            with self.obs.tracer.span("generate") as gen_span:
+                gen_before = self.llm.meter.checkpoint()
+                result.generated_text = self._generate(question, result)
+                if gen_span.enabled:
+                    gen_span.set(
+                        num_answers=len(result.answers),
+                        **self.llm.meter.delta(gen_before),
+                    )
+            if span.enabled:
+                span.set(
+                    intent=logic_form.intent,
+                    num_candidates=result.candidates_considered,
+                    num_answers=len(result.answers),
+                    **self.llm.meter.delta(usage_before),
+                )
+
+        result.audit = self.obs.audit.since(audit_mark)
+        metrics = self.obs.metrics
+        metrics.counter("pipeline.queries").inc()
+        metrics.histogram("pipeline.candidates").observe(
+            result.candidates_considered
+        )
+        metrics.histogram("pipeline.answers").observe(len(result.answers))
         result.prompt_time_s = self.llm.meter.simulated_latency_s - prompt_before
         result.query_time_s = time.perf_counter() - start
         logger.debug(
@@ -381,6 +452,8 @@ class MultiRAG:
             report.query_time_s += result.query_time_s
             report.prompt_time_s += result.prompt_time_s
         report.mean_f1 = 100.0 * mean(s for _, s in report.per_query)
+        if self.obs.metrics.enabled:
+            report.metrics = self.obs.metrics.snapshot()
         logger.info(
             "evaluated %d queries: mean F1 %.1f%%",
             len(report.per_query), report.mean_f1,
@@ -526,6 +599,7 @@ class MultiRAG:
             enable_node_level=self.config.enable_node_level,
             fast_path_nodes=self.config.fast_path_nodes,
             hedge_margin=self.config.hedge_margin,
+            obs=self.obs,
         )
 
     def _rank_answers(self, mcc_result: MCCResult) -> list[RankedValue]:

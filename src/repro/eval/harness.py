@@ -17,6 +17,7 @@ from repro.datasets.multihop import MultiHopDataset
 from repro.datasets.schema import MultiSourceDataset
 from repro.eval.metrics import f1_score, mean, precision, recall_at_k
 from repro.llm.simulated import SimulatedLLM
+from repro.obs.context import NOOP, Observability
 from repro.retrieval.retriever import MultiSourceRetriever
 
 
@@ -62,6 +63,7 @@ def build_substrate(
     dataset: MultiSourceDataset | MultiHopDataset,
     seed: int = 0,
     extraction_noise: float = 0.05,
+    obs: Observability | None = None,
 ) -> Substrate:
     """Fuse a dataset once into the substrate all methods share.
 
@@ -69,14 +71,15 @@ def build_substrate(
         ReproError: if materializing or fusing the dataset fails
             (dataset, format, extraction or entity errors).
     """
+    obs = obs if obs is not None else NOOP
     llm = SimulatedLLM(seed=seed, extraction_noise=extraction_noise)
-    engine = DataFusionEngine(llm=llm)
+    engine = DataFusionEngine(llm=llm, obs=obs)
     if isinstance(dataset, MultiHopDataset):
         sources = dataset.sources
     else:
         sources = dataset.raw_sources()
     fusion = engine.fuse(sources)
-    retriever = MultiSourceRetriever()
+    retriever = MultiSourceRetriever(obs=obs)
     retriever.add_chunks(fusion.chunks)
     retriever.build()
     return Substrate(
@@ -102,7 +105,10 @@ def run_fusion_method(
     pipeline = getattr(method, "pipeline", None)
     if pipeline is not None:
         llm = pipeline.llm
-    prompt_before = llm.meter.simulated_latency_s if llm else 0.0
+    # Checkpoint/delta instead of a meter reset: the meter keeps running
+    # for callers that also read it, and concurrent phases can't race a
+    # reset away from each other.
+    usage_before = llm.meter.checkpoint() if llm else None
 
     scores = []
     query_start = time.perf_counter()
@@ -110,7 +116,11 @@ def run_fusion_method(
         predicted = method.query(query.entity, query.attribute)
         scores.append(f1_score(predicted, query.answers))
     query_time = time.perf_counter() - query_start
-    prompt_time = (llm.meter.simulated_latency_s - prompt_before) if llm else 0.0
+    prompt_time = (
+        llm.meter.delta(usage_before)["simulated_latency_s"]
+        if llm is not None and usage_before is not None
+        else 0.0
+    )
 
     return FusionRow(
         dataset=dataset.domain,

@@ -6,6 +6,7 @@ Per-file families:
 * ``layering`` (LAY) — the package dependency DAG.
 * ``errors`` (ERR) — the ReproError raise/except contract.
 * ``hygiene`` (API) — mutable defaults, return annotations, float equality.
+* ``observability`` (OBS) — logging goes through repro.obs.log.
 
 Whole-program families (from :mod:`repro.lint.flow`):
 
@@ -14,9 +15,15 @@ Whole-program families (from :mod:`repro.lint.flow`):
 * ``taint`` (TNT) — unvetted source text reaching LLM sinks ungated.
 """
 
-from repro.lint.rules import determinism, errors, hygiene, layering
+from repro.lint.rules import (
+    determinism,
+    errors,
+    hygiene,
+    layering,
+    observability,
+)
 
-__all__ = ["determinism", "errors", "hygiene", "layering"]
+__all__ = ["determinism", "errors", "hygiene", "layering", "observability"]
 
 # The flow-rule modules live in repro.lint.flow (they need the symbol
 # table and call graph, which in turn use rules.common — importing them

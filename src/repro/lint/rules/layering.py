@@ -26,18 +26,24 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "util": frozenset(),
     "metrics": frozenset({"errors", "util"}),
     "lint": frozenset({"errors"}),
-    "retrieval": frozenset({"errors", "util"}),
-    "llm": frozenset({"errors", "util", "retrieval"}),
+    # Observability is a near-leaf: any layer may depend on it, it
+    # depends on nothing above the foundation (telemetry must never
+    # create an upward edge).
+    "obs": frozenset({"errors", "util"}),
+    "retrieval": frozenset({"errors", "obs", "util"}),
+    "llm": frozenset({"errors", "obs", "util", "retrieval"}),
     "kg": frozenset({"errors", "util", "llm"}),
     "linegraph": frozenset({"errors", "util", "kg"}),
     "confidence": frozenset(
-        {"errors", "util", "kg", "linegraph", "llm", "retrieval"}
+        {"errors", "obs", "util", "kg", "linegraph", "llm", "retrieval"}
     ),
-    "adapters": frozenset({"errors", "util", "kg", "llm", "retrieval"}),
+    "adapters": frozenset(
+        {"errors", "obs", "util", "kg", "llm", "retrieval"}
+    ),
     "datasets": frozenset({"errors", "util", "adapters", "llm"}),
     "core": frozenset({
         "errors", "util", "adapters", "confidence", "datasets", "kg",
-        "linegraph", "lint", "llm", "metrics", "retrieval",
+        "linegraph", "lint", "llm", "metrics", "obs", "retrieval",
     }),
     "baselines": frozenset({
         "errors", "util", "confidence", "core", "datasets", "kg",
@@ -45,7 +51,8 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     }),
     "eval": frozenset({
         "errors", "util", "adapters", "baselines", "confidence", "core",
-        "datasets", "kg", "linegraph", "llm", "metrics", "retrieval",
+        "datasets", "kg", "linegraph", "llm", "metrics", "obs",
+        "retrieval",
     }),
 }
 

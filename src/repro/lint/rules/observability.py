@@ -1,0 +1,51 @@
+"""Observability rules (OBS) — telemetry goes through ``repro.obs``.
+
+The pipeline has one sanctioned logging seam: :mod:`repro.obs.log`.  A
+module that imports :mod:`logging` directly configures handlers and
+levels behind the bundle's back, fragments the ``repro`` logger
+namespace, and dodges the single switch (:func:`repro.obs.log.set_level`)
+operators use to silence or surface the pipeline.  Everything outside
+``repro.obs`` must use :func:`repro.obs.log.get_logger`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleUnderLint, Rule, register_rule
+
+
+@register_rule
+class DirectLoggingImportRule(Rule):
+    """OBS001 — no ``import logging`` outside ``repro.obs``."""
+
+    rule_id = "OBS001"
+    family = "observability"
+    severity = Severity.ERROR
+    description = (
+        "direct `import logging` outside repro.obs; use "
+        "repro.obs.log.get_logger so all pipeline logging shares one "
+        "namespace and switch"
+    )
+    #: the one module whose job is wrapping stdlib logging.
+    allowlist = ("repro/obs/log.py",)
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if not module.package_parts:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [node.module or ""]
+            else:
+                continue
+            for name in names:
+                if name == "logging" or name.startswith("logging."):
+                    yield self.finding(
+                        module, node,
+                        "direct logging import; use "
+                        "repro.obs.log.get_logger(__name__) instead",
+                    )

@@ -24,6 +24,22 @@ class LLMResponse:
     latency_s: float
 
 
+@dataclass(frozen=True, slots=True)
+class UsageCheckpoint:
+    """Immutable point-in-time snapshot of a :class:`UsageMeter`.
+
+    Stage-level attribution subtracts two checkpoints instead of
+    resetting the shared meter, so concurrent readers (the pipeline, the
+    eval harness, a tracer) can each hold their own baseline without
+    racing each other's ``reset()``.
+    """
+
+    calls: int
+    prompt_tokens: int
+    completion_tokens: int
+    simulated_latency_s: float
+
+
 @dataclass(slots=True)
 class UsageMeter:
     """Accumulated LLM usage across a pipeline run."""
@@ -47,6 +63,28 @@ class UsageMeter:
             "prompt_tokens": self.prompt_tokens,
             "completion_tokens": self.completion_tokens,
             "simulated_latency_s": round(self.simulated_latency_s, 6),
+        }
+
+    def checkpoint(self) -> UsageCheckpoint:
+        """Mark the current totals; pair with :meth:`delta`."""
+        return UsageCheckpoint(
+            calls=self.calls,
+            prompt_tokens=self.prompt_tokens,
+            completion_tokens=self.completion_tokens,
+            simulated_latency_s=self.simulated_latency_s,
+        )
+
+    def delta(self, since: UsageCheckpoint) -> dict[str, float]:
+        """Usage accumulated since ``since`` (same keys as ``snapshot``)."""
+        return {
+            "calls": self.calls - since.calls,
+            "prompt_tokens": self.prompt_tokens - since.prompt_tokens,
+            "completion_tokens": (
+                self.completion_tokens - since.completion_tokens
+            ),
+            "simulated_latency_s": round(
+                self.simulated_latency_s - since.simulated_latency_s, 6
+            ),
         }
 
     def reset(self) -> None:

@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 
 from repro.llm.base import LLMClient, LLMResponse, count_tokens
+from repro.obs.context import NOOP, Observability
 
 
 class CachingLLM(LLMClient):
@@ -29,12 +30,14 @@ class CachingLLM(LLMClient):
         inner: LLMClient,
         cache_path: str | Path | None = None,
         free_hits: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(inner.base_latency_s, inner.latency_per_token_s)
         self.inner = inner
         self.free_hits = free_hits
         self.hits = 0
         self.misses = 0
+        self.obs = obs if obs is not None else NOOP
         self._cache: dict[str, str] = {}
         self._cache_path = Path(cache_path) if cache_path else None
         if self._cache_path and self._cache_path.exists():
@@ -44,8 +47,10 @@ class CachingLLM(LLMClient):
         cached = self._cache.get(prompt)
         if cached is not None:
             self.hits += 1
+            self.obs.metrics.counter("llm.cache.hits").inc()
             return cached
         self.misses += 1
+        self.obs.metrics.counter("llm.cache.misses").inc()
         text = self.inner._generate(prompt)
         self._cache[prompt] = text
         return text

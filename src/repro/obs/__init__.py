@@ -1,0 +1,78 @@
+"""``repro.obs`` — tracing, metrics and decision-audit for the pipeline.
+
+A zero-dependency (stdlib-only), determinism-safe observability layer:
+
+* :class:`Tracer` — nested spans per pipeline stage with JSON/JSONL
+  export and an injectable clock (wall time never leaks into results);
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms whose snapshots are deterministic across seeded runs;
+* :class:`AuditLog` — one event per MCC/MKLGP filtering decision, so
+  every kept/dropped value is explainable;
+* :class:`Observability` — the bundle components receive; :data:`NOOP`
+  is the shared disabled bundle and the default everywhere, adding no
+  overhead when observability is off.
+
+The only module allowed to ``import logging`` is :mod:`repro.obs.log`
+(lint rule OBS001); everything else uses :func:`get_logger`.
+"""
+
+from repro.obs.audit import (
+    ACTION_DROPPED,
+    ACTION_KEPT,
+    NOOP_AUDIT,
+    AuditEvent,
+    AuditLog,
+    NoopAuditLog,
+)
+from repro.obs.context import NOOP, Observability
+from repro.obs.log import get_logger, set_level
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetrics,
+    format_metrics,
+)
+from repro.obs.render import render_stage_summary, render_waterfall
+from repro.obs.trace import (
+    NOOP_TRACER,
+    WALL_CLOCK_FIELDS,
+    NoopTracer,
+    Span,
+    TickClock,
+    Tracer,
+    load_trace,
+)
+
+__all__ = [
+    "ACTION_DROPPED",
+    "ACTION_KEPT",
+    "AuditEvent",
+    "AuditLog",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP",
+    "NOOP_AUDIT",
+    "NOOP_METRICS",
+    "NOOP_TRACER",
+    "NoopAuditLog",
+    "NoopMetrics",
+    "NoopTracer",
+    "Observability",
+    "Span",
+    "TickClock",
+    "Tracer",
+    "WALL_CLOCK_FIELDS",
+    "format_metrics",
+    "get_logger",
+    "load_trace",
+    "render_stage_summary",
+    "render_waterfall",
+    "set_level",
+]

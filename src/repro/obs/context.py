@@ -1,0 +1,51 @@
+"""The Observability bundle: tracer + metrics + audit as one handle.
+
+Components receive a single :class:`Observability` object instead of
+three separate ones; :data:`NOOP` (the default everywhere) is a shared
+bundle of inert singletons, so the disabled path allocates nothing and
+adds one attribute read per instrumentation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.audit import NOOP_AUDIT, AuditLog, NoopAuditLog
+from repro.obs.metrics import NOOP_METRICS, MetricsRegistry, NoopMetrics
+from repro.obs.trace import NOOP_TRACER, Clock, NoopTracer, Tracer
+
+
+@dataclass(slots=True)
+class Observability:
+    """One pipeline run's telemetry sinks."""
+
+    tracer: Tracer | NoopTracer = field(default_factory=lambda: NOOP_TRACER)
+    metrics: MetricsRegistry | NoopMetrics = field(
+        default_factory=lambda: NOOP_METRICS
+    )
+    audit: AuditLog | NoopAuditLog = field(default_factory=lambda: NOOP_AUDIT)
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one sink records anything."""
+        return (
+            self.tracer.enabled or self.metrics.enabled or self.audit.enabled
+        )
+
+    @classmethod
+    def enable(cls, clock: Clock | None = None) -> "Observability":
+        """A fully live bundle (fresh tracer, registry and audit log)."""
+        return cls(
+            tracer=Tracer(clock=clock),
+            metrics=MetricsRegistry(),
+            audit=AuditLog(),
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op bundle (same object every call)."""
+        return NOOP
+
+
+#: process-wide disabled bundle; the default for every component.
+NOOP = Observability()

@@ -1,0 +1,33 @@
+"""Logging facade — the single sanctioned gateway to stdlib ``logging``.
+
+Library modules must not ``import logging`` directly (lint rule OBS001):
+ad-hoc loggers fragment the telemetry story the structured tracer and
+metrics registry unify.  Modules that still want freeform diagnostics get
+a namespaced logger from :func:`get_logger`; everything flows through the
+``repro`` logger hierarchy so applications configure one root.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: root of the library's logger namespace.
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger namespaced under ``repro`` (idempotent, stdlib-backed).
+
+    ``get_logger("repro.core.pipeline")`` and
+    ``get_logger("core.pipeline")`` return the same logger.
+    """
+    if name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def set_level(level: int | str) -> None:
+    """Set the level on the library's root logger (CLI convenience)."""
+    logging.getLogger(ROOT_LOGGER_NAME).setLevel(level)

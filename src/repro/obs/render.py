@@ -1,0 +1,126 @@
+"""Trace rendering for ``python -m repro trace <file>``.
+
+Turns an exported span list back into a human-readable per-stage
+waterfall: one row per span, indented by nesting depth, with a bar
+positioned on the run's timeline plus duration and token columns, and an
+aggregate per-stage summary table underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+#: width of the waterfall bar column, in characters.
+BAR_WIDTH = 32
+
+#: attribute keys summed into the token column.
+_TOKEN_KEYS = ("prompt_tokens", "completion_tokens")
+
+
+def _span_tokens(span: dict[str, Any]) -> int:
+    attrs = span.get("attrs", {})
+    return sum(int(attrs.get(key, 0)) for key in _TOKEN_KEYS)
+
+
+def _bar(start: float, duration: float, total: float) -> str:
+    """A ``[  ▆▆▆   ]`` bar placed proportionally on the run timeline."""
+    if total <= 0:
+        return " " * BAR_WIDTH
+    left = int(round(start / total * BAR_WIDTH))
+    width = max(1, int(round(duration / total * BAR_WIDTH)))
+    left = min(left, BAR_WIDTH - 1)
+    width = min(width, BAR_WIDTH - left)
+    return " " * left + "▆" * width + " " * (BAR_WIDTH - left - width)
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    return f"{seconds * 1000.0:8.3f}ms"
+
+
+def render_waterfall(spans: Sequence[dict[str, Any]]) -> str:
+    """Render the span tree as an indented timeline waterfall."""
+    if not spans:
+        return "(empty trace)"
+    timed = all("start_s" in s and "duration_s" in s for s in spans)
+    if timed:
+        origin = min(s["start_s"] for s in spans)
+        end = max(s["start_s"] + s["duration_s"] for s in spans)
+        total = end - origin
+    else:
+        origin = 0.0
+        total = 0.0
+
+    name_width = max(
+        len("  " * s.get("depth", 0) + s["name"]) for s in spans
+    )
+    name_width = max(name_width, len("span"))
+
+    lines: list[str] = []
+    header = f"{'span'.ljust(name_width)}  "
+    if timed:
+        header += f"{'timeline'.ljust(BAR_WIDTH)}  {'duration':>10}  "
+    header += f"{'tokens':>7}  attrs"
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    for span in spans:
+        indent = "  " * span.get("depth", 0)
+        row = f"{(indent + span['name']).ljust(name_width)}  "
+        if timed:
+            row += (
+                f"{_bar(span['start_s'] - origin, span['duration_s'], total)}"
+                f"  {_fmt_duration(span['duration_s'])}  "
+            )
+        tokens = _span_tokens(span)
+        row += f"{tokens if tokens else '-':>7}  "
+        row += _summarize_attrs(span.get("attrs", {}))
+        lines.append(row.rstrip())
+
+    lines.append("")
+    lines.append(render_stage_summary(spans))
+    return "\n".join(lines)
+
+
+def render_stage_summary(spans: Sequence[dict[str, Any]]) -> str:
+    """Aggregate per-stage table: span count, total latency, tokens."""
+    by_stage: dict[str, dict[str, float]] = {}
+    timed = all("duration_s" in s for s in spans)
+    for span in spans:
+        stats = by_stage.setdefault(
+            span["name"], {"count": 0, "duration_s": 0.0, "tokens": 0}
+        )
+        stats["count"] += 1
+        if timed:
+            stats["duration_s"] += span["duration_s"]
+        stats["tokens"] += _span_tokens(span)
+
+    width = max(len(name) for name in by_stage) if by_stage else 5
+    width = max(width, len("stage"))
+    lines = [f"{'stage'.ljust(width)}  {'count':>5}  {'latency':>10}  "
+             f"{'tokens':>7}"]
+    lines.append("-" * len(lines[0]))
+    for name in sorted(by_stage):
+        stats = by_stage[name]
+        latency = _fmt_duration(stats["duration_s"]) if timed else "-"
+        lines.append(
+            f"{name.ljust(width)}  {int(stats['count']):>5}  {latency:>10}  "
+            f"{int(stats['tokens']) if stats['tokens'] else '-':>7}"
+        )
+    return "\n".join(lines)
+
+
+def _summarize_attrs(attrs: dict[str, Any], limit: int = 4) -> str:
+    """The first few non-token attributes as ``k=v`` pairs."""
+    pairs = []
+    for key in sorted(attrs):
+        if key in _TOKEN_KEYS:
+            continue
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        pairs.append(f"{key}={value}")
+        if len(pairs) >= limit:
+            break
+    return " ".join(pairs)

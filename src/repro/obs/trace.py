@@ -1,0 +1,262 @@
+"""Structured tracing: nested spans over the MultiRAG pipeline.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects, one per
+pipeline stage (``ingest``, ``adapter:<kind>``, ``linegraph.build``,
+``retrieve``, ``mcc.graph``, ``mcc.node``, ``mklgp``, ``generate``).
+Spans carry deterministic attributes (chunk counts, candidate counts,
+confidence scores, token usage) plus wall-clock timing from an injected
+clock, and export to JSON/JSONL for the ``python -m repro trace``
+waterfall renderer.
+
+Determinism contract: everything except the fields named in
+:data:`WALL_CLOCK_FIELDS` is a pure function of the seeded run — two
+identical runs produce byte-identical exports once those fields are
+stripped (or exactly identical under a :class:`TickClock`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import StateError
+
+#: the only export fields whose values depend on the wall clock; strip
+#: them (``drop_timing=True``) to compare traces across runs.
+WALL_CLOCK_FIELDS: tuple[str, ...] = ("start_s", "duration_s")
+
+#: a clock is any zero-argument callable returning monotonic seconds.
+Clock = Callable[[], float]
+
+
+class TickClock:
+    """Deterministic clock for tests: each read advances by ``step``.
+
+    Injecting one makes even the wall-clock fields of a trace replayable,
+    so byte-identity tests need no field stripping.
+    """
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.step = step
+        self._ticks = 0
+
+    def __call__(self) -> float:
+        self._ticks += 1
+        return self._ticks * self.step
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed, attributed stage of a pipeline run."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    #: real spans report True so call sites can gate expensive attribute
+    #: computation (``if span.enabled: span.set(...)``).
+    enabled: bool = True
+    _tracer: "Tracer | None" = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; later calls overwrite earlier keys."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._tracer is not None:
+            self._tracer._finish(self)
+        return False
+
+    def to_dict(self, drop_timing: bool = False) -> dict[str, Any]:
+        """Export one span as a JSON-ready dict (sorted keys downstream)."""
+        data: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+        if not drop_timing:
+            data["start_s"] = round(self.start_s, 9)
+            data["duration_s"] = round(self.duration_s, 9)
+        return data
+
+
+class _NoopSpan:
+    """Shared, allocation-free stand-in when tracing is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces nested spans; export as JSON or JSONL.
+
+    The nesting structure comes from enter/exit order (a stack), so the
+    context-manager API is the only way spans open and close::
+
+        with tracer.span("ingest") as span:
+            with tracer.span("adapter:csv", source_id="s1"):
+                ...
+            span.set(num_triples=123)
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock: Clock = clock if clock is not None else time.perf_counter
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child of the currently active span (or a root span)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            attrs=dict(attrs),
+            start_s=self.clock(),
+            _tracer=self,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise StateError(
+                f"span {span.name!r} closed out of order; spans must nest"
+            )
+        self._stack.pop()
+        span.duration_s = self.clock() - span.start_s
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def current_attrs(self, **attrs: Any) -> None:
+        """Attach attributes to the innermost open span (no-op at root)."""
+        if self._stack:
+            self._stack[-1].set(**attrs)
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def walk(self) -> Iterator[Span]:
+        """Spans in start order (which is also depth-first order)."""
+        return iter(self.spans)
+
+    def clear(self) -> None:
+        """Drop recorded spans and restart ids from 0.
+
+        Raises:
+            StateError: when a span is still open.
+        """
+        if self._stack:
+            raise StateError("cannot clear a tracer with open spans")
+        self.spans = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dicts(self, drop_timing: bool = False) -> list[dict[str, Any]]:
+        return [s.to_dict(drop_timing=drop_timing) for s in self.spans]
+
+    def to_json(self, drop_timing: bool = False) -> str:
+        """The whole trace as one JSON array (stable key order)."""
+        return json.dumps(
+            self.to_dicts(drop_timing=drop_timing), sort_keys=True, indent=2
+        )
+
+    def to_jsonl(self, drop_timing: bool = False) -> str:
+        """One span per line — the ``--trace`` file format."""
+        return "\n".join(
+            json.dumps(d, sort_keys=True)
+            for d in self.to_dicts(drop_timing=drop_timing)
+        ) + ("\n" if self.spans else "")
+
+    def export(self, path: str | Path, drop_timing: bool = False) -> Path:
+        """Write the trace as JSONL (``.json`` paths get the array form)."""
+        target = Path(path)
+        if target.suffix == ".json":
+            target.write_text(self.to_json(drop_timing=drop_timing))
+        else:
+            target.write_text(self.to_jsonl(drop_timing=drop_timing))
+        return target
+
+
+class NoopTracer:
+    """Disabled tracer: every call returns the shared no-op span."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    @property
+    def active(self) -> None:
+        return None
+
+    def current_attrs(self, **attrs: Any) -> None:
+        return None
+
+    def spans_recorded(self) -> int:
+        return 0
+
+
+NOOP_TRACER = NoopTracer()
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Read a trace file produced by :meth:`Tracer.export` (JSON or JSONL).
+
+    Raises:
+        StateError: when the file is not valid trace JSON/JSONL.
+    """
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    try:
+        if stripped.startswith("["):
+            spans = json.loads(text)
+        else:
+            spans = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+    except json.JSONDecodeError as exc:
+        raise StateError(f"not a trace file: {path} ({exc})") from None
+    for span in spans:
+        if "name" not in span or "span_id" not in span:
+            raise StateError(f"not a trace file: {path} (missing span keys)")
+    return spans

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.obs.context import NOOP, Observability
 from repro.retrieval.bm25 import BM25Index
 from repro.retrieval.chunking import Chunk
 from repro.retrieval.vector_index import SearchHit, VectorIndex
@@ -18,12 +19,18 @@ from repro.retrieval.vector_index import SearchHit, VectorIndex
 class MultiSourceRetriever:
     """Retrieve chunks across all registered sources."""
 
-    def __init__(self, mode: str = "hybrid", rrf_k: int = 60) -> None:
+    def __init__(
+        self,
+        mode: str = "hybrid",
+        rrf_k: int = 60,
+        obs: Observability | None = None,
+    ) -> None:
         if mode not in {"dense", "sparse", "hybrid", "rrf"}:
             raise ValueError(f"unknown retrieval mode: {mode!r}")
         self.mode = mode
         #: rank constant of reciprocal rank fusion (``rrf`` mode).
         self.rrf_k = rrf_k
+        self.obs = obs if obs is not None else NOOP
         self._chunks: list[Chunk] = []
         self._dense: VectorIndex[Chunk] = VectorIndex()
         self._sparse: BM25Index[Chunk] = BM25Index()
@@ -62,6 +69,16 @@ class MultiSourceRetriever:
         """
         if not self._built:
             self.build()
+        with self.obs.tracer.span("retrieve", mode=self.mode, k=k) as span:
+            hits = self._retrieve(query, k)
+            if span.enabled:
+                span.set(num_hits=len(hits))
+        metrics = self.obs.metrics
+        metrics.counter("retrieval.queries").inc()
+        metrics.histogram("retrieval.hits").observe(len(hits))
+        return hits
+
+    def _retrieve(self, query: str, k: int) -> list[SearchHit[Chunk]]:
         if self.mode == "dense":
             return self._dense.search(query, k)
         if self.mode == "sparse":

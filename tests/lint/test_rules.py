@@ -168,6 +168,34 @@ class TestLAY003:
 
 
 # ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+class TestOBS001:
+    def test_direct_import(self):
+        assert "OBS001" in ids("import logging\n", path="repro/kg/mod.py")
+
+    def test_from_import(self):
+        src = "from logging import getLogger\n"
+        assert "OBS001" in ids(src, path="repro/core/mod.py")
+
+    def test_submodule_import(self):
+        src = "import logging.handlers\n"
+        assert "OBS001" in ids(src, path="repro/eval/mod.py")
+
+    def test_obs_log_module_allowlisted(self):
+        assert "OBS001" not in ids("import logging\n",
+                                   path="repro/obs/log.py")
+
+    def test_get_logger_clean(self):
+        src = "from repro.obs.log import get_logger\n"
+        assert "OBS001" not in ids(src, path="repro/core/mod.py")
+
+    def test_outside_repro_tree_skipped(self):
+        assert "OBS001" not in ids("import logging\n",
+                                   path="scripts/tool.py")
+
+
+# ----------------------------------------------------------------------
 # error discipline
 # ----------------------------------------------------------------------
 class TestERR001:

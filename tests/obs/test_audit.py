@@ -1,0 +1,192 @@
+"""Audit-trail tests: every filtered candidate is accounted for, once."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.confidence.mcc import mcc
+from repro.confidence.node_level import NodeAssessment
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.kg import Provenance, Triple
+from repro.linegraph.homologous import HomologousGroup, HomologousNode
+from repro.obs import (
+    ACTION_DROPPED,
+    ACTION_KEPT,
+    AuditLog,
+    Observability,
+)
+from repro.obs.audit import (
+    LEVEL_FALLBACK,
+    LEVEL_FAST_PATH,
+    LEVEL_GRAPH,
+    LEVEL_NODE,
+)
+
+from tests.conftest import make_sources
+
+
+class StubScorer:
+    """Returns a fixed confidence per value; lets tests steer MCC."""
+
+    def __init__(self, scores: dict[str, float]) -> None:
+        self.scores = scores
+
+    def assess(self, triple: Triple, group: HomologousGroup) -> NodeAssessment:
+        conf = self.scores[triple.obj]
+        return NodeAssessment(
+            triple=triple, consistency=conf / 2.0, auth_llm=0.0,
+            auth_hist=0.0, authority=conf / 2.0, confidence=conf,
+        )
+
+
+def make_group(values_by_source: list[tuple[str, str]]) -> HomologousGroup:
+    members = [
+        Triple("E", "attr", value,
+               Provenance(source_id=source, domain="d", fmt="csv"))
+        for source, value in values_by_source
+    ]
+    snode = HomologousNode(name="attr", entity="E", meta={},
+                           num=len(members))
+    group = HomologousGroup(key=("E", "attr"), snode=snode, members=members)
+    for member in members:
+        group.set_weight(member, 1.0)
+    return group
+
+
+def enabled_obs() -> Observability:
+    return Observability(audit=AuditLog())
+
+
+def node_events(obs: Observability) -> list:
+    return [e for e in obs.audit.events if e.stage == "mcc.node"]
+
+
+class TestMCCAuditCompleteness:
+    def test_one_event_per_member(self):
+        group = make_group(
+            [("s1", "2010"), ("s2", "2010"), ("s3", "2011"), ("s4", "2012")]
+        )
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 1.2, "2011": 0.4, "2012": 0.3})
+        mcc([group], scorer, enable_graph_level=False, obs=obs)
+        events = node_events(obs)
+        assert len(events) == len(group.members)
+        per_claim = Counter((e.source_id, e.value) for e in events)
+        assert all(count == 1 for count in per_claim.values())
+
+    def test_every_dropped_candidate_has_exactly_one_drop_event(self):
+        group = make_group(
+            [("s1", "2010"), ("s2", "2010"), ("s3", "2011"), ("s4", "2012")]
+        )
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 1.2, "2011": 0.4, "2012": 0.3})
+        result = mcc([group], scorer, enable_graph_level=False, obs=obs)
+        drops = Counter(
+            (e.source_id, e.value) for e in obs.audit.dropped()
+            if e.stage == "mcc.node"
+        )
+        lvs = Counter((t.source_id(), t.obj) for t in result.lvs)
+        assert drops == lvs
+
+    def test_threshold_and_score_recorded_on_node_decisions(self):
+        group = make_group([("s1", "2010"), ("s2", "2011")])
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 1.2, "2011": 0.4})
+        mcc([group], scorer, node_threshold=0.7,
+            enable_graph_level=False, obs=obs)
+        by_value = {e.value: e for e in node_events(obs)}
+        kept, dropped = by_value["2010"], by_value["2011"]
+        assert kept.action == ACTION_KEPT and kept.level == LEVEL_NODE
+        assert dropped.action == ACTION_DROPPED
+        assert kept.threshold == dropped.threshold == 0.7
+        assert kept.score == 1.2 and dropped.score == 0.4
+
+    def test_fallback_promotion_logged_as_single_kept_event(self):
+        group = make_group([("s1", "2010"), ("s2", "2011")])
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 0.6, "2011": 0.2})  # nobody clears θ
+        result = mcc([group], scorer, node_threshold=0.7,
+                     enable_graph_level=False, obs=obs)
+        assert result.decisions[0].accepted  # fallback fired
+        best = [e for e in node_events(obs) if e.value == "2010"]
+        assert len(best) == 1
+        assert best[0].action == ACTION_KEPT
+        assert best[0].level == LEVEL_FALLBACK
+
+    def test_fast_path_skips_are_labelled(self):
+        group = make_group(
+            [("s1", "2010"), ("s2", "2010"), ("s3", "2010"), ("s4", "1999")]
+        )
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 1.2, "1999": 0.1})
+        mcc([group], scorer, graph_threshold=0.0, fast_path_nodes=2,
+            obs=obs)
+        skipped = [e for e in node_events(obs)
+                   if e.level == LEVEL_FAST_PATH]
+        assert skipped
+        by_action = {e.value: e.action for e in skipped}
+        assert by_action.get("2010") == ACTION_KEPT  # agrees with accepted
+        assert by_action.get("1999") == ACTION_DROPPED  # disagrees
+
+    def test_graph_level_emits_one_group_event(self):
+        group = make_group([("s1", "2010"), ("s2", "2010")])
+        obs = enabled_obs()
+        mcc([group], StubScorer({"2010": 1.2}), obs=obs)
+        group_events = [e for e in obs.audit.events if e.stage == "mcc.graph"]
+        assert len(group_events) == 1
+        assert group_events[0].key == "E|attr"
+        assert group_events[0].level == LEVEL_GRAPH
+        assert group_events[0].value == ""
+
+    def test_node_level_ablation_uses_graph_level_events(self):
+        group = make_group([("s1", "2010"), ("s2", "2010"), ("s3", "2010")])
+        obs = enabled_obs()
+        mcc([group], StubScorer({}), enable_node_level=False,
+            graph_threshold=0.0, fast_path_nodes=2, obs=obs)
+        events = node_events(obs)
+        assert len(events) == len(group.members)
+        assert all(e.level == LEVEL_GRAPH for e in events)
+        assert Counter(e.action for e in events) == Counter(
+            {ACTION_KEPT: 2, ACTION_DROPPED: 1}
+        )
+
+
+class TestPipelineAudit:
+    def test_query_surfaces_its_own_audit_slice(self):
+        obs = Observability.enable()
+        rag = MultiRAG(MultiRAGConfig(extraction_noise=0.0), obs=obs)
+        rag.ingest(make_sources())
+        first = rag.query_key("Inception", "release_year")
+        second = rag.query_key("Heat", "directed_by")
+        assert first.audit and second.audit
+        # Slices are per query, not cumulative.
+        assert all(e.key == "Inception|release_year" for e in first.audit)
+        assert all(e.key == "Heat|directed_by" for e in second.audit)
+
+    def test_audit_accounts_for_every_considered_candidate(self):
+        obs = Observability.enable()
+        rag = MultiRAG(MultiRAGConfig(extraction_noise=0.0), obs=obs)
+        rag.ingest(make_sources())
+        result = rag.query_key("Inception", "release_year")
+        assert result.mcc is not None
+        members = [
+            m for d in result.mcc.decisions for m in d.group.members
+        ]
+        per_member = Counter(
+            (e.source_id, e.value) for e in result.audit
+            if e.stage == "mcc.node"
+        )
+        assert sum(per_member.values()) == len(members)
+        dropped = Counter(
+            (e.source_id, e.value) for e in result.audit
+            if e.stage == "mcc.node" and e.action == ACTION_DROPPED
+        )
+        assert dropped == Counter(
+            (t.source_id(), t.obj) for t in result.mcc.lvs
+        )
+
+    def test_disabled_observability_leaves_audit_empty(self):
+        rag = MultiRAG(MultiRAGConfig(extraction_noise=0.0))
+        rag.ingest(make_sources())
+        result = rag.query_key("Inception", "release_year")
+        assert result.audit == []

@@ -1,0 +1,87 @@
+"""Disabled-mode contract: shared singletons, no allocation, no effect."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.obs import (
+    NOOP,
+    NOOP_AUDIT,
+    NOOP_METRICS,
+    NOOP_TRACER,
+    AuditEvent,
+    Observability,
+)
+from repro.obs.trace import NOOP_SPAN
+
+
+class TestSingletons:
+    def test_default_bundle_is_the_shared_noop(self):
+        assert Observability().tracer is NOOP_TRACER
+        assert Observability().metrics is NOOP_METRICS
+        assert Observability().audit is NOOP_AUDIT
+        assert Observability.disabled() is NOOP
+
+    def test_noop_span_is_shared(self):
+        a = NOOP_TRACER.span("ingest")
+        b = NOOP_TRACER.span("mklgp", k=5)
+        assert a is b is NOOP_SPAN
+
+    def test_noop_instruments_are_shared(self):
+        assert NOOP_METRICS.counter("a") is NOOP_METRICS.histogram("b")
+
+    def test_enabled_flags(self):
+        assert not NOOP.enabled
+        assert not NOOP_SPAN.enabled
+        assert Observability.enable().enabled
+
+
+class TestNoEffect:
+    def test_span_context_manager_records_nothing(self):
+        with NOOP_TRACER.span("x") as span:
+            span.set(expensive=1)
+        assert NOOP_TRACER.active is None
+        assert NOOP_TRACER.spans_recorded() == 0
+
+    def test_metrics_swallow_writes(self):
+        NOOP_METRICS.counter("c").inc(5)
+        NOOP_METRICS.gauge("g").set(5)
+        NOOP_METRICS.histogram("h").observe(5)
+        assert NOOP_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_audit_swallows_events(self):
+        NOOP_AUDIT.record(AuditEvent(
+            stage="mcc.node", action="kept", key="k", value="v",
+            source_id="s", level="node", threshold=None, score=None,
+        ))
+        assert len(NOOP_AUDIT) == 0
+        assert NOOP_AUDIT.since(NOOP_AUDIT.mark()) == []
+        assert NOOP_AUDIT.to_jsonl() == ""
+
+
+class TestZeroAllocation:
+    def test_disabled_span_path_allocates_nothing(self):
+        """The hot path (`with tracer.span(...)` + guarded set) must not
+        allocate when observability is off."""
+        tracer, metrics = NOOP.tracer, NOOP.metrics
+
+        def hot_path() -> None:
+            for _ in range(100):
+                with tracer.span("stage", k=5) as span:
+                    if span.enabled:
+                        span.set(expensive=sum(range(100)))
+                metrics.counter("n").inc()
+
+        hot_path()  # warm up any lazy caches
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        hot_path()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        grown = [
+            s for s in after.compare_to(before, "lineno")
+            if s.size_diff > 0 and "tracemalloc" not in str(s.traceback)
+        ]
+        assert sum(s.size_diff for s in grown) < 512, grown

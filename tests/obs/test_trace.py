@@ -1,0 +1,129 @@
+"""Tracer unit tests: nesting, export formats, determinism contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StateError
+from repro.obs import WALL_CLOCK_FIELDS, Span, TickClock, Tracer, load_trace
+
+
+def make_nested_trace(tracer: Tracer) -> None:
+    with tracer.span("ingest", num_sources=2) as ingest:
+        with tracer.span("adapter:csv", source_id="s1"):
+            pass
+        with tracer.span("adapter:json", source_id="s2") as span:
+            span.set(num_triples=3)
+        ingest.set(num_triples=7)
+    with tracer.span("mklgp"):
+        with tracer.span("mcc.graph"):
+            pass
+
+
+class TestNesting:
+    def test_depth_and_parents(self):
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        spans = list(tracer.walk())
+        assert [s.name for s in spans] == [
+            "ingest", "adapter:csv", "adapter:json", "mklgp", "mcc.graph",
+        ]
+        assert [s.depth for s in spans] == [0, 1, 1, 0, 1]
+        ingest, csv, js, mklgp, graph = spans
+        assert csv.parent_id == ingest.span_id
+        assert js.parent_id == ingest.span_id
+        assert graph.parent_id == mklgp.span_id
+        assert mklgp.parent_id is None
+
+    def test_span_ids_sequential(self):
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        assert [s.span_id for s in tracer.walk()] == [0, 1, 2, 3, 4]
+
+    def test_attrs_set_after_children(self):
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        assert tracer.roots()[0].attrs["num_triples"] == 7
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer(clock=TickClock())
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(StateError):
+            tracer._finish(outer)
+
+    def test_clear_with_open_span_raises(self):
+        tracer = Tracer(clock=TickClock())
+        tracer.span("open")
+        with pytest.raises(StateError):
+            tracer.clear()
+
+    def test_current_attrs_targets_innermost(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.current_attrs(k=1)
+        spans = list(tracer.walk())
+        assert "k" not in spans[0].attrs
+        assert spans[1].attrs["k"] == 1
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        path = tracer.export(tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        assert loaded == tracer.to_dicts()
+
+    def test_json_array_round_trip(self, tmp_path):
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        path = tracer.export(tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == tracer.to_dicts()
+        assert load_trace(path) == tracer.to_dicts()
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "not-a-trace.jsonl"
+        bad.write_text("this is not json\n")
+        with pytest.raises(StateError):
+            load_trace(bad)
+
+    def test_load_trace_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "other.jsonl"
+        bad.write_text('{"foo": 1}\n')
+        with pytest.raises(StateError):
+            load_trace(bad)
+
+    def test_drop_timing_strips_only_wall_clock_fields(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        full = tracer.to_dicts()[0]
+        stripped = tracer.to_dicts(drop_timing=True)[0]
+        assert set(full) - set(stripped) == set(WALL_CLOCK_FIELDS)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_byte_identical_under_tick_clock(self):
+        exports = []
+        for _ in range(2):
+            tracer = Tracer(clock=TickClock())
+            make_nested_trace(tracer)
+            exports.append(tracer.to_jsonl())
+        assert exports[0] == exports[1]
+
+    def test_identical_runs_match_after_stripping_wall_clock(self):
+        exports = []
+        for _ in range(2):
+            tracer = Tracer()  # real perf_counter clock
+            make_nested_trace(tracer)
+            exports.append(tracer.to_jsonl(drop_timing=True))
+        assert exports[0] == exports[1]
+
+    def test_span_dataclass_export_key_order_is_stable(self):
+        span = Span(name="x", span_id=0, parent_id=None, depth=0)
+        span.set(b=1, a=2)
+        assert list(span.to_dict()["attrs"]) == ["a", "b"]

@@ -11,7 +11,7 @@ import repro
 SUBPACKAGES = [
     "repro.adapters", "repro.baselines", "repro.confidence", "repro.core",
     "repro.datasets", "repro.eval", "repro.kg", "repro.linegraph",
-    "repro.lint", "repro.llm", "repro.retrieval",
+    "repro.lint", "repro.llm", "repro.obs", "repro.retrieval",
 ]
 
 

@@ -70,6 +70,61 @@ class TestEvaluate:
         assert "mean F1" in out
 
 
+class TestObservability:
+    def test_query_trace_flag_writes_jsonl(self, corpus, tmp_path, capsys):
+        manifest = json.loads((corpus / "queries.json").read_text())
+        question = manifest["queries"][0]["text"]
+        trace = tmp_path / "trace.jsonl"
+        assert main(["query", str(corpus), question,
+                     "--trace", str(trace)]) == 0
+        spans = [json.loads(line) for line in
+                 trace.read_text().splitlines() if line]
+        assert {"ingest", "mklgp"} <= {s["name"] for s in spans}
+
+    def test_query_metrics_flag_writes_snapshot(self, corpus, tmp_path):
+        manifest = json.loads((corpus / "queries.json").read_text())
+        question = manifest["queries"][0]["text"]
+        metrics = tmp_path / "metrics.json"
+        assert main(["query", str(corpus), question,
+                     "--metrics", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["pipeline.queries"] == 1.0
+
+    def test_query_audit_flag_prints_decisions(self, corpus, capsys):
+        manifest = json.loads((corpus / "queries.json").read_text())
+        question = manifest["queries"][0]["text"]
+        assert main(["query", str(corpus), question, "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "decision audit:" in out
+        assert "kept" in out
+
+    def test_trace_subcommand_renders_waterfall(self, corpus, tmp_path,
+                                                capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["evaluate", str(corpus), "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "ingest" in out
+        assert "mklgp" in out
+
+    def test_trace_subcommand_rejects_non_trace_file(self, tmp_path,
+                                                     capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("not json\n")
+        assert main(["trace", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate_metrics_printed_inline(self, corpus, tmp_path,
+                                             capsys):
+        metrics = tmp_path / "m.json"
+        assert main(["evaluate", str(corpus),
+                     "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.queries" in out
+
+
 class TestErrors:
     def test_missing_directory_exit_code(self, tmp_path, capsys):
         assert main(["stats", str(tmp_path / "missing")]) == 2
