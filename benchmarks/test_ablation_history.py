@@ -14,6 +14,7 @@ from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_books, make_stocks
 from repro.eval import format_table
 from repro.eval.metrics import f1_score, mean
+from repro.exec import Query
 
 from .common import once
 
@@ -31,7 +32,7 @@ def run_history_ablation():
             f1 = 100.0 * mean(
                 f1_score(
                     {a.value for a in
-                     rag.query_key(q.entity, q.attribute).answers},
+                     rag.run(Query.key(q.entity, q.attribute)).answers},
                     q.answers,
                 )
                 for q in dataset.queries

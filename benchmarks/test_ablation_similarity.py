@@ -16,6 +16,7 @@ from repro.datasets import make_books
 from repro.eval import format_table
 from repro.eval.metrics import f1_score, mean
 from repro.util import normalize_value
+from repro.exec import Query
 
 from .common import once
 
@@ -33,7 +34,7 @@ def run_once() -> float:
     rag.ingest(dataset.raw_sources())
     return 100.0 * mean(
         f1_score(
-            {a.value for a in rag.query_key(q.entity, q.attribute).answers},
+            {a.value for a in rag.run(Query.key(q.entity, q.attribute)).answers},
             q.answers,
         )
         for q in dataset.queries

@@ -13,6 +13,7 @@ from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_books, make_flights
 from repro.eval import format_table
 from repro.eval.metrics import f1_score, mean
+from repro.exec import Query
 
 from .common import once
 
@@ -29,7 +30,7 @@ def run_threshold_sweep():
             results[(name, theta)] = 100.0 * mean(
                 f1_score(
                     {a.value for a in
-                     rag.query_key(q.entity, q.attribute).answers},
+                     rag.run(Query.key(q.entity, q.attribute)).answers},
                     q.answers,
                 )
                 for q in dataset.queries

@@ -27,6 +27,7 @@ from repro.datasets import (
 )
 from repro.eval import build_substrate, format_series, run_fusion_method
 from repro.eval.metrics import f1_score, mean
+from repro.exec import Query
 
 from .common import dump_results, fusion_method, once
 
@@ -38,7 +39,7 @@ def multirag_f1(dataset) -> float:
     rag.ingest(dataset.raw_sources())
     return 100.0 * mean(
         f1_score(
-            {a.value for a in rag.query_key(q.entity, q.attribute).answers},
+            {a.value for a in rag.run(Query.key(q.entity, q.attribute)).answers},
             q.answers,
         )
         for q in dataset.queries

@@ -22,6 +22,7 @@ from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_books
 from repro.eval import format_series
 from repro.eval.metrics import f1_score, mean
+from repro.exec import Query
 
 from .common import dump_results, once
 
@@ -38,7 +39,7 @@ def run_fig7():
         scores = [
             f1_score(
                 {a.value for a in
-                 rag.query_key(q.entity, q.attribute).answers},
+                 rag.run(Query.key(q.entity, q.attribute)).answers},
                 q.answers,
             )
             for q in dataset.queries

@@ -16,6 +16,7 @@ from repro.baselines import FUSION_METHODS
 from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_books
 from repro.eval import build_substrate, check_answer, format_table, hallucination_rate
+from repro.exec import Query
 
 from .common import once
 
@@ -34,7 +35,7 @@ def run_hallucination_study():
 
     checks = {"MultiRAG": [], "StandardRAG": [], "CoT": []}
     for query in dataset.queries:
-        generated = rag.query_key(query.entity, query.attribute).generated_text
+        generated = rag.run(Query.key(query.entity, query.attribute)).generated_text
         checks["MultiRAG"].append(
             check_answer(rag.fusion.graph, query.entity, query.attribute,
                          generated)

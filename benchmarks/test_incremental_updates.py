@@ -15,6 +15,7 @@ from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_books
 from repro.eval import format_table
 from repro.eval.metrics import f1_score, mean
+from repro.exec import Query
 
 from .common import once
 
@@ -43,7 +44,7 @@ def run_incremental():
     def f1(rag):
         return 100.0 * mean(
             f1_score(
-                {a.value for a in rag.query_key(q.entity, q.attribute).answers},
+                {a.value for a in rag.run(Query.key(q.entity, q.attribute)).answers},
                 q.answers,
             )
             for q in dataset.queries

@@ -17,6 +17,7 @@ import pytest
 from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_movies
 from repro.obs import NOOP, Observability
+from repro.exec import Query
 
 ROUNDS = 5
 
@@ -36,7 +37,7 @@ def build_pipeline(obs: Observability) -> tuple[MultiRAG, list]:
 def time_workload(rag: MultiRAG, queries: list) -> float:
     start = time.perf_counter()
     for query in queries:
-        rag.query_key(query.entity, query.attribute)
+        rag.run(Query.key(query.entity, query.attribute))
     return time.perf_counter() - start
 
 

@@ -1,4 +1,4 @@
-"""Extension — scaling behaviour of construction and querying.
+"""Extension — scaling behaviour of construction, querying and workers.
 
 §III-C claims homologous matching is O(n log n) in the number of triples
 and Q5 argues MLG lookups stay cheap as data grows.  This benchmark builds
@@ -6,21 +6,26 @@ the Movies dataset at 1×, 2× and 4× scale and checks:
 
 * MLG construction time grows subquadratically (time ratio well below the
   squared size ratio);
-* mean query latency through the MLG is essentially flat across scales.
+* mean query latency through the MLG is essentially flat across scales;
+* the exec engine's worker pool turns simulated I/O wait into real
+  throughput (``scaling_workers``: ≥ 2× qps at 4 workers).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_movies
 from repro.eval import format_table
+from repro.exec import Query
 from repro.linegraph import MultiSourceLineGraph
 
-from .common import once
+from .common import dump_results, once
 
 SCALES = [1.0, 2.0, 4.0]
+WORKER_COUNTS = [1, 2, 4]
 
 
 def run_scaling():
@@ -37,7 +42,7 @@ def run_scaling():
 
         start = time.perf_counter()
         for query in dataset.queries:
-            rag.query_key(query.entity, query.attribute)
+            rag.run(Query.key(query.entity, query.attribute))
         query_time = (time.perf_counter() - start) / len(dataset.queries)
 
         rows.append({
@@ -73,3 +78,62 @@ def test_scaling(benchmark):
     # generous noise but rule out linear growth.
     query_ratio = large["query_ms"] / max(small["query_ms"], 1e-6)
     assert query_ratio < size_ratio, (query_ratio, size_ratio)
+
+
+def run_worker_throughput():
+    """Query throughput of ``run_batch`` at 1/2/4 workers.
+
+    ``wall_latency_scale`` makes each completion *sleep* a fraction of its
+    accounted latency (modelling an I/O-bound served model; the sleep
+    releases the GIL), so the worker pool has real wait to overlap.  The
+    scale is applied after ingest so only the query phase pays it.
+    """
+    dataset = make_movies(seed=0, n_queries=30)
+    queries = [
+        Query.key(q.entity, q.attribute, qid=q.qid, answers=q.answers)
+        for q in dataset.queries
+    ]
+
+    rows = []
+    baseline_answers = None
+    for workers in WORKER_COUNTS:
+        config = dataclasses.replace(MultiRAGConfig(), update_history=False)
+        rag = MultiRAG(config)
+        rag.ingest(dataset.raw_sources())
+        rag.llm.wall_latency_scale = 0.08
+
+        start = time.perf_counter()
+        results = rag.run_batch(queries, jobs=workers)
+        elapsed = time.perf_counter() - start
+
+        answers = [sorted(r.answer_set()) for r in results]
+        if baseline_answers is None:
+            baseline_answers = answers
+        else:
+            assert answers == baseline_answers  # identical at every width
+        rows.append({
+            "workers": workers,
+            "queries": len(queries),
+            "elapsed_s": elapsed,
+            "qps": len(queries) / elapsed,
+        })
+    for row in rows:
+        row["speedup"] = row["qps"] / rows[0]["qps"]
+    return rows
+
+
+def test_worker_throughput(benchmark):
+    rows = once(benchmark, run_worker_throughput)
+
+    print()
+    print(format_table(
+        ["workers", "queries", "elapsed (s)", "qps", "speedup"],
+        [[r["workers"], r["queries"], f"{r['elapsed_s']:.2f}",
+          f"{r['qps']:.1f}", f"{r['speedup']:.2f}x"] for r in rows],
+        title="Scaling: exec-engine worker throughput (simulated I/O)",
+    ))
+    dump_results("scaling_workers", rows)
+
+    by_workers = {r["workers"]: r for r in rows}
+    assert by_workers[2]["speedup"] > 1.3, by_workers
+    assert by_workers[4]["speedup"] >= 2.0, by_workers

@@ -19,6 +19,7 @@ from repro.eval import (
     paired_permutation_test,
 )
 from repro.eval.metrics import f1_score
+from repro.exec import Query
 
 from .common import once
 
@@ -30,7 +31,7 @@ def per_query_scores(dataset):
     rag.ingest(dataset.raw_sources())
     ours = [
         f1_score(
-            {a.value for a in rag.query_key(q.entity, q.attribute).answers},
+            {a.value for a in rag.run(Query.key(q.entity, q.attribute)).answers},
             q.answers,
         )
         for q in dataset.queries

@@ -25,6 +25,7 @@ from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_books, make_movies, make_stocks
 from repro.eval import format_table
 from repro.eval.metrics import f1_score, mean
+from repro.exec import Query
 
 from .common import dump_results, once
 
@@ -55,7 +56,7 @@ def run_ablations():
             scores = [
                 f1_score(
                     {a.value for a in
-                     rag.query_key(q.entity, q.attribute).answers},
+                     rag.run(Query.key(q.entity, q.attribute)).answers},
                     q.answers,
                 )
                 for q in dataset.queries

@@ -14,6 +14,7 @@ from repro.adapters import RawSource
 from repro.core import MultiRAG, MultiRAGConfig
 from repro.eval import format_table
 from repro.util import normalize_value
+from repro.exec import Query
 
 from .common import once
 
@@ -73,7 +74,7 @@ def run_case_study():
     rag = MultiRAG(MultiRAGConfig(extraction_noise=0.0))
     rag.ingest(build_sources())
     answers = {
-        attribute: rag.query_key("CA981", attribute)
+        attribute: rag.run(Query.key("CA981", attribute))
         for attribute in ("actual_departure", "status", "delay_reason")
     }
     return rag, answers

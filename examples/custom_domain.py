@@ -18,6 +18,7 @@ from repro.adapters import RawSource
 from repro.confidence import NodeScorer
 from repro.core import MultiRAG, MultiRAGConfig
 from repro.kg import Schema
+from repro.exec import Query
 
 LISTINGS_CSV = RawSource(
     "city-guide", "restaurants", "csv", "guide.csv",
@@ -70,7 +71,7 @@ def main() -> None:
     )
 
     for restaurant in ("Harbor & Pine", "Quanta Noodles"):
-        result = rag.query_key(restaurant, "price_range")
+        result = rag.run(Query.key(restaurant, "price_range"))
         print(f"{restaurant} price range:")
         for answer in result.answers:
             print(f"  ACCEPTED {answer.value!r} "
@@ -84,7 +85,7 @@ def main() -> None:
                           f"(C(v)={rejected.confidence:.2f})")
         print()
 
-    quanta = rag.query_key("Quanta Noodles", "price_range")
+    quanta = rag.run(Query.key("Quanta Noodles", "price_range"))
     accepted = {a.value for a in quanta.answers}
     assert "+1-555-0144" not in accepted, "type check should reject the phone"
     print("the scraped phone number never reaches the answer: "

@@ -18,6 +18,7 @@ Run:  python examples/flight_status.py
 from __future__ import annotations
 
 from repro import MultiRAG, MultiRAGConfig, RawSource
+from repro.exec import Query
 
 SOURCES = [
     RawSource(
@@ -63,7 +64,7 @@ def main() -> None:
 
     print("=== CA981 Beijing -> New York: what do we trust? ===\n")
     for attribute in ("status", "actual_departure", "delay_reason"):
-        result = rag.query_key("CA981", attribute)
+        result = rag.run(Query.key("CA981", attribute))
         print(f"{attribute}:")
         for ranked in result.answers:
             print(f"  ACCEPTED  {ranked.value!r}  "
@@ -81,8 +82,8 @@ def main() -> None:
     for source, credibility in rag.history.snapshot().items():
         print(f"  {source:18s} {credibility:.2f}")
 
-    departure = rag.query_key("CA981", "actual_departure")
-    reason = rag.query_key("CA981", "delay_reason")
+    departure = rag.run(Query.key("CA981", "actual_departure"))
+    reason = rag.run(Query.key("CA981", "delay_reason"))
     print(
         f"\nverified conclusion: delayed until after "
         f"{departure.top().value} due to {reason.top().value}."

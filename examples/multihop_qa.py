@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import make_hotpotqa_like
 from repro.util import canonical_value
+from repro.exec import Query
 
 
 def main() -> None:
@@ -33,7 +34,7 @@ def main() -> None:
     for query in corpus.queries:
         if query.qtype == "comparison":
             continue
-        result = rag.query_chain(list(query.hops))
+        result = rag.run(Query.chain(list(query.hops)))
         predicted = result.top().value if result.top() else None
         gold = sorted(query.answers)[0]
         hit = predicted is not None and (

@@ -7,6 +7,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import MultiRAG, MultiRAGConfig, RawSource
+from repro.exec import Query
 
 # Three sources about the same movies, in three storage formats.  The
 # JSON feed disagrees about Inception's release year.
@@ -63,7 +64,7 @@ def main() -> None:
         "Who directed Inception?",
         "What is the genre of Inception?",
     ):
-        result = rag.query(question)
+        result = rag.run(Query.text(question))
         print(f"\nQ: {question}")
         print(f"A: {result.generated_text}")
         for ranked in result.answers:

@@ -6,10 +6,11 @@ Hallucination in Multi-Source Retrieval Augmented Generation* (ICDE 2025).
 Quickstart::
 
     from repro import MultiRAG, MultiRAGConfig, RawSource
+    from repro.exec import Query
 
     rag = MultiRAG(MultiRAGConfig())
     rag.ingest([RawSource("s1", "movies", "csv", "a.csv", csv_text), ...])
-    result = rag.query("Who directed Inception?")
+    result = rag.run(Query.text("Who directed Inception?"))
     print(result.answers)
 
 Subpackages:
@@ -24,6 +25,7 @@ Subpackages:
 * :mod:`repro.baselines`  — every method the paper compares against
 * :mod:`repro.datasets`   — synthetic equivalents of the paper's benchmarks
 * :mod:`repro.eval`       — metrics and the experiment harness
+* :mod:`repro.exec`       — deterministic concurrent batch execution
 """
 
 from repro.adapters import DataFusionEngine, RawSource

@@ -69,6 +69,20 @@ class FusionMethod(ABC):
     def query(self, entity: str, attribute: str) -> set[str]:
         """Predicted value set for one claim key."""
 
+    def split(self) -> "FusionMethod | None":
+        """A worker-local view safe for concurrent ``query`` calls.
+
+        ``None`` (the default) declares the method stateful across
+        queries; the exec harness then serializes its batch instead of
+        fanning out.  Methods whose query path is read-only override
+        this to return a meter-isolated view and fold telemetry back in
+        :meth:`absorb`.
+        """
+        return None
+
+    def absorb(self, worker: "FusionMethod") -> None:
+        """Fold a :meth:`split` view's accounting back into this method."""
+
 
 @dataclass(frozen=True, slots=True)
 class QAPrediction:
@@ -96,6 +110,18 @@ class QAMethod(ABC):
     @abstractmethod
     def answer(self, query: object) -> QAPrediction:
         """Answer one :class:`~repro.datasets.multihop.MultiHopQuery`."""
+
+    def split(self) -> "QAMethod | None":
+        """A worker-local view safe for concurrent ``answer`` calls.
+
+        Same contract as :meth:`FusionMethod.split`: ``None`` (the
+        default) means "serialize me"; a view means the harness may fan
+        the batch out and :meth:`absorb` each view back in submit order.
+        """
+        return None
+
+    def absorb(self, worker: "QAMethod") -> None:
+        """Fold a :meth:`split` view's accounting back into this method."""
 
 
 FUSION_METHODS: dict[str, type[FusionMethod]] = {}

@@ -33,6 +33,7 @@ from repro.core.config import MultiRAGConfig
 from repro.core.planner import plan_question
 from repro.core.pipeline import MultiRAG
 from repro.datasets.multihop import MultiHopQuery
+from repro.exec import Query
 from repro.util import normalize_value, stable_uniform
 
 
@@ -492,7 +493,7 @@ class QAMultiRAG(QAMethod):
         self.pipeline.ingest(substrate.dataset.sources)
 
     def _chain(self, hops: tuple[tuple[str | None, str], ...]) -> tuple[str, ...]:
-        result = self.pipeline.query_chain(list(hops))
+        result = self.pipeline.run(Query.chain(hops))
         ranked = [a.value for a in result.answers]
         # Depth for Recall@5: after the accepted values, the next-best
         # candidates by node confidence (the "more nodes extracted" of
@@ -508,6 +509,25 @@ class QAMultiRAG(QAMethod):
                     seen.add(normalize_value(assessment.value))
                     ranked.append(assessment.value)
         return tuple(ranked)
+
+    def split(self) -> "QAMultiRAG | None":
+        """A concurrent view (read-only pipelines only; see
+        :meth:`repro.baselines.ours.MultiRAGMethod.split`).
+
+        Raises:
+            ConfigError: if this method's config is invalid.
+            StateError: if :meth:`setup` has not run.
+        """
+        if self.config.update_history:
+            return None
+        view = QAMultiRAG(self.config)
+        view.substrate = self.substrate
+        view.pipeline = self.pipeline.worker_view()
+        return view
+
+    def absorb(self, worker: QAMethod) -> None:
+        assert isinstance(worker, QAMultiRAG)
+        self.pipeline.absorb_view(worker.pipeline)
 
     def answer(self, query: MultiHopQuery) -> QAPrediction:
         """Plan the question and answer it hop by hop with MultiRAG.

@@ -16,6 +16,7 @@ from repro.confidence.mcc import mcc
 from repro.confidence.node_level import NodeScorer
 from repro.core.config import MultiRAGConfig
 from repro.core.pipeline import MultiRAG
+from repro.exec import Query
 from repro.linegraph.homologous import HomologousGroup, HomologousNode
 
 
@@ -60,6 +61,34 @@ class MCCMethod(FusionMethod):
         )
         return {a.value for a in result.accepted_assessments()}
 
+    def split(self) -> "MCCMethod":
+        """A concurrent view: shared graph/history, isolated LLM meter.
+
+        The query path only *reads* the graph key index and the history
+        store, so views are safe to run in parallel; each carries its
+        own LLM clone (and a scorer bound to it) for race-free
+        accounting.
+
+        Raises:
+            ConfigError: if this method's config is invalid.
+        """
+        view = MCCMethod(self.config)
+        view.substrate = self.substrate
+        view.llm = self.llm.split()
+        view.history = self.history
+        view.scorer = NodeScorer(
+            graph=self.substrate.graph,
+            llm=view.llm,
+            history=self.history,
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+        )
+        return view
+
+    def absorb(self, worker: FusionMethod) -> None:
+        assert isinstance(worker, MCCMethod)
+        self.llm.meter.merge(worker.llm.meter)
+
 
 @register_fusion
 class MultiRAGMethod(FusionMethod):
@@ -93,8 +122,31 @@ class MultiRAGMethod(FusionMethod):
             ContractViolation: if a pipeline contract check fails in
                 ``debug_contracts`` mode.
         """
-        result = self.pipeline.query_key(entity, attribute)
+        result = self.pipeline.run(Query.key(entity, attribute))
         return {a.value for a in result.answers}
+
+    def split(self) -> "MultiRAGMethod | None":
+        """A concurrent view over a pipeline worker view.
+
+        Only valid when the config disables consensus-feedback history
+        (``update_history=False``): with feedback on, each query's
+        outcome influences the next query's credibility scores, so the
+        batch must stay sequential — signalled by returning ``None``.
+
+        Raises:
+            ConfigError: if this method's config is invalid.
+            StateError: if :meth:`setup` has not run.
+        """
+        if self.config.update_history:
+            return None
+        view = MultiRAGMethod(self.config)
+        view.substrate = self.substrate
+        view.pipeline = self.pipeline.worker_view()
+        return view
+
+    def absorb(self, worker: FusionMethod) -> None:
+        assert isinstance(worker, MultiRAGMethod)
+        self.pipeline.absorb_view(worker.pipeline)
 
     @property
     def prompt_time_s(self) -> float:

@@ -24,7 +24,7 @@ from repro.core import MultiRAG, MultiRAGConfig
 from repro.datasets import DATASET_FACTORIES
 from repro.datasets.loader import load_queries, load_sources, write_dataset
 from repro.errors import ReproError
-from repro.metrics import f1_score, mean
+from repro.exec import Query
 from repro.eval.reporting import format_table
 from repro.kg.storage import save_graph
 from repro.obs import NOOP, Observability
@@ -57,7 +57,7 @@ def _export_obs(obs: Observability, args: argparse.Namespace) -> None:
 def _build_pipeline(
     directory: str, seed: int, obs: Observability | None = None
 ) -> MultiRAG:
-    rag = MultiRAG(MultiRAGConfig(seed=seed), obs=obs)
+    rag = MultiRAG.from_config(MultiRAGConfig(seed=seed), obs=obs)
     sources = load_sources(directory)
     report = rag.ingest(sources)
     print(
@@ -114,35 +114,49 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    """Answer one question over a corpus.
+    """Answer one or more questions over a corpus.
+
+    Several questions (or ``--jobs``) run through the exec engine's
+    worker pool; answers print in the order the questions were given.
 
     Raises:
         ReproError: if loading, ingesting or querying the corpus fails.
     """
     obs = _make_obs(args)
     rag = _build_pipeline(args.directory, args.seed, obs=obs)
-    result = rag.query(args.question)
-    print(f"answer: {result.generated_text}")
-    for ranked in result.answers:
-        print(f"  {ranked.value}  confidence={ranked.confidence:.2f}  "
-              f"sources={', '.join(ranked.sources)}")
-    if args.explain and result.mcc is not None:
-        print()
-        print(explain(result.mcc))
-    if args.audit and result.audit:
-        print()
-        print("decision audit:")
-        for event in result.audit:
-            detail = ""
-            if event.score is not None:
-                threshold = (
-                    f" vs θ={event.threshold:.2f}"
-                    if event.threshold is not None else ""
-                )
-                detail = f" (score={event.score:.3f}{threshold})"
-            subject = event.value or "<group>"
-            print(f"  [{event.level:9s}] {event.action:7s} {subject}"
-                  f"{detail}  {event.reason}")
+    questions = list(args.question)
+    if len(questions) > 1 or args.jobs is not None:
+        results = rag.run_batch(
+            [Query.text(q) for q in questions], jobs=args.jobs
+        )
+    else:
+        results = [rag.run(Query.text(questions[0]))]
+    for index, (question, result) in enumerate(zip(questions, results)):
+        if len(questions) > 1:
+            if index:
+                print()
+            print(f"question: {question}")
+        print(f"answer: {result.generated_text}")
+        for ranked in result.answers:
+            print(f"  {ranked.value}  confidence={ranked.confidence:.2f}  "
+                  f"sources={', '.join(ranked.sources)}")
+        if args.explain and result.mcc is not None:
+            print()
+            print(explain(result.mcc))
+        if args.audit and result.audit:
+            print()
+            print("decision audit:")
+            for event in result.audit:
+                detail = ""
+                if event.score is not None:
+                    threshold = (
+                        f" vs θ={event.threshold:.2f}"
+                        if event.threshold is not None else ""
+                    )
+                    detail = f" (score={event.score:.3f}{threshold})"
+                subject = event.value or "<group>"
+                print(f"  [{event.level:9s}] {event.action:7s} {subject}"
+                      f"{detail}  {event.reason}")
     _export_obs(obs, args)
     return 0
 
@@ -175,13 +189,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     queries = load_queries(args.directory)
     obs = _make_obs(args)
     rag = _build_pipeline(args.directory, args.seed, obs=obs)
-    scores = []
-    for query in queries:
-        predicted = {
-            a.value for a in rag.query_key(query.entity, query.attribute).answers
-        }
-        scores.append(f1_score(predicted, query.answers))
-    print(f"queries: {len(queries)}  mean F1: {100 * mean(scores):.1f}%")
+    report = rag.evaluate(queries, jobs=args.jobs)
+    print(f"queries: {len(report.per_query)}  mean F1: {report.mean_f1:.1f}%")
     if obs.metrics.enabled:
         from repro.obs.metrics import format_metrics
 
@@ -279,9 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", help="write the fused graph to this JSON file")
     p.set_defaults(fn=cmd_ingest)
 
-    p = sub.add_parser("query", help="answer one question over a corpus")
+    p = sub.add_parser("query", help="answer questions over a corpus")
     p.add_argument("directory")
-    p.add_argument("question")
+    p.add_argument("question", nargs="+",
+                   help="one or more questions (several run as a batch)")
+    p.add_argument("--jobs", type=int, metavar="N",
+                   help="worker threads for the question batch "
+                        "(default: REPRO_EXEC_WORKERS or 1)")
     p.add_argument("--explain", action="store_true",
                    help="print the confidence breakdown of every candidate")
     p.add_argument("--audit", action="store_true",
@@ -295,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("evaluate", help="score queries.json with MultiRAG")
     p.add_argument("directory")
+    p.add_argument("--jobs", type=int, metavar="N",
+                   help="worker threads for the query batch "
+                        "(default: REPRO_EXEC_WORKERS or 1)")
     p.add_argument("--trace", metavar="FILE",
                    help="record spans and write the trace (JSONL; .json "
                         "for the array form)")

@@ -2,7 +2,7 @@
 
 This module is the annotated, step-by-step rendition of the paper's
 Algorithm 2 on top of :class:`~repro.core.pipeline.MultiRAG`.  The
-pipeline's :meth:`~repro.core.pipeline.MultiRAG.query` performs the same
+pipeline's :meth:`~repro.core.pipeline.MultiRAG.run` performs the same
 computation in one call; ``mklgp`` exists so each line of the published
 pseudocode maps to one visible step and so tests can assert on the
 intermediate artifacts.
@@ -16,6 +16,7 @@ from repro.confidence.mcc import MCCResult
 from repro.core.answer import RetrievalResult
 from repro.core.logic_form import LogicForm, generate_logic_form
 from repro.core.pipeline import MultiRAG
+from repro.exec import Query
 from repro.kg.triple import Triple
 from repro.obs.audit import AuditEvent
 from repro.retrieval.chunking import Chunk
@@ -61,7 +62,7 @@ def mklgp(pipeline: MultiRAG, question: str) -> tuple[RetrievalResult, MKLGPTrac
     hits = pipeline.retriever.retrieve_per_source(question, k_per_source=1)
     trace.documents = [h.item for h in hits]
 
-    result = pipeline.query(question)
+    result = pipeline.run(Query.text(question))
     trace.result = result
     trace.mcc = result.mcc
     trace.audit = list(result.audit)

@@ -19,10 +19,12 @@ The combination of :meth:`query` steps is exactly the MKLGP algorithm
 
 from __future__ import annotations
 
+import json
 import time
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.adapters.base import RawSource
 from repro.adapters.fusion import DataFusionEngine, FusionResult
@@ -33,7 +35,9 @@ from repro.confidence.node_level import NodeScorer
 from repro.core.answer import RankedValue, RetrievalResult
 from repro.core.config import MultiRAGConfig
 from repro.core.logic_form import LogicForm, generate_logic_form
+from repro.datasets.schema import MultiSourceDataset
 from repro.errors import StateError
+from repro.exec import ExecutionPlan, Query, as_query, execute
 from repro.kg.triple import Provenance, Triple
 from repro.lint.contracts import check_mcc_result, check_mlg, check_ranked_answers
 from repro.linegraph.homologous import HomologousGroup, HomologousNode
@@ -90,6 +94,25 @@ class EvaluationReport:
             return ""
         return format_metrics(self.metrics)
 
+    def to_json(self, drop_timing: bool = False) -> str:
+        """Canonical JSON form of the report (sorted keys).
+
+        ``drop_timing=True`` strips :attr:`query_time_s` — the report's
+        only wall-clock field — so two runs of the same seeded evaluation
+        compare byte-identically regardless of worker count (the
+        determinism contract of :mod:`repro.exec`).  ``prompt_time_s``
+        is simulated and deterministic, so it stays.
+        """
+        data: dict[str, Any] = {
+            "per_query": [[qid, score] for qid, score in self.per_query],
+            "mean_f1": self.mean_f1,
+            "prompt_time_s": round(self.prompt_time_s, 6),
+            "metrics": self.metrics,
+        }
+        if not drop_timing:
+            data["query_time_s"] = self.query_time_s
+        return json.dumps(data, sort_keys=True)
+
 
 class MultiRAG:
     """Knowledge-guided multi-source RAG with hallucination mitigation."""
@@ -120,6 +143,24 @@ class MultiRAG:
         self.mlg: MultiSourceLineGraph | None = None
         self.scorer: NodeScorer | None = None
         self._entity_by_norm: dict[str, str] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        config: MultiRAGConfig | None = None,
+        *,
+        llm: SimulatedLLM | None = None,
+        obs: Observability | None = None,
+    ) -> "MultiRAG":
+        """The canonical way to build a pipeline from a config.
+
+        The CLI, the eval harness and the tests all construct pipelines;
+        routing them through one classmethod keeps the construction
+        recipe (seeded simulated LLM, noise from the config) in a single
+        place.  ``llm`` and ``obs`` override the defaults when a caller
+        brings its own.
+        """
+        return cls(config=config, llm=llm, obs=obs)
 
     # ------------------------------------------------------------------
     # knowledge construction (MKA)
@@ -294,7 +335,43 @@ class MultiRAG:
     # ------------------------------------------------------------------
     # retrieval (MKLGP)
     # ------------------------------------------------------------------
+    def run(self, query: Query) -> RetrievalResult:
+        """Answer one :class:`~repro.exec.query.Query`.
+
+        The unified entrypoint behind the historical ``query`` /
+        ``query_key`` / ``query_chain`` trio: dispatches on
+        ``query.kind`` (``text`` → full MKLGP, ``key`` → structured
+        claim-key lookup, ``chain`` → multi-hop with bridge entities).
+        ``Query`` is also the unit :meth:`run_batch` schedules.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
+        """
+        if query.kind == "key":
+            return self._run_text(f"{query.entity} | {query.attribute}")
+        if query.kind == "chain":
+            return self._run_chain(query.hops)
+        return self._run_text(query.question)
+
     def query(self, question: str) -> RetrievalResult:
+        """Deprecated shim: use ``run(Query.text(question))``.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
+        """
+        warnings.warn(
+            "MultiRAG.query() is deprecated; use "
+            "MultiRAG.run(Query.text(question))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_text(question)
+
+    def _run_text(self, question: str) -> RetrievalResult:
         """Answer ``question`` through the full MKLGP flow.
 
         Raises:
@@ -387,16 +464,38 @@ class MultiRAG:
         return result
 
     def query_key(self, entity: str, attribute: str) -> RetrievalResult:
-        """Structured shortcut: answer the claim key ``(entity, attribute)``.
+        """Deprecated shim: use ``run(Query.key(entity, attribute))``.
 
         Raises:
             StateError: if called before :meth:`ingest`.
             ContractViolation: if ``debug_contracts`` finds an invalid MCC
                 result or answer ranking.
         """
-        return self.query(f"{entity} | {attribute}")
+        warnings.warn(
+            "MultiRAG.query_key() is deprecated; use "
+            "MultiRAG.run(Query.key(entity, attribute))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_text(f"{entity} | {attribute}")
 
     def query_chain(self, hops: list[tuple[str | None, str]]) -> RetrievalResult:
+        """Deprecated shim: use ``run(Query.chain(hops))``.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
+        """
+        warnings.warn(
+            "MultiRAG.query_chain() is deprecated; use "
+            "MultiRAG.run(Query.chain(hops))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_chain(tuple(hops))
+
+    def _run_chain(self, hops: Sequence[tuple[str | None, str]]) -> RetrievalResult:
         """Multi-hop lookup: each hop is ``(entity_or_None, attribute)``.
 
         ``None`` as a hop's entity means "the top answer of the previous
@@ -421,34 +520,152 @@ class MultiRAG:
                     empty.trace = trace + ["chain broken: no bridge answer"]
                     return empty
                 entity = result.answers[0].value
-            result = self.query_key(entity, attribute)
+            result = self._run_text(f"{entity} | {attribute}")
             trace.extend(result.trace)
             total_qt += result.query_time_s
             total_pt += result.prompt_time_s
         assert result is not None
-        result.trace = trace
-        result.query_time_s = total_qt
-        result.prompt_time_s = total_pt
+        result.trace = trace  # repro-lint: ignore[EXE001] — result is the task-local record _run_text just constructed
+        result.query_time_s = total_qt  # repro-lint: ignore[EXE001] — task-local result record (see above)
+        result.prompt_time_s = total_pt  # repro-lint: ignore[EXE001] — task-local result record (see above)
         return result
 
-    def evaluate(self, queries) -> "EvaluationReport":
-        """Answer a batch of :class:`~repro.datasets.schema.QuerySpec`-like
-        queries and score them against their gold answers.
+    # ------------------------------------------------------------------
+    # concurrent batch execution
+    # ------------------------------------------------------------------
+    def worker_view(self) -> "MultiRAG":
+        """A read-only pipeline view for one exec worker task.
 
-        Each query needs ``entity``, ``attribute`` and ``answers``
-        attributes.  Returns per-query F1 plus aggregate statistics.
+        Shares the immutable substrate — config, fused graph, MLG, entity
+        index, history, consensus engine — by reference, but binds a
+        fresh observability bundle, a meter-isolated LLM clone and a
+        per-view scorer so concurrent tasks never write shared state.
+        The parent folds telemetry back with :meth:`absorb_view`.
 
         Raises:
             StateError: if called before :meth:`ingest`.
+        """
+        self._require_ingested()
+        assert self.fusion is not None and self.scorer is not None
+        view = object.__new__(MultiRAG)
+        view.config = self.config
+        view.fusion = self.fusion
+        view.mlg = self.mlg
+        view.history = self.history
+        view.engine = self.engine
+        view._entity_by_norm = self._entity_by_norm
+        view.obs = self.obs.split()
+        view.llm = self.llm.split(obs=view.obs)
+        view.retriever = self.retriever.with_obs(view.obs)
+        view.scorer = NodeScorer(
+            self.fusion.graph,
+            view.llm,
+            self.history,
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+            obs=view.obs,
+        )
+        return view
+
+    def absorb_view(self, view: "MultiRAG") -> None:
+        """Fold a :meth:`worker_view`'s meter and telemetry back in.
+
+        Raises:
+            StateError: if the view's tracer still has an open span.
+        """
+        self.llm.meter.merge(view.llm.meter)
+        self.obs.absorb(view.obs)
+
+    def run_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        jobs: int | None = None,
+        batch_size: int | None = None,
+        plan: ExecutionPlan | None = None,
+    ) -> list[RetrievalResult]:
+        """Run a query batch through the exec engine, in submit order.
+
+        With ``config.update_history`` enabled, queries form a dependency
+        chain through the consensus-feedback history, so the batch is
+        serialized on this pipeline (identical to a plain ``run`` loop).
+        Read-only pipelines fan out over :meth:`worker_view` instances —
+        for *every* worker count, so ``jobs=1`` and ``jobs=4`` produce
+        byte-identical results and telemetry.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ConfigError: if the resolved execution plan is invalid.
             ContractViolation: if ``debug_contracts`` finds an invalid MCC
                 result or answer ranking.
         """
+        self._require_ingested()
+        tasks = list(queries)
+        resolved = plan if plan is not None else ExecutionPlan.resolve(
+            jobs=jobs, batch_size=batch_size
+        )
+        if self.config.update_history:
+            return execute(
+                len(tasks),
+                resolved,
+                run=lambda _ctx, i: self.run(tasks[i]),
+                serialize=True,
+            )
+        return execute(
+            len(tasks),
+            resolved,
+            context=lambda i: self.worker_view(),
+            run=lambda view, i: view.run(tasks[i]),
+            merge=lambda view, result, i: self.absorb_view(view),
+        )
+
+    def evaluate(
+        self,
+        queries: "Sequence[Query] | MultiSourceDataset",
+        *,
+        jobs: int | None = None,
+        batch_size: int | None = None,
+        plan: ExecutionPlan | None = None,
+    ) -> "EvaluationReport":
+        """Answer a query batch and score it against gold answers.
+
+        Accepts :class:`~repro.exec.query.Query` objects (or
+        QuerySpec-likes, adapted via :func:`~repro.exec.query.as_query`)
+        or a whole :class:`~repro.datasets.schema.MultiSourceDataset`.
+        Returns per-query F1 plus aggregate statistics.
+
+        Pass ``jobs`` / ``batch_size`` / ``plan`` — or set the
+        ``REPRO_EXEC_WORKERS`` environment variable — to dispatch through
+        the exec engine; engine runs at any worker count produce
+        byte-identical reports (compare with
+        ``to_json(drop_timing=True)``).  Without any of those, queries
+        run as a plain sequential loop.
+
+        Raises:
+            StateError: if called before :meth:`ingest`.
+            ConfigError: if a query spec or the execution plan is invalid.
+            ContractViolation: if ``debug_contracts`` finds an invalid MCC
+                result or answer ranking.
+        """
+        specs = queries.queries if isinstance(queries, MultiSourceDataset) else queries
+        tasks = [as_query(spec) for spec in specs]
+        use_engine = (
+            jobs is not None
+            or batch_size is not None
+            or plan is not None
+            or ExecutionPlan.env_requested()
+        )
+        if use_engine:
+            results = self.run_batch(
+                tasks, jobs=jobs, batch_size=batch_size, plan=plan
+            )
+        else:
+            results = [self.run(task) for task in tasks]
         report = EvaluationReport()
-        for query in queries:
-            result = self.query_key(query.entity, query.attribute)
+        for task, result in zip(tasks, results):
             predicted = {a.value for a in result.answers}
-            score = f1_score(predicted, query.answers)
-            report.per_query.append((getattr(query, "qid", ""), score))
+            score = f1_score(predicted, task.answers or frozenset())
+            report.per_query.append((task.qid, score))
             report.query_time_s += result.query_time_s
             report.prompt_time_s += result.prompt_time_s
         report.mean_f1 = 100.0 * mean(s for _, s in report.per_query)

@@ -16,6 +16,7 @@ from repro.baselines.base import FusionMethod, QAMethod, Substrate
 from repro.datasets.multihop import MultiHopDataset
 from repro.datasets.schema import MultiSourceDataset
 from repro.eval.metrics import f1_score, mean, precision, recall_at_k
+from repro.exec import ExecutionPlan, Query, execute
 from repro.llm.simulated import SimulatedLLM
 from repro.obs.context import NOOP, Observability
 from repro.retrieval.retriever import MultiSourceRetriever
@@ -95,8 +96,20 @@ def run_fusion_method(
     method: FusionMethod,
     substrate: Substrate,
     dataset: MultiSourceDataset,
+    *,
+    jobs: int | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> FusionRow:
-    """Set up and run one fusion method over every dataset query."""
+    """Set up and run one fusion method over every dataset query.
+
+    ``jobs`` / ``plan`` (or the ``REPRO_EXEC_WORKERS`` environment
+    variable) dispatch the per-query phase through the exec engine.
+    Methods that declare themselves stateful (``split()`` returning
+    ``None``) are serialized regardless of the requested worker count.
+
+    Raises:
+        ConfigError: if the resolved execution plan is invalid.
+    """
     setup_start = time.perf_counter()
     method.setup(substrate)
     setup_time = time.perf_counter() - setup_start
@@ -110,11 +123,27 @@ def run_fusion_method(
     # reset away from each other.
     usage_before = llm.meter.checkpoint() if llm else None
 
-    scores = []
+    queries = list(dataset.queries)
+    resolved = plan if plan is not None else ExecutionPlan.resolve(jobs=jobs)
     query_start = time.perf_counter()
-    for query in dataset.queries:
-        predicted = method.query(query.entity, query.attribute)
-        scores.append(f1_score(predicted, query.answers))
+    if resolved.workers > 1 and method.split() is not None:
+        predictions = execute(
+            len(queries),
+            resolved,
+            context=lambda i: method.split(),
+            run=lambda view, i: view.query(
+                queries[i].entity, queries[i].attribute
+            ),
+            merge=lambda view, result, i: method.absorb(view),
+        )
+    else:
+        predictions = [
+            method.query(query.entity, query.attribute) for query in queries
+        ]
+    scores = [
+        f1_score(predicted, query.answers)
+        for predicted, query in zip(predictions, queries)
+    ]
     query_time = time.perf_counter() - query_start
     prompt_time = (
         llm.meter.delta(usage_before)["simulated_latency_s"]
@@ -138,29 +167,58 @@ def run_fusion_methods(
     methods: list[FusionMethod],
     dataset: MultiSourceDataset,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> list[FusionRow]:
     """Run several methods against one shared substrate.
 
     Raises:
-        ReproError: if building the substrate fails.
+        ReproError: if building the substrate fails or the execution
+            plan is invalid.
     """
     substrate = build_substrate(dataset, seed=seed)
-    return [run_fusion_method(m, substrate, dataset) for m in methods]
+    return [
+        run_fusion_method(m, substrate, dataset, jobs=jobs, plan=plan)
+        for m in methods
+    ]
 
 
 def run_qa_method(
     method: QAMethod,
     substrate: Substrate,
     dataset: MultiHopDataset,
+    *,
+    jobs: int | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> QARow:
-    """Set up and run one QA method over every multi-hop question."""
+    """Set up and run one QA method over every multi-hop question.
+
+    Same exec dispatch contract as :func:`run_fusion_method`.
+
+    Raises:
+        ConfigError: if the resolved execution plan is invalid.
+    """
     method.setup(substrate)
+    queries = list(dataset.queries)
+    resolved = plan if plan is not None else ExecutionPlan.resolve(jobs=jobs)
+    if resolved.workers > 1 and method.split() is not None:
+        predictions = execute(
+            len(queries),
+            resolved,
+            context=lambda i: method.split(),
+            run=lambda view, i: view.answer(queries[i]),
+            merge=lambda view, result, i: method.absorb(view),
+        )
+    else:
+        predictions = [method.answer(query) for query in queries]
     precisions = []
     recalls = []
-    for query in dataset.queries:
-        prediction = method.answer(query)
+    for prediction, query in zip(predictions, queries):
         precisions.append(precision(prediction.answers, query.answers))
-        recalls.append(recall_at_k(list(prediction.candidates), query.answers, k=5))
+        recalls.append(
+            recall_at_k(list(prediction.candidates), query.answers, k=5)
+        )
     return QARow(
         dataset=dataset.name,
         method=method.name,
@@ -174,14 +232,21 @@ def run_qa_methods(
     methods: list[QAMethod],
     dataset: MultiHopDataset,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> list[QARow]:
     """Run several QA methods against one shared substrate.
 
     Raises:
-        ReproError: if building the substrate fails.
+        ReproError: if building the substrate fails or the execution
+            plan is invalid.
     """
     substrate = build_substrate(dataset, seed=seed)
-    return [run_qa_method(m, substrate, dataset) for m in methods]
+    return [
+        run_qa_method(m, substrate, dataset, jobs=jobs, plan=plan)
+        for m in methods
+    ]
 
 
 @dataclass(slots=True)
@@ -205,7 +270,7 @@ def measure_stage_recall(pipeline, dataset: MultiSourceDataset, k: int = 5) -> M
     """
     report = MultiRAGStageReport()
     for query in dataset.queries:
-        result = pipeline.query_key(query.entity, query.attribute)
+        result = pipeline.run(Query.key(query.entity, query.attribute))
         gold = query.answers
         report.rows.append(
             StageRecall(

@@ -1,0 +1,91 @@
+"""Execution plans: how wide and how deep a batch run fans out.
+
+An :class:`ExecutionPlan` is the immutable knob set of the exec engine —
+``workers`` bounds the thread pool, ``batch_size`` bounds how many tasks
+are in flight between merge barriers.  Plans resolve from explicit
+arguments first and the ``REPRO_EXEC_WORKERS`` / ``REPRO_EXEC_BATCH_SIZE``
+environment variables second, so a whole test suite can be re-run under
+concurrency without touching a single call site.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: environment variable naming the default worker count.
+ENV_WORKERS = "REPRO_EXEC_WORKERS"
+#: environment variable naming the default batch size.
+ENV_BATCH_SIZE = "REPRO_EXEC_BATCH_SIZE"
+
+_DEFAULT_BATCH_SIZE = 32
+
+
+def _env_int(name: str, default: int) -> int:
+    """Read a positive integer from the environment.
+
+    Raises:
+        ConfigError: when the variable is set but not a positive integer.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionPlan:
+    """How a batch of tasks is scheduled.
+
+    ``workers`` is the number of pool threads tasks fan out over;
+    ``batch_size`` is how many tasks run between merge barriers (results
+    are folded back into shared state in submit order at each barrier).
+    ``workers=1`` is the sequential plan — the engine then degenerates to
+    a plain loop with a barrier after every task.
+
+    Raises:
+        ConfigError: when ``workers`` or ``batch_size`` is < 1.
+    """
+
+    workers: int = 1
+    batch_size: int = _DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+    @classmethod
+    def resolve(
+        cls, jobs: int | None = None, batch_size: int | None = None
+    ) -> "ExecutionPlan":
+        """Build a plan from explicit arguments, falling back to the
+        ``REPRO_EXEC_WORKERS`` / ``REPRO_EXEC_BATCH_SIZE`` environment.
+
+        Raises:
+            ConfigError: on non-positive arguments or malformed
+                environment values.
+        """
+        if jobs is None:
+            jobs = _env_int(ENV_WORKERS, 1)
+        if batch_size is None:
+            batch_size = _env_int(ENV_BATCH_SIZE, _DEFAULT_BATCH_SIZE)
+        return cls(workers=jobs, batch_size=batch_size)
+
+    @classmethod
+    def env_requested(cls) -> bool:
+        """Whether the environment asks for engine scheduling at all."""
+        return bool(os.environ.get(ENV_WORKERS, "").strip())

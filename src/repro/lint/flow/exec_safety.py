@@ -1,0 +1,228 @@
+"""Exec-safety rule (EXE) — no shared-state writes on the query path.
+
+The exec engine (``repro.exec``) fans ``MultiRAG.run`` out over worker
+threads that share one ingested pipeline.  That is only sound if the
+dispatched path never *writes* state reachable by another worker: the
+determinism contract (parallel ≡ sequential, byte for byte) and plain
+memory safety both hang on it.
+
+* EXE001 — a function reachable from ``MultiRAG.run`` over precise call
+  edges stores through ``self``, a parameter, or a local it did not
+  construct itself.
+
+Reachability follows resolved function/method edges (plus subclass
+overrides of reached methods); constructor edges are deliberately *not*
+followed — ``__init__`` writing to a brand-new ``self`` is the one store
+that cannot be shared.  A store target is fine when its base object was
+freshly built in the same function (a constructor call, a literal, or a
+fresh-container builtin): task-local result records are how the path is
+*supposed* to communicate.
+
+The sanctioned seams carry inline ``repro-lint: ignore[EXE001]``
+suppressions with their justification: consensus-feedback history writes
+(only reachable with ``update_history=True``, which forces the engine to
+serialize) and usage-meter accounting (each worker task accounts into a
+fresh clone's meter, merged afterwards in submit order).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.program import Program
+from repro.lint.registry import FlowRule, register_rule
+
+#: the exec engine's dispatch root: everything a worker task executes.
+ROOT_CLASS = "repro.core.pipeline.MultiRAG"
+ROOT_METHOD = "run"
+
+#: builtins whose call result is a freshly allocated object.
+_FRESH_BUILTINS = frozenset({
+    "dict", "frozenset", "list", "set", "sorted", "tuple",
+    "defaultdict", "Counter", "OrderedDict", "deque",
+})
+
+
+def _is_fresh_value(node: ast.expr) -> bool:
+    """Whether an assigned value is a newly allocated, task-local object."""
+    if isinstance(node, (
+        ast.List, ast.Dict, ast.Set, ast.Tuple, ast.Constant,
+        ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+        ast.JoinedStr,
+    )):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return False
+        # Title-case call = constructor by convention; the named
+        # builtins allocate fresh containers.
+        return name[:1].isupper() or name in _FRESH_BUILTINS
+    return False
+
+
+def _store_base_name(target: ast.expr) -> str | None:
+    """Root ``Name`` of an attribute/subscript store chain, else None."""
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = node.args
+    names = {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def compute_run_reachable(program: Program) -> set[str]:
+    """Function qualnames reachable from ``MultiRAG.run`` over precise
+    call edges, including subclass overrides of reached methods.
+
+    Memoised on ``program``; empty when the file set does not contain
+    the root (linting a loose subset), in which case EXE001 stands down.
+    """
+    cached = program.analysis_cache.get("exec_reachable")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    table = program.symtab
+    root = table.find_method(ROOT_CLASS, ROOT_METHOD)
+    reachable: set[str] = set()
+    pending = [root] if root is not None else []
+    while pending:
+        qual = pending.pop()
+        if qual is None or qual in reachable:
+            continue
+        reachable.add(qual)
+        func = table.functions.get(qual)
+        if func is not None and func.cls is not None:
+            # A statically bound call may dispatch to any override.
+            base_qual = f"{func.module}.{func.cls}"
+            for cls_qual in sorted(table.classes):
+                if cls_qual == base_qual:
+                    continue
+                if not table.is_subclass(cls_qual, base_qual):
+                    continue
+                override = table.classes[cls_qual].methods.get(func.name)
+                if override is not None and override not in reachable:
+                    pending.append(override)
+        flow = program.callgraph.flows.get(qual)
+        if flow is None:
+            continue
+        for site in flow.calls:
+            if (
+                site.kind == "function"
+                and site.target is not None
+                and site.target not in reachable
+            ):
+                pending.append(site.target)
+    program.analysis_cache["exec_reachable"] = reachable
+    return reachable
+
+
+@register_rule
+class ExecSharedStateRule(FlowRule):
+    """EXE001 — shared-state store on the exec-dispatched query path."""
+
+    rule_id = "EXE001"
+    family = "exec-safety"
+    severity = Severity.ERROR
+    description = (
+        "this code runs inside exec worker threads (reachable from "
+        "MultiRAG.run) but stores through self, a parameter, or a "
+        "non-local object; write only to objects the function "
+        "constructed itself, or keep the path serialized"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        reachable = compute_run_reachable(program)
+        table = program.symtab
+        seen: set[tuple[str, int]] = set()
+        for qual in sorted(reachable):
+            func = table.functions.get(qual)
+            if func is None or func.name == "<module>":
+                continue
+            module = program.modules.get(func.module)
+            if module is None:
+                continue
+            shared = self._shared_names(func.node)
+            for store, base in self._stores(func.node):
+                if base not in shared:
+                    continue
+                key = (module.module.display_path, store.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.program_finding(
+                    module.module.display_path, store.lineno,
+                    f"{func.name}() runs on the exec worker path "
+                    f"(reachable from MultiRAG.run) but mutates "
+                    f"{ast.unparse(store)!r}, which may be shared "
+                    f"across workers",
+                    col=store.col_offset + 1,
+                )
+
+    def _shared_names(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        """Names whose object may outlive / escape this task: ``self``,
+        parameters, and locals not freshly constructed here."""
+        constructed: set[str] = set()
+        assigned: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target = sub.targets[0]
+                if isinstance(target, ast.Name):
+                    assigned.add(target.id)
+                    if _is_fresh_value(sub.value):
+                        constructed.add(target.id)
+                    else:
+                        constructed.discard(target.id)
+            elif isinstance(sub, ast.AnnAssign):
+                if isinstance(sub.target, ast.Name) and sub.value is not None:
+                    assigned.add(sub.target.id)
+                    if _is_fresh_value(sub.value):
+                        constructed.add(sub.target.id)
+                    else:
+                        constructed.discard(sub.target.id)
+        return (_param_names(node) | assigned) - constructed
+
+    def _stores(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[tuple[ast.expr, str]]:
+        """(store-target, base-name) for every attribute/subscript store."""
+        for sub in ast.walk(node):
+            targets: list[ast.expr] = []
+            if isinstance(sub, ast.Assign):
+                targets = list(sub.targets)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                targets = [sub.target]
+            elif isinstance(sub, ast.Delete):
+                targets = list(sub.targets)
+            for target in self._flatten(targets):
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    base = _store_base_name(target)
+                    if base is not None:
+                        yield target, base
+
+    def _flatten(self, targets: list[ast.expr]) -> Iterable[ast.expr]:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                yield from self._flatten(list(target.elts))
+            elif isinstance(target, ast.Starred):
+                yield target.value
+            else:
+                yield target

@@ -174,5 +174,6 @@ def _ensure_rules_loaded() -> None:
     # initialised before the flow machinery pulls it in.
     import repro.lint.rules  # noqa: F401  (import-for-side-effect)
     import repro.lint.flow.exceptions  # noqa: F401
+    import repro.lint.flow.exec_safety  # noqa: F401
     import repro.lint.flow.reachability  # noqa: F401
     import repro.lint.flow.taint  # noqa: F401

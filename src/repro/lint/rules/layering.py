@@ -30,6 +30,10 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     # depends on nothing above the foundation (telemetry must never
     # create an upward edge).
     "obs": frozenset({"errors", "util"}),
+    # The exec engine is a generic scheduling substrate: it knows about
+    # plans, queries and thread pools, never about the pipeline it runs
+    # (callers hand it closures), so it sits just above the foundation.
+    "exec": frozenset({"errors", "util"}),
     "retrieval": frozenset({"errors", "obs", "util"}),
     "llm": frozenset({"errors", "obs", "util", "retrieval"}),
     "kg": frozenset({"errors", "util", "llm"}),
@@ -42,16 +46,16 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     ),
     "datasets": frozenset({"errors", "util", "adapters", "llm"}),
     "core": frozenset({
-        "errors", "util", "adapters", "confidence", "datasets", "kg",
-        "linegraph", "lint", "llm", "metrics", "obs", "retrieval",
+        "errors", "util", "adapters", "confidence", "datasets", "exec",
+        "kg", "linegraph", "lint", "llm", "metrics", "obs", "retrieval",
     }),
     "baselines": frozenset({
-        "errors", "util", "confidence", "core", "datasets", "kg",
+        "errors", "util", "confidence", "core", "datasets", "exec", "kg",
         "linegraph", "llm", "metrics", "retrieval",
     }),
     "eval": frozenset({
         "errors", "util", "adapters", "baselines", "confidence", "core",
-        "datasets", "kg", "linegraph", "llm", "metrics", "obs",
+        "datasets", "exec", "kg", "linegraph", "llm", "metrics", "obs",
         "retrieval",
     }),
 }

@@ -10,8 +10,15 @@ principled basis even though no real model is being called.
 
 from __future__ import annotations
 
+import copy
+import time
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.context import Observability
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,7 +94,33 @@ class UsageMeter:
             ),
         }
 
+    def merge(self, other: "UsageMeter") -> None:
+        """Fold another meter's totals into this one.
+
+        The exec engine gives each worker task a fresh meter (sums that
+        start at zero are independent of completion order) and merges
+        them back here in submit order, so parallel accounting matches
+        the sequential run.
+        """
+        self.calls += other.calls
+        self.prompt_tokens += other.prompt_tokens
+        self.completion_tokens += other.completion_tokens
+        self.simulated_latency_s += other.simulated_latency_s
+        for task in sorted(other.by_task):
+            self.by_task[task] = self.by_task.get(task, 0) + other.by_task[task]
+
     def reset(self) -> None:
+        """Deprecated: zero out the meter in place.
+
+        Resetting a shared meter races every other reader; hold a
+        :meth:`checkpoint` and subtract with :meth:`delta` instead.
+        """
+        warnings.warn(
+            "UsageMeter.reset() is deprecated; use checkpoint()/delta() "
+            "for stage attribution (resets race concurrent readers)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.calls = 0
         self.prompt_tokens = 0
         self.completion_tokens = 0
@@ -111,24 +144,49 @@ class LLMClient(ABC):
         self,
         base_latency_s: float = 0.05,
         latency_per_token_s: float = 0.00002,
+        wall_latency_scale: float = 0.0,
     ) -> None:
         self.base_latency_s = base_latency_s
         self.latency_per_token_s = latency_per_token_s
+        #: when > 0, completions *sleep* ``latency_s * scale`` wall
+        #: seconds, modelling an I/O-bound served model.  Accounted
+        #: values are unchanged — only wall time is affected, which is
+        #: what makes worker-pool speedups measurable offline
+        #: (``benchmarks/test_scaling.py``).  0 (the default) disables
+        #: the sleep entirely.
+        self.wall_latency_scale = wall_latency_scale
         self.meter = UsageMeter()
 
     @abstractmethod
     def _generate(self, prompt: str) -> str:
         """Produce the completion text for ``prompt``."""
 
-    def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
-        """Run one completion and record its usage under ``task``."""
-        text = self._generate(prompt)
+    def _generate_many(self, prompts: Sequence[str]) -> list[str]:
+        """Produce completion texts for a prompt batch.
+
+        Default: one :meth:`_generate` call per prompt.  A served client
+        would override this with one batched request; implementations
+        must keep per-prompt outputs independent of batch order.
+        """
+        return [self._generate(prompt) for prompt in prompts]
+
+    def _account(
+        self,
+        prompt: str,
+        text: str,
+        task: str,
+        latency_s: float | None = None,
+    ) -> LLMResponse:
+        """Record one completion's usage and build its response."""
         prompt_tokens = count_tokens(prompt)
         completion_tokens = count_tokens(text)
         latency = (
-            self.base_latency_s
+            latency_s if latency_s is not None
+            else self.base_latency_s
             + self.latency_per_token_s * (prompt_tokens + completion_tokens)
         )
+        if self.wall_latency_scale > 0.0:
+            time.sleep(latency * self.wall_latency_scale)
         response = LLMResponse(
             text=text,
             prompt_tokens=prompt_tokens,
@@ -137,3 +195,38 @@ class LLMClient(ABC):
         )
         self.meter.record(task, response)
         return response
+
+    def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
+        """Run one completion and record its usage under ``task``."""
+        return self._account(prompt, self._generate(prompt), task)
+
+    def complete_many(
+        self, prompts: Sequence[str], task: str = "generic"
+    ) -> list[LLMResponse]:
+        """Run a prompt batch; responses come back in prompt order.
+
+        Contract: ``complete_many(ps)`` is observably identical to
+        ``[complete(p) for p in ps]`` — same texts, same accounting, same
+        meter state afterwards — so callers may batch opportunistically.
+        The default implementation *is* that sequential loop; subclasses
+        with a true batch path (the simulated model, the cache layer)
+        override it without changing the contract.
+        """
+        return [self.complete(prompt, task) for prompt in prompts]
+
+    def split(self, obs: "Observability | None" = None) -> "LLMClient":
+        """A worker-local clone with a fresh :class:`UsageMeter`.
+
+        The clone shares every read-only attribute (seed, lexicon,
+        cache) by reference — valid because clients must be deterministic
+        and side-effect-free per prompt — but accounts into its own
+        meter, which the exec engine later folds back via
+        :meth:`UsageMeter.merge`.  ``obs`` rebinds telemetry for clients
+        that carry an observability handle (the cache layer), so workers
+        never write the parent's sinks concurrently.
+        """
+        clone = copy.copy(self)
+        clone.meter = UsageMeter()
+        if obs is not None and hasattr(clone, "obs"):
+            clone.obs = obs  # type: ignore[attr-defined]
+        return clone

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Sequence
 
-from repro.llm.base import LLMClient, LLMResponse, count_tokens
+from repro.llm.base import LLMClient, LLMResponse
 from repro.obs.context import NOOP, Observability
 
 
@@ -46,35 +47,59 @@ class CachingLLM(LLMClient):
     def _generate(self, prompt: str) -> str:
         cached = self._cache.get(prompt)
         if cached is not None:
-            self.hits += 1
+            self.hits += 1  # repro-lint: ignore[EXE001] — counters live on the worker's own split() clone; the advisory totals are read single-threaded
             self.obs.metrics.counter("llm.cache.hits").inc()
             return cached
-        self.misses += 1
+        self.misses += 1  # repro-lint: ignore[EXE001] — per-clone counter (see above)
         self.obs.metrics.counter("llm.cache.misses").inc()
         text = self.inner._generate(prompt)
-        self._cache[prompt] = text
+        self._cache[prompt] = text  # repro-lint: ignore[EXE001] — cache is shared across clones by design: fills are idempotent (deterministic text per prompt), so concurrent writers store identical values
         return text
 
     def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
         is_hit = prompt in self._cache
         text = self._generate(prompt)
-        prompt_tokens = count_tokens(prompt)
-        completion_tokens = count_tokens(text)
-        if is_hit and self.free_hits:
-            latency = 0.0
-        else:
-            latency = (
-                self.base_latency_s
-                + self.latency_per_token_s * (prompt_tokens + completion_tokens)
+        latency = 0.0 if is_hit and self.free_hits else None
+        return self._account(prompt, text, task, latency_s=latency)
+
+    def complete_many(
+        self, prompts: Sequence[str], task: str = "generic"
+    ) -> list[LLMResponse]:
+        """True batch path: misses go to the inner client as one batch.
+
+        Hit/miss status is decided in prompt order *as if* each prompt
+        had been completed singly (a duplicated uncached prompt is one
+        miss then hits), then all unique misses are forwarded through the
+        inner client's batch hook and every prompt is accounted in
+        submit order — so outputs, hit counters and the meter are
+        byte-identical to sequential :meth:`complete` calls.
+        """
+        ordered = list(prompts)
+        pending: list[str] = []
+        filled: set[str] = set()
+        hit_flags: list[bool] = []
+        for prompt in ordered:
+            hit = prompt in self._cache or prompt in filled
+            hit_flags.append(hit)
+            if not hit:
+                filled.add(prompt)
+                pending.append(prompt)
+        if pending:
+            for prompt, text in zip(pending, self.inner._generate_many(pending)):
+                self._cache[prompt] = text
+        responses: list[LLMResponse] = []
+        for prompt, hit in zip(ordered, hit_flags):
+            if hit:
+                self.hits += 1
+                self.obs.metrics.counter("llm.cache.hits").inc()
+            else:
+                self.misses += 1
+                self.obs.metrics.counter("llm.cache.misses").inc()
+            latency = 0.0 if hit and self.free_hits else None
+            responses.append(
+                self._account(prompt, self._cache[prompt], task, latency_s=latency)
             )
-        response = LLMResponse(
-            text=text,
-            prompt_tokens=prompt_tokens,
-            completion_tokens=completion_tokens,
-            latency_s=latency,
-        )
-        self.meter.record(task, response)
-        return response
+        return responses
 
     # ------------------------------------------------------------------
     # persistence & stats

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any
+from typing import Any, Sequence
 
-from repro.llm.base import LLMClient
+from repro.llm.base import LLMClient, LLMResponse
 from repro.llm.lexicon import BY_PREDICATE, split_sentence
 from repro.llm.prompts import parse_sections
 from repro.retrieval.tokenize import sentences, tokenize
@@ -78,8 +78,9 @@ class SimulatedLLM(LLMClient):
         hallucination_pool: tuple[str, ...] = (),
         base_latency_s: float = 0.05,
         latency_per_token_s: float = 0.00002,
+        wall_latency_scale: float = 0.0,
     ) -> None:
-        super().__init__(base_latency_s, latency_per_token_s)
+        super().__init__(base_latency_s, latency_per_token_s, wall_latency_scale)
         if not 0.0 <= extraction_noise <= 1.0:
             raise ValueError("extraction_noise must lie in [0, 1]")
         if not 0.0 <= knowledge_accuracy <= 1.0:
@@ -111,6 +112,23 @@ class SimulatedLLM(LLMClient):
             # falls back to generic text.
             return "I cannot determine the requested structure."
         return handler(sections)
+
+    def complete_many(
+        self, prompts: Sequence[str], task: str = "generic"
+    ) -> list[LLMResponse]:
+        """True batch path: generate the whole batch, then account it.
+
+        ``_generate`` is a pure function of (prompt, seed), so computing
+        every completion up front — where a served model would issue one
+        batched request — cannot change any output, and accounting in
+        prompt order keeps the meter byte-identical to sequential
+        :meth:`complete` calls.
+        """
+        texts = self._generate_many(list(prompts))
+        return [
+            self._account(prompt, text, task)
+            for prompt, text in zip(prompts, texts)
+        ]
 
     # ------------------------------------------------------------------
     # noise helpers

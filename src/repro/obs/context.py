@@ -46,6 +46,57 @@ class Observability:
         """The shared no-op bundle (same object every call)."""
         return NOOP
 
+    def split(self) -> "Observability":
+        """A worker-local bundle mirroring which sinks are live here.
+
+        Exec workers must not write into the parent's sinks concurrently
+        (the tracer is a stack; counters are read-modify-write), so each
+        task records into a bundle from ``split()`` and the engine folds
+        it back through :meth:`absorb` in submit order.  Returns
+        :data:`NOOP` itself when nothing is enabled, keeping the disabled
+        path allocation-free.
+        """
+        if not self.enabled:
+            return NOOP
+        return Observability(
+            tracer=(
+                Tracer(clock=self.tracer.clock)
+                if isinstance(self.tracer, Tracer) else NOOP_TRACER
+            ),
+            metrics=(
+                MetricsRegistry()
+                if isinstance(self.metrics, MetricsRegistry) else NOOP_METRICS
+            ),
+            audit=(
+                AuditLog()
+                if isinstance(self.audit, AuditLog) else NOOP_AUDIT
+            ),
+        )
+
+    def absorb(self, worker: "Observability") -> None:
+        """Merge a worker bundle's records back into this one.
+
+        Called once per task in submit order, so the combined trace,
+        metrics snapshot and audit log are identical for every worker
+        count.
+
+        Raises:
+            StateError: when the worker tracer still has open spans.
+            ConfigError: when histograms disagree on bucket boundaries.
+        """
+        if worker is self or not worker.enabled:
+            return
+        if isinstance(self.tracer, Tracer) and isinstance(worker.tracer, Tracer):
+            self.tracer.adopt(worker.tracer.spans)
+        if isinstance(self.metrics, MetricsRegistry) and isinstance(
+            worker.metrics, MetricsRegistry
+        ):
+            self.metrics.merge(worker.metrics)
+        if isinstance(self.audit, AuditLog) and isinstance(
+            worker.audit, AuditLog
+        ):
+            self.audit.extend(worker.audit.events)
+
 
 #: process-wide disabled bundle; the default for every component.
 NOOP = Observability()

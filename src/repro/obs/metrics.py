@@ -114,6 +114,29 @@ class Histogram:
                 return self.max  # overflow bucket: report the true max
         return self.max
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Bucket counts add elementwise, so merging per-worker histograms
+        in submit order reproduces the sequential run's snapshot.
+
+        Raises:
+            ConfigError: when the bucket boundaries differ.
+        """
+        if other.boundaries != self.boundaries:
+            raise ConfigError(
+                f"histogram {self.name}: cannot merge histograms with "
+                f"different boundaries"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def snapshot(self) -> dict[str, float]:  # repro-lint: ignore[EXC001] — percentile() cannot raise here: total > 0 is guarded and q is constant
         if self.total == 0:
             return {"count": 0}
@@ -176,6 +199,27 @@ class MetricsRegistry:
         return sorted(
             set(self._counters) | set(self._gauges) | set(self._histograms)
         )
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        This is the worker-boundary propagation path of the exec engine:
+        each worker records into a private registry, and the engine
+        merges them back in submit order.  Counters add, gauges take the
+        incoming value (submit-order last-write-wins), histograms combine
+        bucket counts.
+
+        Raises:
+            ConfigError: when a histogram exists in both registries with
+                different bucket boundaries.
+        """
+        for name in sorted(other._counters):
+            self.counter(name).inc(other._counters[name].value)
+        for name in sorted(other._gauges):
+            self.gauge(name).set(other._gauges[name].value)
+        for name in sorted(other._histograms):
+            source = other._histograms[name]
+            self.histogram(name, source.boundaries).merge(source)
 
     def snapshot(self) -> dict[str, Any]:
         """Deterministic JSON-ready export of every instrument."""

@@ -144,7 +144,7 @@ class Tracer:
             start_s=self.clock(),
             _tracer=self,
         )
-        self._next_id += 1
+        self._next_id += 1  # repro-lint: ignore[EXE001] — never shared: each exec worker records into its own tracer (Observability.split), adopted back single-threaded
         self.spans.append(span)
         self._stack.append(span)
         return span
@@ -187,6 +187,48 @@ class Tracer:
             raise StateError("cannot clear a tracer with open spans")
         self.spans = []
         self._next_id = 0
+
+    def adopt(self, spans: list[Span]) -> None:
+        """Graft spans recorded by another tracer into this one.
+
+        The exec engine merges per-worker traces back into the parent
+        tracer in submit order through this method: span ids are remapped
+        onto this tracer's counter exactly as if the spans had been
+        recorded here sequentially, so a parallel run's trace (after
+        ``drop_timing``) is identical to the sequential run's.  Adopted
+        root spans become children of the currently active span, or stay
+        roots when none is open.
+
+        Raises:
+            StateError: when the source tracer still has open spans
+                (duration would be meaningless).
+        """
+        parent = self.active
+        base_depth = parent.depth + 1 if parent is not None else 0
+        mapping: dict[int, int] = {}
+        for span in spans:
+            if span._tracer is not None and span in span._tracer._stack:
+                raise StateError(
+                    f"cannot adopt open span {span.name!r}; close it first"
+                )
+            new_id = self._next_id
+            self._next_id += 1
+            mapping[span.span_id] = new_id
+            if span.parent_id is not None and span.parent_id in mapping:
+                parent_id: int | None = mapping[span.parent_id]
+            else:
+                parent_id = parent.span_id if parent is not None else None
+            self.spans.append(
+                Span(
+                    name=span.name,
+                    span_id=new_id,
+                    parent_id=parent_id,
+                    depth=span.depth + base_depth,
+                    attrs=dict(span.attrs),
+                    start_s=span.start_s,
+                    duration_s=span.duration_s,
+                )
+            )
 
     # ------------------------------------------------------------------
     # export

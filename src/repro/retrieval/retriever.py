@@ -8,6 +8,7 @@ component so retrieval quality is held constant across methods.
 
 from __future__ import annotations
 
+import copy
 from collections import defaultdict
 
 from repro.obs.context import NOOP, Observability
@@ -41,12 +42,24 @@ class MultiSourceRetriever:
         self._chunks.extend(chunks)
         self._built = False
 
+    def with_obs(self, obs: Observability) -> "MultiSourceRetriever":
+        """A retrieval view sharing the built indexes, bound to ``obs``.
+
+        Exec worker tasks retrieve concurrently; the indexes are
+        read-only once built, but telemetry writes must land in the
+        worker's own bundle rather than racing the parent's, so each
+        worker queries through a view from this method.
+        """
+        view = copy.copy(self)
+        view.obs = obs
+        return view
+
     def build(self) -> "MultiSourceRetriever":
         """(Re)build both indexes over all staged chunks."""
         texts = [c.text for c in self._chunks]
-        self._dense = VectorIndex[Chunk]().build(self._chunks, texts)
-        self._sparse = BM25Index[Chunk]().build(self._chunks, texts)
-        self._built = True
+        self._dense = VectorIndex[Chunk]().build(self._chunks, texts)  # repro-lint: ignore[EXE001] — lazy build runs before workers exist: views are only taken from an ingested (already-built) retriever
+        self._sparse = BM25Index[Chunk]().build(self._chunks, texts)  # repro-lint: ignore[EXE001] — same pre-worker lazy build as above
+        self._built = True  # repro-lint: ignore[EXE001] — same pre-worker lazy build as above
         return self
 
     def __len__(self) -> int:

@@ -1,0 +1,53 @@
+"""Deprecation shims: old entrypoints warn but stay exactly equivalent.
+
+This module is the one place in the suite that *intentionally* calls the
+deprecated surface; everything else runs clean under
+``python -W error::DeprecationWarning -m pytest tests/exec``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Query
+from repro.llm import LLMResponse, UsageMeter
+
+
+class TestPipelineShims:
+    def test_query_warns_and_matches_run(self, readonly_rag):
+        via_run = readonly_rag.run(Query.text("Inception | release_year"))
+        with pytest.deprecated_call():
+            via_shim = readonly_rag.query("Inception | release_year")
+        assert via_shim.answer_set() == via_run.answer_set()
+        assert via_shim.generated_text == via_run.generated_text
+
+    def test_query_key_warns_and_matches_run(self, readonly_rag):
+        via_run = readonly_rag.run(Query.key("Heat", "directed_by"))
+        with pytest.deprecated_call():
+            via_shim = readonly_rag.query_key("Heat", "directed_by")
+        assert via_shim.answer_set() == via_run.answer_set()
+
+    def test_query_chain_warns_and_matches_run(self, readonly_rag):
+        hops = [("Inception", "directed_by")]
+        via_run = readonly_rag.run(Query.chain(hops))
+        with pytest.deprecated_call():
+            via_shim = readonly_rag.query_chain(list(hops))
+        assert via_shim.answer_set() == via_run.answer_set()
+
+
+class TestMeterShim:
+    def test_reset_warns(self):
+        meter = UsageMeter()
+        meter.record("t", LLMResponse("x", 1, 1, 0.1))
+        with pytest.deprecated_call():
+            meter.reset()
+        assert meter.calls == 0
+
+    def test_checkpoint_delta_is_the_replacement(self):
+        meter = UsageMeter()
+        meter.record("t", LLMResponse("x", 1, 1, 0.1))
+        mark = meter.checkpoint()
+        meter.record("t", LLMResponse("y", 2, 2, 0.2))
+        delta = meter.delta(mark)
+        assert delta["calls"] == 1
+        assert delta["prompt_tokens"] == 2

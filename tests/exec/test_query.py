@@ -1,0 +1,75 @@
+"""Query value-object constructors, validation and adaptation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.schema import QuerySpec
+from repro.errors import ConfigError
+from repro.exec import Query, as_query
+
+
+class TestConstructors:
+    def test_text(self):
+        q = Query.text("Who directed Heat?", qid="q1", answers=["Michael Mann"])
+        assert q.kind == "text"
+        assert q.question == "Who directed Heat?"
+        assert q.qid == "q1"
+        assert q.answers == frozenset({"Michael Mann"})
+
+    def test_key(self):
+        q = Query.key("Heat", "directed_by")
+        assert q.kind == "key"
+        assert (q.entity, q.attribute) == ("Heat", "directed_by")
+        assert q.answers is None
+
+    def test_chain(self):
+        hops = [("Inception", "directed_by"), (None, "birth_year")]
+        q = Query.chain(hops)
+        assert q.kind == "chain"
+        assert q.hops == (("Inception", "directed_by"), (None, "birth_year"))
+
+    def test_frozen_and_hashable(self):
+        q = Query.key("E", "a")
+        with pytest.raises(Exception):
+            q.entity = "F"  # type: ignore[misc]
+        assert q in {q}
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown query kind"):
+            Query(kind="sql")
+
+    def test_empty_text(self):
+        with pytest.raises(ConfigError):
+            Query.text("")
+
+    @pytest.mark.parametrize("entity,attribute", [("", "a"), ("e", ""), ("", "")])
+    def test_incomplete_key(self, entity, attribute):
+        with pytest.raises(ConfigError):
+            Query.key(entity, attribute)
+
+    def test_empty_chain(self):
+        with pytest.raises(ConfigError):
+            Query.chain([])
+
+
+class TestAsQuery:
+    def test_query_passthrough(self):
+        q = Query.text("x")
+        assert as_query(q) is q
+
+    def test_queryspec_maps_to_key(self):
+        spec = QuerySpec(qid="q7", entity="Heat", attribute="directed_by",
+                         text="Who directed Heat?",
+                         answers=frozenset({"Michael Mann"}))
+        q = as_query(spec)
+        assert q.kind == "key"
+        assert (q.entity, q.attribute) == ("Heat", "directed_by")
+        assert q.qid == "q7"
+        assert q.answers == frozenset({"Michael Mann"})
+
+    def test_rejects_shapeless_object(self):
+        with pytest.raises(ConfigError, match="cannot adapt"):
+            as_query(object())

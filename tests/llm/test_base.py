@@ -51,12 +51,26 @@ class TestUsageMeter:
         assert snap["simulated_latency_s"] == pytest.approx(0.4)
         assert meter.by_task == {"taskA": 2, "taskB": 1}
 
-    def test_reset(self):
+    def test_reset_is_deprecated_but_still_clears(self):
         meter = UsageMeter()
         meter.record("t", LLMResponse("x", 1, 1, 0.1))
-        meter.reset()
+        with pytest.deprecated_call():
+            meter.reset()
         assert meter.calls == 0
         assert meter.by_task == {}
+
+    def test_merge_folds_totals_and_tasks(self):
+        meter = UsageMeter()
+        meter.record("a", LLMResponse("x", 1, 2, 0.1))
+        worker = UsageMeter()
+        worker.record("a", LLMResponse("y", 3, 4, 0.2))
+        worker.record("b", LLMResponse("z", 5, 6, 0.3))
+        meter.merge(worker)
+        assert meter.calls == 3
+        assert meter.prompt_tokens == 9
+        assert meter.completion_tokens == 12
+        assert meter.simulated_latency_s == pytest.approx(0.6)
+        assert meter.by_task == {"a": 2, "b": 1}
 
 
 class TestDeterminism:

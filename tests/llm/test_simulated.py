@@ -152,11 +152,13 @@ class TestAccounting:
         llm.extract_entities("Inception was directed by Nolan.")
         assert llm.meter.by_task.get("ner") == 1
 
-    def test_meter_reset(self, llm):
+    def test_meter_stage_attribution(self, llm):
         llm.relevance("a", "b")
-        llm.meter.reset()
-        assert llm.meter.calls == 0
-        assert llm.meter.simulated_latency_s == 0.0
+        mark = llm.meter.checkpoint()
+        llm.relevance("a", "c")
+        delta = llm.meter.delta(mark)
+        assert delta["calls"] == 1
+        assert delta["simulated_latency_s"] > 0.0
 
 
 class TestDestyle:
