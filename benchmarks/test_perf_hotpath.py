@@ -1,0 +1,226 @@
+"""Perf budget — persistent snapshots and the query hot path.
+
+Two contracts from the ingest-once/query-fast overhaul, enforced as
+hard floors plus a regression gate against the committed baselines:
+
+* **Warm snapshot loads** must beat cold ingest by ≥ 5× on an
+  extraction-heavy corpus (the case snapshots exist for: every skipped
+  LLM extraction call is pure profit) and by ≥ 2× even on structured
+  corpora whose cold ingest runs no extraction at all.
+* **Query p50** through the fast path (BM25 impact scores + top-k early
+  termination, memoized tokenization/similarity) must be ≥ 2× the naive
+  path on the key-query workload, with byte-identical rankings.
+
+Every measured speedup is also compared against the ``baseline`` block
+committed in ``results/*.json``: a drop below 75 % of baseline fails the
+run, so a silent hot-path regression cannot merge.  The baselines are
+speedup *ratios* (optimized vs unoptimized on the same machine), which
+keeps them portable across runner hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import statistics
+import time
+from pathlib import Path
+
+import repro.perf as perf
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.datasets import make_flights, make_movies
+from repro.datasets.multihop import make_hotpotqa_like
+from repro.exec import Query, as_query
+
+from .common import dump_results, once
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: a measured speedup below this fraction of its committed baseline fails.
+REGRESSION_TOLERANCE = 0.25
+
+#: hard floors, independent of any baseline drift.
+MIN_WARM_SPEEDUP_EXTRACTION = 5.0
+MIN_WARM_SPEEDUP_STRUCTURED = 2.0
+MIN_KEY_QUERY_SPEEDUP = 2.0
+
+REPEATS = 3
+
+
+def _check_against_baseline(name: str, measured: dict[str, float]) -> dict:
+    """Regression-gate ``measured`` speedups against ``results/<name>.json``.
+
+    The committed file's ``baseline`` block is the fixed reference (its
+    values never change on re-runs); each measured metric must stay
+    above ``(1 - REGRESSION_TOLERANCE) * baseline``.  On the very first
+    run — no committed file yet — the measurement becomes the baseline.
+    """
+    path = RESULTS_DIR / f"{name}.json"
+    baseline = dict(measured)
+    if path.is_file():
+        committed = json.loads(path.read_text()).get("baseline", {})
+        if committed:
+            baseline = {k: float(v) for k, v in committed.items()}
+    for metric, base in baseline.items():
+        got = measured.get(metric)
+        assert got is not None, f"{name}: metric {metric!r} disappeared"
+        floor = (1.0 - REGRESSION_TOLERANCE) * base
+        assert got >= floor, (
+            f"{name}: {metric} regressed to {got:.2f}x "
+            f"(baseline {base:.2f}x, floor {floor:.2f}x)"
+        )
+    return baseline
+
+
+# ----------------------------------------------------------------------
+# warm snapshot loads vs cold ingest
+# ----------------------------------------------------------------------
+def _time_ingest(config, sources, snapshot_dir, *, warm: bool) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        if not warm and snapshot_dir.exists():
+            shutil.rmtree(snapshot_dir)
+        rag = MultiRAG.from_config(config, snapshot=snapshot_dir)
+        start = time.perf_counter()
+        report = rag.ingest(sources)
+        best = min(best, time.perf_counter() - start)
+        assert report.loaded_from_snapshot is warm
+    return best
+
+
+def run_snapshot_warm(tmp_root: Path):
+    hotpot = make_hotpotqa_like(n_queries=1, seed=4)
+    movies = make_movies(scale=2.0, seed=4, n_queries=1)
+    corpora = [
+        ("hotpotqa", hotpot.sources, MIN_WARM_SPEEDUP_EXTRACTION),
+        ("movies_2x", movies.raw_sources(), MIN_WARM_SPEEDUP_STRUCTURED),
+    ]
+    rows = []
+    for name, sources, floor in corpora:
+        config = MultiRAGConfig(seed=4)
+        snap = tmp_root / f"snaps-{name}"
+        cold = _time_ingest(config, sources, snap, warm=False)
+        warm = _time_ingest(config, sources, snap, warm=True)
+        speedup = cold / warm
+        rows.append({
+            "corpus": name,
+            "cold_s": round(cold, 4),
+            "warm_s": round(warm, 4),
+            "speedup": round(speedup, 2),
+            "floor": floor,
+        })
+        assert speedup >= floor, (
+            f"warm load on {name} is only {speedup:.1f}x faster than cold "
+            f"ingest (floor {floor}x)"
+        )
+    return rows
+
+
+def test_snapshot_warm(benchmark, tmp_path):
+    rows = once(benchmark, lambda: run_snapshot_warm(tmp_path))
+    measured = {f"{r['corpus']}_speedup": r["speedup"] for r in rows}
+    baseline = _check_against_baseline("snapshot_warm", measured)
+    for row in rows:
+        print(
+            f"{row['corpus']:>10s}  cold {row['cold_s'] * 1000:7.1f} ms   "
+            f"warm {row['warm_s'] * 1000:7.1f} ms   {row['speedup']:5.1f}x"
+        )
+    dump_results("snapshot_warm", {
+        "baseline": baseline,
+        "measured": measured,
+        "rows": rows,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+    })
+
+
+# ----------------------------------------------------------------------
+# query hot path: fast vs naive p50
+# ----------------------------------------------------------------------
+def _p50_ms(rag, queries, *, fast: bool) -> float:
+    """p50 per-query latency, best-of-``REPEATS`` per query.
+
+    Caches are cleared at the start of every repetition, so the fast
+    path's numbers include cache misses the way a fresh batch would;
+    cross-query reuse *within* one repetition is the design.
+    """
+    best: list[float] | None = None
+    with perf.use_fast_path(fast):
+        for _ in range(REPEATS):
+            perf.clear_caches()
+            laps = []
+            for query in queries:
+                start = time.perf_counter()
+                rag.run(query)
+                laps.append(time.perf_counter() - start)
+            best = laps if best is None else [
+                min(a, b) for a, b in zip(best, laps)
+            ]
+    assert best is not None
+    return 1000.0 * statistics.median(best)
+
+
+def run_query_hotpath():
+    dataset = make_flights(scale=3.0, seed=0, n_queries=40)
+    rag = MultiRAG(MultiRAGConfig(seed=0))
+    rag.ingest(dataset.raw_sources())
+
+    key_queries = [as_query(q) for q in dataset.queries]
+    text_queries = [
+        Query.text(q.text, qid=q.qid, answers=q.answers)
+        for q in dataset.queries
+    ]
+
+    rows = []
+    for workload, queries, floor in [
+        ("key", key_queries, MIN_KEY_QUERY_SPEEDUP),
+        ("text", text_queries, None),
+    ]:
+        fast_p50 = _p50_ms(rag, queries, fast=True)
+        naive_p50 = _p50_ms(rag, queries, fast=False)
+        speedup = naive_p50 / fast_p50
+        rows.append({
+            "workload": workload,
+            "fast_p50_ms": round(fast_p50, 4),
+            "naive_p50_ms": round(naive_p50, 4),
+            "speedup": round(speedup, 2),
+            "floor": floor,
+        })
+        if floor is not None:
+            assert speedup >= floor, (
+                f"{workload}-query p50 speedup {speedup:.2f}x is below "
+                f"the {floor}x floor"
+            )
+
+    # The optimizations must not change a single byte of output.  Each
+    # path gets a fresh pipeline: the simulated LLM's latency stream
+    # advances per call, so two evaluations on one instance would differ
+    # in prompt_time_s even with identical answers.
+    reports = []
+    for fast in (True, False):
+        fresh = MultiRAG(MultiRAGConfig(seed=0))
+        fresh.ingest(dataset.raw_sources())
+        with perf.use_fast_path(fast):
+            reports.append(
+                fresh.evaluate(key_queries).to_json(drop_timing=True)
+            )
+    assert reports[0] == reports[1], (
+        "fast-path evaluation output differs from the naive path"
+    )
+    return rows
+
+
+def test_query_hotpath(benchmark):
+    rows = once(benchmark, run_query_hotpath)
+    measured = {f"{r['workload']}_speedup": r["speedup"] for r in rows}
+    baseline = _check_against_baseline("perf_hotpath", measured)
+    for row in rows:
+        print(
+            f"{row['workload']:>5s}  fast p50 {row['fast_p50_ms']:7.3f} ms   "
+            f"naive p50 {row['naive_p50_ms']:7.3f} ms   {row['speedup']:5.2f}x"
+        )
+    dump_results("perf_hotpath", {
+        "baseline": baseline,
+        "measured": measured,
+        "rows": rows,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+    })

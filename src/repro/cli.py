@@ -55,13 +55,22 @@ def _export_obs(obs: Observability, args: argparse.Namespace) -> None:
 
 
 def _build_pipeline(
-    directory: str, seed: int, obs: Observability | None = None
+    directory: str,
+    seed: int,
+    obs: Observability | None = None,
+    snapshot: str | None = None,
 ) -> MultiRAG:
-    rag = MultiRAG.from_config(MultiRAGConfig(seed=seed), obs=obs)
+    rag = MultiRAG.from_config(
+        MultiRAGConfig(seed=seed), obs=obs, snapshot=snapshot
+    )
     sources = load_sources(directory)
     report = rag.ingest(sources)
+    how = (
+        f"warm-loaded snapshot {report.snapshot_fingerprint[:12]}"
+        if report.loaded_from_snapshot else "ingested"
+    )
     print(
-        f"ingested {len(sources)} sources: {report.num_triples} claims, "
+        f"{how} {len(sources)} sources: {report.num_triples} claims, "
         f"{report.mlg_stats.get('groups', 0)} homologous groups, "
         f"{report.num_chunks} chunks "
         f"({report.construction_time_s:.2f}s)",
@@ -106,7 +115,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     Raises:
         ReproError: if loading, fusing or ingesting the corpus fails.
     """
-    rag = _build_pipeline(args.directory, args.seed)
+    rag = _build_pipeline(args.directory, args.seed, snapshot=args.snapshot)
     if args.graph:
         save_graph(rag.fusion.graph, args.graph)
         print(f"fused graph saved to {args.graph}")
@@ -123,7 +132,9 @@ def cmd_query(args: argparse.Namespace) -> int:
         ReproError: if loading, ingesting or querying the corpus fails.
     """
     obs = _make_obs(args)
-    rag = _build_pipeline(args.directory, args.seed, obs=obs)
+    rag = _build_pipeline(
+        args.directory, args.seed, obs=obs, snapshot=args.snapshot
+    )
     questions = list(args.question)
     if len(questions) > 1 or args.jobs is not None:
         results = rag.run_batch(
@@ -188,7 +199,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     """
     queries = load_queries(args.directory)
     obs = _make_obs(args)
-    rag = _build_pipeline(args.directory, args.seed, obs=obs)
+    rag = _build_pipeline(
+        args.directory, args.seed, obs=obs, snapshot=args.snapshot
+    )
     report = rag.evaluate(queries, jobs=args.jobs)
     print(f"queries: {len(report.per_query)}  mean F1: {report.mean_f1:.1f}%")
     if obs.metrics.enabled:
@@ -283,9 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("directory")
     p.set_defaults(fn=cmd_stats)
 
+    snapshot_help = (
+        "snapshot store directory: warm-load the ingested state on a "
+        "fingerprint match, else cold-build and save it"
+    )
+
     p = sub.add_parser("ingest", help="fuse a corpus (optionally cache the graph)")
     p.add_argument("directory")
     p.add_argument("--graph", help="write the fused graph to this JSON file")
+    p.add_argument("--snapshot", metavar="DIR", help=snapshot_help)
     p.set_defaults(fn=cmd_ingest)
 
     p = sub.add_parser("query", help="answer questions over a corpus")
@@ -304,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "for the array form)")
     p.add_argument("--metrics", metavar="FILE",
                    help="write the metrics snapshot as JSON")
+    p.add_argument("--snapshot", metavar="DIR", help=snapshot_help)
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("evaluate", help="score queries.json with MultiRAG")
@@ -316,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "for the array form)")
     p.add_argument("--metrics", metavar="FILE",
                    help="write the metrics snapshot as JSON")
+    p.add_argument("--snapshot", metavar="DIR", help=snapshot_help)
     p.set_defaults(fn=cmd_evaluate)
 
     p = sub.add_parser(

@@ -83,6 +83,31 @@ class HistoryStore:
         history.entities += total
         history.correct += correct
 
+    def export_state(self) -> dict[str, object]:
+        """Raw per-source tallies for snapshot serialization.
+
+        Counts are exported verbatim (``entities`` can be a float after
+        :meth:`seed`) and in dict insertion order, so a restored store is
+        indistinguishable from the original.
+        """
+        return {
+            "init_entities": self.init_entities,
+            "init_credibility": self.init_credibility,
+            "sources": {
+                sid: [h.entities, h.correct] for sid, h in self._sources.items()
+            },
+        }
+
+    def restore_state(self, state: dict[str, object]) -> "HistoryStore":
+        """Inverse of :meth:`export_state`."""
+        self.init_entities = state["init_entities"]  # type: ignore[assignment]
+        self.init_credibility = float(state["init_credibility"])  # type: ignore[arg-type]
+        self._sources = {
+            sid: SourceHistory(entities=counts[0], correct=counts[1])
+            for sid, counts in state["sources"].items()  # type: ignore[union-attr]
+        }
+        return self
+
     def snapshot(self) -> dict[str, float]:
         """Current credibility of every tracked source (for reporting)."""
         return {sid: h.credibility for sid, h in sorted(self._sources.items())}

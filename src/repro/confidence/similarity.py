@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from functools import lru_cache
 
+import repro.perf as perf
 from repro.retrieval.tokenize import tokenize
 from repro.util import normalize_value
 
@@ -33,8 +35,7 @@ from repro.util import normalize_value
 EPSILON = 0.01
 
 
-def value_distribution(values: list[str]) -> dict[str, float]:
-    """Token probability distribution of a node's attribute-value set."""
+def _distribution_impl(values: tuple[str, ...]) -> dict[str, float]:
     counts: Counter[str] = Counter()
     for value in values:
         tokens = tokenize(normalize_value(value), drop_stopwords=False)
@@ -43,6 +44,19 @@ def value_distribution(values: list[str]) -> dict[str, float]:
     if total == 0:
         return {}
     return {token: count / total for token, count in counts.items()}
+
+
+# Keyed on the value tuple *in call order* — no canonicalization, so the
+# accumulation order (and therefore every float) matches the naive path.
+_distribution_cached = lru_cache(maxsize=16384)(_distribution_impl)
+perf.register_cache(_distribution_cached.cache_clear)
+
+
+def value_distribution(values: list[str]) -> dict[str, float]:
+    """Token probability distribution of a node's attribute-value set."""
+    if perf.fast_path_enabled():
+        return dict(_distribution_cached(tuple(values)))
+    return _distribution_impl(tuple(values))
 
 
 def entropy(dist: dict[str, float]) -> float:
@@ -83,16 +97,11 @@ def mutual_information(
     return max(0.0, info)
 
 
-def similarity(values_i: list[str], values_j: list[str]) -> float:
-    """Normalized similarity ``S(v_i, v_j)`` (Eq. 5), clamped to [0, 1].
-
-    Degenerate cases (zero total entropy, e.g. both nodes single-valued):
-    1.0 when the normalized value sets coincide, else 0.0.
-    """
+def _similarity_impl(values_i: tuple[str, ...], values_j: tuple[str, ...]) -> float:
     norm_i = {normalize_value(v) for v in values_i}
     norm_j = {normalize_value(v) for v in values_j}
-    dist_i = value_distribution(values_i)
-    dist_j = value_distribution(values_j)
+    dist_i = value_distribution(list(values_i))
+    dist_j = value_distribution(list(values_j))
     h_i = entropy(dist_i)
     h_j = entropy(dist_j)
     if h_i + h_j == 0.0:
@@ -100,3 +109,21 @@ def similarity(values_i: list[str], values_j: list[str]) -> float:
     info = mutual_information(dist_i, dist_j)
     score = 2.0 * info / (h_i + h_j)
     return max(0.0, min(1.0, score))
+
+
+# (values_i, values_j) is an ordered key on purpose: similarity() is not
+# guaranteed symmetric at the ULP level, so swapped arguments memoize
+# separately rather than risk returning the mirrored float.
+_similarity_cached = lru_cache(maxsize=65536)(_similarity_impl)
+perf.register_cache(_similarity_cached.cache_clear)
+
+
+def similarity(values_i: list[str], values_j: list[str]) -> float:
+    """Normalized similarity ``S(v_i, v_j)`` (Eq. 5), clamped to [0, 1].
+
+    Degenerate cases (zero total entropy, e.g. both nodes single-valued):
+    1.0 when the normalized value sets coincide, else 0.0.
+    """
+    if perf.fast_path_enabled():
+        return _similarity_cached(tuple(values_i), tuple(values_j))
+    return _similarity_impl(tuple(values_i), tuple(values_j))

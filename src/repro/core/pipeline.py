@@ -24,8 +24,10 @@ import time
 import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
+import repro.perf as perf
 from repro.adapters.base import RawSource
 from repro.adapters.fusion import DataFusionEngine, FusionResult
 from repro.confidence.calibration import calibrate_history
@@ -50,6 +52,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import format_metrics
 from repro.retrieval.chunking import SentenceChunker
 from repro.retrieval.retriever import MultiSourceRetriever
+from repro.snapshot import SnapshotStore, compute_fingerprint
 from repro.util import normalize_value
 
 
@@ -66,6 +69,12 @@ class BuildReport:
     num_chunks: int
     extraction_calls: int
     mlg_stats: dict[str, float] = field(default_factory=dict)
+    #: True when the state came from a snapshot warm load instead of a
+    #: cold build (``extraction_calls`` then reports the *original*
+    #: build's extraction count, not work done by this process).
+    loaded_from_snapshot: bool = False
+    #: fingerprint of the snapshot loaded or saved ("" without a store).
+    snapshot_fingerprint: str = ""
 
 
 @dataclass(slots=True)
@@ -122,9 +131,11 @@ class MultiRAG:
         config: MultiRAGConfig | None = None,
         llm: SimulatedLLM | None = None,
         obs: Observability | None = None,
+        snapshot: "SnapshotStore | str | Path | None" = None,
     ) -> None:
         self.config = config or MultiRAGConfig()
         self.obs = obs if obs is not None else NOOP
+        self.snapshots = self._as_store(snapshot)
         self.llm = llm or SimulatedLLM(
             seed=self.config.seed,
             extraction_noise=self.config.extraction_noise,
@@ -144,6 +155,14 @@ class MultiRAG:
         self.scorer: NodeScorer | None = None
         self._entity_by_norm: dict[str, str] = {}
 
+    @staticmethod
+    def _as_store(
+        snapshot: "SnapshotStore | str | Path | None",
+    ) -> SnapshotStore | None:
+        if snapshot is None or isinstance(snapshot, SnapshotStore):
+            return snapshot
+        return SnapshotStore(snapshot)
+
     @classmethod
     def from_config(
         cls,
@@ -151,6 +170,7 @@ class MultiRAG:
         *,
         llm: SimulatedLLM | None = None,
         obs: Observability | None = None,
+        snapshot: "SnapshotStore | str | Path | None" = None,
     ) -> "MultiRAG":
         """The canonical way to build a pipeline from a config.
 
@@ -158,15 +178,131 @@ class MultiRAG:
         routing them through one classmethod keeps the construction
         recipe (seeded simulated LLM, noise from the config) in a single
         place.  ``llm`` and ``obs`` override the defaults when a caller
-        brings its own.
+        brings its own.  ``snapshot`` (a store or a directory path)
+        enables the persistent-snapshot warm path for :meth:`ingest`.
         """
-        return cls(config=config, llm=llm, obs=obs)
+        return cls(config=config, llm=llm, obs=obs, snapshot=snapshot)
 
     # ------------------------------------------------------------------
     # knowledge construction (MKA)
     # ------------------------------------------------------------------
-    def ingest(self, sources: list[RawSource]) -> BuildReport:
+    def ingest(
+        self,
+        sources: list[RawSource],
+        *,
+        snapshot: "SnapshotStore | str | Path | None" = None,
+    ) -> BuildReport:
         """Fuse ``sources`` and build the MLG index (when MKA is enabled).
+
+        With a snapshot store configured (via ``snapshot`` here, or on the
+        constructor), the sources/config/LLM fingerprint is checked first:
+        on a hit the complete ingested state is warm-loaded from disk —
+        no extraction, no index builds — and on a miss the cold build
+        runs and its result is saved for the next process.
+
+        Raises:
+            UnknownFormatError: if a source declares a format with no adapter.
+            ExtractionError: if LLM extraction fails on an unstructured chunk.
+            EntityNotFoundError: if fusion meets a dangling entity id.
+            ContractViolation: if ``debug_contracts`` finds a malformed MLG.
+            SnapshotError: if a matching snapshot is corrupt, or a fresh
+                snapshot cannot be written to the store.
+        """
+        perf.clear_caches()
+        store = self._as_store(snapshot) or self.snapshots
+        if store is None:
+            return self._ingest_cold(sources)
+        fingerprint = compute_fingerprint(self.config, sources, self.llm)
+        if store.has(fingerprint):
+            return self._ingest_warm(store, fingerprint, num_sources=len(sources))
+        self.obs.metrics.counter("snapshot.misses").inc()
+        report = self._ingest_cold(sources)
+        assert self.fusion is not None
+        llm_cache = (
+            self.llm.export_cache()
+            if hasattr(self.llm, "export_cache") else None
+        )
+        with self.obs.tracer.span("snapshot.save", fingerprint=fingerprint):
+            store.save(
+                fingerprint,
+                fusion=self.fusion,
+                retriever=self.retriever,
+                mlg=self.mlg,
+                history=self.history,
+                llm_cache=llm_cache,
+            )
+        self.obs.metrics.counter("snapshot.saves").inc()
+        report.snapshot_fingerprint = fingerprint
+        return report
+
+    def _ingest_warm(
+        self, store: SnapshotStore, fingerprint: str, num_sources: int
+    ) -> BuildReport:
+        """Restore the full ingested state from a fingerprint-matched
+        snapshot — the fast path that skips extraction and index builds.
+
+        Raises:
+            SnapshotError: if the artifact is corrupt or incomplete.
+            ContractViolation: if ``debug_contracts`` finds a malformed MLG.
+        """
+        start = time.perf_counter()
+        with self.obs.tracer.span(
+            "ingest.snapshot_load", fingerprint=fingerprint
+        ) as span:
+            state = store.load(fingerprint, obs=self.obs)
+            self.fusion = state.fusion
+            self.retriever = state.retriever
+            self.mlg = state.mlg
+            self.history = state.history
+            if state.llm_cache is not None and hasattr(self.llm, "import_cache"):
+                self.llm.import_cache(state.llm_cache)
+            graph = self.fusion.graph
+            self.scorer = NodeScorer(
+                graph=graph,
+                llm=self.llm,
+                history=self.history,
+                alpha=self.config.alpha,
+                beta=self.config.beta,
+                obs=self.obs,
+            )
+            self._entity_by_norm = {}
+            for triple in graph.triples():
+                self._entity_by_norm.setdefault(
+                    normalize_value(triple.subject), triple.subject
+                )
+            if self.config.debug_contracts and self.mlg is not None:
+                check_mlg(self.mlg)
+            if span.enabled:
+                span.set(
+                    num_triples=len(graph),
+                    num_entities=graph.num_entities(),
+                    num_chunks=len(self.fusion.chunks),
+                )
+        metrics = self.obs.metrics
+        metrics.counter("snapshot.loads").inc()
+        metrics.counter("pipeline.ingested_sources").inc(num_sources)
+        metrics.gauge("pipeline.triples").set(len(graph))
+        metrics.gauge("pipeline.entities").set(graph.num_entities())
+        metrics.gauge("pipeline.chunks").set(len(self.fusion.chunks))
+        logger.info(
+            "ingest warm-loaded snapshot %s: %d triples, %d entities",
+            fingerprint[:12], len(graph), graph.num_entities(),
+        )
+        return BuildReport(
+            construction_time_s=time.perf_counter() - start,
+            num_triples=len(graph),
+            num_entities=graph.num_entities(),
+            num_chunks=len(self.fusion.chunks),
+            extraction_calls=self.fusion.extraction_calls,
+            # the manifest's stats, not self.mlg.stats(): recomputing them
+            # would force the restored MLG's lazy line-graph build
+            mlg_stats=state.mlg_stats,
+            loaded_from_snapshot=True,
+            snapshot_fingerprint=fingerprint,
+        )
+
+    def _ingest_cold(self, sources: list[RawSource]) -> BuildReport:
+        """The full knowledge-construction build (no snapshot involved).
 
         Raises:
             UnknownFormatError: if a source declares a format with no adapter.
@@ -262,6 +398,7 @@ class MultiRAG:
         from repro.kg.triple import Entity
 
         self._require_ingested()
+        perf.clear_caches()
         assert self.fusion is not None
         output = get_adapter(raw.fmt).parse(raw)
         triples = list(output.triples)
@@ -549,6 +686,7 @@ class MultiRAG:
         assert self.fusion is not None and self.scorer is not None
         view = object.__new__(MultiRAG)
         view.config = self.config
+        view.snapshots = self.snapshots
         view.fusion = self.fusion
         view.mlg = self.mlg
         view.history = self.history

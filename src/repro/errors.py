@@ -59,3 +59,11 @@ class ConfigError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset could not be generated or loaded."""
+
+
+class SnapshotError(ReproError):
+    """A pipeline snapshot could not be written, read or validated.
+
+    Raised by :mod:`repro.snapshot` for corrupt artifacts, format-version
+    mismatches and fingerprint lookups against a missing snapshot.
+    """

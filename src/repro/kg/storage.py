@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Entity, Provenance, Triple
+from repro.util import atomic_write_text
 
 #: ``@context`` used for every JSON-LD document this library emits.
 JSONLD_CONTEXT = "https://schema.org/"
@@ -115,13 +116,17 @@ def triple_from_jsonld(doc: dict[str, Any]) -> Triple:
 
 
 def save_graph(graph: KnowledgeGraph, path: str | Path) -> None:
-    """Serialize ``graph`` (triples + entities) to a JSON file."""
+    """Serialize ``graph`` (triples + entities) to a JSON file.
+
+    The write is atomic (temp file + ``os.replace``): a crash mid-save
+    leaves the previous file intact rather than a truncated JSON.
+    """
     payload = {
         "name": graph.name,
         "triples": [triple_to_jsonld(t) for t in graph.triples()],
         "entities": [e.to_dict() for e in graph.entities()],
     }
-    Path(path).write_text(json.dumps(payload, ensure_ascii=False, indent=1))
+    atomic_write_text(path, json.dumps(payload, ensure_ascii=False, indent=1))
 
 
 def load_graph(path: str | Path) -> KnowledgeGraph:

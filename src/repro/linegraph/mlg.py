@@ -36,7 +36,7 @@ class MultiSourceLineGraph:
         start = time.perf_counter()
         self.graph = graph
         self._min_sources = min_sources
-        self.line_graph = LineGraph(graph.triples())
+        self._line_graph: LineGraph | None = LineGraph(graph.triples())
         match: MatchResult = match_homologous(graph, min_sources=min_sources)
         self.groups: list[HomologousGroup] = match.groups
         self.isolated: list[Triple] = match.isolated
@@ -48,6 +48,53 @@ class MultiSourceLineGraph:
         for triple in self.isolated:
             self._isolated_by_key[triple.key()].append(triple)
         self.build_time_s = time.perf_counter() - start
+
+    @classmethod
+    def restore(
+        cls,
+        graph: KnowledgeGraph,
+        *,
+        min_sources: int,
+        groups: list[HomologousGroup],
+        isolated: list[Triple],
+    ) -> "MultiSourceLineGraph":
+        """Rebuild an MLG from snapshot-restored groups without matching.
+
+        The caller (the snapshot loader) supplies the homologous groups
+        and isolated claims exactly as they were serialized — in their
+        original construction order — so lookups, statistics and group
+        iteration behave identically to the instance that was saved.
+        Only the secondary lookup indexes are rebuilt eagerly (O(n) and
+        deterministic); the line-graph view is deferred to first use —
+        fusion queries go through the group index and never touch it.
+        """
+        mlg = object.__new__(cls)
+        mlg.graph = graph
+        mlg._min_sources = min_sources
+        mlg._line_graph = None
+        mlg.groups = groups
+        mlg.isolated = isolated
+        mlg._group_by_key = {g.key: g for g in groups}
+        mlg._groups_by_entity = defaultdict(list)
+        for group in groups:
+            mlg._groups_by_entity[group.entity].append(group)
+        mlg._isolated_by_key = defaultdict(list)
+        for triple in isolated:
+            mlg._isolated_by_key[triple.key()].append(triple)
+        mlg.build_time_s = 0.0
+        return mlg
+
+    @property
+    def line_graph(self) -> LineGraph:
+        """The lazy line-graph view (Definition 2).
+
+        A snapshot-restored MLG defers building it until first access;
+        the result is identical to the eagerly built one because both
+        derive from the same ``graph.triples()`` insertion order.
+        """
+        if self._line_graph is None:
+            self._line_graph = LineGraph(self.graph.triples())
+        return self._line_graph
 
     # ------------------------------------------------------------------
     # lookups

@@ -20,7 +20,7 @@ from repro.lint.findings import Finding, Severity
 if TYPE_CHECKING:
     from repro.lint.flow.program import Program
 
-_RULE_ID_RE = re.compile(r"^[A-Z]{2,3}\d{3}$")
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,4}\d{3}$")
 
 
 @dataclass(slots=True)

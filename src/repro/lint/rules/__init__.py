@@ -7,6 +7,7 @@ Per-file families:
 * ``errors`` (ERR) — the ReproError raise/except contract.
 * ``hygiene`` (API) — mutable defaults, return annotations, float equality.
 * ``observability`` (OBS) — logging goes through repro.obs.log.
+* ``performance`` (PERF) — no redundant work on the query hot path.
 
 Whole-program families (from :mod:`repro.lint.flow`):
 
@@ -21,9 +22,17 @@ from repro.lint.rules import (
     hygiene,
     layering,
     observability,
+    performance,
 )
 
-__all__ = ["determinism", "errors", "hygiene", "layering", "observability"]
+__all__ = [
+    "determinism",
+    "errors",
+    "hygiene",
+    "layering",
+    "observability",
+    "performance",
+]
 
 # The flow-rule modules live in repro.lint.flow (they need the symbol
 # table and call graph, which in turn use rules.common — importing them

@@ -24,6 +24,9 @@ from repro.lint.registry import ModuleUnderLint, Rule, register_rule
 ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "util": frozenset(),
+    # Process-wide fast-path switch + cache registry: a foundation module
+    # so any layer that owns an optimization can consult it.
+    "perf": frozenset(),
     "metrics": frozenset({"errors", "util"}),
     "lint": frozenset({"errors"}),
     # Observability is a near-leaf: any layer may depend on it, it
@@ -34,20 +37,29 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     # plans, queries and thread pools, never about the pipeline it runs
     # (callers hand it closures), so it sits just above the foundation.
     "exec": frozenset({"errors", "util"}),
-    "retrieval": frozenset({"errors", "obs", "util"}),
+    "retrieval": frozenset({"errors", "obs", "util", "perf"}),
     "llm": frozenset({"errors", "obs", "util", "retrieval"}),
     "kg": frozenset({"errors", "util", "llm"}),
     "linegraph": frozenset({"errors", "util", "kg"}),
     "confidence": frozenset(
-        {"errors", "obs", "util", "kg", "linegraph", "llm", "retrieval"}
+        {"errors", "obs", "util", "kg", "linegraph", "llm", "retrieval",
+         "perf"}
     ),
     "adapters": frozenset(
         {"errors", "obs", "util", "kg", "llm", "retrieval"}
     ),
     "datasets": frozenset({"errors", "util", "adapters", "llm"}),
+    # Snapshot (de)serialization reads every substrate layer's state but
+    # never the orchestration above it (core imports snapshot, not the
+    # reverse).
+    "snapshot": frozenset({
+        "errors", "util", "obs", "adapters", "kg", "retrieval",
+        "linegraph", "confidence", "llm",
+    }),
     "core": frozenset({
         "errors", "util", "adapters", "confidence", "datasets", "exec",
-        "kg", "linegraph", "lint", "llm", "metrics", "obs", "retrieval",
+        "kg", "linegraph", "lint", "llm", "metrics", "obs", "perf",
+        "retrieval", "snapshot",
     }),
     "baselines": frozenset({
         "errors", "util", "confidence", "core", "datasets", "exec", "kg",

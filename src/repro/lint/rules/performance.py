@@ -1,0 +1,103 @@
+"""Performance rules (PERF) — hot-path regressions the test suite cannot
+catch because the slow code still returns the right answer.
+
+The query hot path (BM25 scoring, confidence computing) runs once per
+candidate per query; redundant work there multiplies by corpus size.
+These rules pin the specific regression class this codebase has already
+shipped once: re-tokenizing a loop-invariant string inside a
+per-candidate loop (the pre-snapshot ``BM25Index.search`` re-tokenized
+the *query* for every document scored).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleUnderLint, Rule, register_rule
+
+
+def _bound_names(target: ast.AST) -> Iterator[str]:
+    """Every plain name bound by a loop target (handles tuple unpacking)."""
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def _names_used(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _is_tokenize_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "tokenize"
+    return isinstance(func, ast.Attribute) and func.attr == "tokenize"
+
+
+@register_rule
+class LoopInvariantTokenizeRule(Rule):
+    """PERF001 — no loop-invariant tokenize() inside a loop body."""
+
+    rule_id = "PERF001"
+    family = "performance"
+    severity = Severity.ERROR
+    description = (
+        "tokenize() inside a loop whose arguments do not depend on the "
+        "loop variable re-tokenizes the same string every iteration "
+        "(O(candidates) redundant work on the query hot path); hoist the "
+        "call out of the loop"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        yield from self._walk(module, module.tree, frozenset())
+
+    def _walk(
+        self, module: ModuleUnderLint, node: ast.AST,
+        loop_vars: frozenset[str],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.For, ast.AsyncFor)):
+                inner = frozenset(_bound_names(child.target))
+                for stmt in child.body + child.orelse:
+                    yield from self._walk_loop_body(module, stmt, inner)
+            elif isinstance(child, ast.While):
+                # While loops bind nothing; any tokenize() inside whose
+                # arguments are not rebound in the body is still
+                # invariant, but proving rebinding needs dataflow — stay
+                # conservative and only recurse for nested for-loops.
+                yield from self._walk(module, child, loop_vars)
+            else:
+                yield from self._walk(module, child, loop_vars)
+
+    def _walk_loop_body(
+        self, module: ModuleUnderLint, node: ast.AST,
+        loop_vars: frozenset[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            # Invariance is judged against the *innermost* enclosing
+            # loop: tokenizing an outer loop's value inside an inner
+            # loop still repeats the work per inner iteration.
+            inner = frozenset(_bound_names(node.target))
+            for stmt in node.body + node.orelse:
+                yield from self._walk_loop_body(module, stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function defers execution; its calls are not
+            # per-iteration work of this loop.
+            return
+        if isinstance(node, ast.Call) and _is_tokenize_call(node):
+            args_names = set()
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                args_names |= _names_used(arg)
+            if not args_names & loop_vars:
+                yield self.finding(
+                    module, node,
+                    "tokenize() argument does not depend on the loop "
+                    "variable — the same string is re-tokenized every "
+                    "iteration; hoist the call above the loop",
+                )
+            return  # arguments already inspected; don't descend twice
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_loop_body(module, child, loop_vars)

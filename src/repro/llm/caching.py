@@ -21,6 +21,7 @@ from typing import Sequence
 
 from repro.llm.base import LLMClient, LLMResponse
 from repro.obs.context import NOOP, Observability
+from repro.util import atomic_write_text
 
 
 class CachingLLM(LLMClient):
@@ -105,9 +106,28 @@ class CachingLLM(LLMClient):
     # persistence & stats
     # ------------------------------------------------------------------
     def save(self) -> None:
-        """Write the cache to ``cache_path`` (no-op without a path)."""
+        """Write the cache to ``cache_path`` atomically (no-op without a path).
+
+        Uses a temp file + ``os.replace`` so an interrupted run never
+        leaves a truncated cache for the next process to choke on.
+        """
         if self._cache_path is not None:
-            self._cache_path.write_text(json.dumps(self._cache))
+            atomic_write_text(self._cache_path, json.dumps(self._cache))
+
+    def export_cache(self) -> dict[str, str]:
+        """Copy of the ``prompt -> completion`` map (snapshot serialization)."""
+        return dict(self._cache)
+
+    def import_cache(self, entries: dict[str, str]) -> None:
+        """Merge ``entries`` into the cache (snapshot warm-load).
+
+        Existing entries win: the inner client is deterministic per
+        prompt, so a disagreement would mean the entries came from a
+        different model identity — the fingerprint guards against that
+        upstream, and keeping the live value is the safe default.
+        """
+        for prompt, text in entries.items():
+            self._cache.setdefault(prompt, text)
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -1,0 +1,72 @@
+"""Process-wide performance switches and cache registry.
+
+The query hot path carries several pure-function memoization layers
+(:func:`repro.retrieval.tokenize.tokenize`, the mutual-information
+similarity in :mod:`repro.confidence.similarity`) and an impact-ordered
+BM25 search.  Every one of them is *output-identical* to the naive code
+it replaces — the identity suite in ``tests/retrieval`` and
+``benchmarks/test_perf_hotpath.py`` pins that — but benchmarking the win
+requires running the naive path on demand, so the fast path is a global
+switch rather than dead code.
+
+This module is foundation-level (no repro imports): the modules that own
+an optimization consult :func:`fast_path_enabled` and register their
+cache-clear hooks with :func:`register_cache`.  ``MultiRAG.ingest`` /
+``add_source`` call :func:`clear_caches` so memoized similarity scores
+and token lists never outlive the corpus they were computed against
+(they are keyed on values, so this is memory hygiene, not correctness).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+_FAST_PATH = True
+
+#: registered cache-clear callbacks, in registration order.
+_CACHE_CLEARERS: list[Callable[[], None]] = []
+
+
+def fast_path_enabled() -> bool:
+    """True when the optimized hot-path implementations are active."""
+    return _FAST_PATH
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Globally enable/disable the optimized hot paths.
+
+    Disabling routes BM25 search, tokenization and similarity through
+    their naive reference implementations — the baseline side of every
+    perf benchmark and identity test.
+    """
+    global _FAST_PATH
+    _FAST_PATH = bool(enabled)
+
+
+@contextmanager
+def use_fast_path(enabled: bool) -> Iterator[None]:
+    """Temporarily force the fast path on or off (restores on exit)."""
+    previous = _FAST_PATH
+    set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)
+
+
+def register_cache(clear: Callable[[], None]) -> Callable[[], None]:
+    """Register a cache-clear callback; returns it (decorator-friendly)."""
+    _CACHE_CLEARERS.append(clear)
+    return clear
+
+
+def clear_caches() -> None:
+    """Clear every registered memoization cache.
+
+    Called on ``MultiRAG.ingest`` / ``add_source`` so cached token lists
+    and similarity scores are dropped whenever the corpus changes, and by
+    benchmarks to measure cold-cache behaviour.
+    """
+    for clear in _CACHE_CLEARERS:
+        clear()

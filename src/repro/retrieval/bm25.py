@@ -2,14 +2,35 @@
 
 Several baselines (Standard RAG, IRCoT, MetaRAG) retrieve with BM25 in the
 original papers; implementing it here keeps the comparison honest.
+
+Two search implementations live side by side:
+
+* the **fast path** (default) scores against per-``(term, doc)`` impact
+  tables precomputed at build time, accumulates term-at-a-time in query
+  token order, prunes docs that provably cannot reach the top-``k`` via
+  per-suffix max-impact bounds (WAND-style), and selects the top-``k``
+  with a heap instead of a full sort;
+* the **naive path** (``repro.perf.use_fast_path(False)``) is the
+  original per-candidate ``score()`` loop, kept verbatim as the identity
+  reference and perf baseline.
+
+Both produce bit-identical scores: an impact is the same float
+expression ``idf * tf * (k1 + 1) / denom`` the naive path evaluates, and
+the fast path adds impacts to each document's running sum in the same
+query-token order the naive loop uses, so every intermediate float
+matches.  The pruning bound is itself a float sum in that same order,
+and IEEE-754 addition is monotone under correct rounding, so a pruned
+document's true score is always ``<`` the strict threshold.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import Counter, defaultdict
 from typing import Generic, TypeVar
 
+import repro.perf as perf
 from repro.retrieval.tokenize import tokenize
 from repro.retrieval.vector_index import SearchHit
 
@@ -32,6 +53,9 @@ class BM25Index(Generic[T]):
         self._avg_len = 0.0
         self._postings: dict[str, list[int]] = defaultdict(list)
         self._idf: dict[str, float] = {}
+        #: term -> {doc_id: impact}, doc ids ascending (insertion order).
+        self._impacts: dict[str, dict[int, float]] = {}
+        self._max_impact: dict[str, float] = {}
 
     def build(self, items: list[T], texts: list[str]) -> "BM25Index[T]":
         if len(items) != len(texts):
@@ -52,13 +76,81 @@ class BM25Index(Generic[T]):
             term: math.log(1 + (n - len(docs) + 0.5) / (len(docs) + 0.5))
             for term, docs in self._postings.items()
         }
+        self.rebuild_impacts()
         return self
+
+    def rebuild_impacts(self) -> None:
+        """(Re)compute the per-``(term, doc)`` impact tables.
+
+        A pure function of the already-built index state (`_doc_tokens`,
+        ``_doc_len``, ``_postings``, ``_idf``) — called at the end of
+        :meth:`build` and again by the snapshot loader, which serializes
+        the inputs but not the derived tables.  Each impact is the exact
+        float the naive :meth:`score` term loop would contribute.
+        """
+        self._impacts = {}
+        self._max_impact = {}
+        avg = self._avg_len or 1.0
+        k1 = self.k1
+        b = self.b
+        for term, docs in self._postings.items():
+            idf = self._idf.get(term, 0.0)
+            per_doc: dict[int, float] = {}
+            for doc_id in docs:
+                tf = self._doc_tokens[doc_id].get(term, 0)
+                length = self._doc_len[doc_id]
+                denom = tf + k1 * (1 - b + b * length / avg)
+                per_doc[doc_id] = idf * tf * (k1 + 1) / denom
+            self._impacts[term] = per_doc
+            self._max_impact[term] = max(per_doc.values()) if per_doc else 0.0
 
     def __len__(self) -> int:
         return len(self._items)
 
+    # ------------------------------------------------------------------
+    # snapshot (de)serialization
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, object]:
+        """JSON-serializable internal state (items serialized by caller).
+
+        Impact tables are omitted: they are a pure function of the
+        exported fields and :meth:`restore_state` recomputes them, so the
+        artifact stays smaller and cannot desynchronize.
+        """
+        return {
+            "k1": self.k1,
+            "b": self.b,
+            "doc_tokens": [dict(c) for c in self._doc_tokens],
+            "doc_len": list(self._doc_len),
+            "avg_len": self._avg_len,
+            "postings": {t: list(d) for t, d in self._postings.items()},
+            "idf": dict(self._idf),
+        }
+
+    def restore_state(self, items: list[T], state: dict[str, object]) -> "BM25Index[T]":
+        """Inverse of :meth:`export_state`; ``items`` supplied by caller.
+
+        Dict key orders in ``state`` are preserved verbatim (JSON objects
+        keep insertion order), so a restored index iterates its postings
+        and idf tables exactly like the freshly built one.
+        """
+        self.k1 = float(state["k1"])  # type: ignore[arg-type]
+        self.b = float(state["b"])  # type: ignore[arg-type]
+        self._items = list(items)
+        self._doc_tokens = [Counter(d) for d in state["doc_tokens"]]  # type: ignore[union-attr]
+        self._doc_len = [int(n) for n in state["doc_len"]]  # type: ignore[union-attr]
+        self._avg_len = float(state["avg_len"])  # type: ignore[arg-type]
+        self._postings = defaultdict(list)
+        for term, docs in state["postings"].items():  # type: ignore[union-attr]
+            self._postings[term] = [int(d) for d in docs]
+        self._idf = {t: float(v) for t, v in state["idf"].items()}  # type: ignore[union-attr]
+        self.rebuild_impacts()
+        return self
+
     def score(self, query: str, doc_id: int) -> float:
         """BM25 score of one indexed document against ``query``."""
+        if perf.fast_path_enabled():
+            return self._score_tokens(tokenize(query), doc_id)
         counts = self._doc_tokens[doc_id]
         length = self._doc_len[doc_id]
         score = 0.0
@@ -71,13 +163,80 @@ class BM25Index(Generic[T]):
             score += idf * tf * (self.k1 + 1) / denom
         return score
 
+    def _score_tokens(self, tokens: list[str], doc_id: int) -> float:
+        """Exact score from precomputed impacts, naive accumulation order."""
+        score = 0.0
+        for term in tokens:
+            impact = self._impacts.get(term)
+            if impact is None:
+                continue
+            imp = impact.get(doc_id)
+            if imp is not None:
+                score += imp
+        return score
+
     def search(self, query: str, k: int = 5) -> list[SearchHit[T]]:
         """Top-``k`` items by BM25 score; only candidate docs are scored."""
+        if perf.fast_path_enabled():
+            return self._search_fast(tokenize(query), k)
+        # Naive reference path: the pre-optimization implementation, kept
+        # for identity tests and as the perf-benchmark baseline.  It
+        # deliberately re-tokenizes the query once per candidate inside
+        # score() — the cost the fast path removes.
         candidates: set[int] = set()
-        for term in tokenize(query):
+        for term in tokenize(query):  # repro-lint: ignore[PERF001] — naive reference baseline
             candidates.update(self._postings.get(term, ()))
         scored = sorted(
             ((self.score(query, d), d) for d in candidates),
             key=lambda pair: (-pair[0], pair[1]),
         )
         return [SearchHit(self._items[d], s) for s, d in scored[:k]]
+
+    def _search_fast(self, tokens: list[str], k: int) -> list[SearchHit[T]]:
+        """Impact-ordered search: term-at-a-time with max-impact pruning.
+
+        Accumulates each document's score term-at-a-time in query token
+        order (so per-document float sums match the naive loop exactly),
+        skips *new* documents once no unseen document's best-case score —
+        the forward float sum of the remaining terms' max impacts — can
+        strictly beat the current kth-best partial score, and takes the
+        top-``k`` with a heap.
+        """
+        if k <= 0 or not tokens or not self._items:
+            return []
+        # bounds[i]: best-case score of a doc first reached at token i,
+        # summed forward in the same order its real score would be, so
+        # monotone IEEE rounding guarantees true-score <= bound.
+        n_tok = len(tokens)
+        max_imp = [self._max_impact.get(t, 0.0) for t in tokens]
+        bounds = [0.0] * n_tok
+        for i in range(n_tok):
+            acc = 0.0
+            for j in range(i, n_tok):
+                acc += max_imp[j]
+            bounds[i] = acc
+        scores: dict[int, float] = {}
+        get_score = scores.get
+        for i, term in enumerate(tokens):
+            impact = self._impacts.get(term)
+            if not impact:
+                continue
+            allow_new = True
+            if len(scores) >= k and i > 0:
+                # kth-largest partial score; any doc not yet seen can
+                # reach at most bounds[i], and at least k docs will
+                # finish >= threshold, so strict < means provably out.
+                threshold = heapq.nlargest(k, scores.values())[-1]
+                if bounds[i] < threshold:
+                    allow_new = False
+            if allow_new:
+                for doc_id, imp in impact.items():
+                    scores[doc_id] = get_score(doc_id, 0.0) + imp
+            else:
+                for doc_id, imp in impact.items():
+                    if doc_id in scores:
+                        scores[doc_id] += imp
+        top = heapq.nsmallest(
+            k, scores.items(), key=lambda pair: (-pair[1], pair[0])
+        )
+        return [SearchHit(self._items[d], s) for d, s in top]

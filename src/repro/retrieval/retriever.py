@@ -54,6 +54,39 @@ class MultiSourceRetriever:
         view.obs = obs
         return view
 
+    def export_state(self) -> dict[str, object]:
+        """Snapshot form of mode/config plus the BM25 internals.
+
+        Chunks and the dense index's numpy arrays are serialized by the
+        snapshot store itself (chunks are shared objects; arrays need
+        binary files), so this carries only the JSON-friendly parts.
+        """
+        return {
+            "mode": self.mode,
+            "rrf_k": self.rrf_k,
+            "built": self._built,
+            "bm25": self._sparse.export_state(),
+            "vector_meta": self._dense.export_state()[0],
+        }
+
+    def restore_state(
+        self,
+        chunks: list[Chunk],
+        state: dict[str, object],
+        matrix: object,
+        idf: object,
+    ) -> "MultiSourceRetriever":
+        """Inverse of :meth:`export_state` — no index rebuild happens."""
+        self.mode = str(state["mode"])
+        self.rrf_k = int(state["rrf_k"])  # type: ignore[arg-type]
+        self._chunks = list(chunks)
+        self._sparse = BM25Index[Chunk]().restore_state(chunks, state["bm25"])  # type: ignore[arg-type]
+        self._dense = VectorIndex[Chunk]().restore_state(
+            chunks, state["vector_meta"], matrix, idf  # type: ignore[arg-type]
+        )
+        self._built = bool(state["built"])
+        return self
+
     def build(self) -> "MultiSourceRetriever":
         """(Re)build both indexes over all staged chunks."""
         texts = [c.text for c in self._chunks]

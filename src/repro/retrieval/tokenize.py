@@ -1,8 +1,18 @@
-"""Tokenization shared by the retrieval stack and the simulated LLM."""
+"""Tokenization shared by the retrieval stack and the simulated LLM.
+
+:func:`tokenize` carries a process-wide LRU (registered with
+:mod:`repro.perf`): the hot path tokenizes the same chunk texts and
+attribute values over and over, and the function is pure, so memoizing
+it is output-identical.  The cache stores tuples and the public function
+returns fresh lists, preserving the original mutable-return contract.
+"""
 
 from __future__ import annotations
 
 import re
+from functools import lru_cache
+
+import repro.perf as perf
 
 #: Minimal English stop-word list; enough to keep lexical scoring sane
 #: without pulling in an NLP dependency.
@@ -15,12 +25,25 @@ STOPWORDS: frozenset[str] = frozenset(
 _TOKEN_RE = re.compile(r"[a-z0-9]+(?:[.\-:'][a-z0-9]+)*")
 
 
+@lru_cache(maxsize=65536)
+def _tokenize_cached(text: str, drop_stopwords: bool) -> tuple[str, ...]:
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stopwords:
+        return tuple(t for t in tokens if t not in STOPWORDS)
+    return tuple(tokens)
+
+
+perf.register_cache(_tokenize_cached.cache_clear)
+
+
 def tokenize(text: str, drop_stopwords: bool = True) -> list[str]:
     """Lower-case word tokens of ``text``.
 
     Hyphenated / dotted compounds (``ca-981``, ``14:30``) stay intact so
     flight numbers and timestamps survive as single tokens.
     """
+    if perf.fast_path_enabled():
+        return list(_tokenize_cached(text, drop_stopwords))
     tokens = _TOKEN_RE.findall(text.lower())
     if drop_stopwords:
         return [t for t in tokens if t not in STOPWORDS]

@@ -44,6 +44,35 @@ class VectorIndex(Generic[T]):
     def __len__(self) -> int:
         return len(self._items)
 
+    # ------------------------------------------------------------------
+    # snapshot (de)serialization
+    # ------------------------------------------------------------------
+    def export_state(
+        self,
+    ) -> tuple[dict[str, object], "np.ndarray | None", "np.ndarray"]:
+        """Snapshot form: vectorizer metadata, matrix and IDF arrays.
+
+        The matrix is ``None`` for an empty corpus.  Items are serialized
+        by the caller (they are shared chunk objects).
+        """
+        meta, idf = self._vectorizer.export_state()
+        return ({"vectorizer": meta}, self._matrix, idf)
+
+    def restore_state(
+        self,
+        items: list[T],
+        meta: dict[str, object],
+        matrix: "np.ndarray | None",
+        idf: "np.ndarray",
+    ) -> "VectorIndex[T]":
+        """Inverse of :meth:`export_state`; ``items`` supplied by caller."""
+        self._items = list(items)
+        self._vectorizer.restore_state(meta["vectorizer"], idf)  # type: ignore[arg-type]
+        self._matrix = (
+            np.asarray(matrix, dtype=np.float64) if matrix is not None else None
+        )
+        return self
+
     def search(self, query: str, k: int = 5) -> list[SearchHit[T]]:
         """Top-``k`` items by cosine similarity to ``query``.
 
@@ -51,9 +80,14 @@ class VectorIndex(Generic[T]):
             StateError: if the index was built without fitting the
                 vectorizer.
         """
-        if self._matrix is None or not self._items:
+        if self._matrix is None or not self._items or k <= 0:
             return []
-        qvec = self._vectorizer.transform([query])[0]
+        qvec = self._vectorizer.transform_one(query)
+        if not np.any(qvec):
+            # Empty or out-of-vocabulary query (e.g. stopwords only):
+            # every cosine is 0, so "top-k" would be arbitrary tie-break
+            # order.  No signal means no hits.
+            return []
         scores = self._matrix @ qvec
         k = min(k, len(self._items))
         top = np.argpartition(-scores, k - 1)[:k]

@@ -63,5 +63,45 @@ class TfidfVectorizer:
         norms[norms == 0.0] = 1.0
         return matrix / norms
 
+    def export_state(self) -> tuple[dict[str, object], np.ndarray]:
+        """Snapshot form: JSON metadata plus the float64 IDF vector.
+
+        The IDF array travels as a numpy array (saved with ``np.save``)
+        so every float round-trips bit-exactly.
+        """
+        return (
+            {
+                "min_df": self.min_df,
+                "fitted": self._fitted,
+                "vocabulary": list(self.vocabulary),
+            },
+            self.idf,
+        )
+
+    def restore_state(
+        self, meta: dict[str, object], idf: np.ndarray
+    ) -> "TfidfVectorizer":
+        """Inverse of :meth:`export_state`."""
+        self.min_df = int(meta["min_df"])  # type: ignore[arg-type]
+        self._fitted = bool(meta["fitted"])
+        self.vocabulary = {
+            term: i for i, term in enumerate(meta["vocabulary"])  # type: ignore[arg-type]
+        }
+        self.idf = np.asarray(idf, dtype=np.float64)
+        return self
+
+    def transform_one(self, text: str) -> np.ndarray:
+        """Embed a single text as a 1-D L2-normalized TF-IDF vector.
+
+        Deliberately routed through :meth:`transform` so the single-query
+        hot path produces bit-identical floats to the batch path (numpy's
+        1-D ``norm`` uses a different reduction than the ``axis=1`` form,
+        so a hand-rolled single-vector variant would not be safe).
+
+        Raises:
+            StateError: if called before :meth:`fit`.
+        """
+        return self.transform([text])[0]
+
     def fit_transform(self, texts: list[str]) -> np.ndarray:
         return self.fit(texts).transform(texts)

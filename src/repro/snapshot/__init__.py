@@ -1,0 +1,35 @@
+"""Persistent pipeline snapshots (ingest once, query fast).
+
+Knowledge construction — LLM extraction, fusion, index builds — is by far
+the most expensive phase of the pipeline, yet it is a pure function of
+(sources, config, LLM identity).  This package serializes the complete
+ingested state into a content-addressed, versioned on-disk artifact so
+subsequent processes warm-load it instead of rebuilding:
+
+* :func:`~repro.snapshot.fingerprint.compute_fingerprint` keys a snapshot
+  by source-content hashes, config and LLM identity, and the snapshot
+  format version;
+* :class:`~repro.snapshot.store.SnapshotStore` saves/loads the artifact
+  atomically (see :mod:`repro.snapshot.store` for the layout);
+* ``MultiRAG.ingest(sources, snapshot=...)`` wires both into the
+  pipeline: fingerprint hit → warm load, miss → cold build + save.
+
+A warm-loaded pipeline is byte-identical to the cold-built one — same
+rankings, same ``EvaluationReport.to_json(drop_timing=True)`` — which the
+snapshot test suite and ``benchmarks/test_perf_hotpath.py`` pin.
+"""
+
+from repro.snapshot.fingerprint import (
+    SNAPSHOT_FORMAT_VERSION,
+    compute_fingerprint,
+    payload_digest,
+)
+from repro.snapshot.store import LoadedState, SnapshotStore
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "LoadedState",
+    "SnapshotStore",
+    "compute_fingerprint",
+    "payload_digest",
+]

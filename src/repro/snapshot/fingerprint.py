@@ -1,0 +1,130 @@
+"""Content-addressed snapshot fingerprints.
+
+A snapshot is only reusable when *everything* that determined the
+ingested state is unchanged: the source payloads (and their order — graph
+insertion order follows source order), every config field that shapes
+construction, the LLM identity (seed, noise, knowledge base — the
+extractor's output depends on all of them), and the snapshot format
+itself.  :func:`compute_fingerprint` hashes a canonical JSON document of
+all four; a single changed byte anywhere yields a different fingerprint
+and therefore a cold rebuild, never a silently stale warm load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.adapters.base import RawSource
+
+if TYPE_CHECKING:  # a type-only edge: core imports snapshot, never back
+    from repro.core.config import MultiRAGConfig
+
+#: Bump whenever the on-disk layout or any serialized structure changes;
+#: old snapshots then fingerprint-miss instead of loading wrongly.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """A canonical JSON-compatible form of one config/meta value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    return repr(value)
+
+
+def _digest_default(value: Any) -> Any:
+    """``json.dumps`` fallback for types the C encoder cannot serialize."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value, key=repr)
+    return repr(value)
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 of one source payload in a canonical encoding.
+
+    Structured payloads are encoded by ``json.dumps`` directly (the C
+    encoder, with a ``default`` hook for sets and exotic objects) —
+    payload hashing sits on the warm-load path and a pure-Python
+    canonicalization pass over every record dominates it.  Payloads with
+    non-sortable mixed-type dict keys fall back to :func:`_jsonable`;
+    either path is deterministic for a given payload, which is all the
+    fingerprint needs.
+    """
+    if isinstance(payload, bytes):
+        raw = payload
+    elif isinstance(payload, str):
+        raw = payload.encode("utf-8")
+    else:
+        try:
+            raw = json.dumps(
+                payload, sort_keys=True, separators=(",", ":"),
+                default=_digest_default,
+            ).encode("utf-8")
+        except (TypeError, ValueError):
+            raw = json.dumps(
+                _jsonable(payload), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()
+
+
+def _llm_identity(llm: Any) -> dict[str, Any]:
+    """The attributes that make two LLM clients behave identically."""
+    identity: dict[str, Any] = {"class": type(llm).__qualname__}
+    for attr in (
+        "seed",
+        "extraction_noise",
+        "knowledge_accuracy",
+        "hallucination_pool",
+        "base_latency_s",
+        "latency_per_token_s",
+        "wall_latency_scale",
+    ):
+        if hasattr(llm, attr):
+            identity[attr] = _jsonable(getattr(llm, attr))
+    knowledge = getattr(llm, "knowledge", None)
+    if isinstance(knowledge, dict):
+        identity["knowledge"] = {
+            k: sorted(v) for k, v in sorted(knowledge.items())
+        }
+    return identity
+
+
+def compute_fingerprint(
+    config: "MultiRAGConfig", sources: Sequence[RawSource], llm: Any
+) -> str:
+    """SHA-256 fingerprint keying a snapshot of ``ingest(sources)``.
+
+    Covers the snapshot format version, every config field (including
+    ``extra``), the ordered source descriptors with content digests, and
+    the LLM identity.  Deterministic across processes and platforms.
+    """
+    doc = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "config": {
+            f.name: _jsonable(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        },
+        "llm": _llm_identity(llm),
+        "sources": [
+            {
+                "source_id": raw.source_id,
+                "domain": raw.domain,
+                "fmt": raw.fmt,
+                "name": raw.name,
+                "payload": payload_digest(raw.payload),
+                "meta": _jsonable(raw.meta),
+            }
+            for raw in sources
+        ],
+    }
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

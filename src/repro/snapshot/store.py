@@ -1,0 +1,483 @@
+"""On-disk snapshot store: serialize/restore a fully ingested pipeline.
+
+One snapshot is a directory named by its fingerprint (see
+:mod:`repro.snapshot.fingerprint`) holding JSON files for every substrate
+component plus ``.npy`` files for the dense index's float arrays:
+
+``manifest.json``
+    format version, fingerprint, component counts.
+``graph.json``
+    the fused knowledge graph — triples in columnar arrays (parallel
+    ``subject`` / ``predicate`` / ``obj`` / ``prov_id`` lists plus a
+    deduplicated provenance side table) in insertion order (the order
+    every secondary index and the MLG group enumeration derive from)
+    plus entities.  Columnar beats one JSON-LD object per triple both
+    on decode time and on restore time: triples from the same source
+    record share one provenance row, and the loader hands the decoded
+    list to :meth:`~repro.kg.graph.KnowledgeGraph.bulk_restore`.
+``records.json`` / ``chunks.json``
+    normalized records and the chunk corpus.
+``mlg.json``
+    homologous groups and isolated claims in flattened columnar arrays,
+    members and weights referenced by index into the serialized triple
+    order and sliced per group by offset arrays.
+``retriever.json`` + ``vector_matrix.npy`` / ``vector_idf.npy``
+    retrieval mode, the BM25 internals (impacts are recomputed on load),
+    and the pre-normalized TF-IDF matrix, bit-exact via ``np.save``.
+``history.json``
+    the calibrated per-source credibility tallies.
+``llm_cache.json`` (optional)
+    the extraction cache of a :class:`~repro.llm.caching.CachingLLM`.
+
+Writes are atomic at directory granularity: everything lands in a
+``.tmp.<fingerprint>`` sibling first and is renamed into place with
+``os.replace``, so a crashed save never leaves a half-written snapshot
+where :meth:`SnapshotStore.has` would find it.
+
+Floats survive exactly: JSON numbers round-trip ``float64`` through
+``repr``, and numpy arrays travel in binary.  Dict insertion orders are
+preserved end to end (JSON objects keep order), which is what makes a
+warm-loaded pipeline byte-identical to the cold-built one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.adapters.fusion import FusionResult
+from repro.confidence.history import HistoryStore
+from repro.errors import GraphError, SnapshotError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.storage import NormalizedRecord
+from repro.kg.triple import Entity, Provenance, Triple
+from repro.linegraph.homologous import HomologousGroup, HomologousNode
+from repro.linegraph.mlg import MultiSourceLineGraph
+from repro.obs.context import NOOP, Observability
+from repro.retrieval.chunking import Chunk
+from repro.retrieval.retriever import MultiSourceRetriever
+from repro.snapshot.fingerprint import SNAPSHOT_FORMAT_VERSION
+
+
+@dataclass(slots=True)
+class LoadedState:
+    """Everything a warm-loaded pipeline needs to resume serving queries.
+
+    ``mlg`` is ``None`` when the snapshot was taken with MKA disabled;
+    ``llm_cache`` is ``None`` when the saving pipeline had no caching
+    wrapper around its LLM.
+    """
+
+    fingerprint: str
+    fusion: FusionResult
+    retriever: MultiSourceRetriever
+    mlg: MultiSourceLineGraph | None
+    history: HistoryStore
+    llm_cache: dict[str, str] | None = None
+    mlg_stats: dict[str, float] = field(default_factory=dict)
+
+
+class SnapshotStore:
+    """Content-addressed directory of pipeline snapshots."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _dir(self, fingerprint: str) -> Path:
+        return self.root / fingerprint
+
+    def has(self, fingerprint: str) -> bool:
+        """True when a complete snapshot exists for ``fingerprint``."""
+        return (self._dir(fingerprint) / "manifest.json").is_file()
+
+    def fingerprints(self) -> list[str]:
+        """Fingerprints of every complete snapshot, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and (p / "manifest.json").is_file()
+        )
+
+    # ------------------------------------------------------------------
+    # save
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        fingerprint: str,
+        *,
+        fusion: FusionResult,
+        retriever: MultiSourceRetriever,
+        mlg: MultiSourceLineGraph | None,
+        history: HistoryStore,
+        llm_cache: dict[str, str] | None = None,
+    ) -> Path:
+        """Serialize one ingested pipeline state under ``fingerprint``.
+
+        Returns the final snapshot directory.  The write is atomic: a
+        temp directory is populated and renamed into place, replacing any
+        previous snapshot for the same fingerprint.
+
+        Raises:
+            SnapshotError: if the snapshot directory cannot be written.
+        """
+        graph = fusion.graph
+        triples = list(graph.triples())
+        triple_index = {t: i for i, t in enumerate(triples)}
+
+        tmp = self.root / f".tmp.{fingerprint}"
+        final = self._dir(fingerprint)
+        try:
+            if tmp.exists():
+                shutil.rmtree(tmp)
+            tmp.mkdir(parents=True)
+
+            self._write_json(tmp / "graph.json", self._graph_doc(graph, triples))
+            self._write_json(tmp / "records.json", [
+                r.to_dict() for r in fusion.records
+            ])
+            self._write_json(tmp / "chunks.json", [
+                {
+                    "chunk_id": c.chunk_id,
+                    "source_id": c.source_id,
+                    "doc_id": c.doc_id,
+                    "seq": c.seq,
+                    "text": c.text,
+                    "meta": [list(pair) for pair in c.meta],
+                }
+                for c in fusion.chunks
+            ])
+            self._write_json(tmp / "mlg.json", self._mlg_doc(mlg, triple_index))
+
+            retriever_state = retriever.export_state()
+            _, matrix, idf = retriever._dense.export_state()
+            self._write_json(tmp / "retriever.json", retriever_state)
+            np.save(tmp / "vector_idf.npy", idf, allow_pickle=False)
+            if matrix is not None:
+                np.save(tmp / "vector_matrix.npy", matrix, allow_pickle=False)
+
+            self._write_json(tmp / "history.json", history.export_state())
+            if llm_cache is not None:
+                self._write_json(tmp / "llm_cache.json", llm_cache)
+
+            self._write_json(tmp / "manifest.json", {
+                "format_version": SNAPSHOT_FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "fusion": {
+                    "build_time_s": fusion.build_time_s,
+                    "extraction_calls": fusion.extraction_calls,
+                },
+                "counts": {
+                    "triples": len(triples),
+                    "entities": graph.num_entities(),
+                    "chunks": len(fusion.chunks),
+                    "records": len(fusion.records),
+                    "groups": len(mlg.groups) if mlg else 0,
+                },
+                "has_llm_cache": llm_cache is not None,
+                "has_matrix": matrix is not None,
+                "mlg_stats": mlg.stats() if mlg else {},
+            })
+
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(tmp, final)
+        except OSError as exc:
+            raise SnapshotError(
+                f"cannot write snapshot {fingerprint} under {self.root}: {exc}"
+            ) from exc
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    @staticmethod
+    def _graph_doc(graph: KnowledgeGraph, triples: list[Triple]) -> dict[str, Any]:
+        """Columnar triple serialization with a provenance side table.
+
+        All triples extracted from one source record share a single
+        :class:`Provenance` value, so the side table is typically an
+        order of magnitude smaller than the triple list; ``prov_id`` is
+        ``-1`` for provenance-free triples.
+        """
+        subjects: list[str] = []
+        predicates: list[str] = []
+        objs: list[str] = []
+        prov_ids: list[int] = []
+        prov_index: dict[Provenance, int] = {}
+        for t in triples:
+            subjects.append(t.subject)
+            predicates.append(t.predicate)
+            objs.append(t.obj)
+            prov = t.provenance
+            if prov is None:
+                prov_ids.append(-1)
+            else:
+                prov_ids.append(prov_index.setdefault(prov, len(prov_index)))
+        return {
+            "name": graph.name,
+            "triples": {
+                "subject": subjects,
+                "predicate": predicates,
+                "obj": objs,
+                "prov_id": prov_ids,
+            },
+            "prov_table": [
+                [p.source_id, p.domain, p.fmt, p.chunk_id, p.record_id,
+                 p.observed_at]
+                for p in prov_index
+            ],
+            "entities": [e.to_dict() for e in graph.entities()],
+        }
+
+    @staticmethod
+    def _mlg_doc(
+        mlg: MultiSourceLineGraph | None, triple_index: dict[Triple, int]
+    ) -> dict[str, Any]:
+        """Columnar homologous-group serialization.
+
+        Per-group lists are flattened into shared arrays sliced by offset
+        (``member_off[g] : member_off[g + 1]``), so the decoder sees a
+        handful of long arrays instead of one object tree per group; the
+        flat order preserves each group's member and weight insertion
+        order exactly.
+        """
+        if mlg is None:
+            return {"enabled": False}
+        keys: list[list[str]] = []
+        snodes: list[list[Any]] = []
+        member_idx: list[int] = []
+        member_off = [0]
+        weight_idx: list[int] = []
+        weight_val: list[float] = []
+        weight_off = [0]
+        for g in mlg.groups:
+            keys.append([g.key[0], g.key[1]])
+            s = g.snode
+            snodes.append([s.name, s.entity, dict(s.meta), s.num, s.confidence])
+            member_idx.extend(triple_index[m] for m in g.members)
+            member_off.append(len(member_idx))
+            for t, w in g.weights.items():
+                weight_idx.append(triple_index[t])
+                weight_val.append(w)
+            weight_off.append(len(weight_idx))
+        return {
+            "enabled": True,
+            "min_sources": mlg._min_sources,
+            "keys": keys,
+            "snodes": snodes,
+            "member_idx": member_idx,
+            "member_off": member_off,
+            "weight_idx": weight_idx,
+            "weight_val": weight_val,
+            "weight_off": weight_off,
+            "isolated": [triple_index[t] for t in mlg.isolated],
+        }
+
+    @staticmethod
+    def _write_json(path: Path, payload: Any) -> None:
+        path.write_text(json.dumps(payload, ensure_ascii=False))
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    def load(
+        self, fingerprint: str, obs: Observability | None = None
+    ) -> LoadedState:
+        """Restore the complete ingested state saved under ``fingerprint``.
+
+        ``obs`` is bound to the restored retriever (telemetry only; it
+        does not affect the restored data).
+
+        Raises:
+            SnapshotError: if no snapshot exists for ``fingerprint``, the
+                artifact is corrupt or incomplete, or it was written by
+                an incompatible snapshot format version.
+        """
+        snap_dir = self._dir(fingerprint)
+        manifest = self._read_json(snap_dir / "manifest.json", fingerprint)
+        version = manifest.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot {fingerprint} has format version {version!r}; "
+                f"this build reads version {SNAPSHOT_FORMAT_VERSION}"
+            )
+
+        graph_doc = self._read_json(snap_dir / "graph.json", fingerprint)
+        graph, triples = self._restore_graph(graph_doc, fingerprint)
+
+        records = [
+            NormalizedRecord.from_dict(doc)
+            for doc in self._read_json(snap_dir / "records.json", fingerprint)
+        ]
+        chunks = [
+            Chunk(
+                chunk_id=doc["chunk_id"],
+                source_id=doc["source_id"],
+                doc_id=doc["doc_id"],
+                seq=int(doc["seq"]),
+                text=doc["text"],
+                meta=tuple(tuple(pair) for pair in doc.get("meta", [])),
+            )
+            for doc in self._read_json(snap_dir / "chunks.json", fingerprint)
+        ]
+        fusion = FusionResult(
+            graph=graph,
+            records=records,
+            chunks=chunks,
+            build_time_s=float(manifest["fusion"]["build_time_s"]),
+            extraction_calls=int(manifest["fusion"]["extraction_calls"]),
+        )
+
+        retriever_state = self._read_json(
+            snap_dir / "retriever.json", fingerprint
+        )
+        try:
+            idf = np.load(snap_dir / "vector_idf.npy", allow_pickle=False)
+            matrix = (
+                np.load(snap_dir / "vector_matrix.npy", allow_pickle=False)
+                if manifest.get("has_matrix")
+                else None
+            )
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot {fingerprint}: corrupt dense-index arrays: {exc}"
+            ) from exc
+        retriever = MultiSourceRetriever(obs=obs if obs is not None else NOOP)
+        retriever.restore_state(chunks, retriever_state, matrix, idf)
+
+        mlg, mlg_stats = self._restore_mlg(
+            snap_dir, fingerprint, graph, triples, manifest
+        )
+
+        history = HistoryStore().restore_state(
+            self._read_json(snap_dir / "history.json", fingerprint)
+        )
+
+        llm_cache = None
+        if manifest.get("has_llm_cache"):
+            llm_cache = self._read_json(
+                snap_dir / "llm_cache.json", fingerprint
+            )
+
+        return LoadedState(
+            fingerprint=fingerprint,
+            fusion=fusion,
+            retriever=retriever,
+            mlg=mlg,
+            history=history,
+            llm_cache=llm_cache,
+            mlg_stats=dict(manifest.get("mlg_stats", {})),
+        )
+
+    @staticmethod
+    def _restore_graph(
+        graph_doc: dict[str, Any], fingerprint: str
+    ) -> tuple[KnowledgeGraph, list[Triple]]:
+        """Decode the columnar triple arrays and bulk-load the graph.
+
+        The serialized order is the saving graph's insertion order, so
+        :meth:`KnowledgeGraph.bulk_restore` reproduces every secondary
+        index exactly without re-running per-triple deduplication.
+        """
+        try:
+            cols = graph_doc.get("triples") or {
+                "subject": [], "predicate": [], "obj": [], "prov_id": [],
+            }
+            provs = [
+                Provenance(
+                    source_id=row[0], domain=row[1], fmt=row[2],
+                    chunk_id=row[3], record_id=row[4], observed_at=row[5],
+                )
+                for row in graph_doc.get("prov_table", [])
+            ]
+            triples = [
+                Triple(s, p, o, provs[pid] if pid >= 0 else None)
+                for s, p, o, pid in zip(
+                    cols["subject"], cols["predicate"], cols["obj"],
+                    cols["prov_id"],
+                )
+            ]
+            entities = [
+                Entity.from_dict(edoc) for edoc in graph_doc.get("entities", [])
+            ]
+            graph = KnowledgeGraph(name=graph_doc.get("name", "fused"))
+            graph.bulk_restore(triples, entities)
+        except (GraphError, IndexError, KeyError, TypeError) as exc:
+            raise SnapshotError(
+                f"snapshot {fingerprint}: corrupt graph serialization: {exc!r}"
+            ) from exc
+        return graph, triples
+
+    def _restore_mlg(
+        self,
+        snap_dir: Path,
+        fingerprint: str,
+        graph: KnowledgeGraph,
+        triples: list[Triple],
+        manifest: dict[str, Any],
+    ) -> tuple[MultiSourceLineGraph | None, dict[str, float]]:
+        doc = self._read_json(snap_dir / "mlg.json", fingerprint)
+        if not doc.get("enabled"):
+            return None, {}
+        try:
+            member_idx = doc["member_idx"]
+            member_off = doc["member_off"]
+            weight_idx = doc["weight_idx"]
+            weight_val = doc["weight_val"]
+            weight_off = doc["weight_off"]
+            groups = []
+            for gi, (key, sdoc) in enumerate(zip(doc["keys"], doc["snodes"])):
+                snode = HomologousNode(
+                    name=sdoc[0],
+                    entity=sdoc[1],
+                    meta=dict(sdoc[2]),
+                    num=int(sdoc[3]),
+                    confidence=sdoc[4],
+                )
+                members = [
+                    triples[i]
+                    for i in member_idx[member_off[gi]:member_off[gi + 1]]
+                ]
+                group = HomologousGroup(
+                    key=(key[0], key[1]), snode=snode, members=members
+                )
+                weights = group.weights
+                for i, w in zip(
+                    weight_idx[weight_off[gi]:weight_off[gi + 1]],
+                    weight_val[weight_off[gi]:weight_off[gi + 1]],
+                ):
+                    weights[triples[i]] = float(w)
+                groups.append(group)
+            isolated = [triples[i] for i in doc["isolated"]]
+        except (IndexError, KeyError, TypeError) as exc:
+            raise SnapshotError(
+                f"snapshot {fingerprint}: corrupt MLG serialization: {exc!r}"
+            ) from exc
+        mlg = MultiSourceLineGraph.restore(
+            graph,
+            min_sources=int(doc.get("min_sources", 2)),
+            groups=groups,
+            isolated=isolated,
+        )
+        return mlg, dict(manifest.get("mlg_stats", {}))
+
+    @staticmethod
+    def _read_json(path: Path, fingerprint: str) -> Any:
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError as exc:
+            raise SnapshotError(
+                f"snapshot {fingerprint}: missing {path.name} "
+                f"(no snapshot, or an incomplete artifact)"
+            ) from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SnapshotError(
+                f"snapshot {fingerprint}: corrupt {path.name}: {exc}"
+            ) from exc

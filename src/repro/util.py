@@ -9,14 +9,40 @@ their arguments instead of from shared mutable RNG state.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import os
 import re
+import tempfile
 import time
 from collections.abc import Sequence
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Iterator, TypeVar
 
 T = TypeVar("T")
+
+
+def atomic_write_text(path: Path | str, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final rename
+    never crosses a filesystem boundary; an interrupted run leaves either
+    the old file or the new one, never a truncated hybrid.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    finally:
+        # After a successful replace the temp name is gone; on any
+        # failure (including KeyboardInterrupt) this removes the orphan.
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
 
 
 def stable_hash(*parts: object, seed: int = 0) -> int:

@@ -356,3 +356,96 @@ class TestEngine:
         assert rule.family == "determinism"
         assert rule.severity is Severity.ERROR
         assert rule.description
+
+
+# ----------------------------------------------------------------------
+# performance
+# ----------------------------------------------------------------------
+class TestPERF001:
+    def test_loop_invariant_tokenize_flagged(self):
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def score_all(query, docs):\n"
+            "    out = []\n"
+            "    for doc in docs:\n"
+            "        out.append(len(tokenize(query)))\n"
+            "    return out\n"
+        )
+        assert "PERF001" in ids(src, path="repro/retrieval/mod.py")
+
+    def test_loop_dependent_tokenize_clean(self):
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def index_all(docs):\n"
+            "    return [tokenize(doc.text) for doc in docs]\n"
+        )
+        assert "PERF001" not in ids(src, path="repro/retrieval/mod.py")
+
+    def test_loop_dependent_in_for_statement_clean(self):
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def build(texts):\n"
+            "    out = []\n"
+            "    for text in texts:\n"
+            "        out.append(tokenize(text))\n"
+            "    return out\n"
+        )
+        assert "PERF001" not in ids(src, path="repro/retrieval/mod.py")
+
+    def test_hoisted_tokenize_clean(self):
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def score_all(query, docs):\n"
+            "    tokens = tokenize(query)\n"
+            "    return [len(tokens) for _ in docs]\n"
+        )
+        assert "PERF001" not in ids(src, path="repro/retrieval/mod.py")
+
+    def test_nested_loop_inner_variable_clean(self):
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def f(groups):\n"
+            "    for group in groups:\n"
+            "        for member in group:\n"
+            "            tokenize(member)\n"
+        )
+        assert "PERF001" not in ids(src, path="repro/retrieval/mod.py")
+
+    def test_nested_loop_outer_variable_flagged(self):
+        # tokenizing the *outer* loop's value inside the inner loop still
+        # repeats work per inner iteration
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def f(queries, docs):\n"
+            "    for query in queries:\n"
+            "        for doc in docs:\n"
+            "            tokenize(query)\n"
+        )
+        assert "PERF001" in ids(src, path="repro/retrieval/mod.py")
+
+    def test_method_call_flagged(self):
+        src = (
+            "def f(self, query, docs):\n"
+            "    for doc in docs:\n"
+            "        self.tokenize(query)\n"
+        )
+        assert "PERF001" in ids(src, path="repro/retrieval/mod.py")
+
+    def test_nested_function_defers_execution(self):
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def f(query, docs):\n"
+            "    for doc in docs:\n"
+            "        def thunk():\n"
+            "            return tokenize(query)\n"
+        )
+        assert "PERF001" not in ids(src, path="repro/retrieval/mod.py")
+
+    def test_suppression_comment(self):
+        src = (
+            "from repro.retrieval.tokenize import tokenize\n"
+            "def f(query, docs):\n"
+            "    for doc in docs:\n"
+            "        tokenize(query)  # repro-lint: ignore[PERF001] — reference baseline\n"
+        )
+        assert "PERF001" not in ids(src, path="repro/retrieval/mod.py")

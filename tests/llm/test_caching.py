@@ -74,3 +74,36 @@ class TestCaching:
 
         prompt = render_ner_prompt(text)
         assert cached.complete(prompt).text == inner.complete(prompt).text
+
+    def test_save_is_crash_safe(self, tmp_path, monkeypatch):
+        llm = make(tmp_path)
+        llm.complete(PROMPT)
+        llm.save()
+        intact = (tmp_path / "cache.json").read_text()
+
+        llm.complete(PROMPT.replace("some text", "other text"))
+        import repro.util as util_module
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-rename")
+
+        monkeypatch.setattr(util_module.os, "replace", exploding_replace)
+        try:
+            llm.save()
+        except OSError:
+            pass
+        monkeypatch.undo()
+        # The previous cache survives untouched — old-or-new, never a
+        # truncated hybrid — and no temp files are left behind.
+        assert (tmp_path / "cache.json").read_text() == intact
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cache.json"]
+
+    def test_export_import_cache(self):
+        llm = make()
+        llm.complete(PROMPT)
+        exported = llm.export_cache()
+        other = make()
+        other.import_cache(exported)
+        other.complete(PROMPT)
+        assert other.hits == 1
+        assert other.misses == 0

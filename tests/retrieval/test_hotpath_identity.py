@@ -1,0 +1,100 @@
+"""Fast-path/naive-path output identity for the query hot path.
+
+``repro.perf`` gates every hot-path optimization (BM25 impact scores with
+top-k early termination, tokenizer/similarity memoization) behind a
+switch whose contract is *byte-identical output*: identical hit lists,
+identical float scores.  These tests pin the contract on randomized
+corpora so a future "optimization" that drifts by one ULP fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.perf as perf
+from repro.retrieval import BM25Index
+from repro.retrieval.tokenize import tokenize
+
+WORDS = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    "iota", "kappa", "лямбда", "mu", "nu", "xi", "omicron", "pi", "rho",
+    "sigma", "tau", "upsilon",
+]
+
+
+def _corpus(rng: random.Random, n_docs: int) -> list[str]:
+    return [
+        " ".join(rng.choices(WORDS, k=rng.randint(3, 30)))
+        for _ in range(n_docs)
+    ]
+
+
+def _queries(rng: random.Random, n: int) -> list[str]:
+    queries = [" ".join(rng.choices(WORDS, k=rng.randint(1, 6))) for _ in range(n)]
+    # repeated terms and unseen terms exercise the accumulation order
+    queries += ["alpha alpha beta", "unseen12345 alpha", "", "the of and"]
+    return queries
+
+
+@pytest.fixture()
+def corpus():
+    rng = random.Random(1234)
+    texts = _corpus(rng, 300)
+    items = [f"d{i}" for i in range(len(texts))]
+    return items, texts, _queries(rng, 60)
+
+
+def _search_all(index, queries, k):
+    return [
+        [(h.item, h.score) for h in index.search(q, k=k)] for q in queries
+    ]
+
+
+class TestBM25Identity:
+    @pytest.mark.parametrize("k", [1, 3, 10, 1000])
+    def test_search_identical(self, corpus, k):
+        items, texts, queries = corpus
+        index = BM25Index[str]().build(items, texts)
+        with perf.use_fast_path(True):
+            fast = _search_all(index, queries, k)
+        with perf.use_fast_path(False):
+            naive = _search_all(index, queries, k)
+        assert fast == naive  # floats compared exactly, on purpose
+
+    def test_score_identical(self, corpus):
+        items, texts, queries = corpus
+        index = BM25Index[str]().build(items, texts)
+        for query in queries[:20]:
+            for doc_id in range(0, len(items), 17):
+                with perf.use_fast_path(True):
+                    fast = index.score(query, doc_id)
+                with perf.use_fast_path(False):
+                    naive = index.score(query, doc_id)
+                assert fast == naive
+
+
+class TestTokenizeCache:
+    def test_cached_equals_uncached(self):
+        texts = ["Hello, World! 123", "the and of", "", "Ünïcode tëxt"]
+        for text in texts:
+            with perf.use_fast_path(True):
+                fast = tokenize(text)
+            with perf.use_fast_path(False):
+                naive = tokenize(text)
+            assert fast == naive
+
+    def test_cache_returns_fresh_lists(self):
+        with perf.use_fast_path(True):
+            first = tokenize("alpha beta gamma")
+            second = tokenize("alpha beta gamma")
+        assert first == second
+        first.append("mutated")
+        assert tokenize("alpha beta gamma") == second
+
+    def test_clear_caches_resets(self):
+        with perf.use_fast_path(True):
+            tokenize("cache me")
+            perf.clear_caches()
+            assert tokenize("cache me") == ["cache", "me"]

@@ -1,0 +1,74 @@
+"""The warm-load identity contract.
+
+A pipeline warm-loaded from a snapshot must be indistinguishable from the
+cold-built one: same rankings, and byte-identical
+``EvaluationReport.to_json(drop_timing=True)`` across seeds and worker
+counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MultiRAGConfig
+from repro.core.pipeline import MultiRAG
+from repro.datasets.books import make_books
+from repro.datasets.flights import make_flights
+from repro.exec import as_query
+
+
+def _evaluate(rag, dataset, jobs=None):
+    report = rag.evaluate(
+        [as_query(q) for q in dataset.queries], jobs=jobs
+    )
+    return report.to_json(drop_timing=True)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_warm_report_is_byte_identical(tmp_path, seed):
+    dataset = make_books(scale=0.2, seed=seed, n_queries=10)
+    sources = dataset.raw_sources()
+    config = MultiRAGConfig(seed=seed)
+
+    cold = MultiRAG.from_config(config, snapshot=tmp_path / "snaps")
+    assert not cold.ingest(sources).loaded_from_snapshot
+    cold_json = _evaluate(cold, dataset)
+
+    warm = MultiRAG.from_config(config, snapshot=tmp_path / "snaps")
+    assert warm.ingest(sources).loaded_from_snapshot
+    assert _evaluate(warm, dataset) == cold_json
+
+    plain = MultiRAG.from_config(config)
+    plain.ingest(sources)
+    assert _evaluate(plain, dataset) == cold_json
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_warm_report_identical_across_workers(tmp_path, jobs):
+    dataset = make_flights(scale=0.2, seed=5, n_queries=10)
+    sources = dataset.raw_sources()
+    config = MultiRAGConfig(seed=5)
+
+    cold = MultiRAG.from_config(config, snapshot=tmp_path / "snaps")
+    cold.ingest(sources)
+    cold_json = _evaluate(cold, dataset)
+
+    warm = MultiRAG.from_config(config, snapshot=tmp_path / "snaps")
+    assert warm.ingest(sources).loaded_from_snapshot
+    assert _evaluate(warm, dataset, jobs=jobs) == cold_json
+
+
+def test_warm_identity_with_history_updates(tmp_path):
+    dataset = make_books(scale=0.2, seed=3, n_queries=10)
+    sources = dataset.raw_sources()
+    config = MultiRAGConfig(seed=3, update_history=True)
+
+    cold = MultiRAG.from_config(config, snapshot=tmp_path / "snaps")
+    cold.ingest(sources)
+    cold_json = _evaluate(cold, dataset)
+
+    warm = MultiRAG.from_config(config, snapshot=tmp_path / "snaps")
+    assert warm.ingest(sources).loaded_from_snapshot
+    assert _evaluate(warm, dataset) == cold_json
+    # the consensus-feedback tallies evolved identically too
+    assert warm.history.export_state() == cold.history.export_state()

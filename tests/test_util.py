@@ -8,6 +8,7 @@ import pytest
 
 from repro.util import (
     Stopwatch,
+    atomic_write_text,
     canonical_value,
     jaccard,
     normalize_value,
@@ -143,3 +144,37 @@ class TestStopwatch:
             with watch.measure():
                 raise RuntimeError("boom")
         assert watch.elapsed > 0.0
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"a": 1}')
+        assert target.read_text() == '{"a": 1}'
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failure_leaves_old_content_and_no_orphans(self, tmp_path, monkeypatch):
+        import repro.util as util_module
+
+        target = tmp_path / "out.json"
+        target.write_text("old")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-rename")
+
+        monkeypatch.setattr(util_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new")
+        monkeypatch.undo()
+        assert target.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
