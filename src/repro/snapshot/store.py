@@ -32,7 +32,11 @@ component plus ``.npy`` files for the dense index's float arrays:
 Writes are atomic at directory granularity: everything lands in a
 ``.tmp.<fingerprint>`` sibling first and is renamed into place with
 ``os.replace``, so a crashed save never leaves a half-written snapshot
-where :meth:`SnapshotStore.has` would find it.
+where :meth:`SnapshotStore.has` would find it.  Overwrites displace the
+previous snapshot to ``.old.<fingerprint>`` (another rename) before
+installing the new one — a crash in between leaves the old state
+recoverable rather than destroyed, and a failed install renames it back.
+Dotted work-area names are invisible to :meth:`SnapshotStore.fingerprints`.
 
 Floats survive exactly: JSON numbers round-trip ``float64`` through
 ``repr``, and numpy arrays travel in binary.  Dict insertion orders are
@@ -42,6 +46,7 @@ warm-loaded pipeline byte-identical to the cold-built one.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -97,12 +102,19 @@ class SnapshotStore:
         return (self._dir(fingerprint) / "manifest.json").is_file()
 
     def fingerprints(self) -> list[str]:
-        """Fingerprints of every complete snapshot, sorted."""
+        """Fingerprints of every complete snapshot, sorted.
+
+        Dotted names are the store's work areas (``.tmp.<fp>`` staging
+        and ``.old.<fp>`` displaced copies); a crash can leave one behind
+        with a manifest inside, so they are never reported as snapshots.
+        """
         if not self.root.is_dir():
             return []
         return sorted(
             p.name for p in self.root.iterdir()
-            if p.is_dir() and (p / "manifest.json").is_file()
+            if p.is_dir()
+            and not p.name.startswith(".")
+            and (p / "manifest.json").is_file()
         )
 
     # ------------------------------------------------------------------
@@ -132,10 +144,13 @@ class SnapshotStore:
         triple_index = {t: i for i, t in enumerate(triples)}
 
         tmp = self.root / f".tmp.{fingerprint}"
+        old = self.root / f".old.{fingerprint}"
         final = self._dir(fingerprint)
         try:
             if tmp.exists():
                 shutil.rmtree(tmp)
+            if old.exists():
+                shutil.rmtree(old)
             tmp.mkdir(parents=True)
 
             self._write_json(tmp / "graph.json", self._graph_doc(graph, triples))
@@ -185,10 +200,22 @@ class SnapshotStore:
                 "mlg_stats": mlg.stats() if mlg else {},
             })
 
+            # Overwrite without a window where no valid snapshot exists:
+            # displace the previous copy aside (rename, atomic) before
+            # installing the new one, then discard it.  A crash between
+            # the two renames leaves the old state recoverable under
+            # ``.old.<fp>`` instead of destroyed.
             if final.exists():
-                shutil.rmtree(final)
+                os.replace(final, old)
             os.replace(tmp, final)
+            if old.exists():
+                shutil.rmtree(old)
         except OSError as exc:
+            # A failed install must not lose the previous snapshot: put
+            # the displaced copy back if the new one never landed.
+            if old.exists() and not final.exists():
+                with contextlib.suppress(OSError):
+                    os.replace(old, final)
             raise SnapshotError(
                 f"cannot write snapshot {fingerprint} under {self.root}: {exc}"
             ) from exc

@@ -37,6 +37,12 @@ def atomic_write_text(path: Path | str, text: str, encoding: str = "utf-8") -> N
     try:
         with os.fdopen(fd, "w", encoding=encoding) as handle:
             handle.write(text)
+        # mkstemp creates the file 0600; widen to what a plain open()
+        # would have produced (0666 masked by the umask) so the replaced
+        # artifact stays readable by whoever could read it before.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
         os.replace(tmp_name, target)
     finally:
         # After a successful replace the temp name is gone; on any

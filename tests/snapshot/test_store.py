@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -97,6 +99,68 @@ class TestStoreBasics:
             if p.name.startswith(".tmp.")
         ]
         assert leftovers == []
+
+    def test_fingerprints_ignore_crashed_temp_dirs(self, corpus, tmp_path):
+        """A temp dir abandoned after its manifest was written (hard
+        crash before the final rename) must not be reported."""
+        rag, report = _ingest(corpus, tmp_path)
+        store = SnapshotStore(tmp_path / "snaps")
+        stale = tmp_path / "snaps" / ".tmp.deadbeef"
+        stale.mkdir()
+        (stale / "manifest.json").write_text("{}")
+        assert store.fingerprints() == [report.snapshot_fingerprint]
+
+
+class TestOverwrite:
+    def _save_kwargs(self, rag):
+        return dict(
+            fusion=rag.fusion,
+            retriever=rag.retriever,
+            mlg=rag.mlg,
+            history=rag.history,
+        )
+
+    def test_overwrite_same_fingerprint(self, corpus, tmp_path):
+        rag, report = _ingest(corpus, tmp_path)
+        store = SnapshotStore(tmp_path / "snaps")
+        store.save(report.snapshot_fingerprint, **self._save_kwargs(rag))
+        assert store.fingerprints() == [report.snapshot_fingerprint]
+        leftovers = [
+            p.name for p in (tmp_path / "snaps").iterdir()
+            if p.name.startswith(".")
+        ]
+        assert leftovers == []
+
+    def test_failed_overwrite_keeps_previous_snapshot(
+        self, corpus, tmp_path, monkeypatch
+    ):
+        """When installing the new directory fails, the previously valid
+        snapshot must still be loadable — overwriting is atomic."""
+        import repro.snapshot.store as store_module
+
+        rag, report = _ingest(corpus, tmp_path)
+        fp = report.snapshot_fingerprint
+        store = SnapshotStore(tmp_path / "snaps")
+        before = store.load(fp)
+
+        real_replace = os.replace
+
+        def failing_install(src, dst):
+            if Path(src).name.startswith(".tmp."):
+                raise OSError("simulated crash installing the new snapshot")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(store_module.os, "replace", failing_install)
+        with pytest.raises(SnapshotError):
+            store.save(fp, **self._save_kwargs(rag))
+        monkeypatch.undo()
+
+        assert store.has(fp)
+        after = store.load(fp)
+        assert list(after.fusion.graph.triples()) == list(
+            before.fusion.graph.triples()
+        )
+        assert after.history.export_state() == before.history.export_state()
 
 
 class TestCorruption:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import sys
 import time
 
 import pytest
@@ -162,6 +164,21 @@ class TestAtomicWriteText:
         target = tmp_path / "out.json"
         atomic_write_text(target, "payload")
         assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    @pytest.mark.skipif(
+        sys.platform == "win32", reason="POSIX umask semantics"
+    )
+    def test_permissions_match_umask_not_mkstemp(self, tmp_path):
+        """mkstemp creates 0600 temp files; the installed artifact must
+        carry umask-default permissions (like a plain open()) so shared
+        caches stay readable by other users/processes."""
+        target = tmp_path / "out.json"
+        old_umask = os.umask(0o022)
+        try:
+            atomic_write_text(target, "payload")
+        finally:
+            os.umask(old_umask)
+        assert target.stat().st_mode & 0o777 == 0o644
 
     def test_failure_leaves_old_content_and_no_orphans(self, tmp_path, monkeypatch):
         import repro.util as util_module
