@@ -43,7 +43,7 @@ class HistoryStore:
                 entities=self.init_entities,
                 correct=self.init_entities * self.init_credibility,
             )
-            self._sources[source_id] = history  # repro-lint: ignore[EXE001] — feedback writes only run with update_history=True, which forces the exec engine to serialize
+            self._sources[source_id] = history  # repro-lint: ignore[CONC001] — feedback writes only run with update_history=True, which forces the exec engine to serialize
         return history
 
     def historical_entities(self, source_id: str) -> int:
@@ -65,9 +65,9 @@ class HistoryStore:
         consulted, so the store stays fair in evaluations).
         """
         history = self._get(source_id)
-        history.entities += 1  # repro-lint: ignore[EXE001] — feedback writes only run with update_history=True, which forces the exec engine to serialize
+        history.entities += 1  # repro-lint: ignore[CONC001] — feedback writes only run with update_history=True, which forces the exec engine to serialize
         if accepted:
-            history.correct += weight  # repro-lint: ignore[EXE001] — same serialized consensus-feedback path as above
+            history.correct += weight  # repro-lint: ignore[CONC001] — same serialized consensus-feedback path as above
 
     def seed(self, source_id: str, correct: float, total: float) -> None:
         """Bulk-load calibration counts gathered at construction time.

@@ -20,9 +20,19 @@ The three ``enable_*`` flags drive the Table III ablations:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
+
+
+def _sanitize_default() -> bool:
+    """Default for :attr:`MultiRAGConfig.sanitize`: the ``REPRO_SANITIZE``
+    environment variable, so CI can run whole suites under the sanitizer
+    without touching call sites."""
+    return os.environ.get("REPRO_SANITIZE", "").lower() not in (
+        "", "0", "false", "no",
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +67,11 @@ class MultiRAGConfig:
     seed: int = 0
     extraction_noise: float = 0.05
     extra: dict[str, object] = field(default_factory=dict)
+    #: wire the runtime race sanitizer (:mod:`repro.san`) into the
+    #: pipeline: worker views wrap their shared attributes in recording
+    #: proxies and cross-worker conflicts fail loudly.  Off by default
+    #: like ``debug_contracts``; defaults from ``REPRO_SANITIZE``.
+    sanitize: bool = field(default_factory=_sanitize_default)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:

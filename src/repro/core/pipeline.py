@@ -52,6 +52,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import format_metrics
 from repro.retrieval.chunking import SentenceChunker
 from repro.retrieval.retriever import MultiSourceRetriever
+from repro.san import RaceSanitizer
 from repro.snapshot import SnapshotStore, compute_fingerprint
 from repro.util import normalize_value
 
@@ -154,6 +155,12 @@ class MultiRAG:
         self.mlg: MultiSourceLineGraph | None = None
         self.scorer: NodeScorer | None = None
         self._entity_by_norm: dict[str, str] = {}
+        #: runtime race sanitizer (:mod:`repro.san`); None unless
+        #: ``config.sanitize`` — the disabled path costs one check per
+        #: worker view.
+        self.san: RaceSanitizer | None = (
+            RaceSanitizer() if self.config.sanitize else None
+        )
 
     @staticmethod
     def _as_store(
@@ -662,9 +669,9 @@ class MultiRAG:
             total_qt += result.query_time_s
             total_pt += result.prompt_time_s
         assert result is not None
-        result.trace = trace  # repro-lint: ignore[EXE001] — result is the task-local record _run_text just constructed
-        result.query_time_s = total_qt  # repro-lint: ignore[EXE001] — task-local result record (see above)
-        result.prompt_time_s = total_pt  # repro-lint: ignore[EXE001] — task-local result record (see above)
+        result.trace = trace  # repro-lint: ignore[CONC001] — result is the task-local record _run_text just constructed
+        result.query_time_s = total_qt  # repro-lint: ignore[CONC001] — task-local result record (see above)
+        result.prompt_time_s = total_pt  # repro-lint: ignore[CONC001] — task-local result record (see above)
         return result
 
     # ------------------------------------------------------------------
@@ -703,7 +710,47 @@ class MultiRAG:
             beta=self.config.beta,
             obs=view.obs,
         )
+        view.san = None
+        if self.san is not None:
+            self._sanitize_view(view)
         return view
+
+    def _sanitize_view(self, view: "MultiRAG") -> None:
+        """Arm a worker view with the sanitizer's recording proxies.
+
+        Each shared-by-reference attribute (and the shared graph and
+        history handed to the per-view scorer) is wrapped in an
+        :class:`~repro.san.proxy.AccessProxy` under a fresh worker id;
+        the proxies forward every operation unchanged, so sanitized runs
+        stay byte-identical.  Attributes the view protocol failed to
+        mirror (e.g. state added by a subclass) are recorded as coverage
+        gaps — the runtime twin of the static CONC002 rule.  ``config``
+        stays unwrapped: it is a frozen dataclass with slots, so worker
+        writes already raise.
+        """
+        assert self.san is not None
+        assert self.fusion is not None
+        san = self.san
+        worker = san.next_worker()
+        view.fusion = san.wrap(self.fusion, worker, "fusion")
+        view.mlg = san.wrap(self.mlg, worker, "mlg")
+        view.history = san.wrap(self.history, worker, "history")
+        view.engine = san.wrap(self.engine, worker, "engine")
+        view.snapshots = san.wrap(self.snapshots, worker, "snapshots")
+        view._entity_by_norm = san.wrap(
+            self._entity_by_norm, worker, "_entity_by_norm"
+        )
+        view.scorer = NodeScorer(
+            san.wrap(self.fusion.graph, worker, "fusion.graph"),
+            view.llm,
+            san.wrap(self.history, worker, "history"),
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+            obs=view.obs,
+        )
+        missing = set(vars(self)) - set(vars(view))
+        if missing:
+            san.note_coverage_gap(type(self).__name__, missing)
 
     def absorb_view(self, view: "MultiRAG") -> None:
         """Fold a :meth:`worker_view`'s meter and telemetry back in.

@@ -38,6 +38,7 @@ from repro.lint.engine import (
     lint_sources,
 )
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow.concurrency import shared_state_report
 from repro.lint.registry import (
     FlowRule,
     ModuleUnderLint,
@@ -71,4 +72,5 @@ __all__ = [
     "lint_sources",
     "register_rule",
     "rule_ids",
+    "shared_state_report",
 ]

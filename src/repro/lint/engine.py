@@ -209,7 +209,7 @@ class _FlowPassResult:
     #: dotted module → kept findings from closure-keyed rules (EXC/TNT).
     closure_kept: dict[str, list[Finding]] = field(default_factory=dict)
     closure_suppressed: dict[str, int] = field(default_factory=dict)
-    #: kept findings from program-keyed rules (reachability).
+    #: kept findings from program-keyed rules (reachability, concurrency).
     program_kept: list[Finding] = field(default_factory=list)
     program_suppressed: int = 0
     program: Program | None = None
@@ -241,7 +241,7 @@ def _run_flow_pass(
         )
     }
     for rule in flow_rules:
-        program_keyed = rule.family == "reachability"
+        program_keyed = rule.program_keyed
         for finding in rule.check_program(program):
             lines = lines_map.get(finding.path)
             module_name = module_by_display.get(finding.path)
@@ -331,7 +331,10 @@ def lint_paths(
 
     cache: LintCache | None = None
     if cache_dir is not None and select is None and not include_suppressed:
-        ids = sorted(r.rule_id for r in active)
+        # the fingerprint carries each rule's analysis version, so a
+        # rule-logic bump (or a changed enabled set / --no-flow) can
+        # never serve findings computed under the old semantics.
+        ids = sorted(f"{r.rule_id}@{r.version}" for r in active)
         if not flow:
             # a per-file-only run must not reuse (or clobber) the flow
             # entries of full runs — give it its own cache universe.

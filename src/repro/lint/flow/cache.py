@@ -16,8 +16,9 @@ Invalidation semantics:
   per-file rule sees nothing but the file.
 * **flow findings** anchor to a module but depend on everything that
   module can reach, so each module's entry is keyed by the hash of the
-  content hashes of its *transitive import closure* (for the
-  reachability family, of the whole program — its roots live anywhere).
+  content hashes of its *transitive import closure* (for program-keyed
+  rules — reachability, concurrency — of the whole program, because
+  their roots live anywhere).
   The closure is computed from cached import metadata, so a fully-warm
   run decides "nothing to do" without parsing a single file.
 * the whole cache is discarded when the rule set or cache format
@@ -39,9 +40,9 @@ from pathlib import Path
 from repro.lint.findings import Finding
 
 #: bump to invalidate every existing cache (format or semantics change).
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
-#: marker for the program-wide closure key (reachability family).
+#: marker for the program-wide closure key (program-keyed rules).
 PROGRAM_KEY = "<program>"
 
 

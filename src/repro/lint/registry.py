@@ -68,6 +68,9 @@ class Rule:
     severity: Severity = Severity.ERROR
     description: str = ""
     allowlist: tuple[str, ...] = ()
+    #: analysis version; bump when the rule's logic changes so the
+    #: incremental cache cannot serve findings from the old semantics.
+    version: int = 1
 
     def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
         """Yield findings for ``module``; override in subclasses."""
@@ -105,7 +108,15 @@ class FlowRule(Rule):
     still anchor to a file and line, so the inline-suppression machinery
     applies unchanged.  ``check`` is inert — the engine dispatches flow
     rules through :meth:`check_program`.
+
+    ``program_keyed`` marks rules whose findings depend on the *whole*
+    program rather than a module's transitive import closure — their
+    roots (entry points, the exec dispatch root) can live anywhere in
+    the file set, so the incremental cache keys them by the program
+    hash instead of per-module closure hashes.
     """
+
+    program_keyed: bool = False
 
     def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
         return ()
@@ -174,6 +185,9 @@ def _ensure_rules_loaded() -> None:
     # initialised before the flow machinery pulls it in.
     import repro.lint.rules  # noqa: F401  (import-for-side-effect)
     import repro.lint.flow.exceptions  # noqa: F401
-    import repro.lint.flow.exec_safety  # noqa: F401
     import repro.lint.flow.reachability  # noqa: F401
     import repro.lint.flow.taint  # noqa: F401
+    # the concurrency rules live in rules/ but build on the flow
+    # machinery, so they load here with the flow families, not from the
+    # rules package's __init__ (which must stay flow-free).
+    import repro.lint.rules.concurrency  # noqa: F401

@@ -48,13 +48,13 @@ class CachingLLM(LLMClient):
     def _generate(self, prompt: str) -> str:
         cached = self._cache.get(prompt)
         if cached is not None:
-            self.hits += 1  # repro-lint: ignore[EXE001] — counters live on the worker's own split() clone; the advisory totals are read single-threaded
+            self.hits += 1  # repro-lint: ignore[CONC001] — counters live on the worker's own split() clone; the advisory totals are read single-threaded
             self.obs.metrics.counter("llm.cache.hits").inc()
             return cached
-        self.misses += 1  # repro-lint: ignore[EXE001] — per-clone counter (see above)
+        self.misses += 1  # repro-lint: ignore[CONC001] — per-clone counter (see above)
         self.obs.metrics.counter("llm.cache.misses").inc()
         text = self.inner._generate(prompt)
-        self._cache[prompt] = text  # repro-lint: ignore[EXE001] — cache is shared across clones by design: fills are idempotent (deterministic text per prompt), so concurrent writers store identical values
+        self._cache[prompt] = text  # repro-lint: ignore[CONC001] — cache is shared across clones by design: fills are idempotent (deterministic text per prompt), so concurrent writers store identical values
         return text
 
     def complete(self, prompt: str, task: str = "generic") -> LLMResponse:

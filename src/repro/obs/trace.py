@@ -144,7 +144,7 @@ class Tracer:
             start_s=self.clock(),
             _tracer=self,
         )
-        self._next_id += 1  # repro-lint: ignore[EXE001] — never shared: each exec worker records into its own tracer (Observability.split), adopted back single-threaded
+        self._next_id += 1  # repro-lint: ignore[CONC001] — never shared: each exec worker records into its own tracer (Observability.split), adopted back single-threaded
         self.spans.append(span)
         self._stack.append(span)
         return span

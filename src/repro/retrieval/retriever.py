@@ -90,9 +90,9 @@ class MultiSourceRetriever:
     def build(self) -> "MultiSourceRetriever":
         """(Re)build both indexes over all staged chunks."""
         texts = [c.text for c in self._chunks]
-        self._dense = VectorIndex[Chunk]().build(self._chunks, texts)  # repro-lint: ignore[EXE001] — lazy build runs before workers exist: views are only taken from an ingested (already-built) retriever
-        self._sparse = BM25Index[Chunk]().build(self._chunks, texts)  # repro-lint: ignore[EXE001] — same pre-worker lazy build as above
-        self._built = True  # repro-lint: ignore[EXE001] — same pre-worker lazy build as above
+        self._dense = VectorIndex[Chunk]().build(self._chunks, texts)  # repro-lint: ignore[CONC001] — lazy build runs before workers exist: views are only taken from an ingested (already-built) retriever
+        self._sparse = BM25Index[Chunk]().build(self._chunks, texts)  # repro-lint: ignore[CONC001] — same pre-worker lazy build as above
+        self._built = True  # repro-lint: ignore[CONC001] — same pre-worker lazy build as above
         return self
 
     def __len__(self) -> int:

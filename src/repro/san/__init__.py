@@ -1,0 +1,63 @@
+"""Runtime race sanitizer for the exec worker pool (TSan-lite).
+
+The static concurrency layer (``repro.lint`` CONC/ASY rules) proves
+what it can see; this package watches what actually happens.  With
+``MultiRAGConfig(sanitize=True)`` — or ``REPRO_SANITIZE=1`` in the
+environment — every ``worker_view()`` wraps its shared-by-reference
+attributes in :class:`AccessProxy` tripwires that record
+``(worker, object, attribute, read/write)`` events during ``execute()``;
+:class:`RaceSanitizer` then flags write-write and read-write conflicts
+across workers and reports view attributes the split/absorb protocol
+failed to mirror (the runtime twin of the static CONC002 rule).
+
+Off by default, like ``debug_contracts``: the disabled path costs one
+attribute check per worker view.
+
+The :func:`bisect_divergence` helper replays a batch
+sequential-vs-parallel and uses ``repro.obs`` spans to name the first
+divergent query, result field, and pipeline stage.
+
+Entry points:
+
+* ``python -m repro sanitize corpus/`` — run a corpus's query batch
+  under the sanitizer and the bisector;
+* ``MultiRAGConfig(sanitize=True)`` / ``REPRO_SANITIZE=1`` — wire the
+  sanitizer into any pipeline;
+* the ``sanitized_rag`` pytest fixture (``tests/conftest.py``) — a
+  sanitize-enabled pipeline whose teardown fails the test on conflicts.
+
+See ``docs/static_analysis.md`` for the full concurrency gate.
+"""
+
+from repro.san.bisect import (
+    DivergenceReport,
+    bisect_divergence,
+    canonical_result,
+)
+from repro.san.events import READ, WRITE, AccessEvent, AccessLog
+from repro.san.monitor import (
+    READ_WRITE,
+    WRITE_WRITE,
+    Conflict,
+    RaceSanitizer,
+    SanitizerReport,
+)
+from repro.san.proxy import MUTATOR_NAMES, AccessProxy, unwrap
+
+__all__ = [
+    "READ",
+    "READ_WRITE",
+    "WRITE",
+    "WRITE_WRITE",
+    "AccessEvent",
+    "AccessLog",
+    "AccessProxy",
+    "Conflict",
+    "DivergenceReport",
+    "MUTATOR_NAMES",
+    "RaceSanitizer",
+    "SanitizerReport",
+    "bisect_divergence",
+    "canonical_result",
+    "unwrap",
+]

@@ -1,0 +1,208 @@
+"""Divergence bisector: localize where parallel stops matching sequential.
+
+The reproduction's core concurrency contract is byte-identity: a query
+batch dispatched over the exec worker pool must produce exactly the
+results (and telemetry) of a sequential loop.  When that breaks, the
+failure usually surfaces far from its cause — a wrong F1 three stages
+after a racy cache fill.  The bisector turns "the batch diverged" into
+"query #3 diverged, first at the node-scoring stage":
+
+1. replay the batch sequentially (``jobs=1``) and in parallel on two
+   freshly built pipelines and canonicalize every result (timing
+   dropped — wall clock is exempt from the contract);
+2. report the first query index and result field where they differ;
+3. localize the stage by aligning the two runs' ``repro.obs`` span
+   streams (names + attributes, wall-clock fields excluded) and naming
+   the first span where they disagree, falling back to the per-result
+   stage trace when tracing is off.
+
+Pipelines are duck-typed (anything with ``run_batch``) so this module
+stays below :mod:`repro.core` in the layering DAG; the CLI's
+``python -m repro sanitize`` drives it with real pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.obs import Observability
+
+#: result fields compared, in pipeline-stage order — the first differing
+#: field is the earliest externally visible symptom.
+_RESULT_FIELDS = (
+    "query", "stage_values", "candidates_considered", "answers",
+    "generated_text", "trace",
+)
+
+
+def canonical_result(result: Any) -> dict[str, object]:
+    """A result's contract-relevant content (timing dropped).
+
+    Duck-typed over :class:`repro.core.answer.RetrievalResult`; unknown
+    fields are simply absent, so toy pipelines compare too.
+    """
+    out: dict[str, object] = {}
+    for name in _RESULT_FIELDS:
+        value = getattr(result, name, None)
+        if name == "answers" and value is not None:
+            value = [
+                (
+                    getattr(a, "value", None),
+                    getattr(a, "confidence", None),
+                    tuple(getattr(a, "sources", ())),
+                )
+                for a in value
+            ]
+        out[name] = value
+    return out
+
+
+def canonical_spans(obs: Observability) -> list[dict[str, object]]:
+    """The tracer's span stream minus wall-clock fields."""
+    return [span.to_dict(drop_timing=True) for span in obs.tracer.spans]
+
+
+@dataclass(slots=True)
+class DivergenceReport:
+    """Outcome of one sequential-vs-parallel replay."""
+
+    diverged: bool
+    queries: int
+    jobs: int
+    #: first divergent query index (None when identical).
+    query_index: int | None = None
+    #: first divergent result field ("" when identical).
+    field: str = ""
+    #: first divergent pipeline stage, from the span streams ("" when
+    #: identical or untraced).
+    stage: str = ""
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.diverged
+
+    def format_text(self) -> str:
+        if not self.diverged:
+            return (
+                f"parallel ≡ sequential: {self.queries} queries "
+                f"byte-identical at jobs={self.jobs}"
+            )
+        where = f"query #{self.query_index}, field {self.field!r}"
+        if self.stage:
+            where += f", first divergent stage {self.stage!r}"
+        return f"DIVERGENCE at {where}\n{self.detail}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "diverged": self.diverged,
+                "queries": self.queries,
+                "jobs": self.jobs,
+                "query_index": self.query_index,
+                "field": self.field,
+                "stage": self.stage,
+                "detail": self.detail,
+            },
+            indent=2,
+        )
+
+
+def _first_divergence(
+    seq: list[dict[str, object]],
+    par: list[dict[str, object]],
+) -> tuple[int, str] | None:
+    """(query index, field) of the first mismatch, else None."""
+    for index, (a, b) in enumerate(zip(seq, par)):
+        if a == b:
+            continue
+        for name in _RESULT_FIELDS:
+            if a.get(name) != b.get(name):
+                return index, name
+        return index, "<unknown>"
+    if len(seq) != len(par):
+        return min(len(seq), len(par)), "<batch length>"
+    return None
+
+
+def _first_span_mismatch(
+    seq: list[dict[str, object]],
+    par: list[dict[str, object]],
+) -> str:
+    """Name of the first span where the two streams disagree."""
+    for a, b in zip(seq, par):
+        if a != b:
+            return str(a.get("name", "<unnamed>"))
+    if len(seq) != len(par):
+        shorter = seq if len(seq) < len(par) else par
+        longer = par if len(seq) < len(par) else seq
+        return str(longer[len(shorter)].get("name", "<unnamed>"))
+    return ""
+
+
+def bisect_divergence(
+    factory: Callable[[Observability], Any],
+    queries: Sequence[Any],
+    *,
+    jobs: int = 4,
+    batch_size: int | None = None,
+) -> DivergenceReport:
+    """Replay ``queries`` sequential-vs-parallel and localize divergence.
+
+    ``factory`` builds one freshly ingested pipeline bound to the given
+    observability bundle; it is called twice so the two runs cannot
+    share mutable state.  Spans are compared only when the factory wires
+    the bundle in (pass ``Observability.enable()``-backed pipelines for
+    stage localization; a NOOP bundle still yields the query/field
+    verdict).
+    """
+    obs_seq = Observability.enable()
+    obs_par = Observability.enable()
+    rag_seq = factory(obs_seq)
+    rag_par = factory(obs_par)
+    results_seq = [
+        canonical_result(r)
+        for r in rag_seq.run_batch(queries, jobs=1, batch_size=batch_size)
+    ]
+    results_par = [
+        canonical_result(r)
+        for r in rag_par.run_batch(queries, jobs=jobs, batch_size=batch_size)
+    ]
+    hit = _first_divergence(results_seq, results_par)
+    if hit is None:
+        return DivergenceReport(
+            diverged=False, queries=len(queries), jobs=jobs
+        )
+    index, field_name = hit
+    stage = _first_span_mismatch(
+        canonical_spans(obs_seq), canonical_spans(obs_par)
+    )
+    if not stage:
+        # untraced pipelines: fall back to the per-result stage trace.
+        seq_trace = results_seq[index].get("trace") or [] if (
+            index < len(results_seq)
+        ) else []
+        par_trace = results_par[index].get("trace") or [] if (
+            index < len(results_par)
+        ) else []
+        for a, b in zip(list(seq_trace), list(par_trace)):  # type: ignore[arg-type]
+            if a != b:
+                stage = str(a)
+                break
+    detail = (
+        f"sequential: {json.dumps(results_seq[index], default=str)[:400]}\n"
+        f"parallel:   {json.dumps(results_par[index], default=str)[:400]}"
+        if index < len(results_seq) and index < len(results_par)
+        else "batch lengths differ"
+    )
+    return DivergenceReport(
+        diverged=True,
+        queries=len(queries),
+        jobs=jobs,
+        query_index=index,
+        field=field_name,
+        stage=stage,
+        detail=detail,
+    )

@@ -1,0 +1,82 @@
+"""Access-event recording for the runtime race sanitizer.
+
+Every instrumented operation on a shared pipeline object becomes one
+:class:`AccessEvent` — ``(worker, object label, attribute, read/write)``
+— recorded into a lock-guarded, deduplicating :class:`AccessLog`.
+Deduplication keeps the log O(distinct accesses) rather than O(calls):
+the conflict detector only needs *which* workers touched *what*, not how
+often, and the counts ride along for the event-log artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+
+#: access kinds, in the order reports list them.
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True, slots=True)
+class AccessEvent:
+    """One deduplicated access: who touched what, and how."""
+
+    worker: int
+    #: logical name of the shared object ("fusion.graph", "history").
+    label: str
+    #: attribute name, item key repr, or a dunder operation ("__iter__").
+    attr: str
+    #: :data:`READ` or :data:`WRITE`.
+    kind: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "worker": self.worker,
+            "label": self.label,
+            "attr": self.attr,
+            "kind": self.kind,
+        }
+
+
+class AccessLog:
+    """Thread-safe deduplicating event log.
+
+    ``record`` is on the instrumented hot path, so it does the minimum
+    under the lock: one dict upsert.  Reads snapshot under the same lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[AccessEvent, int] = {}
+
+    def record(self, event: AccessEvent) -> None:
+        with self._lock:
+            self._counts[event] = self._counts.get(event, 0) + 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counts)
+
+    def events(self) -> list[AccessEvent]:
+        """Deduplicated events, deterministically ordered."""
+        with self._lock:
+            items = list(self._counts)
+        return sorted(
+            items, key=lambda e: (e.label, e.attr, e.worker, e.kind)
+        )
+
+    def counts(self) -> dict[AccessEvent, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per deduplicated event (the CI artifact)."""
+        counts = self.counts()
+        lines = [
+            json.dumps({**event.to_dict(), "count": counts[event]},
+                       sort_keys=True)
+            for event in self.events()
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""The race sanitizer: conflict detection over recorded accesses.
+
+TSan-lite: instead of vector clocks, the sanitizer flags any pair of
+*distinct workers* that touched the same ``(object, attribute)`` with at
+least one write.  Worker tasks are meant to be independent — the
+``worker_view()`` split/absorb protocol gives each task its own copy of
+everything mutable — so a cross-worker conflicting access is an
+order-dependence hazard even when the thread pool happens to serialize
+it: it breaks the parallel ≡ sequential byte-identity contract, which is
+exactly what the reproduction guarantees.
+
+A :class:`RaceSanitizer` hangs off the pipeline when
+``MultiRAGConfig(sanitize=True)`` (or ``REPRO_SANITIZE=1``) is set;
+``worker_view()`` wraps each view's shared-by-reference attributes in
+:class:`~repro.san.proxy.AccessProxy` tripwires and reports attributes
+the view protocol failed to mirror as coverage gaps — the runtime twin
+of the static CONC002 rule.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.san.events import WRITE, AccessEvent, AccessLog
+from repro.san.proxy import AccessProxy
+
+#: conflict kinds.
+WRITE_WRITE = "write-write"
+READ_WRITE = "read-write"
+
+
+@dataclass(frozen=True, slots=True)
+class Conflict:
+    """Cross-worker conflicting access to one shared attribute."""
+
+    label: str
+    attr: str
+    #: :data:`WRITE_WRITE` or :data:`READ_WRITE`.
+    kind: str
+    #: sorted worker ids that wrote.
+    writers: tuple[int, ...]
+    #: sorted worker ids that only read (empty for write-write).
+    readers: tuple[int, ...]
+
+    def format(self) -> str:
+        who = f"writers={list(self.writers)}"
+        if self.readers:
+            who += f" readers={list(self.readers)}"
+        return f"{self.kind}: {self.label}.{self.attr} ({who})"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "attr": self.attr,
+            "kind": self.kind,
+            "writers": list(self.writers),
+            "readers": list(self.readers),
+        }
+
+
+@dataclass(slots=True)
+class SanitizerReport:
+    """Outcome of one sanitized run."""
+
+    conflicts: list[Conflict] = field(default_factory=list)
+    #: class name → view attributes worker_view() failed to mirror.
+    coverage_gaps: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: deduplicated access events observed.
+    events_seen: int = 0
+    workers_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts and not self.coverage_gaps
+
+    def format_text(self) -> str:
+        lines = [conflict.format() for conflict in self.conflicts]
+        for cls_name in sorted(self.coverage_gaps):
+            attrs = ", ".join(self.coverage_gaps[cls_name])
+            lines.append(
+                f"coverage gap: {cls_name}.worker_view() does not mirror "
+                f"attribute(s) {attrs} — workers are missing them"
+            )
+        lines.append(
+            f"{len(self.conflicts)} conflict(s), "
+            f"{len(self.coverage_gaps)} coverage gap(s) over "
+            f"{self.events_seen} access(es) by {self.workers_seen} worker(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "conflicts": [c.to_dict() for c in self.conflicts],
+                "coverage_gaps": {
+                    cls_name: list(attrs)
+                    for cls_name, attrs in sorted(self.coverage_gaps.items())
+                },
+                "events_seen": self.events_seen,
+                "workers_seen": self.workers_seen,
+            },
+            indent=2,
+        )
+
+
+class RaceSanitizer:
+    """Per-pipeline sanitizer state: worker ids, event log, verdicts."""
+
+    def __init__(self) -> None:
+        self.log = AccessLog()
+        self._lock = threading.Lock()
+        self._next_worker = 0
+        self._coverage_gaps: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # instrumentation hooks (called from worker_view on the main thread)
+    # ------------------------------------------------------------------
+    def next_worker(self) -> int:
+        """A fresh worker id for one view (locked for safety; the
+        pipeline only calls this from the submitting thread)."""
+        with self._lock:
+            worker = self._next_worker
+            self._next_worker += 1
+            return worker
+
+    def wrap(self, target: Any, worker: int, label: str) -> Any:
+        """An :class:`AccessProxy` tripwire over ``target``.
+
+        ``None`` passes through (optional pipeline attributes), as does
+        an existing proxy's raw target (re-wrapping under a new worker).
+        """
+        if target is None:
+            return None
+        if isinstance(target, AccessProxy):
+            target = object.__getattribute__(target, "_san_target")
+        return AccessProxy(target, self.log, worker, label)
+
+    def note_coverage_gap(self, cls_name: str, attrs: set[str]) -> None:
+        """Record view attributes ``worker_view()`` failed to mirror."""
+        if not attrs:
+            return
+        with self._lock:
+            known = set(self._coverage_gaps.get(cls_name, ()))
+            self._coverage_gaps[cls_name] = tuple(sorted(known | attrs))
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    def conflicts(self) -> list[Conflict]:
+        """Cross-worker conflicting accesses seen so far."""
+        by_site: dict[tuple[str, str], list[AccessEvent]] = {}
+        for event in self.log.events():
+            by_site.setdefault((event.label, event.attr), []).append(event)
+        out: list[Conflict] = []
+        for (label, attr) in sorted(by_site):
+            events = by_site[(label, attr)]
+            writers = sorted({e.worker for e in events if e.kind == WRITE})
+            readers = sorted(
+                {e.worker for e in events if e.kind != WRITE}
+                - set(writers)
+            )
+            if len(writers) >= 2:
+                out.append(Conflict(
+                    label=label, attr=attr, kind=WRITE_WRITE,
+                    writers=tuple(writers), readers=tuple(readers),
+                ))
+            elif writers and readers:
+                out.append(Conflict(
+                    label=label, attr=attr, kind=READ_WRITE,
+                    writers=tuple(writers), readers=tuple(readers),
+                ))
+        return out
+
+    def report(self) -> SanitizerReport:
+        """The sanitized run's verdict (conflicts + coverage gaps)."""
+        events = self.log.events()
+        with self._lock:
+            gaps = dict(self._coverage_gaps)
+            workers = self._next_worker
+        return SanitizerReport(
+            conflicts=self.conflicts(),
+            coverage_gaps=gaps,
+            events_seen=len(events),
+            workers_seen=workers,
+        )

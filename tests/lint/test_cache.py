@@ -126,6 +126,23 @@ class TestDegradation:
         report = lint_paths([pkg], cache_dir=cache)
         assert report.cache_hits == 0
 
+    def test_rule_version_bump_discards_cache(self, tmp_path, monkeypatch):
+        """The fingerprint is RULEID@version: bumping a rule's analysis
+        version must invalidate the whole cache, because its cached
+        findings may no longer match what the new analysis derives."""
+        from repro.lint import all_rules
+
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([pkg], cache_dir=cache)
+        rule = all_rules()[0]
+        monkeypatch.setattr(type(rule), "version", rule.version + 1)
+        report = lint_paths([pkg], cache_dir=cache)
+        assert report.cache_hits == 0
+        # and the bumped fingerprint is itself stable on the next run
+        warm = lint_paths([pkg], cache_dir=cache)
+        assert warm.cache_hits > 0
+
 
 class TestChangedOnly:
     def test_changed_only_filters_unchanged_files(self, tmp_path):

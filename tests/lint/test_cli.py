@@ -133,6 +133,23 @@ class TestFlowOptions:
         assert out.startswith("digraph")
         assert "->" in out
 
+    def test_graph_shared(self, capsys):
+        assert main(["lint", str(SRC), "--graph", "shared"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == "repro.core.pipeline.MultiRAG.run"
+        assert payload["root_present"]
+        protocol = payload["worker_view"]["repro.core.pipeline.MultiRAG"]
+        assert "fusion" in protocol["shared"]
+        assert "scorer" in protocol["split"]
+
+    def test_graph_shared_without_root(self, capsys):
+        # linting only the lint package: no MultiRAG.run, analysis
+        # stands down rather than inventing a worker path
+        assert main(["lint", str(SRC / "lint"), "--graph", "shared"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert not payload["root_present"]
+        assert payload["run_reachable"] == []
+
     def test_cache_warm_run_agrees(self, flow_dirty_dir, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         assert main(["lint", str(flow_dirty_dir), "--format", "json",

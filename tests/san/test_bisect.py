@@ -1,0 +1,126 @@
+"""Divergence bisector: toy pipelines with known divergence points,
+plus the real pipeline as a negative control."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.san import bisect_divergence, canonical_result
+from tests.conftest import make_sources
+from tests.exec.conftest import EVAL_QUERIES
+
+
+class _Result:
+    """A minimal duck-typed result (only generated_text and trace)."""
+
+    def __init__(self, text: str, trace: tuple[str, ...] = ()) -> None:
+        self.generated_text = text
+        self.trace = trace
+
+
+class _OrderlyPipe:
+    """jobs-independent: the correct behaviour."""
+
+    def run_batch(self, queries, jobs=1, batch_size=None):
+        return [_Result(f"ans-{q}") for q in queries]
+
+
+class _RacyPipe:
+    """Diverges at query #2 when run with more than one worker."""
+
+    def run_batch(self, queries, jobs=1, batch_size=None):
+        out = []
+        for index, q in enumerate(queries):
+            text = f"ans-{q}"
+            if jobs is not None and jobs > 1 and index == 2:
+                text += "-corrupt"
+            out.append(_Result(
+                text,
+                trace=("retrieve", "score", f"generate:{text}"),
+            ))
+        return out
+
+
+class TestToyPipelines:
+    def test_identical_runs_report_clean(self):
+        report = bisect_divergence(
+            lambda obs: _OrderlyPipe(), ["a", "b", "c"], jobs=4
+        )
+        assert report.ok
+        assert not report.diverged
+        assert report.queries == 3
+        assert "byte-identical" in report.format_text()
+
+    def test_divergence_is_localized_to_query_and_field(self):
+        report = bisect_divergence(
+            lambda obs: _RacyPipe(), ["a", "b", "c", "d"], jobs=4
+        )
+        assert report.diverged
+        assert report.query_index == 2
+        assert report.field == "generated_text"
+        assert "query #2" in report.format_text()
+
+    def test_stage_falls_back_to_the_result_trace(self):
+        # the toy pipelines never touch the obs bundle, so the span
+        # streams are empty and localization uses the per-result trace
+        report = bisect_divergence(
+            lambda obs: _RacyPipe(), ["a", "b", "c"], jobs=2
+        )
+        assert report.diverged
+        assert report.stage.startswith("generate")
+
+    def test_batch_length_mismatch(self):
+        class _Dropper:
+            def run_batch(self, queries, jobs=1, batch_size=None):
+                kept = queries if (jobs or 1) == 1 else queries[:-1]
+                return [_Result(f"ans-{q}") for q in kept]
+
+        report = bisect_divergence(lambda obs: _Dropper(), ["a", "b"], jobs=2)
+        assert report.diverged
+        assert report.field == "<batch length>"
+
+    def test_json_payload(self):
+        report = bisect_divergence(
+            lambda obs: _RacyPipe(), ["a", "b", "c"], jobs=2
+        )
+        payload = json.loads(report.to_json())
+        assert payload["diverged"] is True
+        assert payload["query_index"] == 2
+        assert payload["jobs"] == 2
+
+
+class TestRealPipeline:
+    def test_real_pipeline_does_not_diverge(self):
+        def factory(obs):
+            config = MultiRAGConfig(
+                extraction_noise=0.0, update_history=False
+            )
+            rag = MultiRAG.from_config(config, obs=obs)
+            rag.ingest(make_sources())
+            return rag
+
+        report = bisect_divergence(factory, list(EVAL_QUERIES), jobs=4)
+        assert report.ok, report.format_text()
+        # stage localization had spans to work with: both runs traced
+        assert report.queries == len(EVAL_QUERIES)
+
+
+class TestCanonicalResult:
+    def test_answers_are_flattened_to_triples(self):
+        class _Answer:
+            def __init__(self):
+                self.value = "2010"
+                self.confidence = 0.9
+                self.sources = ["s1", "s2"]
+
+        class _WithAnswers:
+            answers = [_Answer()]
+
+        out = canonical_result(_WithAnswers())
+        assert out["answers"] == [("2010", 0.9, ("s1", "s2"))]
+
+    def test_unknown_fields_are_none(self):
+        out = canonical_result(object())
+        assert out["generated_text"] is None
+        assert out["trace"] is None

@@ -1,0 +1,135 @@
+"""RaceSanitizer verdicts: conflict grouping, coverage gaps, reports."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.san import (
+    READ_WRITE,
+    WRITE_WRITE,
+    AccessProxy,
+    RaceSanitizer,
+)
+
+
+class Box:
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class TestConflicts:
+    def test_single_worker_never_conflicts(self):
+        san = RaceSanitizer()
+        proxy = san.wrap(Box(), san.next_worker(), "box")
+        proxy.value = 1
+        proxy.value = 2
+        _ = proxy.value
+        assert san.conflicts() == []
+        assert san.report().ok
+
+    def test_cross_worker_write_write(self):
+        san = RaceSanitizer()
+        box = Box()
+        a = san.wrap(box, san.next_worker(), "box")
+        b = san.wrap(box, san.next_worker(), "box")
+        a.value = 1
+        b.value = 2
+        (conflict,) = san.conflicts()
+        assert conflict.kind == WRITE_WRITE
+        assert conflict.writers == (0, 1)
+        assert conflict.readers == ()
+        assert "box.value" in conflict.format()
+
+    def test_cross_worker_read_write(self):
+        san = RaceSanitizer()
+        box = Box()
+        writer = san.wrap(box, san.next_worker(), "box")
+        reader = san.wrap(box, san.next_worker(), "box")
+        writer.value = 1
+        _ = reader.value
+        (conflict,) = san.conflicts()
+        assert conflict.kind == READ_WRITE
+        assert conflict.writers == (0,)
+        assert conflict.readers == (1,)
+
+    def test_parallel_reads_are_clean(self):
+        san = RaceSanitizer()
+        box = Box()
+        proxies = [san.wrap(box, san.next_worker(), "box") for _ in range(4)]
+        for proxy in proxies:
+            _ = proxy.value
+        assert san.conflicts() == []
+
+    def test_distinct_objects_never_cross(self):
+        san = RaceSanitizer()
+        a = san.wrap(Box(), san.next_worker(), "left")
+        b = san.wrap(Box(), san.next_worker(), "right")
+        a.value = 1
+        b.value = 2
+        assert san.conflicts() == []
+
+    def test_concurrent_recording_is_thread_safe(self):
+        san = RaceSanitizer()
+        box = Box()
+        proxies = [san.wrap(box, san.next_worker(), "box") for _ in range(8)]
+
+        def hammer(proxy: AccessProxy) -> None:
+            for _ in range(200):
+                proxy.value = 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(p,)) for p in proxies
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        (conflict,) = san.conflicts()
+        assert conflict.kind == WRITE_WRITE
+        assert conflict.writers == tuple(range(8))
+
+
+class TestWrapAndGaps:
+    def test_none_passes_through(self):
+        san = RaceSanitizer()
+        assert san.wrap(None, 0, "absent") is None
+
+    def test_rewrap_unwraps_the_old_proxy(self):
+        san = RaceSanitizer()
+        box = Box()
+        first = san.wrap(box, 0, "box")
+        second = san.wrap(first, 1, "box")
+        assert object.__getattribute__(second, "_san_target") is box
+
+    def test_coverage_gaps_accumulate(self):
+        san = RaceSanitizer()
+        san.note_coverage_gap("CachingRAG", {"extra_cache"})
+        san.note_coverage_gap("CachingRAG", {"warm_index"})
+        san.note_coverage_gap("CachingRAG", set())  # no-op
+        report = san.report()
+        assert report.coverage_gaps == {
+            "CachingRAG": ("extra_cache", "warm_index"),
+        }
+        assert not report.ok
+        assert "does not mirror" in report.format_text()
+
+
+class TestReport:
+    def test_json_roundtrip(self):
+        san = RaceSanitizer()
+        box = Box()
+        san.wrap(box, san.next_worker(), "box").value = 1
+        san.wrap(box, san.next_worker(), "box").value = 2
+        payload = json.loads(san.report().to_json())
+        assert payload["ok"] is False
+        assert payload["workers_seen"] == 2
+        (conflict,) = payload["conflicts"]
+        assert conflict["kind"] == WRITE_WRITE
+        assert conflict["writers"] == [0, 1]
+
+    def test_clean_summary_line(self):
+        san = RaceSanitizer()
+        text = san.report().format_text()
+        assert "0 conflict(s)" in text
+        assert "0 coverage gap(s)" in text

@@ -1,0 +1,127 @@
+"""AccessProxy unit tests: transparency first, recording second.
+
+The proxy's contract is that instrumented code behaves byte-for-byte
+like uninstrumented code — same values, exceptions, iteration order —
+while every attribute and container operation lands in the log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.san import READ, WRITE, AccessLog, AccessProxy, unwrap
+
+
+class Thing:
+    def __init__(self) -> None:
+        self.value = 1
+        self.items: list[int] = []
+
+    def bump(self) -> int:
+        self.value += 1
+        return self.value
+
+
+@pytest.fixture()
+def log() -> AccessLog:
+    return AccessLog()
+
+
+def events(log: AccessLog) -> list[tuple[int, str, str, str]]:
+    return [(e.worker, e.label, e.attr, e.kind) for e in log.events()]
+
+
+class TestTransparency:
+    def test_attribute_reads_forward(self, log):
+        proxy = AccessProxy(Thing(), log, 0, "thing")
+        assert proxy.value == 1
+        assert proxy.bump() == 2
+        assert proxy.value == 2
+
+    def test_attribute_writes_hit_the_target(self, log):
+        target = Thing()
+        proxy = AccessProxy(target, log, 0, "thing")
+        proxy.value = 9
+        assert target.value == 9
+        del proxy.value
+        assert not hasattr(target, "value")
+
+    def test_container_protocol_forwards(self, log):
+        target = {"a": 1, "b": 2}
+        proxy = AccessProxy(target, log, 0, "map")
+        assert proxy["a"] == 1
+        proxy["c"] = 3
+        assert target["c"] == 3
+        del proxy["b"]
+        assert "b" not in target
+        assert "a" in proxy
+        assert len(proxy) == 2
+        assert sorted(proxy) == ["a", "c"]
+        assert bool(proxy)
+
+    def test_missing_attribute_raises_like_the_target(self, log):
+        proxy = AccessProxy(Thing(), log, 0, "thing")
+        with pytest.raises(AttributeError):
+            proxy.nonexistent
+
+    def test_eq_hash_repr_match_the_target(self, log):
+        target = (1, 2, 3)
+        proxy = AccessProxy(target, log, 0, "tup")
+        other = AccessProxy(target, log, 1, "tup")
+        assert proxy == target
+        assert proxy == other  # proxy-vs-proxy unwraps both sides
+        assert hash(proxy) == hash(target)
+        assert repr(proxy) == repr(target)
+
+    def test_unwrap(self, log):
+        target = Thing()
+        proxy = AccessProxy(target, log, 0, "thing")
+        assert unwrap(proxy) is target
+        assert unwrap(target) is target
+
+
+class TestRecording:
+    def test_read_and_write_kinds(self, log):
+        proxy = AccessProxy(Thing(), log, 3, "thing")
+        proxy.value          # plain read
+        proxy.value = 5      # attribute write
+        recorded = events(log)
+        assert (3, "thing", "value", READ) in recorded
+        assert (3, "thing", "value", WRITE) in recorded
+
+    def test_mutator_method_access_records_a_write(self, log):
+        proxy = AccessProxy(Thing(), log, 0, "thing")
+        proxy.items.append(1)  # .items is READ; the list itself is raw
+        recorded = events(log)
+        assert (0, "thing", "items", READ) in recorded
+        # a mutator *on the proxy itself* records WRITE at access time
+        seq = AccessProxy([1], log, 0, "seq")
+        seq.append(2)
+        assert (0, "seq", "append", WRITE) in events(log)
+
+    def test_subscript_records_key_repr(self, log):
+        proxy = AccessProxy({}, log, 1, "map")
+        proxy["k"] = 1
+        _ = proxy["k"]
+        recorded = events(log)
+        assert (1, "map", "'k'", WRITE) in recorded
+        assert (1, "map", "'k'", READ) in recorded
+
+    def test_duplicate_events_dedup_into_counts(self, log):
+        proxy = AccessProxy(Thing(), log, 0, "thing")
+        for _ in range(5):
+            proxy.value
+        assert len(log.events()) == 1
+        ((event, count),) = log.counts().items()
+        assert (event.attr, event.kind, count) == ("value", READ, 5)
+
+    def test_jsonl_export_is_sorted_and_parseable(self, log):
+        import json
+
+        proxy = AccessProxy(Thing(), log, 0, "thing")
+        proxy.value
+        proxy.value = 2
+        lines = log.to_jsonl().strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [r["kind"] for r in rows] == [READ, WRITE]
+        assert all(r["label"] == "thing" for r in rows)

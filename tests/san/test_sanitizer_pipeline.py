@@ -1,0 +1,157 @@
+"""The sanitizer on the real pipeline: transparency and fault injection.
+
+Three contracts:
+
+1. the sanitizer is *transparent* — a sanitized parallel batch is
+   byte-identical to an unsanitized one (and to the sequential run);
+2. a clean pipeline produces a clean report (no false positives);
+3. an injected cross-worker mutation is caught by BOTH analyzers — the
+   runtime sanitizer flags the write-write conflict, and the static
+   CONC001 rule flags the same code pattern.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.lint import lint_sources
+from repro.san import WRITE_WRITE, canonical_result
+from tests.conftest import make_sources
+from tests.exec.conftest import EVAL_QUERIES
+
+
+def build(sanitize: bool) -> MultiRAG:
+    config = MultiRAGConfig(
+        extraction_noise=0.0, update_history=False, sanitize=sanitize
+    )
+    rag = MultiRAG(config)
+    rag.ingest(make_sources())
+    return rag
+
+
+class TestTransparency:
+    def test_sanitized_batch_is_byte_identical(self):
+        plain = build(sanitize=False)
+        sanitized = build(sanitize=True)
+        queries = list(EVAL_QUERIES)
+        base = [canonical_result(r) for r in plain.run_batch(queries, jobs=4)]
+        under = [
+            canonical_result(r)
+            for r in sanitized.run_batch(queries, jobs=4)
+        ]
+        assert base == under
+
+    def test_clean_pipeline_reports_clean(self):
+        rag = build(sanitize=True)
+        rag.run_batch(list(EVAL_QUERIES), jobs=4)
+        assert rag.san is not None
+        report = rag.san.report()
+        assert report.ok, "\n" + report.format_text()
+        assert report.workers_seen == len(EVAL_QUERIES)
+        assert report.events_seen > 0
+
+    def test_disabled_sanitizer_leaves_no_trace(self):
+        rag = build(sanitize=False)
+        assert rag.san is None
+        view = rag.worker_view()
+        assert view.san is None
+        # shared attrs are the raw objects, not proxies
+        assert view.fusion is rag.fusion
+        assert view.history is rag.history
+
+    def test_fixture_teardown_contract(self, sanitized_rag):
+        results = sanitized_rag.run_batch(list(EVAL_QUERIES[:3]), jobs=2)
+        assert len(results) == 3
+        # the fixture's teardown asserts the report is clean
+
+
+#: the injected race, as source: what the monkeypatched run() below does.
+RACY_SOURCE = {
+    "repro/core/pipeline.py": (
+        "class MultiRAG:\n"
+        "    def worker_view(self):\n"
+        "        view = object.__new__(MultiRAG)\n"
+        "        view.fusion = self.fusion\n"
+        "        view._entity_by_norm = self._entity_by_norm\n"
+        "        view.scorer = NodeScorer()\n"
+        "        return view\n"
+        "\n"
+        "    def run(self, query):\n"
+        "        self._entity_by_norm['__racy__'] = query\n"
+        "        return query\n"
+    ),
+}
+
+
+class TestFaultInjection:
+    def test_static_analyzer_catches_the_race(self):
+        findings = lint_sources(RACY_SOURCE, select={"CONC001"}).findings
+        assert [f.rule_id for f in findings] == ["CONC001"]
+        assert "_entity_by_norm" in findings[0].message
+        assert "shares self._entity_by_norm by reference" in (
+            findings[0].message
+        )
+
+    def test_runtime_sanitizer_catches_the_race(self, monkeypatch):
+        original_run = MultiRAG.run
+
+        def racy_run(self, query):
+            # the same pattern RACY_SOURCE encodes, executed for real:
+            # every worker writes one shared dict entry
+            self._entity_by_norm["__racy__"] = str(query)
+            return original_run(self, query)
+
+        monkeypatch.setattr(MultiRAG, "run", racy_run)
+        rag = build(sanitize=True)
+        rag.run_batch(list(EVAL_QUERIES), jobs=4)
+        assert rag.san is not None
+        report = rag.san.report()
+        assert not report.ok
+        kinds = {c.kind for c in report.conflicts}
+        assert WRITE_WRITE in kinds
+        labels = {c.label for c in report.conflicts}
+        assert "_entity_by_norm" in labels
+
+    def test_runtime_sanitizer_catches_coverage_gaps(self):
+        rag = build(sanitize=True)
+        # a subclass-style extension: state worker_view() never mirrors
+        object.__setattr__(rag, "extra_cache", {})
+        rag.worker_view()
+        assert rag.san is not None
+        report = rag.san.report()
+        assert report.coverage_gaps == {"MultiRAG": ("extra_cache",)}
+        assert not report.ok
+
+    def test_injected_race_survives_suppression_audit(self):
+        """The static finding is a *new* one, not an already-suppressed
+        site — i.e. the gate would actually fail on this code."""
+        report = lint_sources(RACY_SOURCE, select={"CONC001"})
+        assert not report.ok
+
+
+class TestConfigWiring:
+    def test_sanitize_flag_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert MultiRAGConfig().sanitize is False
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert MultiRAGConfig().sanitize is True
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert MultiRAGConfig().sanitize is False
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        config = dataclasses.replace(MultiRAGConfig(), sanitize=True)
+        rag = MultiRAG(config)
+        assert rag.san is not None
+
+
+@pytest.mark.filterwarnings("error::DeprecationWarning")
+def test_sanitized_run_is_deprecation_clean():
+    rag = build(sanitize=True)
+    rag.run_batch(list(EVAL_QUERIES[:2]), jobs=2)
+    assert rag.san is not None and rag.san.report().ok
