@@ -104,7 +104,7 @@ def mcc(
     obs = obs if obs is not None else NOOP
     metrics = obs.metrics
     result = MCCResult()
-    for group in groups:
+    for group in groups:  # repro-lint: loop-bound[1] — every caller passes the single group matching one (entity, attribute) key
         key = f"{group.snode.entity}|{group.snode.name}"
         graph_conf: float | None = None
         fast_path = False
@@ -183,7 +183,7 @@ def mcc(
             skipped = []
 
         with obs.tracer.span("mcc.node", key=key) as nspan:
-            for member in to_assess:
+            for member in to_assess:  # repro-lint: loop-bound[C] — at most the candidate claims of one key
                 assessment = scorer.assess(member, group)
                 group.set_weight(member, assessment.confidence)
                 result.nodes_scored += 1

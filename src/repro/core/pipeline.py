@@ -657,7 +657,7 @@ class MultiRAG:
         trace: list[str] = []
         total_qt = 0.0
         total_pt = 0.0
-        for entity, attribute in hops:
+        for entity, attribute in hops:  # repro-lint: loop-bound[H] — one retrieval round per query hop
             if entity is None:
                 if result is None or not result.answers:
                     empty = RetrievalResult(query=f"? | {attribute}")
@@ -903,7 +903,7 @@ class MultiRAG:
         target = normalize_value(entity)
         candidates: list[Triple] = []
         seen: set[tuple[str, str, str, str]] = set()
-        for hit in hits:
+        for hit in hits:  # repro-lint: loop-bound[2*S] — retrieve_per_source(k_per_source=2) over S sources
             for subject, predicate, obj in self.llm.extract_triples(hit.item.text, []):
                 if predicate != attribute or normalize_value(subject) != target:
                     continue

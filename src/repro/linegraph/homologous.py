@@ -60,7 +60,7 @@ class HomologousGroup:
         return LineGraph(self.members)
 
     def set_weight(self, triple: Triple, weight: float) -> None:
-        self.weights[triple] = weight  # repro-lint: ignore[CONC001] — the query path only weights groups it constructed for that retrieval (MultiRAG._as_group); ingest-time groups are weighted before workers exist
+        self.weights[triple] = weight  # repro-lint: ignore[CONC001,RES004] — CONC: the query path only weights groups it constructed for that retrieval (MultiRAG._as_group); ingest-time groups are weighted before workers exist. RES: keys are confined to the group's member triples, so the map is bounded by the substrate and entries are overwritten, not accumulated
 
     def weight(self, triple: Triple) -> float:
         return self.weights.get(triple, 1.0)

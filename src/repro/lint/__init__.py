@@ -39,6 +39,7 @@ from repro.lint.engine import (
 )
 from repro.lint.findings import Finding, Severity
 from repro.lint.flow.concurrency import shared_state_report
+from repro.lint.flow.resources import llm_bounds_payload, llm_call_report
 from repro.lint.registry import (
     FlowRule,
     ModuleUnderLint,
@@ -70,6 +71,8 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "lint_sources",
+    "llm_bounds_payload",
+    "llm_call_report",
     "register_rule",
     "rule_ids",
     "shared_state_report",

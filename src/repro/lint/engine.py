@@ -96,6 +96,75 @@ class LintReport:
             indent=2,
         )
 
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 report (``repro lint --format sarif``) so CI can
+        upload findings as code-scanning annotations.
+
+        Rule metadata comes from the registry; only rules that actually
+        fired (plus the syntax-error pseudo rule) appear in the driver's
+        rule table, keeping the document small.
+        """
+        fired = {f.rule_id for f in self.findings}
+        rules_meta: list[dict[str, object]] = []
+        rule_index: dict[str, int] = {}
+        for rule in all_rules():
+            if rule.rule_id not in fired:
+                continue
+            rule_index[rule.rule_id] = len(rules_meta)
+            rules_meta.append({
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.description},
+                "properties": {
+                    "family": rule.family,
+                    "version": rule.version,
+                },
+            })
+        for rule_id in sorted(fired - set(rule_index)):
+            # SYN001 and anything else without a registered class.
+            rule_index[rule_id] = len(rules_meta)
+            rules_meta.append({
+                "id": rule_id,
+                "shortDescription": {"text": "file does not parse"},
+            })
+        results = [
+            {
+                "ruleId": f.rule_id,
+                "ruleIndex": rule_index[f.rule_id],
+                "level": "error" if f.severity is Severity.ERROR
+                else "warning",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    },
+                }],
+            }
+            for f in self.findings
+        ]
+        return json.dumps(
+            {
+                "$schema": (
+                    "https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                ),
+                "version": "2.1.0",
+                "runs": [{
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "rules": rules_meta,
+                        },
+                    },
+                    "results": results,
+                }],
+            },
+            indent=2,
+        )
+
 
 def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
     """Every ``.py`` file under ``paths`` (files kept, dirs walked), sorted.

@@ -33,6 +33,7 @@ class CachingLLM(LLMClient):
         cache_path: str | Path | None = None,
         free_hits: bool = False,
         obs: Observability | None = None,
+        max_entries: int | None = None,
     ) -> None:
         super().__init__(inner.base_latency_s, inner.latency_per_token_s)
         self.inner = inner
@@ -40,10 +41,26 @@ class CachingLLM(LLMClient):
         self.hits = 0
         self.misses = 0
         self.obs = obs if obs is not None else NOOP
+        #: FIFO eviction cap; None = unbounded (offline experiment runs).
+        #: An always-on server must set a cap — an unbounded prompt
+        #: stream would otherwise grow the cache without limit (RES004).
+        self.max_entries = max_entries
         self._cache: dict[str, str] = {}
         self._cache_path = Path(cache_path) if cache_path else None
         if self._cache_path and self._cache_path.exists():
             self._cache = json.loads(self._cache_path.read_text())
+
+    def _store(self, prompt: str, text: str) -> None:
+        """Insert one completion, evicting oldest-first at ``max_entries``.
+
+        Eviction only affects hit/miss accounting: the inner client is
+        deterministic per prompt, so a re-miss regenerates identical
+        text.
+        """
+        if self.max_entries is not None and prompt not in self._cache:
+            while len(self._cache) >= max(1, self.max_entries):
+                self._cache.pop(next(iter(self._cache)))
+        self._cache[prompt] = text  # repro-lint: ignore[CONC001] — cache is shared across clones by design: fills are idempotent (deterministic text per prompt), so concurrent writers store identical values
 
     def _generate(self, prompt: str) -> str:
         cached = self._cache.get(prompt)
@@ -54,7 +71,7 @@ class CachingLLM(LLMClient):
         self.misses += 1  # repro-lint: ignore[CONC001] — per-clone counter (see above)
         self.obs.metrics.counter("llm.cache.misses").inc()
         text = self.inner._generate(prompt)
-        self._cache[prompt] = text  # repro-lint: ignore[CONC001] — cache is shared across clones by design: fills are idempotent (deterministic text per prompt), so concurrent writers store identical values
+        self._store(prompt, text)
         return text
 
     def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
@@ -77,17 +94,24 @@ class CachingLLM(LLMClient):
         """
         ordered = list(prompts)
         pending: list[str] = []
-        filled: set[str] = set()
+        texts: dict[str, str] = {}
         hit_flags: list[bool] = []
         for prompt in ordered:
-            hit = prompt in self._cache or prompt in filled
-            hit_flags.append(hit)
-            if not hit:
-                filled.add(prompt)
-                pending.append(prompt)
+            if prompt in texts:
+                hit_flags.append(True)
+                continue
+            cached = self._cache.get(prompt)
+            if cached is not None:
+                texts[prompt] = cached
+                hit_flags.append(True)
+                continue
+            hit_flags.append(False)
+            texts[prompt] = ""  # scheduled; filled from the batch below
+            pending.append(prompt)
         if pending:
             for prompt, text in zip(pending, self.inner._generate_many(pending)):
-                self._cache[prompt] = text
+                texts[prompt] = text
+                self._store(prompt, text)
         responses: list[LLMResponse] = []
         for prompt, hit in zip(ordered, hit_flags):
             if hit:
@@ -98,7 +122,7 @@ class CachingLLM(LLMClient):
                 self.obs.metrics.counter("llm.cache.misses").inc()
             latency = 0.0 if hit and self.free_hits else None
             responses.append(
-                self._account(prompt, self._cache[prompt], task, latency_s=latency)
+                self._account(prompt, texts[prompt], task, latency_s=latency)
             )
         return responses
 

@@ -1,0 +1,46 @@
+"""Doc-drift gate: the rule catalogue documents every registered rule.
+
+``docs/static_analysis.md`` is the human half of the lint contract —
+each rule id must appear there (in a catalogue table row or prose)
+before the rule ships, and retired rules must not linger as phantom
+table rows.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.lint import all_rules
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "static_analysis.md"
+RULE_ID_RE = re.compile(r"\b([A-Z]{2,4}\d{3})\b")
+
+
+def test_every_registered_rule_is_documented():
+    text = DOC.read_text()
+    missing = [
+        rule.rule_id for rule in all_rules() if rule.rule_id not in text
+    ]
+    assert not missing, (
+        f"rule(s) {missing} are registered but absent from "
+        "docs/static_analysis.md — add a catalogue row"
+    )
+
+
+def test_no_phantom_rule_ids_in_catalogue_tables():
+    registered = {rule.rule_id for rule in all_rules()}
+    # Ids sanctioned in prose without a registered rule behind them.
+    sanctioned = {"SYN001", "EXE001", "DET007"}  # parse failures, retired, example
+    phantom = set()
+    for line in DOC.read_text().splitlines():
+        # only audit catalogue table rows: "| RULEID | severity | ..."
+        if not line.startswith("| "):
+            continue
+        for rule_id in RULE_ID_RE.findall(line.split("|")[1]):
+            if rule_id not in registered and rule_id not in sanctioned:
+                phantom.add(rule_id)
+    assert not phantom, (
+        f"docs/static_analysis.md documents unregistered rule(s) "
+        f"{sorted(phantom)} — remove the stale row(s)"
+    )

@@ -39,5 +39,5 @@ def test_rule_catalogue_is_substantial():
     families = {rule_id.rstrip("0123456789") for rule_id in ids}
     assert families == {
         "DET", "LAY", "ERR", "API", "EXC", "DC", "CONC", "ASY", "TNT",
-        "OBS", "PERF",
+        "OBS", "PERF", "RES",
     }

@@ -1,0 +1,31 @@
+"""Drift gate: the committed call bounds match the current analysis.
+
+``results/llm_call_bounds.json`` is a build artifact of the static
+analysis (``repro lint --graph llm-bounds``).  If pipeline or baseline
+code changes the LLM call structure, the committed file must be
+regenerated in the same change — otherwise the runtime budget gate
+would silently check against stale bounds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.lint import build_program_for_paths
+from repro.lint.flow.resources import llm_bounds_payload
+
+REPO = Path(__file__).resolve().parents[2]
+BOUNDS_PATH = REPO / "results" / "llm_call_bounds.json"
+SRC = Path(repro.__file__).resolve().parent
+
+
+def test_committed_bounds_match_computed():
+    committed = json.loads(BOUNDS_PATH.read_text())
+    computed = llm_bounds_payload(build_program_for_paths([SRC]))
+    assert committed == computed, (
+        "results/llm_call_bounds.json is stale — regenerate with "
+        "`python -m repro lint --graph llm-bounds > "
+        "results/llm_call_bounds.json`"
+    )

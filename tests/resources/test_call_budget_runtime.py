@@ -1,0 +1,188 @@
+"""Runtime twin of the static call-budget analysis (RES002).
+
+``results/llm_call_bounds.json`` holds the per-query LLM call bounds the
+lint certifies for every registered algorithm, as polynomials over the
+corpus symbols ``S`` (sources), ``H`` (max hops per chain query) and
+``C`` (max candidate claims per key).  The static analysis resolves
+virtual dispatch to declared receiver types and sums branches, so it is
+an over-approximation — this gate closes the loop dynamically: it runs
+every algorithm over a small corpus and asserts the observed
+``UsageMeter`` call counts never exceed the certified bound evaluated
+at that corpus's symbol values.
+
+A failure here means either a code path makes more LLM calls than the
+lint can see (an analysis soundness bug) or the committed bounds are
+stale (regenerate with ``repro lint --graph llm-bounds``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import FUSION_METHODS, QA_METHODS
+from repro.datasets import make_hotpotqa_like, make_movies
+from repro.eval import build_substrate
+from repro.lint.flow.resources import bound_from_jsonable
+
+REPO = Path(__file__).resolve().parents[2]
+BOUNDS_PATH = REPO / "results" / "llm_call_bounds.json"
+
+
+@pytest.fixture(scope="module")
+def bounds() -> dict:
+    return json.loads(BOUNDS_PATH.read_text())["bounds"]
+
+
+@pytest.fixture(scope="module")
+def fusion_world():
+    dataset = make_movies(scale=0.5, seed=3, n_queries=4)
+    substrate = build_substrate(dataset, seed=3, extraction_noise=0.0)
+    return dataset, substrate
+
+
+@pytest.fixture(scope="module")
+def qa_world():
+    corpus = make_hotpotqa_like(n_queries=6, seed=1)
+    return corpus, build_substrate(corpus, seed=1)
+
+
+def meters_of(method) -> list:
+    """Every UsageMeter an algorithm can account LLM calls against."""
+    out = []
+    llm = getattr(method, "llm", None)
+    if llm is not None:
+        out.append(llm.meter)
+    pipeline = getattr(method, "pipeline", None)
+    if pipeline is not None:
+        out.append(pipeline.llm.meter)
+    assert out or not hasattr(method, "llm"), method
+    return out
+
+
+def max_claims_per_key(graph) -> int:
+    return max((len(graph.by_key(*key)) for key in graph.keys()), default=0)
+
+
+def env_for(method, substrate, hops: int) -> dict[str, int]:
+    """Corpus symbol values; C is maximised over every graph in play."""
+    claims = max_claims_per_key(substrate.graph)
+    pipeline = getattr(method, "pipeline", None)
+    if pipeline is not None:
+        claims = max(claims, max_claims_per_key(pipeline.fusion.graph))
+    return {
+        "S": len(substrate.dataset.raw_sources())
+        if hasattr(substrate.dataset, "raw_sources")
+        else len(substrate.dataset.sources),
+        "H": max(1, hops),
+        "C": max(1, claims),
+    }
+
+
+def observed_calls(method, run) -> int:
+    meters = meters_of(method)
+    before = [m.checkpoint() for m in meters]
+    run()
+    return int(sum(
+        m.delta(b)["calls"] for m, b in zip(meters, before)
+    ))
+
+
+class TestCoverage:
+    def test_every_fusion_method_has_a_certified_bound(self, bounds):
+        missing = {
+            f"fusion:{name}" for name in FUSION_METHODS
+        } - set(bounds)
+        assert not missing
+
+    def test_every_qa_method_has_a_certified_bound(self, bounds):
+        missing = {f"qa:{name}" for name in QA_METHODS} - set(bounds)
+        assert not missing
+
+    def test_pipeline_entry_is_certified(self, bounds):
+        assert "multirag" in bounds
+
+    def test_every_bound_is_finite(self, bounds):
+        unbounded = {
+            key for key, doc in bounds.items() if doc["terms"] is None
+        }
+        assert not unbounded, (
+            f"{sorted(unbounded)} certified unbounded — fix the loop or "
+            "annotate it (RES002)"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(FUSION_METHODS))
+def test_fusion_calls_within_certified_bound(name, bounds, fusion_world):
+    dataset, substrate = fusion_world
+    bound = bound_from_jsonable(bounds[f"fusion:{name}"]["terms"])
+    method = FUSION_METHODS[name]()
+    method.setup(substrate)
+    env = env_for(method, substrate, hops=1)
+    budget = bound.evaluate(env)
+    for query in dataset.queries:
+        calls = observed_calls(
+            method, lambda: method.query(query.entity, query.attribute)
+        )
+        assert calls <= budget, (
+            f"{name}: {calls} LLM calls on {query.qid} exceeds the "
+            f"certified bound {bounds[f'fusion:{name}']['bound']} = "
+            f"{budget} at {env}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(QA_METHODS))
+def test_qa_calls_within_certified_bound(name, bounds, qa_world):
+    corpus, substrate = qa_world
+    bound = bound_from_jsonable(bounds[f"qa:{name}"]["terms"])
+    method = QA_METHODS[name]()
+    method.setup(substrate)
+    for query in corpus.queries:
+        # Both decomposition chains of a comparison question run, so the
+        # hop symbol is valued at their total.
+        env = env_for(
+            method, substrate, hops=len(query.hops) + len(query.hops_b)
+        )
+        budget = bound.evaluate(env)
+        calls = observed_calls(method, lambda: method.answer(query))
+        assert calls <= budget, (
+            f"{name}: {calls} LLM calls on {query.qid} exceeds the "
+            f"certified bound {bounds[f'qa:{name}']['bound']} = "
+            f"{budget} at {env}"
+        )
+
+
+def test_pipeline_run_within_certified_bound(bounds, fusion_world):
+    from repro.core import MultiRAG, MultiRAGConfig
+    from repro.exec import Query
+
+    dataset, substrate = fusion_world
+    bound = bound_from_jsonable(bounds["multirag"]["terms"])
+    rag = MultiRAG(config=MultiRAGConfig(extraction_noise=0.0))
+    rag.ingest(dataset.raw_sources())
+    env = {
+        "S": len(dataset.raw_sources()),
+        "H": 1,
+        "C": max(1, max_claims_per_key(rag.fusion.graph)),
+    }
+    budget = bound.evaluate(env)
+    for query in dataset.queries:
+        before = rag.llm.meter.checkpoint()
+        rag.run(Query.key(query.entity, query.attribute))
+        calls = int(rag.llm.meter.delta(before)["calls"])
+        assert calls <= budget, (
+            f"MultiRAG.run: {calls} calls on {query.qid} exceeds "
+            f"{bounds['multirag']['bound']} = {budget} at {env}"
+        )
+    # a two-hop chain query values H at 2
+    chain_env = dict(env, H=2)
+    chain_budget = bound.evaluate(chain_env)
+    first = dataset.queries[0]
+    before = rag.llm.meter.checkpoint()
+    rag.run(Query.chain([
+        (first.entity, first.attribute), (None, first.attribute),
+    ]))
+    calls = int(rag.llm.meter.delta(before)["calls"])
+    assert calls <= chain_budget
