@@ -107,3 +107,36 @@ def test_noop_seam_per_call_cost_is_nanoscale():
     # 50µs is 5% of a 1ms query — the pipeline makes ~4 such calls per
     # query, so the per-call budget is conservative by another 10x.
     assert per_call < 50e-6, f"no-op seam costs {per_call * 1e6:.2f}µs"
+
+
+def test_diagnose_path_overhead_bounded():
+    """Diagnosis re-runs each hop as a plain query plus pure-Python
+    reduction (hop records, attribution), so the diagnose path must stay
+    within 2x the raw query workload it wraps — the bookkeeping may not
+    become the workload.  With the default NOOP bundle (no audit log) the
+    path still works; codes simply stay empty, so disabled observability
+    keeps its <5% contract even under ``evaluate --diagnose``."""
+    from repro.eval import as_task, diagnose_batch
+
+    rag, queries = build_pipeline(NOOP)
+    raw_runs = [time_workload(rag, queries) for _ in range(ROUNDS)]
+
+    tasks = [as_task(q) for q in queries]
+    diag_runs = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        diagnoses = diagnose_batch(rag, tasks)
+        diag_runs.append(time.perf_counter() - start)
+    assert len(diagnoses) == len(queries)
+    assert all(d.codes == () for d in diagnoses if d.stage != "confidence_filter")
+
+    ratio = median(diag_runs) / median(raw_runs)
+    print(
+        f"\nraw median {median(raw_runs) * 1000:.1f}ms, "
+        f"diagnose median {median(diag_runs) * 1000:.1f}ms "
+        f"({ratio:.2f}x)"
+    )
+    assert ratio < 2.0, (
+        f"diagnose path costs {ratio:.2f}x the raw workload; "
+        "attribution bookkeeping must stay under 2x"
+    )

@@ -22,24 +22,55 @@ import sys
 
 from repro.confidence.explain import explain
 from repro.core import MultiRAG, MultiRAGConfig
-from repro.datasets import DATASET_FACTORIES
-from repro.datasets.loader import load_queries, load_sources, write_dataset
+from repro.datasets import DATASET_FACTORIES, MULTIHOP_FACTORIES
+from repro.datasets.loader import (
+    is_multihop_corpus,
+    load_multihop,
+    load_queries,
+    load_sources,
+    write_dataset,
+    write_multihop,
+)
 from repro.errors import ReproError
 from repro.exec import Query
 from repro.eval.reporting import format_table
 from repro.kg.storage import save_graph
-from repro.obs import NOOP, Observability
+from repro.obs import (
+    NOOP,
+    NOOP_AUDIT,
+    NOOP_METRICS,
+    NOOP_TRACER,
+    AuditLog,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
+
+
+def _wants_diagnosis(args: argparse.Namespace) -> bool:
+    return getattr(args, "diagnose", None) is not None or getattr(
+        args, "probe", False
+    )
 
 
 def _make_obs(args: argparse.Namespace) -> Observability:
-    """One live bundle when any telemetry flag was passed, else NOOP."""
-    if (
-        getattr(args, "trace", None)
-        or getattr(args, "metrics", None)
-        or getattr(args, "audit", False)
-    ):
-        return Observability.enable()
-    return NOOP
+    """A bundle with exactly the sinks the flags ask for, else NOOP.
+
+    Component-wise so ``--audit`` alone (or ``--diagnose``, which needs
+    the audit trail for rejection codes) doesn't pay for tracing, and
+    ``--trace`` alone doesn't accumulate an audit log.
+    """
+    tracer = Tracer() if getattr(args, "trace", None) else NOOP_TRACER
+    metrics = (
+        MetricsRegistry() if getattr(args, "metrics", None) else NOOP_METRICS
+    )
+    audit = (
+        AuditLog()
+        if getattr(args, "audit", False) or _wants_diagnosis(args)
+        else NOOP_AUDIT
+    )
+    bundle = Observability(tracer=tracer, metrics=metrics, audit=audit)
+    return bundle if bundle.enabled else NOOP
 
 
 def _export_obs(obs: Observability, args: argparse.Namespace) -> None:
@@ -60,9 +91,11 @@ def _build_pipeline(
     seed: int,
     obs: Observability | None = None,
     snapshot: str | None = None,
+    update_history: bool = True,
 ) -> MultiRAG:
     rag = MultiRAG.from_config(
-        MultiRAGConfig(seed=seed), obs=obs, snapshot=snapshot
+        MultiRAGConfig(seed=seed, update_history=update_history),
+        obs=obs, snapshot=snapshot,
     )
     sources = load_sources(directory)
     report = rag.ingest(sources)
@@ -86,10 +119,19 @@ def cmd_generate(args: argparse.Namespace) -> int:
     Raises:
         DatasetError: if the dataset cannot be materialized or written.
     """
-    factory = DATASET_FACTORIES[args.dataset]
-    dataset = factory(seed=args.seed, scale=args.scale)
-    root = write_dataset(dataset, args.directory)
-    print(f"wrote {len(dataset.source_specs)} sources and "
+    if args.dataset in MULTIHOP_FACTORIES:
+        dataset = MULTIHOP_FACTORIES[args.dataset](
+            seed=args.seed, scale=args.scale
+        )
+        root = write_multihop(dataset, args.directory)
+        num_sources = len(dataset.sources)
+    else:
+        dataset = DATASET_FACTORIES[args.dataset](
+            seed=args.seed, scale=args.scale
+        )
+        root = write_dataset(dataset, args.directory)
+        num_sources = len(dataset.source_specs)
+    print(f"wrote {num_sources} sources and "
           f"{len(dataset.queries)} queries under {root}")
     return 0
 
@@ -192,19 +234,65 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_diagnosis(
+    rag: MultiRAG, dataset, args: argparse.Namespace
+) -> None:
+    """Diagnose a corpus, print the breakdown, optionally write JSON."""
+    from repro.eval.diagnose import diagnose_corpus
+
+    report = diagnose_corpus(
+        rag, dataset, jobs=args.jobs, probes=args.probe,
+    )
+    print(report.format_text())
+    if args.diagnose:
+        from pathlib import Path
+
+        Path(args.diagnose).write_text(report.to_json())
+        print(f"diagnosis written to {args.diagnose}", file=sys.stderr)
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Score queries.json with the full MultiRAG pipeline.
+
+    Flat corpora report mean F1 (plus an optional failure diagnosis with
+    ``--diagnose``); multi-hop corpora (written by ``generate hotpot`` /
+    ``generate 2wiki``) always route through the diagnosis driver, which
+    reports accuracy with per-stage failure attribution.  Diagnosis runs
+    disable consensus-history updates so the query batch is read-only
+    and ``--jobs N`` stays byte-identical to the sequential run.
 
     Raises:
         ReproError: if loading, ingesting or querying the corpus fails.
     """
-    queries = load_queries(args.directory)
     obs = _make_obs(args)
+    diagnosing = _wants_diagnosis(args) or is_multihop_corpus(args.directory)
+    if is_multihop_corpus(args.directory):
+        dataset = load_multihop(args.directory)
+        rag = _build_pipeline(
+            args.directory, args.seed, obs=obs, snapshot=args.snapshot,
+            update_history=False,
+        )
+        _run_diagnosis(rag, dataset, args)
+        _export_obs(obs, args)
+        return 0
+
+    queries = load_queries(args.directory)
     rag = _build_pipeline(
-        args.directory, args.seed, obs=obs, snapshot=args.snapshot
+        args.directory, args.seed, obs=obs, snapshot=args.snapshot,
+        update_history=not diagnosing,
     )
     report = rag.evaluate(queries, jobs=args.jobs)
     print(f"queries: {len(report.per_query)}  mean F1: {report.mean_f1:.1f}%")
+    if diagnosing:
+        from repro.datasets.multihop import MultiHopDataset
+
+        dataset = MultiHopDataset(
+            name=args.directory.rstrip("/").rsplit("/", 1)[-1],
+            sources=load_sources(args.directory),
+            queries=list(queries),
+        )
+        print()
+        _run_diagnosis(rag, dataset, args)
     if obs.metrics.enabled:
         from repro.obs.metrics import format_metrics
 
@@ -215,16 +303,40 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Pretty-print a trace file as a per-stage waterfall.
+    """Render a trace file, or diff two runs span-by-span.
+
+    ``--diff A B`` aligns two exports on (name, depth, attrs), reports
+    the first divergent span and per-stage latency/drop-rate deltas,
+    and exits 1 when the traces are not logically identical.  ``--top
+    N`` lists the N slowest spans instead of the full waterfall.
 
     Raises:
-        StateError: if the file is not a trace export.
+        StateError: if a file is empty, truncated, or not a trace
+            export.
     """
-    from repro.obs import load_trace, render_waterfall
+    from repro.obs import (
+        diff_traces,
+        load_trace,
+        render_top_spans,
+        render_waterfall,
+    )
 
-    spans = load_trace(args.file)
     try:
-        print(render_waterfall(spans))
+        if args.diff:
+            diff = diff_traces(
+                load_trace(args.diff[0]), load_trace(args.diff[1])
+            )
+            print(diff.format_text())
+            return 0 if diff.identical else 1
+        if not args.file:
+            print("error: a trace file (or --diff A B) is required",
+                  file=sys.stderr)
+            return 2
+        spans = load_trace(args.file)
+        if args.top is not None:
+            print(render_top_spans(spans, args.top))
+        else:
+            print(render_waterfall(spans))
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.  Detach
         # stdout so the interpreter's shutdown flush cannot re-raise.
@@ -367,7 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="synthesize a benchmark corpus to disk")
-    p.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    p.add_argument("dataset", choices=sorted(
+        set(DATASET_FACTORIES) | set(MULTIHOP_FACTORIES)
+    ))
     p.add_argument("directory")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(fn=cmd_generate)
@@ -411,6 +525,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, metavar="N",
                    help="worker threads for the query batch "
                         "(default: REPRO_EXEC_WORKERS or 1)")
+    p.add_argument("--diagnose", nargs="?", const="", metavar="FILE",
+                   help="attribute every wrong/abstained answer to "
+                        "retrieval-hop / confidence-filter / synthesis; "
+                        "optionally write the attribution tables to FILE")
+    p.add_argument("--probe", action="store_true",
+                   help="with --diagnose: also run the robustness probes "
+                        "(masked evidence values, reworded questions)")
     p.add_argument("--trace", metavar="FILE",
                    help="record spans and write the trace (JSONL; .json "
                         "for the array form)")
@@ -421,9 +542,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="pretty-print a --trace file as a per-stage waterfall",
+        help="pretty-print a --trace file as a per-stage waterfall, "
+             "list the slowest spans, or diff two runs",
     )
-    p.add_argument("file")
+    p.add_argument("file", nargs="?",
+                   help="trace export to render (omit with --diff)")
+    p.add_argument("--top", type=int, metavar="N",
+                   help="list the N slowest spans instead of the waterfall")
+    p.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                   help="align two trace exports span-by-span and report "
+                        "the first divergence plus per-stage deltas "
+                        "(exit 1 when divergent)")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(

@@ -28,6 +28,15 @@ from repro.linegraph.homologous import HomologousGroup
 from repro.obs.audit import (
     ACTION_DROPPED,
     ACTION_KEPT,
+    CODE_CONSENSUS_KEPT,
+    CODE_FALLBACK_PROMOTED,
+    CODE_FAST_PATH_AGREES,
+    CODE_FAST_PATH_CAP,
+    CODE_FAST_PATH_DISAGREES,
+    CODE_GRAPH_CONFLICT,
+    CODE_GRAPH_FAST_PATH,
+    CODE_NODE_ABOVE_THRESHOLD,
+    CODE_NODE_BELOW_THRESHOLD,
     LEVEL_FALLBACK,
     LEVEL_FAST_PATH,
     LEVEL_GRAPH,
@@ -133,6 +142,11 @@ def mcc(
                         "only)" if fast_path
                         else "conflicted group: full node-level scrutiny"
                     ),
+                    code=(
+                        CODE_GRAPH_FAST_PATH if fast_path
+                        else CODE_GRAPH_CONFLICT
+                    ),
+                    margin=round(graph_conf - graph_threshold, 6),
                 ))
         metrics.histogram("mcc.group_size").observe(len(group.members))
 
@@ -165,11 +179,13 @@ def mcc(
                         ACTION_KEPT, key, member, LEVEL_GRAPH, None, None,
                         "kept by consensus rank (node-level scoring "
                         "disabled)",
+                        CODE_CONSENSUS_KEPT,
                     ))
                 for member in dropped:
                     obs.audit.record(_node_event(
                         ACTION_DROPPED, key, member, LEVEL_GRAPH, None, None,
                         "beyond fast-path cap (node-level scoring disabled)",
+                        CODE_FAST_PATH_CAP,
                     ))
             result.decisions.append(decision)
             continue
@@ -259,12 +275,23 @@ def _node_event(
     threshold: float | None,
     score: float | None,
     reason: str,
+    code: str,
 ) -> AuditEvent:
-    """One candidate-level audit event (``value`` identifies the claim)."""
+    """One candidate-level audit event (``value`` identifies the claim).
+
+    ``margin`` is derived, not passed: threshold-based decisions carry
+    ``score - threshold``; membership decisions (fast-path skips,
+    consensus ranks) carry None.
+    """
+    margin = (
+        round(score - threshold, 6)
+        if score is not None and threshold is not None
+        else None
+    )
     return AuditEvent(
         stage="mcc.node", action=action, key=key, value=member.obj,
         source_id=member.source_id(), level=level, threshold=threshold,
-        score=score, reason=reason,
+        score=score, reason=reason, code=code, margin=margin,
     )
 
 
@@ -291,22 +318,26 @@ def _emit_node_audit(
                 "(fallback/hedge promotion)" if promoted
                 else "C(v) cleared the node threshold θ"
             ),
+            CODE_FALLBACK_PROMOTED if promoted else CODE_NODE_ABOVE_THRESHOLD,
         ))
     for assessment in decision.rejected:
         obs.audit.record(_node_event(
             ACTION_DROPPED, key, assessment.triple, LEVEL_NODE,
             node_threshold, round(assessment.confidence, 6),
             "C(v) below the node threshold θ",
+            CODE_NODE_BELOW_THRESHOLD,
         ))
     for member in skipped_kept:
         obs.audit.record(_node_event(
             ACTION_KEPT, key, member, LEVEL_FAST_PATH, None, None,
             "fast-path skip: agrees with an accepted value",
+            CODE_FAST_PATH_AGREES,
         ))
     for member in skipped_dropped:
         obs.audit.record(_node_event(
             ACTION_DROPPED, key, member, LEVEL_FAST_PATH, None, None,
             "fast-path skip: disagrees with every accepted value",
+            CODE_FAST_PATH_DISAGREES,
         ))
 
 

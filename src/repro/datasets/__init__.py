@@ -2,12 +2,21 @@
 
 from repro.datasets.books import make_books
 from repro.datasets.flights import make_flights
-from repro.datasets.loader import load_queries, load_sources, write_dataset
+from repro.datasets.loader import (
+    is_multihop_corpus,
+    load_multihop,
+    load_queries,
+    load_sources,
+    write_dataset,
+    write_multihop,
+)
 from repro.datasets.movies import make_movies
 from repro.datasets.multihop import (
     MultiHopDataset,
     MultiHopQuery,
+    make_2wiki,
     make_2wiki_like,
+    make_hotpot,
     make_hotpotqa_like,
 )
 from repro.datasets.perturb import (
@@ -37,13 +46,24 @@ DATASET_FACTORIES = {
     "stocks": make_stocks,
 }
 
+#: name -> factory for the multi-hop QA corpora (separate table: these
+#: return :class:`MultiHopDataset`, not :class:`MultiSourceDataset`).
+MULTIHOP_FACTORIES = {
+    "hotpot": make_hotpot,
+    "2wiki": make_2wiki,
+}
+
 __all__ = [
     "AttributeSpec",
+    "is_multihop_corpus",
+    "load_multihop",
     "load_queries",
     "load_sources",
     "write_dataset",
+    "write_multihop",
     "Claim",
     "DATASET_FACTORIES",
+    "MULTIHOP_FACTORIES",
     "DomainSpec",
     "MultiHopDataset",
     "MultiHopQuery",
@@ -54,9 +74,11 @@ __all__ = [
     "corrupt_consistency",
     "corrupt_sources",
     "generate_dataset",
+    "make_2wiki",
     "make_2wiki_like",
     "make_books",
     "make_flights",
+    "make_hotpot",
     "make_hotpotqa_like",
     "make_movies",
     "mask_relations",

@@ -16,6 +16,7 @@ import json
 from pathlib import Path
 
 from repro.adapters.base import RawSource
+from repro.datasets.multihop import MultiHopDataset, MultiHopQuery
 from repro.datasets.schema import MultiSourceDataset, QuerySpec
 from repro.errors import DatasetError
 
@@ -27,6 +28,10 @@ SUFFIX_FORMATS = {
     ".kg.json": "kg",
     ".txt": "text",
 }
+
+#: suffix for text sources whose payload is an entity→page mapping (the
+#: multi-hop wiki corpora) rather than one flat document.
+PAGES_SUFFIX = ".pages.json"
 
 
 def _suffix_for(fmt: str) -> str:
@@ -71,11 +76,108 @@ def write_dataset(dataset: MultiSourceDataset, directory: str | Path) -> Path:
     return root
 
 
+def write_multihop(dataset: MultiHopDataset, directory: str | Path) -> Path:
+    """Write a multi-hop wiki corpus: page sources + multihop manifest.
+
+    Each source lands as ``<id>.pages.json`` (entity → page text); the
+    manifest keeps the hop decompositions and gold hop labels so a
+    reloaded corpus diagnoses identically to a freshly generated one.
+
+    Raises:
+        DatasetError: if a source payload is not an entity→page mapping.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    for raw in dataset.sources:
+        if not isinstance(raw.payload, dict):
+            raise DatasetError(
+                f"multihop source {raw.source_id!r} payload is not a "
+                "page mapping"
+            )
+        (root / f"{raw.source_id}{PAGES_SUFFIX}").write_text(
+            json.dumps(raw.payload, ensure_ascii=False, indent=1)
+        )
+    manifest = {
+        "name": dataset.name,
+        "kind": "multihop",
+        "queries": [
+            {
+                "qid": q.qid,
+                "text": q.text,
+                "qtype": q.qtype,
+                "hops": [list(h) for h in q.hops],
+                "hops_b": [list(h) for h in q.hops_b],
+                "answers": sorted(q.answers),
+                "gold_entities": sorted(q.gold_entities),
+                "gold_hops": [sorted(g) for g in q.gold_hops],
+                "gold_hops_b": [sorted(g) for g in q.gold_hops_b],
+            }
+            for q in dataset.queries
+        ],
+    }
+    (root / "queries.json").write_text(
+        json.dumps(manifest, ensure_ascii=False, indent=1)
+    )
+    return root
+
+
+def is_multihop_corpus(directory: str | Path) -> bool:
+    """True when ``directory`` holds a manifest written by
+    :func:`write_multihop`."""
+    path = Path(directory) / "queries.json"
+    if not path.exists():
+        return False
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return False
+    return isinstance(manifest, dict) and manifest.get("kind") == "multihop"
+
+
+def load_multihop(directory: str | Path) -> MultiHopDataset:
+    """Read a corpus written by :func:`write_multihop` back from disk.
+
+    Raises:
+        DatasetError: if the manifest is missing or not a multihop one.
+    """
+    root = Path(directory)
+    path = root / "queries.json"
+    if not path.exists():
+        raise DatasetError(f"no queries.json under {directory}")
+    manifest = json.loads(path.read_text())
+    if manifest.get("kind") != "multihop":
+        raise DatasetError(f"{path} is not a multihop manifest")
+    queries = [
+        MultiHopQuery(
+            qid=q["qid"],
+            text=q["text"],
+            qtype=q["qtype"],
+            hops=tuple((h[0], h[1]) for h in q["hops"]),
+            hops_b=tuple((h[0], h[1]) for h in q.get("hops_b", [])),
+            answers=frozenset(q["answers"]),
+            gold_entities=frozenset(q.get("gold_entities", [])),
+            gold_hops=tuple(
+                frozenset(g) for g in q.get("gold_hops", [])
+            ),
+            gold_hops_b=tuple(
+                frozenset(g) for g in q.get("gold_hops_b", [])
+            ),
+        )
+        for q in manifest.get("queries", [])
+    ]
+    return MultiHopDataset(
+        name=manifest.get("name", root.name),
+        sources=load_sources(root),
+        queries=queries,
+    )
+
+
 def load_sources(directory: str | Path, domain: str = "") -> list[RawSource]:
     """Read every recognized data file under ``directory`` as a RawSource.
 
     The source id is the file stem; the format comes from the suffix
-    (``.kg.json`` before plain ``.json``).  ``queries.json`` is skipped.
+    (``.kg.json`` before plain ``.json``, ``.pages.json`` mapping back to
+    dict-payload text sources).  ``queries.json`` is skipped.
 
     Raises:
         DatasetError: if the directory holds no recognized files.
@@ -88,7 +190,10 @@ def load_sources(directory: str | Path, domain: str = "") -> list[RawSource]:
         if not path.is_file() or path.name == "queries.json":
             continue
         fmt = None
-        if path.name.endswith(".kg.json"):
+        if path.name.endswith(PAGES_SUFFIX):
+            fmt = "text"
+            stem = path.name[: -len(PAGES_SUFFIX)]
+        elif path.name.endswith(".kg.json"):
             fmt = "kg"
             stem = path.name[: -len(".kg.json")]
         elif path.suffix in SUFFIX_FORMATS:
@@ -98,7 +203,7 @@ def load_sources(directory: str | Path, domain: str = "") -> list[RawSource]:
             continue
         text = path.read_text()
         payload: object = text
-        if fmt in {"json", "kg"}:
+        if fmt in {"json", "kg"} or path.name.endswith(PAGES_SUFFIX):
             payload = json.loads(text)
         sources.append(
             RawSource(

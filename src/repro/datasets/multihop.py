@@ -44,6 +44,11 @@ class MultiHopQuery:
     hops_b: tuple[Hop, ...] = ()
     answers: frozenset[str] = frozenset()
     gold_entities: frozenset[str] = frozenset()
+    #: gold intermediate values per hop (``gold_hops[k]`` is the value
+    #: set hop ``k`` should produce) — the labels failure attribution
+    #: needs to tell a hop-k retrieval miss from a filtering drop.
+    gold_hops: tuple[frozenset[str], ...] = ()
+    gold_hops_b: tuple[frozenset[str], ...] = ()
 
     def normalized_answers(self) -> set[str]:
         return {normalize_value(a) for a in self.answers}
@@ -243,6 +248,7 @@ def _make_one(
                 hops=((film, "directed_by"), (None, "spouse")),
                 answers=frozenset(answer),
                 gold_entities=frozenset({film} | director),
+                gold_hops=(frozenset(director), frozenset(answer)),
             )
         if template == "country_of_birth":
             person = rng.choice(world.persons)
@@ -257,6 +263,7 @@ def _make_one(
                 hops=((person, "born_in"), (None, "located_in")),
                 answers=frozenset(answer),
                 gold_entities=frozenset({person} | city),
+                gold_hops=(frozenset(city), frozenset(answer)),
             )
         person = rng.choice(world.persons)
         spouse = world.resolve_chain(person, ["spouse"])
@@ -270,6 +277,7 @@ def _make_one(
             hops=((person, "spouse"), (None, "works_for")),
             answers=frozenset(answer),
             gold_entities=frozenset({person} | spouse),
+            gold_hops=(frozenset(spouse), frozenset(answer)),
         )
 
     if qtype == "compositional":
@@ -288,6 +296,9 @@ def _make_one(
             hops=((film, "directed_by"), (None, "born_in"), (None, "located_in")),
             answers=frozenset(answer),
             gold_entities=frozenset({film} | director | city),
+            gold_hops=(
+                frozenset(director), frozenset(city), frozenset(answer),
+            ),
         )
 
     if qtype == "comparison":
@@ -305,6 +316,8 @@ def _make_one(
             hops_b=((b, "born_in"),),
             answers=frozenset({answer}),
             gold_entities=frozenset({a, b}),
+            gold_hops=(frozenset(city_a),),
+            gold_hops_b=(frozenset(city_b),),
         )
 
     raise DatasetError(f"unknown question type {qtype!r}")
@@ -327,6 +340,28 @@ def make_hotpotqa_like(
     )
     return MultiHopDataset(
         name="hotpotqa-like", sources=sources, queries=queries, facts=world.facts
+    )
+
+
+def make_hotpot(seed: int = 0, scale: float = 1.0) -> MultiHopDataset:
+    """Factory-table adapter: scale the hotpot corpus's question count.
+
+    Raises:
+        DatasetError: if question generation cannot fill the mixture.
+    """
+    return make_hotpotqa_like(
+        n_queries=max(8, int(round(60 * scale))), seed=seed
+    )
+
+
+def make_2wiki(seed: int = 1, scale: float = 1.0) -> MultiHopDataset:
+    """Factory-table adapter: scale the 2wiki corpus's question count.
+
+    Raises:
+        DatasetError: if question generation cannot fill the mixture.
+    """
+    return make_2wiki_like(
+        n_queries=max(8, int(round(60 * scale))), seed=seed
     )
 
 

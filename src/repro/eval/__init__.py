@@ -1,6 +1,17 @@
 """Evaluation: metrics, experiment harness, reporting, error analysis."""
 
 from repro.eval.analysis import ErrorBreakdown, classify_errors
+from repro.eval.diagnose import (
+    REFERENCE_CORPORA,
+    DiagnosisTask,
+    as_task,
+    diagnose_batch,
+    diagnose_corpus,
+    diagnose_one,
+    mask_source_values,
+    reference_diagnosis,
+    run_probes,
+)
 from repro.eval.hallucheck import (
     AnswerCheck,
     ClaimVerdict,
@@ -47,10 +58,19 @@ __all__ = [
     "bootstrap_ci",
     "paired_permutation_test",
     "ClaimVerdict",
+    "DiagnosisTask",
     "ErrorBreakdown",
+    "REFERENCE_CORPORA",
+    "as_task",
     "check_answer",
     "decompose_answer",
+    "diagnose_batch",
+    "diagnose_corpus",
+    "diagnose_one",
     "hallucination_rate",
+    "mask_source_values",
+    "reference_diagnosis",
+    "run_probes",
     "FusionRow",
     "LatencyTracker",
     "MultiRAGStageReport",

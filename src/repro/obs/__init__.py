@@ -19,12 +19,28 @@ The only module allowed to ``import logging`` is :mod:`repro.obs.log`
 from repro.obs.audit import (
     ACTION_DROPPED,
     ACTION_KEPT,
+    AUDIT_CODES,
     NOOP_AUDIT,
     AuditEvent,
     AuditLog,
     NoopAuditLog,
 )
 from repro.obs.context import NOOP, Observability
+from repro.obs.diagnose import (
+    ALL_STAGES,
+    STAGE_FILTER,
+    STAGE_RETRIEVAL,
+    STAGE_SYNTHESIS,
+    VERDICT_ABSTAINED,
+    VERDICT_CORRECT,
+    VERDICT_WRONG,
+    DiagnosisReport,
+    HopRecord,
+    QueryDiagnosis,
+    attribute_query,
+    signature_of,
+)
+from repro.obs.diff import Divergence, StageDelta, TraceDiff, diff_traces
 from repro.obs.log import get_logger, set_level
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -36,7 +52,11 @@ from repro.obs.metrics import (
     NoopMetrics,
     format_metrics,
 )
-from repro.obs.render import render_stage_summary, render_waterfall
+from repro.obs.render import (
+    render_stage_summary,
+    render_top_spans,
+    render_waterfall,
+)
 from repro.obs.trace import (
     NOOP_TRACER,
     WALL_CLOCK_FIELDS,
@@ -50,12 +70,17 @@ from repro.obs.trace import (
 __all__ = [
     "ACTION_DROPPED",
     "ACTION_KEPT",
+    "ALL_STAGES",
+    "AUDIT_CODES",
     "AuditEvent",
     "AuditLog",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DiagnosisReport",
+    "Divergence",
     "Gauge",
     "Histogram",
+    "HopRecord",
     "MetricsRegistry",
     "NOOP",
     "NOOP_AUDIT",
@@ -65,14 +90,27 @@ __all__ = [
     "NoopMetrics",
     "NoopTracer",
     "Observability",
+    "QueryDiagnosis",
+    "STAGE_FILTER",
+    "STAGE_RETRIEVAL",
+    "STAGE_SYNTHESIS",
     "Span",
+    "StageDelta",
     "TickClock",
+    "TraceDiff",
     "Tracer",
+    "VERDICT_ABSTAINED",
+    "VERDICT_CORRECT",
+    "VERDICT_WRONG",
     "WALL_CLOCK_FIELDS",
+    "attribute_query",
+    "diff_traces",
     "format_metrics",
     "get_logger",
     "load_trace",
     "render_stage_summary",
+    "render_top_spans",
     "render_waterfall",
     "set_level",
+    "signature_of",
 ]

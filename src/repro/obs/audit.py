@@ -28,6 +28,32 @@ LEVEL_FAST_PATH = "fast_path"
 ACTION_KEPT = "kept"
 ACTION_DROPPED = "dropped"
 
+#: machine-readable decision codes (:attr:`AuditEvent.code`): *which* MCC
+#: test fired, so downstream analysis (``repro.obs.diagnose``) can bucket
+#: rejections without parsing the human-readable ``reason`` string.
+CODE_GRAPH_FAST_PATH = "GRAPH_FAST_PATH"
+CODE_GRAPH_CONFLICT = "GRAPH_CONFLICT"
+CODE_NODE_ABOVE_THRESHOLD = "NODE_ABOVE_THRESHOLD"
+CODE_NODE_BELOW_THRESHOLD = "NODE_BELOW_THRESHOLD"
+CODE_FALLBACK_PROMOTED = "FALLBACK_PROMOTED"
+CODE_FAST_PATH_AGREES = "FAST_PATH_AGREES"
+CODE_FAST_PATH_DISAGREES = "FAST_PATH_DISAGREES"
+CODE_CONSENSUS_KEPT = "CONSENSUS_KEPT"
+CODE_FAST_PATH_CAP = "FAST_PATH_CAP"
+
+#: every code an :class:`AuditEvent` may carry ("" means "unenriched").
+AUDIT_CODES = frozenset({
+    CODE_GRAPH_FAST_PATH,
+    CODE_GRAPH_CONFLICT,
+    CODE_NODE_ABOVE_THRESHOLD,
+    CODE_NODE_BELOW_THRESHOLD,
+    CODE_FALLBACK_PROMOTED,
+    CODE_FAST_PATH_AGREES,
+    CODE_FAST_PATH_DISAGREES,
+    CODE_CONSENSUS_KEPT,
+    CODE_FAST_PATH_CAP,
+})
+
 
 @dataclass(frozen=True, slots=True)
 class AuditEvent:
@@ -52,6 +78,13 @@ class AuditEvent:
     score: float | None
     #: human-readable one-liner for traces and CLI output.
     reason: str = ""
+    #: machine-readable decision code (one of :data:`AUDIT_CODES`): the
+    #: specific MCC test that fired, stable across reason-string rewording.
+    code: str = ""
+    #: signed distance from the deciding threshold, ``score - threshold``
+    #: rounded to 6 decimals (None when the decision was not threshold
+    #: based, e.g. fast-path membership).
+    margin: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -64,6 +97,8 @@ class AuditEvent:
             "threshold": self.threshold,
             "score": self.score,
             "reason": self.reason,
+            "code": self.code,
+            "margin": self.margin,
         }
 
 

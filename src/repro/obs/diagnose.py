@@ -1,0 +1,312 @@
+"""Failure attribution: *where* a multi-hop answer went wrong.
+
+The paper reports aggregate accuracy/hallucination rates; this module
+answers the question those aggregates hide.  For every wrong or
+abstained answer it consumes the per-hop evidence trail the pipeline
+already emits (retrieval stage values, MCC audit events, top answers)
+and attributes the failure to exactly one stage:
+
+* ``retrieval_hop`` — the gold evidence was never retrieved at hop *k*
+  (no amount of confidence filtering could have saved the answer);
+* ``confidence_filter`` — a gold candidate *was* retrieved but MCC
+  rejected it (the audit trail names the exact rejection code);
+* ``synthesis`` — gold evidence survived filtering yet the final answer
+  is still wrong (ranking/generation picked a competitor).
+
+On top of single-stage attribution it labels each hop Correct/Wrong and
+folds the labels into *reasoning-path signatures* (``C/C/C`` vs
+``C/W/W``) bucketed by question type and hop count — the
+difficulty-analysis methodology for comparison questions — so "bridge
+questions die at hop 2 to filtering" is a queryable fact, not a hunch.
+
+Everything here is a pure function of plain data (this layer may only
+depend on ``repro.errors``/``repro.util``); the pipeline-facing driver
+lives in :mod:`repro.eval.diagnose`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.util import normalize_value
+
+#: attribution stages — every non-correct answer maps to exactly one.
+STAGE_RETRIEVAL = "retrieval_hop"
+STAGE_FILTER = "confidence_filter"
+STAGE_SYNTHESIS = "synthesis"
+
+ALL_STAGES = (STAGE_RETRIEVAL, STAGE_FILTER, STAGE_SYNTHESIS)
+
+#: query-level verdicts.
+VERDICT_CORRECT = "correct"
+VERDICT_WRONG = "wrong"
+VERDICT_ABSTAINED = "abstained"
+
+#: per-hop correctness labels composing a reasoning-path signature.
+LABEL_CORRECT = "C"
+LABEL_WRONG = "W"
+
+
+@dataclass(frozen=True, slots=True)
+class HopRecord:
+    """The evidence trail of one hop, reduced to normalized value sets.
+
+    ``retrieved`` is everything the retrieval stage surfaced before any
+    confidence filtering (``stage_values["before_subgraph_filtering"]``);
+    ``kept`` is what survived MCC.  ``gold`` comes from the dataset's
+    gold hop labels.  ``drop_codes`` pairs each dropped value with its
+    machine-readable audit code so filter-stage attributions can name
+    the exact MCC test that fired.
+    """
+
+    index: int
+    entity: str
+    attribute: str
+    gold: frozenset[str]
+    retrieved: frozenset[str]
+    kept: frozenset[str]
+    top: str
+    drop_codes: tuple[tuple[str, str], ...] = ()
+
+    def label(self) -> str:
+        """``C`` when the hop's top answer is a gold value, else ``W``."""
+        return (
+            LABEL_CORRECT
+            if self.top and normalize_value(self.top) in self.gold
+            else LABEL_WRONG
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryDiagnosis:
+    """One query's verdict, reasoning-path signature and attribution."""
+
+    qid: str
+    qtype: str
+    hop_count: int
+    #: per-hop labels, e.g. ``C/W/W``; comparison questions join their
+    #: two chains with ``+`` (``C/C+C/W``).
+    signature: str
+    verdict: str
+    #: one of :data:`ALL_STAGES` ("" when the answer was correct).
+    stage: str
+    #: index of the hop the failure is attributed to (None when correct).
+    hop: int | None
+    #: audit codes behind a ``confidence_filter`` attribution.
+    codes: tuple[str, ...]
+    detail: str
+    predicted: str
+    expected: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qid": self.qid,
+            "qtype": self.qtype,
+            "hop_count": self.hop_count,
+            "signature": self.signature,
+            "verdict": self.verdict,
+            "stage": self.stage,
+            "hop": self.hop,
+            "codes": list(self.codes),
+            "detail": self.detail,
+            "predicted": self.predicted,
+            "expected": list(self.expected),
+        }
+
+
+def signature_of(
+    hops: Sequence[HopRecord], hops_b: Sequence[HopRecord] = ()
+) -> str:
+    """Join per-hop labels into a reasoning-path signature."""
+    sig = "/".join(h.label() for h in hops)
+    if hops_b:
+        sig += "+" + "/".join(h.label() for h in hops_b)
+    return sig
+
+
+def _attribute_hop(rec: HopRecord) -> tuple[str, tuple[str, ...], str]:
+    """Stage + codes + detail for one wrong hop."""
+    where = f"hop {rec.index} ({rec.entity}|{rec.attribute})"
+    if not (rec.gold & rec.retrieved):
+        return (
+            STAGE_RETRIEVAL, (),
+            f"gold evidence never retrieved at {where}",
+        )
+    if not (rec.gold & rec.kept):
+        codes = tuple(sorted({
+            code for value, code in rec.drop_codes if value in rec.gold
+        }))
+        return (
+            STAGE_FILTER, codes,
+            f"gold candidate retrieved but rejected by MCC at {where}",
+        )
+    return (
+        STAGE_SYNTHESIS, (),
+        f"gold evidence survived filtering but was outranked at {where}",
+    )
+
+
+def attribute_query(
+    qid: str,
+    qtype: str,
+    hops: Sequence[HopRecord],
+    gold_answers: Iterable[str],
+    predicted: str,
+    hops_b: Sequence[HopRecord] = (),
+) -> QueryDiagnosis:
+    """Diagnose one query: verdict, signature, single-stage attribution.
+
+    A wrong/abstained answer is attributed to the *first* wrong hop
+    (scanning chain A then chain B for comparison questions): once a hop
+    derails, later hops chase the wrong entity and their labels carry no
+    signal.  A wrong answer whose every hop is correct — e.g. a
+    comparison verdict miscomputed from two correct chains — is a
+    synthesis error at the final hop.
+    """
+    expected = tuple(sorted({normalize_value(a) for a in gold_answers}))
+    norm_predicted = normalize_value(predicted) if predicted else ""
+    if not norm_predicted:
+        verdict = VERDICT_ABSTAINED
+    elif norm_predicted in expected:
+        verdict = VERDICT_CORRECT
+    else:
+        verdict = VERDICT_WRONG
+
+    all_hops = list(hops) + list(hops_b)
+    diagnosis_base = dict(
+        qid=qid, qtype=qtype, hop_count=len(all_hops),
+        signature=signature_of(hops, hops_b), verdict=verdict,
+        predicted=norm_predicted, expected=expected,
+    )
+    if verdict == VERDICT_CORRECT:
+        return QueryDiagnosis(
+            stage="", hop=None, codes=(), detail="", **diagnosis_base
+        )
+    for rec in all_hops:
+        if rec.label() == LABEL_WRONG:
+            stage, codes, detail = _attribute_hop(rec)
+            return QueryDiagnosis(
+                stage=stage, hop=rec.index, codes=codes, detail=detail,
+                **diagnosis_base,
+            )
+    final = all_hops[-1] if all_hops else None
+    return QueryDiagnosis(
+        stage=STAGE_SYNTHESIS,
+        hop=final.index if final is not None else None,
+        codes=(),
+        detail="every hop correct but the final answer is wrong "
+               "(answer synthesis/comparison error)",
+        **diagnosis_base,
+    )
+
+
+@dataclass(slots=True)
+class DiagnosisReport:
+    """Attribution tables for one corpus run, with deterministic export."""
+
+    corpus: str
+    queries: list[QueryDiagnosis] = field(default_factory=list)
+    #: robustness-probe results keyed by probe name (JSON-ready payloads
+    #: supplied by the driver; empty when probes were not run).
+    probes: dict[str, Any] = field(default_factory=dict)
+
+    def accuracy(self) -> float:
+        if not self.queries:
+            return 0.0
+        correct = sum(
+            1 for q in self.queries if q.verdict == VERDICT_CORRECT
+        )
+        return round(correct / len(self.queries), 6)
+
+    def attribution_counts(self) -> dict[str, int]:
+        counts = {stage: 0 for stage in ALL_STAGES}
+        for q in self.queries:
+            if q.stage:
+                counts[q.stage] += 1
+        return counts
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready tables; a pure function of the diagnoses."""
+        verdicts = {
+            VERDICT_CORRECT: 0, VERDICT_WRONG: 0, VERDICT_ABSTAINED: 0,
+        }
+        codes: dict[str, int] = {}
+        signatures: dict[str, dict[str, int]] = {}
+        by_hop_count: dict[str, dict[str, int]] = {}
+        for q in self.queries:
+            verdicts[q.verdict] += 1
+            for code in q.codes:
+                codes[code] = codes.get(code, 0) + 1
+            sigs = signatures.setdefault(q.qtype, {})
+            sigs[q.signature] = sigs.get(q.signature, 0) + 1
+            bucket = by_hop_count.setdefault(
+                str(q.hop_count), {"total": 0, "correct": 0}
+            )
+            bucket["total"] += 1
+            if q.verdict == VERDICT_CORRECT:
+                bucket["correct"] += 1
+        return {
+            "corpus": self.corpus,
+            "summary": {
+                "queries": len(self.queries),
+                "accuracy": self.accuracy(),
+                **verdicts,
+            },
+            "attribution": self.attribution_counts(),
+            "codes": codes,
+            "signatures": signatures,
+            "by_hop_count": by_hop_count,
+            "per_query": [q.to_dict() for q in self.queries],
+            "probes": self.probes,
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable export (sorted keys, trailing newline)."""
+        return json.dumps(self.to_payload(), sort_keys=True, indent=2) + "\n"
+
+    def format_text(self) -> str:
+        """Human-readable CLI breakdown of the attribution tables."""
+        payload = self.to_payload()
+        summary = payload["summary"]
+        lines = [
+            f"diagnosis: {self.corpus}",
+            f"  queries {summary['queries']}  accuracy {summary['accuracy']}"
+            f"  (correct {summary['correct']} / wrong {summary['wrong']}"
+            f" / abstained {summary['abstained']})",
+            "",
+            "failure attribution",
+        ]
+        failures = summary["wrong"] + summary["abstained"]
+        for stage in ALL_STAGES:
+            count = payload["attribution"][stage]
+            share = f"{count / failures:6.1%}" if failures else "     -"
+            lines.append(f"  {stage:<18} {count:>4}  {share}")
+        if payload["codes"]:
+            lines.append("")
+            lines.append("filter rejection codes")
+            for code in sorted(payload["codes"]):
+                lines.append(f"  {code:<24} {payload['codes'][code]:>4}")
+        lines.append("")
+        lines.append("reasoning-path signatures")
+        for qtype in sorted(payload["signatures"]):
+            sigs = payload["signatures"][qtype]
+            for sig in sorted(sigs):
+                lines.append(f"  {qtype:<14} {sig:<12} {sigs[sig]:>4}")
+        lines.append("")
+        lines.append("accuracy by hop count")
+        for hops in sorted(payload["by_hop_count"], key=int):
+            bucket = payload["by_hop_count"][hops]
+            rate = bucket["correct"] / bucket["total"] if bucket["total"] else 0.0
+            lines.append(
+                f"  {hops} hops: {bucket['correct']}/{bucket['total']}"
+                f"  ({rate:.1%})"
+            )
+        for name in sorted(self.probes):
+            lines.append("")
+            lines.append(f"probe: {name}")
+            probe = self.probes[name]
+            for key in sorted(probe):
+                lines.append(f"  {key:<24} {probe[key]}")
+        return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Run-to-run trace diffing: align two span streams, find divergence.
+
+Two seeded runs of the same corpus should produce *logically* identical
+traces — same spans, same order, same deterministic attributes — with
+only the wall-clock fields differing.  ``diff_traces`` checks exactly
+that: it aligns two exported traces span-by-span on
+``(name, depth, attrs)`` (span ids and :data:`WALL_CLOCK_FIELDS` are
+ignored), reports the first divergent span, and summarizes per-stage
+deltas (span count, latency, tokens, MCC drop rate) so a regression
+shows up as "mcc.node drop rate went from 12% to 31%" rather than a
+wall of JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.trace import WALL_CLOCK_FIELDS
+
+#: span-dict keys excluded from logical comparison: ids are counter
+#: artifacts and timing is wall clock.
+_IGNORED_KEYS = ("span_id", "parent_id") + WALL_CLOCK_FIELDS
+
+#: attribute keys summed into per-stage token totals.
+_TOKEN_KEYS = ("prompt_tokens", "completion_tokens")
+
+
+def _logical(span: dict[str, Any]) -> dict[str, Any]:
+    return {k: v for k, v in span.items() if k not in _IGNORED_KEYS}
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """The first point where two traces stop agreeing."""
+
+    index: int
+    reason: str
+    a: dict[str, Any] | None
+    b: dict[str, Any] | None
+
+    def describe(self) -> str:
+        def ident(span: dict[str, Any] | None) -> str:
+            if span is None:
+                return "(trace ended)"
+            return f"{span.get('name', '?')} (depth {span.get('depth', '?')})"
+
+        return (
+            f"first divergence at span #{self.index}: {self.reason}\n"
+            f"  A: {ident(self.a)}\n"
+            f"  B: {ident(self.b)}"
+        )
+
+
+@dataclass(slots=True)
+class StageDelta:
+    """Aggregate differences for one span name across the two traces."""
+
+    name: str
+    count_a: int = 0
+    count_b: int = 0
+    duration_a: float = 0.0
+    duration_b: float = 0.0
+    tokens_a: int = 0
+    tokens_b: int = 0
+    accepted_a: int = 0
+    accepted_b: int = 0
+    rejected_a: int = 0
+    rejected_b: int = 0
+
+    def drop_rate(self, side: str) -> float | None:
+        accepted = self.accepted_a if side == "a" else self.accepted_b
+        rejected = self.rejected_a if side == "a" else self.rejected_b
+        total = accepted + rejected
+        return rejected / total if total else None
+
+
+@dataclass(slots=True)
+class TraceDiff:
+    """Full diff result: first divergence plus per-stage deltas."""
+
+    divergence: Divergence | None
+    deltas: list[StageDelta] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def format_text(self) -> str:
+        lines: list[str] = []
+        if self.identical:
+            lines.append("traces logically identical "
+                         "(timing/ids ignored)")
+        else:
+            lines.append(self.divergence.describe())
+        lines.append("")
+        header = (f"{'stage':<18} {'count A/B':>11} {'latency A/B':>21} "
+                  f"{'tokens A/B':>13} {'drop-rate A/B':>15}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for delta in self.deltas:
+            drop_a, drop_b = delta.drop_rate("a"), delta.drop_rate("b")
+            fmt = lambda r: f"{r:6.1%}" if r is not None else "     -"
+            drops = f"{fmt(drop_a)} /{fmt(drop_b)}"
+            if drop_a is None and drop_b is None:
+                drops = "-"
+            lines.append(
+                f"{delta.name:<18} "
+                f"{delta.count_a:>4} /{delta.count_b:>5} "
+                f"{delta.duration_a * 1e3:>9.3f}ms /{delta.duration_b * 1e3:>9.3f}ms "
+                f"{delta.tokens_a:>5} /{delta.tokens_b:>6} "
+                f"{drops:>15}"
+            )
+        return "\n".join(lines)
+
+
+def _first_divergence(
+    a: Sequence[dict[str, Any]], b: Sequence[dict[str, Any]]
+) -> Divergence | None:
+    for index, (sa, sb) in enumerate(zip(a, b)):
+        la, lb = _logical(sa), _logical(sb)
+        if la == lb:
+            continue
+        if la.get("name") != lb.get("name"):
+            reason = (f"span name differs "
+                      f"({la.get('name')!r} vs {lb.get('name')!r})")
+        elif la.get("depth") != lb.get("depth"):
+            reason = (f"nesting depth differs "
+                      f"({la.get('depth')} vs {lb.get('depth')})")
+        else:
+            attrs_a = la.get("attrs", {})
+            attrs_b = lb.get("attrs", {})
+            keys = sorted(
+                k for k in set(attrs_a) | set(attrs_b)
+                if attrs_a.get(k) != attrs_b.get(k)
+            )
+            reason = (f"attrs differ on {', '.join(keys)}" if keys
+                      else "span payloads differ")
+        return Divergence(index=index, reason=reason, a=sa, b=sb)
+    if len(a) != len(b):
+        longer, shorter = ("A", b) if len(a) > len(b) else ("B", a)
+        index = len(shorter)
+        return Divergence(
+            index=index,
+            reason=(f"trace {'B' if longer == 'A' else 'A'} ends here; "
+                    f"trace {longer} has "
+                    f"{abs(len(a) - len(b))} more span(s)"),
+            a=a[index] if index < len(a) else None,
+            b=b[index] if index < len(b) else None,
+        )
+    return None
+
+
+def _span_tokens(span: dict[str, Any]) -> int:
+    attrs = span.get("attrs", {})
+    return sum(int(attrs.get(key, 0)) for key in _TOKEN_KEYS)
+
+
+def _accumulate(
+    deltas: dict[str, StageDelta], spans: Sequence[dict[str, Any]], side: str
+) -> None:
+    for span in spans:
+        delta = deltas.setdefault(span["name"], StageDelta(name=span["name"]))
+        attrs = span.get("attrs", {})
+        if side == "a":
+            delta.count_a += 1
+            delta.duration_a += span.get("duration_s", 0.0)
+            delta.tokens_a += _span_tokens(span)
+            delta.accepted_a += int(attrs.get("accepted", 0))
+            delta.rejected_a += int(attrs.get("rejected", 0))
+        else:
+            delta.count_b += 1
+            delta.duration_b += span.get("duration_s", 0.0)
+            delta.tokens_b += _span_tokens(span)
+            delta.accepted_b += int(attrs.get("accepted", 0))
+            delta.rejected_b += int(attrs.get("rejected", 0))
+
+
+def diff_traces(
+    a: Sequence[dict[str, Any]], b: Sequence[dict[str, Any]]
+) -> TraceDiff:
+    """Compare two loaded traces (lists of span dicts from ``load_trace``).
+
+    Logical comparison ignores span/parent ids and wall-clock fields;
+    stage deltas are computed over *all* spans of both traces regardless
+    of where (or whether) they diverge.
+    """
+    deltas: dict[str, StageDelta] = {}
+    _accumulate(deltas, a, "a")
+    _accumulate(deltas, b, "b")
+    return TraceDiff(
+        divergence=_first_divergence(a, b),
+        deltas=[deltas[name] for name in sorted(deltas)],
+    )

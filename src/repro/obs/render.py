@@ -111,6 +111,36 @@ def render_stage_summary(spans: Sequence[dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def render_top_spans(spans: Sequence[dict[str, Any]], n: int) -> str:
+    """The ``n`` slowest spans, one row each, longest first.
+
+    Requires timed spans (``duration_s``); an untimed export (written
+    with ``drop_timing``) has no latency ordering to report.  Ties break
+    on span id so the listing is deterministic.
+    """
+    timed = [s for s in spans if "duration_s" in s]
+    if not timed:
+        return "(no timed spans — trace was exported without timing)"
+    ranked = sorted(
+        timed, key=lambda s: (-s["duration_s"], s.get("span_id", 0))
+    )[:max(1, n)]
+    name_width = max(len(s["name"]) for s in ranked)
+    name_width = max(name_width, len("span"))
+    lines = [f"{'span'.ljust(name_width)}  {'duration':>10}  "
+             f"{'tokens':>7}  attrs"]
+    lines.append("-" * len(lines[0]))
+    for span in ranked:
+        tokens = _span_tokens(span)
+        row = (
+            f"{span['name'].ljust(name_width)}  "
+            f"{_fmt_duration(span['duration_s'])}  "
+            f"{tokens if tokens else '-':>7}  "
+            f"{_summarize_attrs(span.get('attrs', {}))}"
+        )
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
 def _summarize_attrs(attrs: dict[str, Any], limit: int = 4) -> str:
     """The first few non-token attributes as ``k=v`` pairs."""
     pairs = []

@@ -285,10 +285,14 @@ def load_trace(path: str | Path) -> list[dict[str, Any]]:
     """Read a trace file produced by :meth:`Tracer.export` (JSON or JSONL).
 
     Raises:
-        StateError: when the file is not valid trace JSON/JSONL.
+        StateError: when the file is empty, truncated, or not valid
+            trace JSON/JSONL (every span must be an object carrying at
+            least ``name`` and ``span_id``).
     """
     text = Path(path).read_text()
     stripped = text.lstrip()
+    if not stripped:
+        raise StateError(f"not a trace file: {path} (file is empty)")
     try:
         if stripped.startswith("["):
             spans = json.loads(text)
@@ -298,7 +302,13 @@ def load_trace(path: str | Path) -> list[dict[str, Any]]:
             ]
     except json.JSONDecodeError as exc:
         raise StateError(f"not a trace file: {path} ({exc})") from None
+    if not isinstance(spans, list) or not spans:
+        raise StateError(f"not a trace file: {path} (no spans recorded)")
     for span in spans:
+        if not isinstance(span, dict):
+            raise StateError(
+                f"not a trace file: {path} (truncated or non-span line)"
+            )
         if "name" not in span or "span_id" not in span:
             raise StateError(f"not a trace file: {path} (missing span keys)")
     return spans

@@ -105,3 +105,62 @@ class TestEndToEndThroughDisk:
             for q in queries
         ]
         assert 100 * mean(scores) > 40.0
+
+
+class TestMultihopRoundTrip:
+    @pytest.fixture()
+    def multihop_dir(self, tmp_path):
+        from repro.datasets import make_hotpot, write_multihop
+
+        dataset = make_hotpot(seed=0, scale=0.2)
+        return dataset, write_multihop(dataset, tmp_path / "mh")
+
+    def test_detected_as_multihop(self, multihop_dir, tmp_path):
+        from repro.datasets import is_multihop_corpus
+
+        _, directory = multihop_dir
+        assert is_multihop_corpus(directory)
+        assert not is_multihop_corpus(tmp_path / "missing")
+
+    def test_flat_corpus_not_multihop(self, corpus_dir):
+        from repro.datasets import is_multihop_corpus
+
+        _, directory = corpus_dir
+        assert not is_multihop_corpus(directory)
+
+    def test_queries_round_trip(self, multihop_dir):
+        from repro.datasets import load_multihop
+
+        dataset, directory = multihop_dir
+        loaded = load_multihop(directory)
+        assert [q.qid for q in loaded.queries] == \
+            [q.qid for q in dataset.queries]
+        for orig, back in zip(dataset.queries, loaded.queries):
+            assert back.hops == orig.hops
+            assert back.hops_b == orig.hops_b
+            assert back.answers == orig.answers
+            assert back.gold_hops == orig.gold_hops
+            assert back.gold_hops_b == orig.gold_hops_b
+
+    def test_sources_round_trip(self, multihop_dir):
+        from repro.datasets import load_multihop
+
+        dataset, directory = multihop_dir
+        loaded = load_multihop(directory)
+        assert {s.source_id for s in loaded.sources} == \
+            {s.source_id for s in dataset.sources}
+        assert all(s.fmt == "text" for s in loaded.sources)
+
+    def test_loaded_corpus_diagnosable(self, multihop_dir):
+        from repro.core import MultiRAG, MultiRAGConfig
+        from repro.datasets import load_multihop
+        from repro.eval import diagnose_corpus
+        from repro.obs import AuditLog, Observability
+
+        _, directory = multihop_dir
+        loaded = load_multihop(directory)
+        rag = MultiRAG(MultiRAGConfig(update_history=False),
+                       obs=Observability(audit=AuditLog()))
+        rag.ingest(loaded.sources)
+        report = diagnose_corpus(rag, loaded)
+        assert len(report.queries) == len(loaded.queries)

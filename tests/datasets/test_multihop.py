@@ -93,3 +93,41 @@ class TestQuestions:
         (entity, attribute), values = next(iter(hotpot.facts.items()))
         assert hotpot.fact(entity, attribute) == values
         assert hotpot.fact("missing", "attr") == set()
+
+
+class TestGoldHops:
+    def test_every_query_labels_every_hop(self, hotpot, wiki2):
+        for dataset in (hotpot, wiki2):
+            for q in dataset.queries:
+                assert len(q.gold_hops) == len(q.hops)
+                assert len(q.gold_hops_b) == len(q.hops_b)
+                assert all(q.gold_hops)
+
+    def test_final_gold_hop_is_answer_set(self, hotpot):
+        for q in hotpot.queries:
+            if q.qtype == "comparison":
+                continue
+            assert q.gold_hops[-1] == frozenset(q.answers)
+
+    def test_intermediate_gold_hops_resolve_facts(self, hotpot):
+        for q in hotpot.queries:
+            if q.qtype != "bridge":
+                continue
+            entity, attribute = q.hops[0]
+            assert q.gold_hops[0] == frozenset(hotpot.fact(entity, attribute))
+
+
+class TestScaledFactories:
+    def test_scale_controls_question_count(self):
+        from repro.datasets import make_2wiki, make_hotpot
+
+        small = make_hotpot(seed=0, scale=0.2)
+        full = make_hotpot(seed=0, scale=1.0)
+        assert len(small.queries) < len(full.queries)
+        assert len(full.queries) == 60
+        assert len(make_2wiki(seed=1, scale=1.0).queries) == 60
+
+    def test_scale_floor(self):
+        from repro.datasets import make_hotpot
+
+        assert len(make_hotpot(seed=0, scale=0.01).queries) == 8

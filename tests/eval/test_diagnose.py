@@ -1,0 +1,187 @@
+"""Diagnosis-driver tests: task adaptation, attribution, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import RawSource
+from repro.core import MultiRAG, MultiRAGConfig
+from repro.datasets import make_hotpotqa_like, make_movies
+from repro.datasets.multihop import MultiHopQuery
+from repro.datasets.schema import QuerySpec
+from repro.errors import DatasetError
+from repro.eval import (
+    REFERENCE_CORPORA,
+    as_task,
+    diagnose_batch,
+    diagnose_corpus,
+    diagnose_one,
+    mask_source_values,
+    reference_diagnosis,
+    run_probes,
+)
+from repro.obs import ALL_STAGES, AuditLog, Observability
+
+
+@pytest.fixture(scope="module")
+def hotpot():
+    return make_hotpotqa_like(n_queries=12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def pipeline(hotpot):
+    rag = MultiRAG(
+        MultiRAGConfig(update_history=False),
+        obs=Observability(audit=AuditLog()),
+    )
+    rag.ingest(hotpot.sources)
+    return rag
+
+
+class TestAsTask:
+    def test_multihop_query_with_gold_hops(self, hotpot):
+        query = hotpot.queries[0]
+        task = as_task(query)
+        assert task.qid == query.qid
+        assert task.hops == query.hops
+        assert task.gold_hops == query.gold_hops
+        assert len(task.gold_hops) == len(task.hops)
+
+    def test_legacy_query_without_gold_hops(self):
+        query = MultiHopQuery(
+            qid="legacy", text="?", qtype="bridge",
+            hops=(("e", "a"), (None, "b")),
+            answers=frozenset({"x"}),
+        )
+        task = as_task(query)
+        # fallback: unlabeled intermediate hops, answers at the final hop.
+        assert task.gold_hops == (frozenset(), frozenset({"x"}))
+
+    def test_flat_queryspec_becomes_single_hop(self):
+        spec = QuerySpec(
+            qid="q0", entity="Heat", attribute="release_year",
+            text="?", answers=frozenset({"1995"}),
+        )
+        task = as_task(spec)
+        assert task.qtype == "single"
+        assert task.hops == (("Heat", "release_year"),)
+        assert task.gold_hops == (frozenset({"1995"}),)
+
+
+class TestDiagnoseOne:
+    def test_correct_query_diagnosed_correct(self, pipeline, hotpot):
+        # at least one query in the corpus answers correctly.
+        diagnoses = [
+            diagnose_one(pipeline, as_task(q)) for q in hotpot.queries
+        ]
+        assert any(d.verdict == "correct" for d in diagnoses)
+
+    def test_hop_count_matches_decomposition(self, pipeline, hotpot):
+        for query in hotpot.queries:
+            d = diagnose_one(pipeline, as_task(query))
+            expected = len(query.hops) + len(query.hops_b)
+            assert d.hop_count == expected
+            assert d.signature.count("C") + d.signature.count("W") == expected
+
+
+class TestAttributionCoverage:
+    def test_every_failure_attributed_hotpot(self, pipeline, hotpot):
+        report = diagnose_corpus(pipeline, hotpot, corpus="hotpot")
+        for d in report.queries:
+            if d.verdict == "correct":
+                assert d.stage == ""
+            else:
+                assert d.stage in ALL_STAGES
+                assert d.hop is not None
+                assert d.detail
+
+    def test_every_failure_attributed_movies(self):
+        movies = make_movies(seed=0, scale=0.2)
+        rag = MultiRAG(
+            MultiRAGConfig(update_history=False),
+            obs=Observability(audit=AuditLog()),
+        )
+        rag.ingest(movies.raw_sources())
+        tasks = [as_task(q) for q in movies.queries]
+        for d in diagnose_batch(rag, tasks):
+            assert (d.stage in ALL_STAGES) != (d.verdict == "correct")
+
+    def test_filter_attributions_carry_audit_codes(self):
+        # Reference recipes are tuned to exhibit filter failures.
+        report = reference_diagnosis("movies")
+        filtered = [
+            q for q in report.queries if q.stage == "confidence_filter"
+        ]
+        assert filtered
+        assert all(q.codes for q in filtered)
+
+
+class TestDeterminism:
+    def test_jobs4_byte_identical_to_sequential(self, pipeline, hotpot):
+        sequential = diagnose_corpus(pipeline, hotpot, corpus="d")
+        parallel = diagnose_corpus(pipeline, hotpot, corpus="d", jobs=4)
+        assert sequential.to_json() == parallel.to_json()
+
+    def test_repeat_runs_byte_identical(self, pipeline, hotpot):
+        first = diagnose_corpus(pipeline, hotpot, corpus="d").to_json()
+        second = diagnose_corpus(pipeline, hotpot, corpus="d").to_json()
+        assert first == second
+
+
+class TestMasking:
+    def test_digits_masked(self):
+        raw = RawSource(
+            source_id="s", domain="movies", fmt="text", name="s",
+            payload="Released in 1995, grossed 67 million.",
+        )
+        masked = mask_source_values([raw])[0]
+        assert masked.payload == "Released in unknown, grossed unknown million."
+
+    def test_nested_payload_masked_keys_intact(self):
+        raw = RawSource(
+            source_id="s", domain="movies", fmt="json", name="s",
+            payload={"year2": ["born 1970", {"k": "x 12 y"}]},
+        )
+        masked = mask_source_values([raw])[0]
+        assert masked.payload == {"year2": ["born unknown", {"k": "x unknown y"}]}
+
+    def test_original_sources_untouched(self):
+        raw = RawSource(source_id="s", domain="movies", fmt="text",
+                        name="s", payload="1995")
+        mask_source_values([raw])
+        assert raw.payload == "1995"
+
+
+class TestProbes:
+    def test_probe_payload_shape(self, pipeline, hotpot):
+        tasks = [as_task(q) for q in hotpot.queries]
+        base = diagnose_batch(pipeline, tasks)
+        probes = run_probes(pipeline, hotpot.sources, tasks, base)
+        assert set(probes) == {"masked_evidence", "reworded_questions"}
+        for payload in probes.values():
+            assert set(payload) == {
+                "accuracy", "collapsed", "flipped", "queries",
+            }
+            assert payload["queries"] == len(tasks)
+
+    def test_probes_leave_base_pipeline_intact(self, pipeline, hotpot):
+        tasks = [as_task(q) for q in hotpot.queries]
+        base = diagnose_batch(pipeline, tasks)
+        run_probes(pipeline, hotpot.sources, tasks, base)
+        again = diagnose_batch(pipeline, tasks)
+        assert [d.to_dict() for d in base] == [d.to_dict() for d in again]
+
+    def test_probes_without_sources_raise(self, pipeline, hotpot):
+        stripped = make_hotpotqa_like(n_queries=4, seed=0)
+        stripped.sources = []
+        with pytest.raises(DatasetError):
+            diagnose_corpus(pipeline, stripped, probes=True)
+
+
+class TestReference:
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(DatasetError):
+            reference_diagnosis("nope")
+
+    def test_reference_names_are_fixed(self):
+        assert REFERENCE_CORPORA == ("hotpot", "movies")

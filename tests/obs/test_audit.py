@@ -16,6 +16,16 @@ from repro.obs import (
     Observability,
 )
 from repro.obs.audit import (
+    AUDIT_CODES,
+    CODE_CONSENSUS_KEPT,
+    CODE_FALLBACK_PROMOTED,
+    CODE_FAST_PATH_AGREES,
+    CODE_FAST_PATH_CAP,
+    CODE_FAST_PATH_DISAGREES,
+    CODE_GRAPH_CONFLICT,
+    CODE_GRAPH_FAST_PATH,
+    CODE_NODE_ABOVE_THRESHOLD,
+    CODE_NODE_BELOW_THRESHOLD,
     LEVEL_FALLBACK,
     LEVEL_FAST_PATH,
     LEVEL_GRAPH,
@@ -149,6 +159,94 @@ class TestMCCAuditCompleteness:
         assert Counter(e.action for e in events) == Counter(
             {ACTION_KEPT: 2, ACTION_DROPPED: 1}
         )
+
+
+class TestAuditCodes:
+    """Every decision carries a machine-readable code + threshold margin."""
+
+    def test_every_mcc_event_carries_a_registered_code(self):
+        group = make_group(
+            [("s1", "2010"), ("s2", "2010"), ("s3", "2011"), ("s4", "2012")]
+        )
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 1.2, "2011": 0.4, "2012": 0.3})
+        mcc([group], scorer, obs=obs)
+        assert obs.audit.events
+        assert all(e.code in AUDIT_CODES for e in obs.audit.events)
+
+    def test_threshold_decisions_record_signed_margin(self):
+        group = make_group([("s1", "2010"), ("s2", "2011")])
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 1.2, "2011": 0.4})
+        mcc([group], scorer, node_threshold=0.7,
+            enable_graph_level=False, obs=obs)
+        by_value = {e.value: e for e in node_events(obs)}
+        kept, dropped = by_value["2010"], by_value["2011"]
+        assert kept.code == CODE_NODE_ABOVE_THRESHOLD
+        assert kept.margin == round(1.2 - 0.7, 6)
+        assert dropped.code == CODE_NODE_BELOW_THRESHOLD
+        assert dropped.margin == round(0.4 - 0.7, 6)
+
+    def test_graph_event_code_and_margin(self):
+        agreeing = make_group([("s1", "2010"), ("s2", "2010")])
+        obs = enabled_obs()
+        mcc([agreeing], StubScorer({"2010": 1.2}),
+            graph_threshold=0.5, obs=obs)
+        graph = [e for e in obs.audit.events if e.stage == "mcc.graph"][0]
+        assert graph.code == CODE_GRAPH_FAST_PATH
+        assert graph.margin == round(graph.score - 0.5, 6)
+
+        conflicted = make_group([("s1", "2010"), ("s2", "1999")])
+        obs2 = enabled_obs()
+        mcc([conflicted], StubScorer({"2010": 1.2, "1999": 1.1}),
+            graph_threshold=0.99, obs=obs2)
+        graph2 = [e for e in obs2.audit.events if e.stage == "mcc.graph"][0]
+        assert graph2.code == CODE_GRAPH_CONFLICT
+        assert graph2.margin is not None and graph2.margin < 0
+
+    def test_fallback_promotion_code(self):
+        group = make_group([("s1", "2010"), ("s2", "2011")])
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 0.6, "2011": 0.2})
+        mcc([group], scorer, node_threshold=0.7,
+            enable_graph_level=False, obs=obs)
+        best = [e for e in node_events(obs) if e.value == "2010"][0]
+        assert best.code == CODE_FALLBACK_PROMOTED
+        assert best.margin == round(0.6 - 0.7, 6)  # kept despite deficit
+
+    def test_fast_path_skip_codes_have_no_margin(self):
+        group = make_group(
+            [("s1", "2010"), ("s2", "2010"), ("s3", "2010"), ("s4", "1999")]
+        )
+        obs = enabled_obs()
+        scorer = StubScorer({"2010": 1.2, "1999": 0.1})
+        mcc([group], scorer, graph_threshold=0.0, fast_path_nodes=2,
+            obs=obs)
+        skipped = {e.value: e for e in node_events(obs)
+                   if e.level == LEVEL_FAST_PATH}
+        assert skipped["2010"].code == CODE_FAST_PATH_AGREES
+        assert skipped["1999"].code == CODE_FAST_PATH_DISAGREES
+        assert skipped["2010"].margin is None
+        assert skipped["1999"].margin is None
+
+    def test_node_level_ablation_codes(self):
+        group = make_group([("s1", "2010"), ("s2", "2010"), ("s3", "2010")])
+        obs = enabled_obs()
+        mcc([group], StubScorer({}), enable_node_level=False,
+            graph_threshold=0.0, fast_path_nodes=2, obs=obs)
+        codes = Counter(e.code for e in node_events(obs))
+        assert codes == Counter(
+            {CODE_CONSENSUS_KEPT: 2, CODE_FAST_PATH_CAP: 1}
+        )
+
+    def test_code_and_margin_serialized(self):
+        group = make_group([("s1", "2010"), ("s2", "2011")])
+        obs = enabled_obs()
+        mcc([group], StubScorer({"2010": 1.2, "2011": 0.4}),
+            enable_graph_level=False, obs=obs)
+        dumped = obs.audit.to_jsonl()
+        assert '"code": "NODE_ABOVE_THRESHOLD"' in dumped
+        assert '"margin":' in dumped
 
 
 class TestPipelineAudit:

@@ -1,0 +1,198 @@
+"""Attribution calculus unit tests: labels, signatures, stage mapping."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    ALL_STAGES,
+    STAGE_FILTER,
+    STAGE_RETRIEVAL,
+    STAGE_SYNTHESIS,
+    VERDICT_ABSTAINED,
+    VERDICT_CORRECT,
+    VERDICT_WRONG,
+    DiagnosisReport,
+    HopRecord,
+    attribute_query,
+    signature_of,
+)
+
+
+def hop(
+    index=0,
+    entity="inception",
+    attribute="directed_by",
+    gold=("christopher nolan",),
+    retrieved=("christopher nolan", "someone else"),
+    kept=("christopher nolan",),
+    top="Christopher Nolan",
+    drop_codes=(),
+):
+    return HopRecord(
+        index=index,
+        entity=entity,
+        attribute=attribute,
+        gold=frozenset(gold),
+        retrieved=frozenset(retrieved),
+        kept=frozenset(kept),
+        top=top,
+        drop_codes=tuple(drop_codes),
+    )
+
+
+class TestHopLabels:
+    def test_correct_hop_is_c(self):
+        assert hop().label() == "C"
+
+    def test_wrong_top_is_w(self):
+        assert hop(top="Someone Else").label() == "W"
+
+    def test_empty_top_is_w(self):
+        assert hop(top="").label() == "W"
+
+    def test_label_normalizes_case(self):
+        assert hop(top="CHRISTOPHER NOLAN").label() == "C"
+
+    def test_signature_joins_hops(self):
+        hops = [hop(index=0), hop(index=1, top="wrong")]
+        assert signature_of(hops) == "C/W"
+
+    def test_signature_comparison_chains_use_plus(self):
+        a = [hop(index=0)]
+        b = [hop(index=1, top="wrong")]
+        assert signature_of(a, b) == "C+W"
+
+
+class TestAttribution:
+    def test_correct_answer_has_no_stage(self):
+        d = attribute_query(
+            "q0", "bridge", [hop()], ["Christopher Nolan"],
+            "Christopher Nolan",
+        )
+        assert d.verdict == VERDICT_CORRECT
+        assert d.stage == ""
+        assert d.hop is None
+        assert d.codes == ()
+
+    def test_never_retrieved_is_retrieval_stage(self):
+        wrong = hop(retrieved=("someone else",), kept=(), top="")
+        d = attribute_query("q1", "bridge", [wrong], ["x"], "")
+        assert d.verdict == VERDICT_ABSTAINED
+        assert d.stage == STAGE_RETRIEVAL
+        assert d.hop == 0
+
+    def test_filtered_out_is_filter_stage_with_codes(self):
+        wrong = hop(
+            kept=("someone else",),
+            top="Someone Else",
+            drop_codes=(
+                ("christopher nolan", "NODE_BELOW_THRESHOLD"),
+                ("unrelated", "FAST_PATH_CAP"),
+            ),
+        )
+        d = attribute_query("q2", "bridge", [wrong], ["x"], "Someone Else")
+        assert d.verdict == VERDICT_WRONG
+        assert d.stage == STAGE_FILTER
+        # only codes for *gold* values are reported.
+        assert d.codes == ("NODE_BELOW_THRESHOLD",)
+
+    def test_survived_but_outranked_is_synthesis(self):
+        wrong = hop(top="Someone Else",
+                    kept=("christopher nolan", "someone else"))
+        d = attribute_query("q3", "bridge", [wrong], ["x"], "Someone Else")
+        assert d.stage == STAGE_SYNTHESIS
+        assert d.codes == ()
+
+    def test_first_wrong_hop_wins(self):
+        first_bad = hop(index=0, retrieved=(), kept=(), top="Noise")
+        second_bad = hop(index=1, kept=(), top="")
+        d = attribute_query(
+            "q4", "compositional", [first_bad, second_bad], ["x"], "Noise"
+        )
+        assert d.stage == STAGE_RETRIEVAL
+        assert d.hop == 0
+
+    def test_scans_chain_b_after_chain_a(self):
+        good = hop(index=0)
+        bad_b = hop(index=1, retrieved=(), kept=(), top="")
+        d = attribute_query(
+            "q5", "comparison", [good], ["yes"], "no", hops_b=[bad_b]
+        )
+        assert d.stage == STAGE_RETRIEVAL
+        assert d.hop == 1
+        assert d.signature == "C+W"
+
+    def test_all_hops_correct_but_wrong_answer_is_synthesis(self):
+        # Two correct chains, miscompared verdict: synthesis at final hop.
+        a = hop(index=0, gold=("paris",), top="Paris",
+                retrieved=("paris",), kept=("paris",))
+        b = hop(index=1, gold=("paris",), top="Paris",
+                retrieved=("paris",), kept=("paris",))
+        d = attribute_query(
+            "q6", "comparison", [a], ["yes"], "no", hops_b=[b]
+        )
+        assert d.signature == "C+C"
+        assert d.stage == STAGE_SYNTHESIS
+        assert d.hop == 1
+        assert "comparison" in d.detail
+
+    def test_every_failure_attributed_to_exactly_one_stage(self):
+        cases = [
+            hop(retrieved=(), kept=(), top=""),
+            hop(kept=(), top="Noise"),
+            hop(top="Noise"),
+        ]
+        for bad in cases:
+            d = attribute_query("q", "bridge", [bad], ["x"], bad.top)
+            assert d.stage in ALL_STAGES
+
+
+class TestReport:
+    def make_report(self):
+        diagnoses = [
+            attribute_query("q0", "bridge", [hop()],
+                            ["Christopher Nolan"], "Christopher Nolan"),
+            attribute_query("q1", "bridge",
+                            [hop(retrieved=(), kept=(), top="")], ["x"], ""),
+        ]
+        return DiagnosisReport(corpus="unit", queries=diagnoses)
+
+    def test_accuracy(self):
+        assert self.make_report().accuracy() == 0.5
+
+    def test_empty_report_accuracy_zero(self):
+        assert DiagnosisReport(corpus="empty").accuracy() == 0.0
+
+    def test_attribution_counts_cover_all_stages(self):
+        counts = self.make_report().attribution_counts()
+        assert set(counts) == set(ALL_STAGES)
+        assert counts[STAGE_RETRIEVAL] == 1
+
+    def test_payload_tables(self):
+        payload = self.make_report().to_payload()
+        assert payload["summary"] == {
+            "queries": 2, "accuracy": 0.5,
+            "correct": 1, "wrong": 0, "abstained": 1,
+        }
+        assert payload["signatures"]["bridge"] == {"C": 1, "W": 1}
+        assert payload["by_hop_count"]["1"] == {"total": 2, "correct": 1}
+        assert len(payload["per_query"]) == 2
+
+    def test_to_json_is_byte_stable(self):
+        report = self.make_report()
+        assert report.to_json() == report.to_json()
+        assert report.to_json().endswith("\n")
+        # sorted keys: reparse and re-dump reproduces the bytes.
+        payload = json.loads(report.to_json())
+        assert json.dumps(payload, sort_keys=True, indent=2) + "\n" == \
+            report.to_json()
+
+    def test_format_text_sections(self):
+        report = self.make_report()
+        report.probes = {"masked_evidence": {"accuracy": 0.5, "collapsed": 1}}
+        text = report.format_text()
+        assert "failure attribution" in text
+        assert "reasoning-path signatures" in text
+        assert "accuracy by hop count" in text
+        assert "probe: masked_evidence" in text

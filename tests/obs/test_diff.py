@@ -1,0 +1,101 @@
+"""Trace-diff unit tests: logical alignment, divergence, stage deltas."""
+
+from __future__ import annotations
+
+from repro.obs import TickClock, Tracer, diff_traces
+
+
+def make_trace(groups=3, extra_span=False, tokens=10):
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("ingest", num_sources=2):
+        with tracer.span("adapter:csv", source_id="s1"):
+            pass
+    with tracer.span("linegraph.build", groups=groups):
+        pass
+    with tracer.span("generate", prompt_tokens=tokens, completion_tokens=5):
+        pass
+    with tracer.span("mcc.node", accepted=3, rejected=1):
+        pass
+    if extra_span:
+        with tracer.span("mcc.graph"):
+            pass
+    return tracer.to_dicts()
+
+
+class TestIdentical:
+    def test_same_trace_is_identical(self):
+        diff = diff_traces(make_trace(), make_trace())
+        assert diff.identical
+        assert diff.divergence is None
+        assert "logically identical" in diff.format_text()
+
+    def test_wall_clock_and_ids_ignored(self):
+        a, b = make_trace(), make_trace()
+        for span in b:
+            span["start_s"] = 99.0
+            span["duration_s"] = 42.0
+            span["span_id"] = span["span_id"] + 100
+        assert diff_traces(a, b).identical
+
+
+class TestDivergence:
+    def test_attr_divergence_names_the_key(self):
+        diff = diff_traces(make_trace(groups=3), make_trace(groups=9))
+        assert not diff.identical
+        assert diff.divergence.reason == "attrs differ on groups"
+        assert diff.divergence.a["name"] == "linegraph.build"
+        assert "first divergence at span #2" in diff.divergence.describe()
+
+    def test_name_divergence(self):
+        a, b = make_trace(), make_trace()
+        b[0]["name"] = "renamed"
+        diff = diff_traces(a, b)
+        assert "span name differs" in diff.divergence.reason
+
+    def test_depth_divergence(self):
+        a, b = make_trace(), make_trace()
+        b[1]["depth"] = 5
+        diff = diff_traces(a, b)
+        assert "nesting depth differs" in diff.divergence.reason
+
+    def test_length_mismatch_reports_trailing_span(self):
+        short, long = make_trace(), make_trace(extra_span=True)
+        diff = diff_traces(short, long)
+        assert not diff.identical
+        assert diff.divergence.index == len(short)
+        assert "1 more span(s)" in diff.divergence.reason
+        assert diff.divergence.a is None
+        assert diff.divergence.b["name"] == "mcc.graph"
+
+    def test_first_divergence_not_last(self):
+        a, b = make_trace(), make_trace()
+        b[0]["attrs"]["num_sources"] = 7
+        b[2]["attrs"]["groups"] = 99
+        assert diff_traces(a, b).divergence.index == 0
+
+
+class TestStageDeltas:
+    def test_deltas_cover_both_sides_sorted(self):
+        diff = diff_traces(make_trace(), make_trace(extra_span=True))
+        names = [d.name for d in diff.deltas]
+        assert names == sorted(names)
+        graph = next(d for d in diff.deltas if d.name == "mcc.graph")
+        assert (graph.count_a, graph.count_b) == (0, 1)
+
+    def test_token_totals(self):
+        diff = diff_traces(make_trace(tokens=10), make_trace(tokens=30))
+        gen = next(d for d in diff.deltas if d.name == "generate")
+        assert (gen.tokens_a, gen.tokens_b) == (15, 35)
+
+    def test_drop_rate(self):
+        diff = diff_traces(make_trace(), make_trace())
+        node = next(d for d in diff.deltas if d.name == "mcc.node")
+        assert node.drop_rate("a") == 0.25
+        ingest = next(d for d in diff.deltas if d.name == "ingest")
+        assert ingest.drop_rate("a") is None
+
+    def test_format_text_has_table(self):
+        text = diff_traces(make_trace(), make_trace()).format_text()
+        assert "drop-rate A/B" in text
+        assert "mcc.node" in text
+        assert "25.0%" in text

@@ -97,6 +97,33 @@ class TestExport:
         with pytest.raises(StateError):
             load_trace(bad)
 
+    def test_load_trace_rejects_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(StateError, match="file is empty"):
+            load_trace(empty)
+
+    def test_load_trace_rejects_whitespace_only(self, tmp_path):
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("\n\n   \n")
+        with pytest.raises(StateError, match="file is empty"):
+            load_trace(blank)
+
+    def test_load_trace_rejects_empty_span_list(self, tmp_path):
+        bad = tmp_path / "empty-array.json"
+        bad.write_text("[]")
+        with pytest.raises(StateError, match="no spans recorded"):
+            load_trace(bad)
+
+    def test_load_trace_rejects_truncated_line(self, tmp_path):
+        bad = tmp_path / "trunc.jsonl"
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        # a valid prefix followed by a non-span JSON value.
+        bad.write_text(tracer.to_jsonl() + "5\n")
+        with pytest.raises(StateError, match="truncated or non-span"):
+            load_trace(bad)
+
     def test_drop_timing_strips_only_wall_clock_fields(self):
         tracer = Tracer()
         with tracer.span("s"):
@@ -127,3 +154,35 @@ class TestDeterminism:
         span = Span(name="x", span_id=0, parent_id=None, depth=0)
         span.set(b=1, a=2)
         assert list(span.to_dict()["attrs"]) == ["a", "b"]
+
+
+class TestTopSpans:
+    def make_spans(self):
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        return tracer.to_dicts()
+
+    def test_sorted_by_duration_desc(self):
+        from repro.obs import render_top_spans
+
+        text = render_top_spans(self.make_spans(), 2)
+        lines = [l for l in text.splitlines() if "ms" in l]
+        assert len(lines) == 2
+        durations = []
+        for line in lines:
+            durations.append(float(line.split("ms")[0].split()[-1]))
+        assert durations == sorted(durations, reverse=True)
+
+    def test_n_caps_rows(self):
+        from repro.obs import render_top_spans
+
+        full = render_top_spans(self.make_spans(), 100)
+        assert len([l for l in full.splitlines() if "ms" in l]) == 5
+
+    def test_untimed_spans_message(self):
+        from repro.obs import render_top_spans
+
+        tracer = Tracer(clock=TickClock())
+        make_nested_trace(tracer)
+        spans = tracer.to_dicts(drop_timing=True)
+        assert "without timing" in render_top_spans(spans, 3)

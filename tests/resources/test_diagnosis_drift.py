@@ -1,0 +1,49 @@
+"""Drift gate: committed reference diagnoses match a fresh run.
+
+``results/diagnosis_hotpot.json`` / ``results/diagnosis_movies.json``
+are build artifacts of the seeded diagnosis recipe in
+:func:`repro.eval.reference_diagnosis`.  If pipeline, dataset or
+attribution code shifts any verdict, the committed tables must be
+regenerated in the same change — otherwise the repo would ship stale
+failure-attribution numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval import REFERENCE_CORPORA, reference_diagnosis
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def regen_hint(name: str) -> str:
+    return (
+        f"results/diagnosis_{name}.json is stale — regenerate with "
+        "`PYTHONPATH=src python -c \"from pathlib import Path; "
+        "from repro.eval import reference_diagnosis; "
+        f"Path('results/diagnosis_{name}.json')"
+        f".write_text(reference_diagnosis('{name}').to_json())\"`"
+    )
+
+
+@pytest.mark.parametrize("name", REFERENCE_CORPORA)
+def test_committed_diagnosis_matches_computed(name):
+    committed_path = REPO / "results" / f"diagnosis_{name}.json"
+    committed = committed_path.read_text()
+    computed = reference_diagnosis(name).to_json()
+    assert committed == computed, regen_hint(name)
+
+
+@pytest.mark.parametrize("name", REFERENCE_CORPORA)
+def test_committed_diagnosis_attributes_every_failure(name):
+    payload = json.loads(
+        (REPO / "results" / f"diagnosis_{name}.json").read_text()
+    )
+    failures = payload["summary"]["wrong"] + payload["summary"]["abstained"]
+    assert sum(payload["attribution"].values()) == failures
+    for query in payload["per_query"]:
+        assert (query["verdict"] == "correct") == (query["stage"] == "")

@@ -159,3 +159,106 @@ class TestErrors:
         main(["evaluate", str(corpus)])
         second = capsys.readouterr().out
         assert first == second
+
+
+@pytest.fixture(scope="module")
+def hotpot_corpus(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("mh") / "hotpot"
+    assert main(["generate", "hotpot", str(directory),
+                 "--scale", "0.2"]) == 0
+    return directory
+
+
+class TestDiagnose:
+    def test_generate_multihop_corpus(self, hotpot_corpus):
+        manifest = json.loads(
+            (hotpot_corpus / "queries.json").read_text()
+        )
+        assert manifest["kind"] == "multihop"
+        assert any(p.name.endswith(".pages.json")
+                   for p in hotpot_corpus.iterdir())
+
+    def test_evaluate_multihop_prints_breakdown(self, hotpot_corpus,
+                                                capsys):
+        assert main(["evaluate", str(hotpot_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "failure attribution" in out
+        assert "reasoning-path signatures" in out
+        assert "accuracy by hop count" in out
+
+    def test_diagnose_flat_corpus(self, corpus, capsys):
+        assert main(["evaluate", str(corpus), "--diagnose"]) == 0
+        out = capsys.readouterr().out
+        assert "failure attribution" in out
+        assert "retrieval_hop" in out
+
+    def test_diagnose_writes_json(self, hotpot_corpus, tmp_path, capsys):
+        out_path = tmp_path / "diag.json"
+        assert main(["evaluate", str(hotpot_corpus),
+                     "--diagnose", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert set(payload["attribution"]) == {
+            "retrieval_hop", "confidence_filter", "synthesis",
+        }
+        assert payload["per_query"]
+
+    def test_diagnose_jobs4_byte_identical(self, hotpot_corpus, tmp_path,
+                                           capsys):
+        seq, par = tmp_path / "seq.json", tmp_path / "par.json"
+        assert main(["evaluate", str(hotpot_corpus),
+                     "--diagnose", str(seq), "--jobs", "1"]) == 0
+        assert main(["evaluate", str(hotpot_corpus),
+                     "--diagnose", str(par), "--jobs", "4"]) == 0
+        assert seq.read_bytes() == par.read_bytes()
+
+    def test_probe_sections_printed(self, hotpot_corpus, capsys):
+        assert main(["evaluate", str(hotpot_corpus), "--probe"]) == 0
+        out = capsys.readouterr().out
+        assert "probe: masked_evidence" in out
+        assert "probe: reworded_questions" in out
+
+
+class TestTraceTools:
+    @pytest.fixture()
+    def trace_file(self, corpus, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["evaluate", str(corpus), "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_top_mode(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "duration" in out
+        assert len([l for l in out.splitlines() if "ms" in l]) == 3
+
+    def test_diff_identical_exits_zero(self, trace_file, capsys):
+        assert main(["trace", "--diff", str(trace_file),
+                     str(trace_file)]) == 0
+        assert "logically identical" in capsys.readouterr().out
+
+    def test_diff_divergent_exits_one(self, trace_file, tmp_path, capsys):
+        spans = [json.loads(line)
+                 for line in trace_file.read_text().splitlines()]
+        spans[-1]["attrs"]["mutated"] = True
+        other = tmp_path / "other.jsonl"
+        other.write_text(
+            "".join(json.dumps(s) + "\n" for s in spans)
+        )
+        assert main(["trace", "--diff", str(trace_file),
+                     str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "mutated" in out
+
+    def test_empty_trace_file_errors_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "file is empty" in err
+
+    def test_no_file_and_no_diff_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "error:" in capsys.readouterr().err
