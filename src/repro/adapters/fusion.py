@@ -16,6 +16,7 @@ from repro.adapters.base import RawSource, get_adapter
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.storage import NormalizedRecord
 from repro.kg.triple import Entity, Provenance, Triple
+from repro.llm.base import LLMClient
 from repro.llm.extraction import SchemaFreeExtractor
 from repro.llm.simulated import SimulatedLLM
 from repro.obs.context import NOOP, Observability
@@ -45,7 +46,7 @@ class DataFusionEngine:
 
     def __init__(
         self,
-        llm: SimulatedLLM | None = None,
+        llm: LLMClient | None = None,
         chunker: SentenceChunker | None = None,
         standardize: bool = False,
         obs: Observability | None = None,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.baselines.base import FusionMethod, Substrate, register_fusion
 from repro.core.logic_form import generate_logic_form
+from repro.llm.stage import Stage
 from repro.util import normalize_value
 
 
@@ -31,7 +32,7 @@ class ChatKBQA(FusionMethod):
         self.llm.complete(
             "### TASK: answer\n### QUERY\n" + question
             + "\n### INPUT\nGenerate a logical form.\n### END\n",
-            task="logical_form",
+            stage=Stage.OTHER,  # baseline-specific: logical-form generation
         )
         logic_form = generate_logic_form(question)
         if not logic_form.is_structured:

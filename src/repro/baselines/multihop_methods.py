@@ -34,6 +34,7 @@ from repro.core.planner import plan_question
 from repro.core.pipeline import MultiRAG
 from repro.datasets.multihop import MultiHopQuery
 from repro.exec import Query
+from repro.llm.stage import Stage
 from repro.util import normalize_value, stable_uniform
 
 
@@ -323,7 +324,7 @@ class QAChatKBQA(QAMethod):
             self.llm.complete(
                 "### TASK: answer\n### QUERY\nlf\n### INPUT\n"
                 f"{subject} | {attribute} | ?\n### END\n",
-                task="logical_form",
+                stage=Stage.OTHER,  # baseline-specific: logical-form generation
             )
             ranked = self._hop(subject, attribute)
             if not ranked:
@@ -395,7 +396,7 @@ class QARQRAG(QAMethod, _RetrievalChainMixin):
         self.llm.complete(
             "### TASK: answer\n### QUERY\n" + query.text
             + "\n### INPUT\ndecompose\n### END\n",
-            task="refine",
+            stage=Stage.OTHER,  # baseline-specific: decomposition/refine
         )
         if query.qtype == "comparison":
             a, docs_a = self._resolve_chain(query.hops)
@@ -439,7 +440,7 @@ class QAMetaRAG(QAMethod, _RetrievalChainMixin):
                 self.llm.complete(
                     "### TASK: answer\n### QUERY\nmonitor\n### INPUT\n"
                     f"{subject} {attribute} conflicts={distinct}\n### END\n",
-                    task="metacognition",
+                    stage=Stage.OTHER,  # baseline-specific: metacognitive monitor
                 )
                 saved_k = self.top_k
                 self.top_k = saved_k * 3

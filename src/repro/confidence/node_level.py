@@ -30,7 +30,7 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.kg.schema import Schema
 from repro.linegraph.homologous import HomologousGroup
-from repro.llm.simulated import SimulatedLLM
+from repro.llm.base import LLMClient
 from repro.obs.context import NOOP, Observability
 from repro.util import normalize_value
 
@@ -61,7 +61,7 @@ class NodeScorer:
     def __init__(
         self,
         graph: KnowledgeGraph,
-        llm: SimulatedLLM,
+        llm: LLMClient,
         history: HistoryStore,
         alpha: float = 0.5,
         beta: float = 0.5,

@@ -22,8 +22,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.llm.gateway import RoutingPolicy
 
 
 def _sanitize_default() -> bool:
@@ -33,6 +37,20 @@ def _sanitize_default() -> bool:
     return os.environ.get("REPRO_SANITIZE", "").lower() not in (
         "", "0", "false", "no",
     )
+
+
+def _routing_default() -> dict[str, str]:
+    """Default for :attr:`MultiRAGConfig.llm_routing`: the
+    ``REPRO_LLM_ROUTING`` environment variable
+    (``"ner=sim-small,synthesis=sim-large|sim-small"``), so CI can run
+    whole suites through a heterogeneous gateway without touching call
+    sites — same pattern as ``REPRO_EXEC_WORKERS``/``REPRO_SANITIZE``."""
+    spec = os.environ.get("REPRO_LLM_ROUTING", "").strip()
+    if not spec:
+        return {}
+    from repro.llm.gateway import parse_routing_spec
+
+    return dict(parse_routing_spec(spec))
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,6 +90,22 @@ class MultiRAGConfig:
     #: proxies and cross-worker conflicts fail loudly.  Off by default
     #: like ``debug_contracts``; defaults from ``REPRO_SANITIZE``.
     sanitize: bool = field(default_factory=_sanitize_default)
+    #: per-stage LLM backend routing, ``stage -> "backend[|fallback]"``
+    #: with ``"*"`` overriding the default backend.  Non-empty wires an
+    #: :class:`~repro.llm.gateway.LLMGateway` in front of the pipeline's
+    #: client; empty (the default) keeps the bare client.  Defaults from
+    #: ``REPRO_LLM_ROUTING`` (see :func:`_routing_default`).
+    llm_routing: dict[str, str] = field(default_factory=_routing_default)
+    #: per-stage gateway knobs, ``stage -> {"max_calls", "max_tokens",
+    #: "max_attempts", "hedge_after_s"}`` — runtime quotas for the
+    #: statically certified call bounds, retry caps and hedge deadlines.
+    llm_stage_limits: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+    #: consecutive backend failures before its circuit breaker trips.
+    llm_breaker_threshold: int = 3
+    #: simulated seconds an open breaker waits before half-opening.
+    llm_breaker_cooldown_s: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -99,11 +133,39 @@ class MultiRAGConfig:
             raise ConfigError("top_k must be at least 1")
         if self.min_sources < 2:
             raise ConfigError("min_sources must be at least 2")
+        if self.llm_breaker_threshold < 1:
+            raise ConfigError("llm_breaker_threshold must be at least 1")
+        if self.llm_breaker_cooldown_s < 0.0:
+            raise ConfigError("llm_breaker_cooldown_s must be non-negative")
+        if (self.llm_stage_limits and not self.llm_routing):
+            raise ConfigError(
+                "llm_stage_limits requires llm_routing (the gateway "
+                "enforces per-stage limits; set llm_routing={'*': "
+                "'default'} for default routing with limits)"
+            )
 
     @property
     def enable_mcc(self) -> bool:
         """True when at least one confidence stage is active."""
         return self.enable_graph_level or self.enable_node_level
+
+    def routing_policy(self) -> "RoutingPolicy | None":
+        """The gateway routing policy, or ``None`` when no routing is
+        configured (the pipeline then keeps its bare client).
+
+        Raises:
+            ConfigError: on unknown stages, backends or limit keys.
+        """
+        if not self.llm_routing:
+            return None
+        from repro.llm.gateway import RoutingPolicy
+
+        return RoutingPolicy.from_mappings(
+            self.llm_routing,
+            self.llm_stage_limits,
+            breaker_threshold=self.llm_breaker_threshold,
+            breaker_cooldown_s=self.llm_breaker_cooldown_s,
+        )
 
     def without_mka(self) -> "MultiRAGConfig":
         return replace(self, enable_mka=False)

@@ -63,24 +63,32 @@ LLM_BASE_MODULE = "repro.llm.base"
 _FUSION_DECORATORS = frozenset({"register_fusion", "base.register_fusion"})
 _QA_DECORATORS = frozenset({"register_qa", "base.register_qa"})
 
-#: public LLM client API → the pipeline stage it serves.  ``complete`` /
-#: ``complete_many`` attribute their stage from a constant ``task=``
-#: keyword when present.
+#: public LLM client API → the :class:`repro.llm.stage.Stage` value it
+#: serves.  ``complete`` / ``complete_many`` attribute their stage from
+#: the ``stage=`` tag (a ``Stage.<NAME>`` attribute or string constant)
+#: or, legacy, a constant ``task=`` keyword mapped like the runtime
+#: (``Stage.from_task``); fully untagged calls fold to ``"other"``,
+#: mirroring the runtime default — and are RES005 findings.
 LLM_API_STAGES: dict[str, str] = {
     "extract_entities": "ner",
-    "extract_triples": "extraction",
-    "standardize": "standardization",
+    "extract_triples": "triple",
+    "standardize": "std",
     "relevance": "relevance",
     "authority": "authority",
     "generate_answer": "synthesis",
     "parametric_answer": "parametric",
-    "complete": "generic",
-    "complete_many": "generic",
+    "complete": "other",
+    "complete_many": "other",
 }
 
 #: transport methods below the UsageMeter seam; calling them from
-#: pipeline code bypasses accounting entirely (RES001).
-RAW_TRANSPORT = frozenset({"_generate", "_generate_many"})
+#: pipeline code bypasses accounting entirely (RES001).  ``transport`` /
+#: ``transport_many`` are the (text, latency) seam the gateway and the
+#: cache layer route through — metered exactly once by the wrapper that
+#: owns the call, so any use *above* the client stack is a bypass too.
+RAW_TRANSPORT = frozenset({
+    "_generate", "_generate_many", "transport", "transport_many",
+})
 
 #: symbolic corpus parameters the certified bounds range over.  The
 #: runtime budget gate measures each one on the ingested corpus and
@@ -591,17 +599,65 @@ def _receiver_is_llm(receiver: str | None) -> bool:
     return bool(_LLM_RECEIVER_RE.search(receiver.rsplit(".", 1)[-1]))
 
 
-def _call_stage(api: str, node: ast.Call) -> str:
-    stage = LLM_API_STAGES[api]
-    if api in {"complete", "complete_many"}:
-        for keyword in node.keywords:
-            if (
-                keyword.arg == "task"
-                and isinstance(keyword.value, ast.Constant)
-                and isinstance(keyword.value.value, str)
+def _stage_expr_value(node: ast.expr) -> str | None:
+    """The stage value of a ``stage=`` argument, when statically known.
+
+    Recognizes ``Stage.<NAME>`` attribute references (resolved through
+    the runtime enum, so the analysis can never drift from the tag
+    vocabulary) and string constants coerced the same way the runtime
+    coerces them.
+    """
+    from repro.llm.stage import Stage
+
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "Stage"
+    ):
+        member = getattr(Stage, node.attr, None)
+        if isinstance(member, Stage):
+            return member.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return Stage.coerce(node.value).value
+    return None
+
+
+def call_stage_tag(api: str, node: ast.Call) -> str | None:
+    """The statically resolved stage tag of a ``complete``/
+    ``complete_many`` call, or None when the call is untagged *and* has
+    no stage argument at all (the RES005 shape).
+
+    A positional or keyword ``stage`` argument whose value cannot be
+    resolved statically (a variable, a parameter being threaded through)
+    still counts as *tagged* — the wrapper pattern
+    ``super().complete(prompt, stage)`` must not be flagged."""
+    from repro.llm.stage import Stage
+
+    if len(node.args) >= 2:
+        resolved = _stage_expr_value(node.args[1])
+        return resolved if resolved is not None else LLM_API_STAGES[api]
+    for keyword in node.keywords:
+        if keyword.arg == "stage":
+            resolved = _stage_expr_value(keyword.value)
+            return resolved if resolved is not None else LLM_API_STAGES[api]
+        if keyword.arg == "task":
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
             ):
-                return keyword.value.value
-    return stage
+                return Stage.from_task(keyword.value.value).value
+            return LLM_API_STAGES[api]
+        if keyword.arg is None:
+            # **kwargs forwarding: assume tagged through the mapping.
+            return LLM_API_STAGES[api]
+    return None
+
+
+def _call_stage(api: str, node: ast.Call) -> str:
+    if api in {"complete", "complete_many"}:
+        tag = call_stage_tag(api, node)
+        if tag is not None:
+            return tag
+    return LLM_API_STAGES[api]
 
 
 def _calls_per_hit(api: str, node: ast.Call) -> Bound:
@@ -1093,6 +1149,75 @@ def compute_raw_transport_sites(
 
 
 @dataclass(frozen=True, slots=True)
+class UntaggedCallSite:
+    """A ``complete``/``complete_many`` call with no stage tag (RES005)."""
+
+    path: str
+    line: int
+    col: int
+    api: str
+    function: str
+
+
+def compute_untagged_sites(program: Program) -> tuple[UntaggedCallSite, ...]:
+    """RES005 facts: entry-reachable ``complete``/``complete_many``
+    calls carrying neither a ``stage`` argument nor a legacy ``task=``
+    keyword.  Untagged calls fold to ``Stage.OTHER`` at runtime (with a
+    DeprecationWarning), which defeats per-stage routing, budgets and
+    attribution — every pipeline call site must name its stage.  The
+    client stack itself is exempt: wrappers thread the caller's tag."""
+    cached = program.analysis_cache.get("res_untagged_sites")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    table = program.symtab
+    llm_classes = llm_client_classes(program)
+    out: list[UntaggedCallSite] = []
+    for qual in sorted(compute_entry_reachable(program)):
+        func = table.functions.get(qual)
+        if func is None or _is_exempt(func, llm_classes):
+            continue
+        symbols = table.modules.get(func.module)
+        path = symbols.module.display_path if symbols else func.module
+        flow = program.callgraph.flows.get(qual)
+        resolved_cls: dict[int, str | None] = {}
+        if flow is not None:
+            for call in flow.calls:
+                target = table.functions.get(call.target) if call.target \
+                    else None
+                resolved_cls[id(call.node)] = (
+                    f"{target.module}.{target.cls}"
+                    if target is not None and target.cls is not None
+                    else None
+                )
+        for node in _own_nodes(func.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"complete", "complete_many"}
+            ):
+                continue
+            target_cls = resolved_cls.get(id(node))
+            if target_cls is not None and target_cls not in llm_classes:
+                continue
+            if target_cls is None and not _receiver_is_llm(
+                _llm_receiver(node)
+            ):
+                continue
+            if call_stage_tag(node.func.attr, node) is not None:
+                continue
+            out.append(UntaggedCallSite(
+                path=path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                api=node.func.attr,
+                function=qual,
+            ))
+    result = tuple(out)
+    program.analysis_cache["res_untagged_sites"] = result
+    return result
+
+
+@dataclass(frozen=True, slots=True)
 class RetrySite:
     """An unbounded retry loop around LLM or blocking I/O (RES003)."""
 
@@ -1413,7 +1538,13 @@ def _path_site_doc(path_site: PathSite) -> dict[str, object]:
 
 def llm_bounds_payload(program: Program) -> dict[str, object]:
     """The certified query-phase bounds (``--graph llm-bounds``), the
-    document committed to ``results/llm_call_bounds.json``."""
+    document committed to ``results/llm_call_bounds.json``.
+
+    Each algorithm row carries the total per-query bound plus a
+    ``stages`` breakdown — one certified bound per stage tag — which is
+    what the gateway's per-stage runtime quotas
+    (``MultiRAGConfig.llm_stage_limits``) are calibrated against.
+    """
     bounds: dict[str, dict[str, object]] = {}
     for budget in compute_entry_budgets(program):
         entry = budget.entry
@@ -1423,6 +1554,12 @@ def llm_bounds_payload(program: Program) -> dict[str, object]:
             "multirag" if entry.kind == "pipeline"
             else f"{entry.kind}:{entry.algorithm}"
         )
+        per_stage: dict[str, Bound] = {}
+        for path_site in budget.sites:
+            stage = path_site.site.stage
+            per_stage[stage] = per_stage.get(stage, Bound.const(0)).add(
+                path_site.cost
+            )
         bounds[key] = {
             "entry": entry.qualname,
             "algorithm": entry.algorithm,
@@ -1430,6 +1567,13 @@ def llm_bounds_payload(program: Program) -> dict[str, object]:
             "bound": budget.bound.expr(),
             "terms": budget.bound.to_jsonable(),
             "sites": len(budget.sites),
+            "stages": {
+                stage: {
+                    "bound": per_stage[stage].expr(),
+                    "terms": per_stage[stage].to_jsonable(),
+                }
+                for stage in sorted(per_stage)
+            },
         }
     return {
         "symbols": dict(BOUND_SYMBOLS),

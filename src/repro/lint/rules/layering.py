@@ -83,9 +83,9 @@ _UNRESTRICTED_MODULES = frozenset({"cli", "__init__", "__main__"})
 _FORBIDDEN_TOP_LEVEL = frozenset({"tests", "benchmarks"})
 
 #: pure-data modules importable from any layer: they define the shared
-#: vocabulary (the Triple datatype) and depend on nothing above the
-#: foundation themselves.
-FOUNDATION_MODULES = frozenset({"repro.kg.triple"})
+#: vocabulary (the Triple datatype, the pipeline Stage tags) and depend
+#: on nothing above the foundation themselves.
+FOUNDATION_MODULES = frozenset({"repro.kg.triple", "repro.llm.stage"})
 
 
 def _type_checking_linenos(tree: ast.Module) -> set[int]:

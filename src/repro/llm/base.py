@@ -6,16 +6,27 @@ scoring and answer synthesis.  :class:`LLMClient` is the narrow interface
 all of those flow through; :class:`UsageMeter` accounts tokens and a
 simulated latency so that "prompt time" (PT) comparisons in Table III have a
 principled basis even though no real model is being called.
+
+Every completion carries a :class:`~repro.llm.stage.Stage` tag naming the
+pipeline stage that issued it.  The tag drives per-stage usage attribution
+(:attr:`UsageMeter.by_stage`), per-stage routing and budgets in the
+gateway (:mod:`repro.llm.gateway`), and the statically certified call
+bounds (``repro.lint`` RES rules).  The legacy untagged/``task=`` calling
+convention still works but is deprecated: it folds to ``Stage.OTHER`` (or
+the legacy task mapping) with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import copy
+import json
 import time
 import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
+
+from repro.llm.stage import Stage
 
 if TYPE_CHECKING:
     from repro.obs.context import Observability
@@ -32,37 +43,53 @@ class LLMResponse:
 
 
 @dataclass(frozen=True, slots=True)
-class UsageCheckpoint:
-    """Immutable point-in-time snapshot of a :class:`UsageMeter`.
+class StageUsage:
+    """Accumulated usage of one pipeline stage (immutable value).
 
-    Stage-level attribution subtracts two checkpoints instead of
-    resetting the shared meter, so concurrent readers (the pipeline, the
-    eval harness, a tracer) can each hold their own baseline without
-    racing each other's ``reset()``.
+    Immutability is what makes stage attribution race-free: the meter
+    replaces whole entries instead of mutating them, so a checkpoint is a
+    shallow dict copy whose values can never change underneath a reader.
     """
-
-    calls: int
-    prompt_tokens: int
-    completion_tokens: int
-    simulated_latency_s: float
-
-
-@dataclass(slots=True)
-class UsageMeter:
-    """Accumulated LLM usage across a pipeline run."""
 
     calls: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     simulated_latency_s: float = 0.0
-    by_task: dict[str, int] = field(default_factory=dict)
 
-    def record(self, task: str, response: LLMResponse) -> None:
-        self.calls += 1
-        self.prompt_tokens += response.prompt_tokens
-        self.completion_tokens += response.completion_tokens
-        self.simulated_latency_s += response.latency_s
-        self.by_task[task] = self.by_task.get(task, 0) + 1
+    def plus(self, response: LLMResponse) -> "StageUsage":
+        """A new entry with ``response`` folded in."""
+        return StageUsage(
+            calls=self.calls + 1,
+            prompt_tokens=self.prompt_tokens + response.prompt_tokens,
+            completion_tokens=(
+                self.completion_tokens + response.completion_tokens
+            ),
+            simulated_latency_s=(
+                self.simulated_latency_s + response.latency_s
+            ),
+        )
+
+    def merged(self, other: "StageUsage") -> "StageUsage":
+        """A new entry combining two stage accumulations."""
+        return StageUsage(
+            calls=self.calls + other.calls,
+            prompt_tokens=self.prompt_tokens + other.prompt_tokens,
+            completion_tokens=self.completion_tokens + other.completion_tokens,
+            simulated_latency_s=(
+                self.simulated_latency_s + other.simulated_latency_s
+            ),
+        )
+
+    def minus(self, since: "StageUsage") -> "StageUsage":
+        """The delta accumulated since ``since``."""
+        return StageUsage(
+            calls=self.calls - since.calls,
+            prompt_tokens=self.prompt_tokens - since.prompt_tokens,
+            completion_tokens=self.completion_tokens - since.completion_tokens,
+            simulated_latency_s=(
+                self.simulated_latency_s - since.simulated_latency_s
+            ),
+        )
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -72,13 +99,94 @@ class UsageMeter:
             "simulated_latency_s": round(self.simulated_latency_s, 6),
         }
 
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True, slots=True)
+class UsageCheckpoint:
+    """Immutable point-in-time snapshot of a :class:`UsageMeter`.
+
+    Stage-level attribution subtracts two checkpoints instead of
+    resetting the shared meter, so concurrent readers (the pipeline, the
+    eval harness, a tracer) can each hold their own baseline without
+    racing each other.  ``by_stage`` captures the per-stage entries at
+    checkpoint time (the entries themselves are immutable
+    :class:`StageUsage` values, so the copy is shallow and cheap).
+    """
+
+    calls: int
+    prompt_tokens: int
+    completion_tokens: int
+    simulated_latency_s: float
+    by_stage: dict[str, StageUsage] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class UsageMeter:
+    """Accumulated LLM usage across a pipeline run.
+
+    ``by_stage`` maps stage-tag values to full :class:`StageUsage`
+    accumulations (calls, tokens, simulated latency).  It replaced the
+    old ``reset()``-based stage accounting: stage attribution is now
+    done with :meth:`checkpoint`/:meth:`stage_delta` snapshots, which
+    concurrent workers can hold independently without racing a shared
+    zeroing operation.
+    """
+
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    simulated_latency_s: float = 0.0
+    by_stage: dict[str, StageUsage] = field(default_factory=dict)
+
+    @property
+    def by_task(self) -> dict[str, int]:
+        """Legacy view: stage tag -> call count (read-only snapshot)."""
+        return {
+            stage: usage.calls for stage, usage in self.by_stage.items()
+        }
+
+    def record(self, stage: Stage | str, response: LLMResponse) -> None:
+        self.calls += 1
+        self.prompt_tokens += response.prompt_tokens
+        self.completion_tokens += response.completion_tokens
+        self.simulated_latency_s += response.latency_s
+        key = stage.value if isinstance(stage, Stage) else str(stage)
+        self.by_stage[key] = self.by_stage.get(key, StageUsage()).plus(
+            response
+        )
+
+    def stage_usage(self, stage: Stage | str) -> StageUsage:
+        """The accumulated usage of one stage (zeros when unseen)."""
+        key = stage.value if isinstance(stage, Stage) else str(stage)
+        return self.by_stage.get(key, StageUsage())
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "calls": self.calls,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "simulated_latency_s": round(self.simulated_latency_s, 6),
+        }
+
+    def stage_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-stage totals in sorted stage order (JSON-ready)."""
+        return {
+            stage: self.by_stage[stage].snapshot()
+            for stage in sorted(self.by_stage)
+        }
+
     def checkpoint(self) -> UsageCheckpoint:
-        """Mark the current totals; pair with :meth:`delta`."""
+        """Mark the current totals; pair with :meth:`delta` /
+        :meth:`stage_delta`."""
         return UsageCheckpoint(
             calls=self.calls,
             prompt_tokens=self.prompt_tokens,
             completion_tokens=self.completion_tokens,
             simulated_latency_s=self.simulated_latency_s,
+            by_stage=dict(self.by_stage),
         )
 
     def delta(self, since: UsageCheckpoint) -> dict[str, float]:
@@ -94,6 +202,22 @@ class UsageMeter:
             ),
         }
 
+    def stage_delta(self, since: UsageCheckpoint) -> dict[str, StageUsage]:
+        """Per-stage usage accumulated since ``since``.
+
+        Only stages with activity in the window appear.  This is the
+        supported replacement for the deprecated ``reset()`` pattern:
+        each reader subtracts its own checkpoint, so concurrent workers
+        never race on stage counters.
+        """
+        deltas: dict[str, StageUsage] = {}
+        for stage in sorted(self.by_stage):
+            before = since.by_stage.get(stage, StageUsage())
+            diff = self.by_stage[stage].minus(before)
+            if diff.calls or diff.total_tokens:
+                deltas[stage] = diff
+        return deltas
+
     def merge(self, other: "UsageMeter") -> None:
         """Fold another meter's totals into this one.
 
@@ -106,18 +230,22 @@ class UsageMeter:
         self.prompt_tokens += other.prompt_tokens
         self.completion_tokens += other.completion_tokens
         self.simulated_latency_s += other.simulated_latency_s
-        for task in sorted(other.by_task):
-            self.by_task[task] = self.by_task.get(task, 0) + other.by_task[task]
+        for stage in sorted(other.by_stage):
+            self.by_stage[stage] = self.by_stage.get(
+                stage, StageUsage()
+            ).merged(other.by_stage[stage])
 
     def reset(self) -> None:
         """Deprecated: zero out the meter in place.
 
         Resetting a shared meter races every other reader; hold a
-        :meth:`checkpoint` and subtract with :meth:`delta` instead.
+        :meth:`checkpoint` and subtract with :meth:`delta` /
+        :meth:`stage_delta` instead.
         """
         warnings.warn(
             "UsageMeter.reset() is deprecated; use checkpoint()/delta() "
-            "for stage attribution (resets race concurrent readers)",
+            "(or stage_delta() for per-stage attribution) — resets race "
+            "concurrent readers",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -125,7 +253,7 @@ class UsageMeter:
         self.prompt_tokens = 0
         self.completion_tokens = 0
         self.simulated_latency_s = 0.0
-        self.by_task.clear()
+        self.by_stage.clear()
 
 
 def count_tokens(text: str) -> int:
@@ -133,11 +261,47 @@ def count_tokens(text: str) -> int:
     return len(text.split())
 
 
+def resolve_stage(
+    stage: Stage | str | None, task: str | None
+) -> Stage:
+    """Resolve the stage tag of one completion call.
+
+    ``stage`` wins when given (strings are coerced); the legacy ``task``
+    keyword and the fully untagged form are deprecated and fold to the
+    legacy mapping / ``Stage.OTHER``.
+    """
+    if stage is not None:
+        return Stage.coerce(stage)
+    if task is not None:
+        warnings.warn(
+            "LLMClient.complete(task=...) is deprecated; pass "
+            "stage=Stage.<STAGE> instead (legacy task labels map via "
+            "Stage.from_task)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return Stage.from_task(task)
+    warnings.warn(
+        "untagged LLMClient.complete() is deprecated; pass "
+        "stage=Stage.<STAGE> (untagged calls default to Stage.OTHER)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return Stage.OTHER
+
+
 class LLMClient(ABC):
     """Abstract completion interface.
 
     Concrete implementations must be deterministic for a fixed construction
     seed: the whole reproduction depends on replayable runs.
+
+    The public surface is :meth:`complete` / :meth:`complete_many` (plus
+    the semantic helpers below); both take a ``stage`` tag.  Subclasses
+    customize the *transport* layer — :meth:`_generate` for the text and
+    :meth:`transport` when they also control accounted latency (the
+    cache layer's free hits, the gateway's backend routing) — and
+    inherit tagging, accounting and the helper prompts unchanged.
     """
 
     def __init__(
@@ -170,11 +334,47 @@ class LLMClient(ABC):
         """
         return [self._generate(prompt) for prompt in prompts]
 
+    def latency_for(self, prompt: str, text: str) -> float:
+        """The accounted latency of one completion under this client's
+        cost model."""
+        return self.base_latency_s + self.latency_per_token_s * (
+            count_tokens(prompt) + count_tokens(text)
+        )
+
+    def transport(self, prompt: str) -> tuple[str, float]:
+        """Generate one completion and return ``(text, latency_s)``
+        WITHOUT metering it.
+
+        This is the seam between generation and accounting: wrappers
+        that change the cost of a call (cache hits at latency zero, the
+        gateway routing to a backend with its own cost model) override
+        this — or :meth:`_generate` when only the text changes — and the
+        caller (:meth:`complete`, or the gateway on behalf of a backend)
+        does exactly one :meth:`_account` with the returned latency.
+        """
+        text = self._generate(prompt)
+        return text, self.latency_for(prompt, text)
+
+    def transport_many(
+        self, prompts: Sequence[str]
+    ) -> list[tuple[str, float]]:
+        """Batch :meth:`transport`; same contract, prompt order preserved.
+
+        Routes through :meth:`_generate_many` so clients with a true
+        batch path keep it; per-prompt results must be independent of
+        batching.
+        """
+        texts = self._generate_many(list(prompts))
+        return [
+            (text, self.latency_for(prompt, text))
+            for prompt, text in zip(prompts, texts)
+        ]
+
     def _account(
         self,
         prompt: str,
         text: str,
-        task: str,
+        stage: Stage,
         latency_s: float | None = None,
     ) -> LLMResponse:
         """Record one completion's usage and build its response."""
@@ -193,27 +393,123 @@ class LLMClient(ABC):
             completion_tokens=completion_tokens,
             latency_s=latency,
         )
-        self.meter.record(task, response)
+        self.meter.record(stage, response)
         return response
 
-    def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
-        """Run one completion and record its usage under ``task``."""
-        return self._account(prompt, self._generate(prompt), task)
+    def complete(
+        self,
+        prompt: str,
+        stage: Stage | str | None = None,
+        *,
+        task: str | None = None,
+    ) -> LLMResponse:
+        """Run one completion and record its usage under ``stage``.
+
+        ``stage`` accepts a :class:`~repro.llm.stage.Stage` (preferred)
+        or its value string.  The legacy ``task=`` keyword and the
+        untagged form are deprecated shims: they emit a
+        :class:`DeprecationWarning` and fold to ``Stage.from_task`` /
+        ``Stage.OTHER``.
+        """
+        resolved = resolve_stage(stage, task)
+        text, latency = self.transport(prompt)
+        return self._account(prompt, text, resolved, latency_s=latency)
 
     def complete_many(
-        self, prompts: Sequence[str], task: str = "generic"
+        self,
+        prompts: Sequence[str],
+        stage: Stage | str | None = None,
+        *,
+        task: str | None = None,
     ) -> list[LLMResponse]:
         """Run a prompt batch; responses come back in prompt order.
 
-        Contract: ``complete_many(ps)`` is observably identical to
-        ``[complete(p) for p in ps]`` — same texts, same accounting, same
-        meter state afterwards — so callers may batch opportunistically.
-        The default implementation *is* that sequential loop; subclasses
-        with a true batch path (the simulated model, the cache layer)
-        override it without changing the contract.
+        Contract: ``complete_many(ps, stage=s)`` is observably identical
+        to ``[complete(p, stage=s) for p in ps]`` — same texts, same
+        accounting, same meter state afterwards — so callers may batch
+        opportunistically.  The batch travels through
+        :meth:`transport_many` (one batched request for clients that
+        have one) and is accounted in prompt order.
         """
-        return [self.complete(prompt, task) for prompt in prompts]
+        resolved = resolve_stage(stage, task)
+        results = self.transport_many(prompts)
+        return [
+            self._account(prompt, text, resolved, latency_s=latency)
+            for prompt, (text, latency) in zip(prompts, results)
+        ]
 
+    # ------------------------------------------------------------------
+    # semantic helpers (render prompt -> complete -> parse)
+    #
+    # These live on the base class so every client — the simulated
+    # model, the cache layer, the gateway — exposes the same stage-tagged
+    # oracle roles, and routing policies apply uniformly no matter which
+    # wrapper the pipeline holds.
+    # ------------------------------------------------------------------
+    def extract_entities(self, text: str) -> list[dict[str, str]]:
+        """NER over ``text``; returns ``[{"name", "type"}, ...]``."""
+        from repro.llm.prompts import render_ner_prompt
+
+        response = self.complete(render_ner_prompt(text), stage=Stage.NER)
+        return json.loads(response.text)
+
+    def extract_triples(
+        self, text: str, entity_list: list[str]
+    ) -> list[list[str]]:
+        """SPO extraction over ``text`` constrained to ``entity_list``."""
+        from repro.llm.prompts import render_triple_prompt
+
+        response = self.complete(
+            render_triple_prompt(text, entity_list), stage=Stage.TRIPLE
+        )
+        return json.loads(response.text)
+
+    def standardize(self, text: str, mentions: list[str]) -> dict[str, str]:
+        """Entity standardization; returns ``mention -> canonical``."""
+        from repro.llm.prompts import render_std_prompt
+
+        response = self.complete(
+            render_std_prompt(text, mentions), stage=Stage.STD
+        )
+        return json.loads(response.text)
+
+    def relevance(self, query: str, text: str) -> float:
+        """LLM relevance judgement of ``text`` for ``query`` in [0, 1]."""
+        prompt = (
+            "### TASK: relevance\n### QUERY\n" + query + "\n### INPUT\n"
+            + text + "\n### END\n"
+        )
+        return float(self.complete(prompt, stage=Stage.RELEVANCE).text)
+
+    def authority(self, features: dict[str, float]) -> float:
+        """Raw authority judgement ``C_LLM(v)`` in [0, 1] from node
+        features."""
+        prompt = (
+            "### TASK: authority\n### INPUT\n"
+            + json.dumps(features, sort_keys=True)
+            + "\n### END\n"
+        )
+        return float(self.complete(prompt, stage=Stage.AUTHORITY).text)
+
+    def generate_answer(self, query: str, evidence_lines: list[str]) -> str:
+        """Synthesize an answer string from ``entity | attribute | value``
+        lines."""
+        prompt = (
+            "### TASK: answer\n### QUERY\n" + query + "\n### INPUT\n"
+            + "\n".join(evidence_lines) + "\n### END\n"
+        )
+        return self.complete(prompt, stage=Stage.SYNTHESIS).text
+
+    def parametric_answer(self, knowledge_key: str) -> str:
+        """Closed-book answer for ``knowledge_key`` (``entity|attribute``)."""
+        prompt = (
+            "### TASK: parametric\n### INPUT\n" + knowledge_key + "\n### END\n"
+        )
+        return self.complete(prompt, stage=Stage.PARAMETRIC).text
+
+    # ------------------------------------------------------------------
+    # worker-view protocol
+    # ------------------------------------------------------------------
     def split(self, obs: "Observability | None" = None) -> "LLMClient":
         """A worker-local clone with a fresh :class:`UsageMeter`.
 
@@ -221,12 +517,38 @@ class LLMClient(ABC):
         cache) by reference — valid because clients must be deterministic
         and side-effect-free per prompt — but accounts into its own
         meter, which the exec engine later folds back via
-        :meth:`UsageMeter.merge`.  ``obs`` rebinds telemetry for clients
-        that carry an observability handle (the cache layer), so workers
-        never write the parent's sinks concurrently.
+        :meth:`absorb`.  ``obs`` rebinds telemetry for clients that
+        carry an observability handle (the cache layer, the gateway), so
+        workers never write the parent's sinks concurrently.
         """
         clone = copy.copy(self)
         clone.meter = UsageMeter()
         if obs is not None and hasattr(clone, "obs"):
             clone.obs = obs  # type: ignore[attr-defined]
         return clone
+
+    def absorb(self, worker: "LLMClient") -> None:
+        """Fold a worker clone produced by :meth:`split` back in.
+
+        The base protocol merges usage; stateful wrappers (the gateway)
+        extend it to also collect worker-side event logs.  Mutable
+        *behavioral* state (circuit breakers, scripted failure counters)
+        is deliberately NOT folded back: every worker view starts from
+        the parent's state at split time, which is what keeps ``jobs=1``
+        and ``jobs=4`` runs byte-identical regardless of task completion
+        order.
+        """
+        self.meter.merge(worker.meter)
+
+
+# Backwards-compatible re-export: Stage started life here and callers
+# import it from either module.
+__all__ = [
+    "LLMClient",
+    "LLMResponse",
+    "Stage",
+    "StageUsage",
+    "UsageCheckpoint",
+    "UsageMeter",
+    "count_tokens",
+]

@@ -8,8 +8,11 @@ runaway method cannot consume unbounded (simulated) spend.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.errors import ReproError
 from repro.llm.base import LLMClient, LLMResponse, count_tokens
+from repro.llm.stage import Stage
 
 
 class BudgetExceededError(ReproError):
@@ -44,13 +47,12 @@ class BudgetedLLM(LLMClient):
         used = self.meter.prompt_tokens + self.meter.completion_tokens
         return max(0, self.max_total_tokens - used)
 
-    def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
-        """Complete if within budget.
+    def _check(self, prompt: str) -> None:
+        """Refuse *before* spending when a completion would bust a ceiling.
 
         Raises:
             BudgetExceededError: when the call count is exhausted or the
-                prompt alone no longer fits the token budget.  The check
-                is conservative: it refuses *before* spending.
+                prompt alone no longer fits the token budget.
         """
         if self.max_calls is not None and self.meter.calls >= self.max_calls:
             raise BudgetExceededError(
@@ -62,4 +64,38 @@ class BudgetedLLM(LLMClient):
                 f"token budget exhausted ({self.max_total_tokens} tokens; "
                 f"{remaining} left, prompt needs {count_tokens(prompt)})"
             )
-        return super().complete(prompt, task)
+
+    def complete(
+        self,
+        prompt: str,
+        stage: Stage | str | None = None,
+        *,
+        task: str | None = None,
+    ) -> LLMResponse:
+        """Complete if within budget (see :meth:`_check`).
+
+        Raises:
+            BudgetExceededError: when the completion would bust a ceiling.
+        """
+        self._check(prompt)
+        return super().complete(prompt, stage, task=task)
+
+    def complete_many(
+        self,
+        prompts: Sequence[str],
+        stage: Stage | str | None = None,
+        *,
+        task: str | None = None,
+    ) -> list[LLMResponse]:
+        """Sequential-equivalent batch so every prompt is budget-checked.
+
+        The base batch path goes straight to the transport; budget
+        enforcement must interleave the conservative pre-check with each
+        spend, so this wrapper completes one prompt at a time.
+
+        Raises:
+            BudgetExceededError: when any completion would bust a ceiling.
+        """
+        return [
+            self.complete(prompt, stage, task=task) for prompt in prompts
+        ]

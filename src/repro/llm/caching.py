@@ -19,7 +19,7 @@ import json
 from pathlib import Path
 from typing import Sequence
 
-from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.base import LLMClient
 from repro.obs.context import NOOP, Observability
 from repro.util import atomic_write_text
 
@@ -74,23 +74,31 @@ class CachingLLM(LLMClient):
         self._store(prompt, text)
         return text
 
-    def complete(self, prompt: str, task: str = "generic") -> LLMResponse:
+    def transport(self, prompt: str) -> tuple[str, float]:
+        """One completion's ``(text, latency)`` with hit-aware cost.
+
+        A hit under ``free_hits`` costs latency ``0.0``; everything else
+        pays this client's accounted cost model, exactly as the uncached
+        pipeline would.  The base class does the (stage-tagged)
+        accounting.
+        """
         is_hit = prompt in self._cache
         text = self._generate(prompt)
-        latency = 0.0 if is_hit and self.free_hits else None
-        return self._account(prompt, text, task, latency_s=latency)
+        if is_hit and self.free_hits:
+            return text, 0.0
+        return text, self.latency_for(prompt, text)
 
-    def complete_many(
-        self, prompts: Sequence[str], task: str = "generic"
-    ) -> list[LLMResponse]:
+    def transport_many(
+        self, prompts: Sequence[str]
+    ) -> list[tuple[str, float]]:
         """True batch path: misses go to the inner client as one batch.
 
         Hit/miss status is decided in prompt order *as if* each prompt
         had been completed singly (a duplicated uncached prompt is one
         miss then hits), then all unique misses are forwarded through the
-        inner client's batch hook and every prompt is accounted in
-        submit order — so outputs, hit counters and the meter are
-        byte-identical to sequential :meth:`complete` calls.
+        inner client's batch hook and every prompt is costed in submit
+        order — so outputs, hit counters and the meter are
+        byte-identical to sequential :meth:`transport` calls.
         """
         ordered = list(prompts)
         pending: list[str] = []
@@ -112,7 +120,7 @@ class CachingLLM(LLMClient):
             for prompt, text in zip(pending, self.inner._generate_many(pending)):
                 texts[prompt] = text
                 self._store(prompt, text)
-        responses: list[LLMResponse] = []
+        results: list[tuple[str, float]] = []
         for prompt, hit in zip(ordered, hit_flags):
             if hit:
                 self.hits += 1
@@ -120,11 +128,13 @@ class CachingLLM(LLMClient):
             else:
                 self.misses += 1
                 self.obs.metrics.counter("llm.cache.misses").inc()
-            latency = 0.0 if hit and self.free_hits else None
-            responses.append(
-                self._account(prompt, texts[prompt], task, latency_s=latency)
+            text = texts[prompt]
+            latency = (
+                0.0 if hit and self.free_hits
+                else self.latency_for(prompt, text)
             )
-        return responses
+            results.append((text, latency))
+        return results
 
     # ------------------------------------------------------------------
     # persistence & stats

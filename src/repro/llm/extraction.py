@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ExtractionError
 from repro.kg.triple import Entity, Provenance, Triple
-from repro.llm.simulated import SimulatedLLM
+from repro.llm.base import LLMClient
 from repro.util import stable_hash
 
 
@@ -29,7 +29,7 @@ class ExtractionResult:
 class SchemaFreeExtractor:
     """LLM-driven open-schema extractor over text chunks."""
 
-    def __init__(self, llm: SimulatedLLM) -> None:
+    def __init__(self, llm: LLMClient) -> None:
         self.llm = llm
 
     def extract(self, text: str, provenance: Provenance) -> ExtractionResult:

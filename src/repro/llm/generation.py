@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.llm.simulated import SimulatedLLM
+from repro.llm.base import LLMClient
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,7 +26,7 @@ class EvidenceItem:
 
 
 def generate_trustworthy_answer(
-    llm: SimulatedLLM,
+    llm: LLMClient,
     query: str,
     evidence: list[EvidenceItem],
 ) -> str:

@@ -29,7 +29,7 @@ import json
 import re
 from typing import Any, Sequence
 
-from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.base import LLMClient
 from repro.llm.lexicon import BY_PREDICATE, split_sentence
 from repro.llm.prompts import parse_sections
 from repro.retrieval.tokenize import sentences, tokenize
@@ -113,22 +113,16 @@ class SimulatedLLM(LLMClient):
             return "I cannot determine the requested structure."
         return handler(sections)
 
-    def complete_many(
-        self, prompts: Sequence[str], task: str = "generic"
-    ) -> list[LLMResponse]:
-        """True batch path: generate the whole batch, then account it.
+    def _generate_many(self, prompts: Sequence[str]) -> list[str]:
+        """True batch path: generate the whole batch up front.
 
         ``_generate`` is a pure function of (prompt, seed), so computing
-        every completion up front — where a served model would issue one
-        batched request — cannot change any output, and accounting in
-        prompt order keeps the meter byte-identical to sequential
-        :meth:`complete` calls.
+        every completion where a served model would issue one batched
+        request cannot change any output; the base class accounts the
+        results in prompt order, keeping the meter byte-identical to
+        sequential :meth:`complete` calls.
         """
-        texts = self._generate_many(list(prompts))
-        return [
-            self._account(prompt, text, task)
-            for prompt, text in zip(prompts, texts)
-        ]
+        return [self._generate(prompt) for prompt in prompts]
 
     # ------------------------------------------------------------------
     # noise helpers
@@ -273,57 +267,9 @@ class SimulatedLLM(LLMClient):
             return fabricated
         return f"unverifiable-claim-{stable_hash('halluc', key, seed=self.seed) % 1000}"
 
-    # ------------------------------------------------------------------
-    # convenience wrappers (render prompt -> complete -> parse)
-    # ------------------------------------------------------------------
-    def extract_entities(self, text: str) -> list[dict[str, str]]:
-        """NER over ``text``; returns ``[{"name", "type"}, ...]``."""
-        from repro.llm.prompts import render_ner_prompt
-
-        response = self.complete(render_ner_prompt(text), task="ner")
-        return json.loads(response.text)
-
-    def extract_triples(self, text: str, entity_list: list[str]) -> list[list[str]]:
-        """SPO extraction over ``text`` constrained to ``entity_list``."""
-        from repro.llm.prompts import render_triple_prompt
-
-        response = self.complete(render_triple_prompt(text, entity_list), task="triple")
-        return json.loads(response.text)
-
-    def standardize(self, text: str, mentions: list[str]) -> dict[str, str]:
-        """Entity standardization; returns ``mention -> canonical``."""
-        from repro.llm.prompts import render_std_prompt
-
-        response = self.complete(render_std_prompt(text, mentions), task="std")
-        return json.loads(response.text)
-
-    def relevance(self, query: str, text: str) -> float:
-        """LLM relevance judgement of ``text`` for ``query`` in [0, 1]."""
-        prompt = (
-            "### TASK: relevance\n### QUERY\n" + query + "\n### INPUT\n"
-            + text + "\n### END\n"
-        )
-        return float(self.complete(prompt, task="relevance").text)
-
-    def authority(self, features: dict[str, float]) -> float:
-        """Raw authority judgement ``C_LLM(v)`` in [0, 1] from node features."""
-        prompt = (
-            "### TASK: authority\n### INPUT\n" + json.dumps(features, sort_keys=True)
-            + "\n### END\n"
-        )
-        return float(self.complete(prompt, task="authority").text)
-
-    def generate_answer(self, query: str, evidence_lines: list[str]) -> str:
-        """Synthesize an answer string from ``entity | attribute | value`` lines."""
-        prompt = (
-            "### TASK: answer\n### QUERY\n" + query + "\n### INPUT\n"
-            + "\n".join(evidence_lines) + "\n### END\n"
-        )
-        return self.complete(prompt, task="answer").text
-
-    def parametric_answer(self, knowledge_key: str) -> str:
-        """Closed-book answer for ``knowledge_key`` (``entity|attribute``)."""
-        prompt = (
-            "### TASK: parametric\n### INPUT\n" + knowledge_key + "\n### END\n"
-        )
-        return self.complete(prompt, task="parametric").text
+    # NOTE: the semantic convenience wrappers (``extract_entities``,
+    # ``extract_triples``, ``standardize``, ``relevance``, ``authority``,
+    # ``generate_answer``, ``parametric_answer``) live on
+    # :class:`~repro.llm.base.LLMClient` — they render the same prompt
+    # strings this model dispatches on, tagged with their pipeline stage,
+    # so every wrapper (cache, budget, gateway) exposes them uniformly.

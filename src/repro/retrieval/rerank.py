@@ -15,13 +15,13 @@ from repro.retrieval.retriever import MultiSourceRetriever
 from repro.retrieval.vector_index import SearchHit
 
 if TYPE_CHECKING:  # imported lazily to avoid a retrieval<->llm import cycle
-    from repro.llm.simulated import SimulatedLLM
+    from repro.llm.base import LLMClient
 
 
 class LLMReranker:
     """Re-order retrieval hits by LLM-judged relevance."""
 
-    def __init__(self, llm: "SimulatedLLM", blend: float = 0.5) -> None:
+    def __init__(self, llm: "LLMClient", blend: float = 0.5) -> None:
         if not 0.0 <= blend <= 1.0:
             raise ValueError("blend must lie in [0, 1]")
         self.llm = llm

@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exec import Query
-from repro.llm import LLMResponse, UsageMeter
+from repro.llm import LLMResponse, SimulatedLLM, Stage, UsageMeter
 
 
 class TestPipelineShims:
@@ -33,6 +33,55 @@ class TestPipelineShims:
         with pytest.deprecated_call():
             via_shim = readonly_rag.query_chain(list(hops))
         assert via_shim.answer_set() == via_run.answer_set()
+
+
+class TestStageTagShims:
+    """Untagged / ``task=`` completions: warn, then behave exactly like
+    the stage-tagged form they fold to."""
+
+    PROMPT = "### TASK: parametric\n### INPUT\nInception|genre\n### END\n"
+
+    def test_untagged_complete_warns_and_folds_to_other(self):
+        tagged = SimulatedLLM(seed=0).complete(self.PROMPT, stage=Stage.OTHER)
+        legacy_llm = SimulatedLLM(seed=0)
+        with pytest.deprecated_call():
+            legacy = legacy_llm.complete(self.PROMPT)
+        assert legacy == tagged
+        assert legacy_llm.meter.by_task == {"other": 1}
+
+    def test_task_keyword_warns_and_maps_to_its_stage(self):
+        tagged = SimulatedLLM(seed=0).complete(
+            self.PROMPT, stage=Stage.SYNTHESIS
+        )
+        legacy_llm = SimulatedLLM(seed=0)
+        with pytest.deprecated_call():
+            legacy = legacy_llm.complete(self.PROMPT, task="answer")
+        assert legacy == tagged
+        assert legacy_llm.meter.by_task == {"synthesis": 1}
+
+    def test_untagged_complete_many_warns_once(self):
+        llm = SimulatedLLM(seed=0)
+        with pytest.warns(DeprecationWarning) as caught:
+            llm.complete_many([self.PROMPT, self.PROMPT])
+        # One warning for the batch, not one per prompt.
+        assert len(caught) == 1
+        assert llm.meter.by_task == {"other": 2}
+
+    def test_free_form_task_label_folds_to_other(self):
+        llm = SimulatedLLM(seed=0)
+        with pytest.deprecated_call():
+            llm.complete(self.PROMPT, task="logical_form")
+        assert llm.meter.by_task == {"other": 1}
+
+    def test_stage_tagged_calls_do_not_warn(self):
+        import warnings
+
+        llm = SimulatedLLM(seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            llm.complete(self.PROMPT, stage=Stage.PARAMETRIC)
+            llm.complete(self.PROMPT, stage="parametric")
+            llm.complete_many([self.PROMPT], stage=Stage.SYNTHESIS)
 
 
 class TestMeterShim:

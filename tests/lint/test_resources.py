@@ -1,4 +1,4 @@
-"""Resource rules (RES001–RES004): violating/clean fixture pairs per
+"""Resource rules (RES001–RES005): violating/clean fixture pairs per
 rule, plus the symbolic :class:`Bound` algebra and the
 ``loop-bound[...]`` annotation grammar.
 
@@ -211,6 +211,49 @@ class TestRES001:
             "        return self.inner._generate(prompt)\n"
         )
         assert res_ids(files, {"RES001"}) == []
+
+
+# ----------------------------------------------------------------------
+# RES005 — metered LLM call with no stage tag
+# ----------------------------------------------------------------------
+class TestRES005:
+    def test_untagged_complete_is_flagged(self):
+        findings = res_findings(base_files(), {"RES005"})
+        assert [f.rule_id for f in findings] == ["RES005"]
+        assert "without a stage tag" in findings[0].message
+        assert findings[0].path == "repro/core/pipeline.py"
+
+    def test_stage_keyword_is_clean(self):
+        files = base_files(PIPELINE.replace(
+            "        return self.llm.complete(query)",
+            "        return self.llm.complete(query, stage=Stage.SYNTHESIS)",
+        ))
+        assert res_ids(files, {"RES005"}) == []
+
+    def test_legacy_task_keyword_is_clean(self):
+        files = base_files(PIPELINE.replace(
+            "        return self.llm.complete(query)",
+            "        return self.llm.complete(query, task='answer')",
+        ))
+        assert res_ids(files, {"RES005"}) == []
+
+    def test_threaded_stage_variable_is_clean(self):
+        # The wrapper pattern: a variable stage argument counts as
+        # tagged — the tag is the caller's, threaded through.
+        files = base_files(PIPELINE.replace(
+            "        return self.llm.complete(query)",
+            "        return self.llm.complete(query, stage)",
+        ))
+        assert res_ids(files, {"RES005"}) == []
+
+    def test_client_stack_is_exempt(self):
+        # LLM_BASE's own complete()/extract_entities() internals never
+        # flag: the client stack is the seam, not a caller of it.
+        files = base_files(PIPELINE.replace(
+            "        return self.llm.complete(query)",
+            "        return self.llm.extract_entities(query)",
+        ))
+        assert res_ids(files, {"RES005"}) == []
 
 
 # ----------------------------------------------------------------------
@@ -559,4 +602,4 @@ class TestEntryPointsAndReports:
             for entry in bar_entries
             for s in entry["sites"]
         }
-        assert {"ner", "generic"} <= stages
+        assert {"ner", "other"} <= stages

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.llm import LLMClient, LLMResponse, SimulatedLLM, UsageMeter, count_tokens
+from repro.llm import (
+    LLMClient,
+    LLMResponse,
+    SimulatedLLM,
+    Stage,
+    UsageMeter,
+    count_tokens,
+)
 
 
 class EchoLLM(LLMClient):
@@ -25,13 +32,13 @@ class TestCountTokens:
 class TestLatencyModel:
     def test_latency_grows_with_tokens(self):
         llm = EchoLLM(base_latency_s=0.01, latency_per_token_s=0.001)
-        short = llm.complete("hi")
-        long = llm.complete("a " * 100)
+        short = llm.complete("hi", stage=Stage.OTHER)
+        long = llm.complete("a " * 100, stage=Stage.OTHER)
         assert long.latency_s > short.latency_s
 
     def test_latency_formula(self):
         llm = EchoLLM(base_latency_s=0.5, latency_per_token_s=0.1)
-        response = llm.complete("one two")
+        response = llm.complete("one two", stage=Stage.OTHER)
         # prompt 2 tokens + completion 3 tokens ("echo one two").
         assert response.prompt_tokens == 2
         assert response.completion_tokens == 3
@@ -73,11 +80,76 @@ class TestUsageMeter:
         assert meter.by_task == {"a": 2, "b": 1}
 
 
+class TestStageAttribution:
+    def test_record_accumulates_per_stage(self):
+        meter = UsageMeter()
+        meter.record(Stage.NER, LLMResponse("x", 10, 5, 0.2))
+        meter.record(Stage.NER, LLMResponse("y", 1, 1, 0.1))
+        meter.record(Stage.SYNTHESIS, LLMResponse("z", 2, 2, 0.1))
+        ner = meter.stage_usage(Stage.NER)
+        assert ner.calls == 2
+        assert ner.prompt_tokens == 11
+        assert ner.completion_tokens == 6
+        assert ner.total_tokens == 17
+        assert ner.simulated_latency_s == pytest.approx(0.3)
+        assert meter.stage_usage(Stage.AUTHORITY).calls == 0
+
+    def test_stage_snapshot_is_sorted_and_json_ready(self):
+        meter = UsageMeter()
+        meter.record(Stage.SYNTHESIS, LLMResponse("z", 2, 2, 0.1))
+        meter.record(Stage.NER, LLMResponse("x", 1, 1, 0.1))
+        snap = meter.stage_snapshot()
+        assert list(snap) == ["ner", "synthesis"]
+        assert snap["ner"]["calls"] == 1
+
+    def test_checkpoint_and_stage_delta(self):
+        meter = UsageMeter()
+        meter.record(Stage.NER, LLMResponse("x", 10, 5, 0.2))
+        mark = meter.checkpoint()
+        meter.record(Stage.NER, LLMResponse("y", 1, 1, 0.1))
+        meter.record(Stage.STD, LLMResponse("z", 2, 2, 0.1))
+        delta = meter.stage_delta(mark)
+        # Only the activity inside the window appears.
+        assert set(delta) == {"ner", "std"}
+        assert delta["ner"].calls == 1
+        assert delta["ner"].prompt_tokens == 1
+        assert delta["std"].calls == 1
+
+    def test_stage_delta_excludes_quiescent_stages(self):
+        meter = UsageMeter()
+        meter.record(Stage.NER, LLMResponse("x", 10, 5, 0.2))
+        mark = meter.checkpoint()
+        meter.record(Stage.STD, LLMResponse("z", 2, 2, 0.1))
+        assert set(meter.stage_delta(mark)) == {"std"}
+
+    def test_checkpoint_is_immune_to_later_records(self):
+        # StageUsage entries are immutable values: a checkpoint's view
+        # can never change underneath its holder.
+        meter = UsageMeter()
+        meter.record(Stage.NER, LLMResponse("x", 10, 5, 0.2))
+        mark = meter.checkpoint()
+        before = mark.by_stage["ner"]
+        meter.record(Stage.NER, LLMResponse("y", 1, 1, 0.1))
+        assert mark.by_stage["ner"] is before
+        assert before.calls == 1
+
+    def test_merge_folds_stage_entries(self):
+        meter = UsageMeter()
+        meter.record(Stage.NER, LLMResponse("x", 1, 2, 0.1))
+        worker = UsageMeter()
+        worker.record(Stage.NER, LLMResponse("y", 3, 4, 0.2))
+        worker.record(Stage.STD, LLMResponse("z", 5, 6, 0.3))
+        meter.merge(worker)
+        assert meter.stage_usage(Stage.NER).calls == 2
+        assert meter.stage_usage(Stage.NER).prompt_tokens == 4
+        assert meter.stage_usage(Stage.STD).calls == 1
+
+
 class TestDeterminism:
     def test_same_seed_same_everything(self):
         a = SimulatedLLM(seed=42)
         b = SimulatedLLM(seed=42)
         text = "Inception was directed by Christopher Nolan."
-        assert a.complete(text).text == b.complete(text).text
+        assert a.complete(text, stage=Stage.OTHER).text == b.complete(text, stage=Stage.OTHER).text
         assert a.relevance("q", text) == b.relevance("q", text)
         assert a.authority({"agreement": 0.4}) == b.authority({"agreement": 0.4})

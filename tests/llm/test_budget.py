@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.llm import SimulatedLLM
+from repro.llm import SimulatedLLM, Stage
 from repro.llm.budget import BudgetedLLM, BudgetExceededError
 
 PROMPT = "### TASK: relevance\n### QUERY\nq\n### INPUT\ntext body here\n### END\n"
@@ -13,15 +13,15 @@ PROMPT = "### TASK: relevance\n### QUERY\nq\n### INPUT\ntext body here\n### END\
 class TestCallBudget:
     def test_calls_under_budget_succeed(self):
         llm = BudgetedLLM(SimulatedLLM(seed=0), max_calls=2)
-        llm.complete(PROMPT)
-        llm.complete(PROMPT)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
         with pytest.raises(BudgetExceededError, match="call budget"):
-            llm.complete(PROMPT)
+            llm.complete(PROMPT, stage=Stage.RELEVANCE)
 
     def test_token_budget_refuses_before_spending(self):
         llm = BudgetedLLM(SimulatedLLM(seed=0), max_total_tokens=5)
         with pytest.raises(BudgetExceededError, match="token budget"):
-            llm.complete(PROMPT)
+            llm.complete(PROMPT, stage=Stage.RELEVANCE)
         # Refusal spends nothing.
         assert llm.meter.calls == 0
         assert llm.remaining_tokens() == 5
@@ -29,14 +29,14 @@ class TestCallBudget:
     def test_remaining_tokens_decreases(self):
         llm = BudgetedLLM(SimulatedLLM(seed=0), max_total_tokens=10_000)
         before = llm.remaining_tokens()
-        llm.complete(PROMPT)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
         assert llm.remaining_tokens() < before
 
     def test_unlimited_by_default(self):
         llm = BudgetedLLM(SimulatedLLM(seed=0))
         assert llm.remaining_tokens() is None
         for _ in range(20):
-            llm.complete(PROMPT)
+            llm.complete(PROMPT, stage=Stage.RELEVANCE)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -47,7 +47,7 @@ class TestCallBudget:
     def test_delegates_generation(self):
         inner = SimulatedLLM(seed=0)
         budgeted = BudgetedLLM(SimulatedLLM(seed=0), max_calls=5)
-        assert budgeted.complete(PROMPT).text == inner.complete(PROMPT).text
+        assert budgeted.complete(PROMPT, stage=Stage.RELEVANCE).text == inner.complete(PROMPT, stage=Stage.RELEVANCE).text
 
     def test_is_a_repro_error(self):
         from repro.errors import ReproError

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.llm import SimulatedLLM
+from repro.llm import SimulatedLLM, Stage
 from repro.llm.caching import CachingLLM
 
 
@@ -18,8 +18,8 @@ PROMPT = "### TASK: relevance\n### QUERY\nq\n### INPUT\nsome text\n### END\n"
 class TestCaching:
     def test_hit_returns_same_text(self):
         llm = make()
-        first = llm.complete(PROMPT)
-        second = llm.complete(PROMPT)
+        first = llm.complete(PROMPT, stage=Stage.RELEVANCE)
+        second = llm.complete(PROMPT, stage=Stage.RELEVANCE)
         assert first.text == second.text
         assert llm.hits == 1
         assert llm.misses == 1
@@ -27,40 +27,40 @@ class TestCaching:
 
     def test_inner_called_once(self):
         llm = make()
-        llm.complete(PROMPT)
-        llm.complete(PROMPT)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
         # inner meter only sees the miss (CachingLLM calls _generate).
         assert llm.inner.meter.calls == 0  # accounting is on the wrapper
         assert len(llm) == 1
 
     def test_hits_still_accounted_by_default(self):
         llm = make()
-        llm.complete(PROMPT)
-        llm.complete(PROMPT)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
         # Both calls carry simulated latency (PT comparability).
         assert llm.meter.calls == 2
         assert llm.meter.simulated_latency_s > 0
 
     def test_free_hits_mode(self):
         llm = make(free_hits=True)
-        miss = llm.complete(PROMPT)
-        hit = llm.complete(PROMPT)
+        miss = llm.complete(PROMPT, stage=Stage.RELEVANCE)
+        hit = llm.complete(PROMPT, stage=Stage.RELEVANCE)
         assert miss.latency_s > 0
         assert hit.latency_s == 0.0
 
     def test_different_prompts_both_miss(self):
         llm = make()
-        llm.complete(PROMPT)
-        llm.complete(PROMPT.replace("some text", "other text"))
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
+        llm.complete(PROMPT.replace("some text", "other text"), stage=Stage.RELEVANCE)
         assert llm.misses == 2
 
     def test_persistence_round_trip(self, tmp_path):
         llm = make(tmp_path)
-        llm.complete(PROMPT)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
         llm.save()
 
         reloaded = make(tmp_path)
-        reloaded.complete(PROMPT)
+        reloaded.complete(PROMPT, stage=Stage.RELEVANCE)
         assert reloaded.hits == 1
         assert reloaded.misses == 0
 
@@ -73,15 +73,15 @@ class TestCaching:
         from repro.llm.prompts import render_ner_prompt
 
         prompt = render_ner_prompt(text)
-        assert cached.complete(prompt).text == inner.complete(prompt).text
+        assert cached.complete(prompt, stage=Stage.NER).text == inner.complete(prompt, stage=Stage.NER).text
 
     def test_save_is_crash_safe(self, tmp_path, monkeypatch):
         llm = make(tmp_path)
-        llm.complete(PROMPT)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
         llm.save()
         intact = (tmp_path / "cache.json").read_text()
 
-        llm.complete(PROMPT.replace("some text", "other text"))
+        llm.complete(PROMPT.replace("some text", "other text"), stage=Stage.RELEVANCE)
         import repro.util as util_module
 
         def exploding_replace(src, dst):
@@ -100,10 +100,10 @@ class TestCaching:
 
     def test_export_import_cache(self):
         llm = make()
-        llm.complete(PROMPT)
+        llm.complete(PROMPT, stage=Stage.RELEVANCE)
         exported = llm.export_cache()
         other = make()
         other.import_cache(exported)
-        other.complete(PROMPT)
+        other.complete(PROMPT, stage=Stage.RELEVANCE)
         assert other.hits == 1
         assert other.misses == 0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.llm import SimulatedLLM
+from repro.llm import SimulatedLLM, Stage
 from repro.llm.simulated import _destyle
 
 TEXT = (
@@ -136,7 +136,7 @@ class TestGeneration:
         assert llm.parametric_answer("E|a") == "made-up"
 
     def test_unknown_task_refusal(self, llm):
-        out = llm.complete("### TASK: dance\n### END\n")
+        out = llm.complete("### TASK: dance\n### END\n", stage=Stage.OTHER)
         assert "cannot" in out.text.lower()
 
 

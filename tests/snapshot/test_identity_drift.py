@@ -17,6 +17,7 @@ import inspect
 
 from repro.llm import CachingLLM, SimulatedLLM
 from repro.llm.budget import BudgetedLLM
+from repro.llm.gateway import RoutingPolicy, build_gateway
 from repro.snapshot.fingerprint import _llm_identity
 
 
@@ -83,3 +84,42 @@ def test_nested_wrappers_keep_the_full_chain():
     assert identity["inner"]["class"] == "BudgetedLLM"
     assert identity["inner"]["inner"]["class"] == "SimulatedLLM"
     assert identity["inner"]["inner"]["seed"] == 9
+
+
+def test_gateway_identity_covers_backends_and_policy():
+    policy = RoutingPolicy.from_mappings({"*": "default",
+                                          "ner": "sim-small"})
+    gateway = build_gateway(SimulatedLLM(seed=5), policy)
+    identity = _llm_identity(gateway)
+    assert identity["class"] == "LLMGateway"
+    assert identity["policy"] == policy.to_jsonable()
+    assert set(identity["backends"]) == {"default", "sim-small"}
+    assert identity["backends"]["default"]["seed"] == 5
+
+
+def test_routing_changes_change_the_fingerprint_identity():
+    # Two behaviorally different routings must never share a snapshot
+    # fingerprint — warm-loading across a policy change would silently
+    # resurrect state produced under different budgets/backends.
+    base = _llm_identity(build_gateway(
+        SimulatedLLM(seed=5), RoutingPolicy.from_mappings({"*": "default"})
+    ))
+    rerouted = _llm_identity(build_gateway(
+        SimulatedLLM(seed=5),
+        RoutingPolicy.from_mappings({"*": "default", "ner": "sim-small"}),
+    ))
+    limited = _llm_identity(build_gateway(
+        SimulatedLLM(seed=5),
+        RoutingPolicy.from_mappings({"*": "default"},
+                                    {"ner": {"max_calls": 3}}),
+    ))
+    assert base != rerouted
+    assert base != limited
+    assert rerouted != limited
+
+
+def test_gateway_backend_seed_changes_the_identity():
+    policy = RoutingPolicy.from_mappings({"*": "default"})
+    a = _llm_identity(build_gateway(SimulatedLLM(seed=1), policy))
+    b = _llm_identity(build_gateway(SimulatedLLM(seed=2), policy))
+    assert a != b
