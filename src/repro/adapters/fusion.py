@@ -5,6 +5,16 @@ adapter; deterministic triples go straight into the knowledge graph, text
 documents are chunked and handed to the LLM extractor, and everything ends
 up in one unified, provenance-carrying :class:`KnowledgeGraph` plus a chunk
 corpus shared by all retrieval methods.
+
+Fusion can run *sharded and parallel*: with an
+:class:`~repro.exec.plan.ExecutionPlan` and ``n_shards > 1`` the LLM
+extraction work — by far the dominant ingest cost — fans out over the
+exec engine's bounded worker pool, one task per substrate shard.  The
+parallel path is byte-identical to the sequential one: extraction is a
+pure function of ``(chunk, provenance)``, each worker runs against its
+own LLM clone (``llm.split()``), worker meters are absorbed in shard
+order at the merge barrier, and the fold into the graph replays the
+exact sequential source/chunk order on the coordinating thread.
 """
 
 from __future__ import annotations
@@ -12,12 +22,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.adapters.base import RawSource, get_adapter
+from repro.adapters.base import AdapterOutput, RawSource, get_adapter
+from repro.exec.engine import execute
+from repro.exec.plan import ExecutionPlan
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.shard import ShardedKnowledgeGraph, shard_of
 from repro.kg.storage import NormalizedRecord
 from repro.kg.triple import Entity, Provenance, Triple
 from repro.llm.base import LLMClient
-from repro.llm.extraction import SchemaFreeExtractor
+from repro.llm.extraction import ExtractionResult, SchemaFreeExtractor
 from repro.llm.simulated import SimulatedLLM
 from repro.obs.context import NOOP, Observability
 from repro.obs.log import get_logger
@@ -62,8 +75,64 @@ class DataFusionEngine:
         #: string-level baselines consume the raw fused graph.
         self.standardize = standardize
 
-    def fuse(self, sources: list[RawSource], graph_name: str = "fused") -> FusionResult:
+    def fuse(
+        self,
+        sources: list[RawSource],
+        graph_name: str = "fused",
+        *,
+        plan: ExecutionPlan | None = None,
+        n_shards: int = 1,
+    ) -> FusionResult:
         """Run ``D_Fusion = ⋃ A_i(D_i)`` over ``sources``.
+
+        ``n_shards`` selects the substrate partitioning (a pure layout
+        property); a ``plan`` with more than one worker additionally fans
+        the per-chunk LLM extraction out over the exec engine, one task
+        per shard, with byte-identical results to the sequential path.
+
+        Raises:
+            UnknownFormatError: if a source declares a format with no adapter.
+            AdapterError: if a source payload does not match its format.
+            ExtractionError: if LLM extraction fails on an unstructured chunk.
+            EntityNotFoundError: if entity registration meets a dangling id.
+            GraphError: if ``n_shards`` is not a positive integer.
+            ConfigError: if ``plan`` carries an invalid worker or batch
+                configuration.
+        """
+        start = time.perf_counter()
+        if n_shards > 1:
+            graph: KnowledgeGraph = ShardedKnowledgeGraph(
+                name=graph_name, n_shards=n_shards
+            )
+        else:
+            graph = KnowledgeGraph(name=graph_name)
+        result = FusionResult(graph=graph)
+
+        workers = plan.workers if plan is not None else 1
+        if workers > 1 and n_shards > 1:
+            self._fuse_parallel(sources, graph, result, plan, n_shards)
+        else:
+            self._fuse_sequential(sources, graph, result)
+
+        if self.standardize:
+            result.graph = self._standardize_graph(result.graph)
+
+        result.build_time_s = time.perf_counter() - start
+        logger.info(
+            "fused %d sources: %d claims, %d chunks, %d extraction calls "
+            "in %.3fs",
+            len(sources), len(result.graph), len(result.chunks),
+            result.extraction_calls, result.build_time_s,
+        )
+        return result
+
+    def _fuse_sequential(
+        self,
+        sources: list[RawSource],
+        graph: KnowledgeGraph,
+        result: FusionResult,
+    ) -> None:
+        """The reference single-threaded fusion loop.
 
         Raises:
             UnknownFormatError: if a source declares a format with no adapter.
@@ -71,11 +140,7 @@ class DataFusionEngine:
             ExtractionError: if LLM extraction fails on an unstructured chunk.
             EntityNotFoundError: if entity registration meets a dangling id.
         """
-        start = time.perf_counter()
-        graph = KnowledgeGraph(name=graph_name)
-        result = FusionResult(graph=graph)
         metrics = self.obs.metrics
-
         for raw in sources:
             adapter = get_adapter(raw.fmt)
             with self.obs.tracer.span(f"adapter:{raw.fmt}") as span:
@@ -125,17 +190,142 @@ class DataFusionEngine:
                 result.extraction_calls - extractions_before
             )
 
-        if self.standardize:
-            result.graph = self._standardize_graph(graph)
+    def _fuse_parallel(
+        self,
+        sources: list[RawSource],
+        graph: KnowledgeGraph,
+        result: FusionResult,
+        plan: ExecutionPlan | None,
+        n_shards: int,
+    ) -> None:
+        """Shard-parallel fusion, byte-identical to the sequential loop.
 
-        result.build_time_s = time.perf_counter() - start
-        logger.info(
-            "fused %d sources: %d claims, %d chunks, %d extraction calls "
-            "in %.3fs",
-            len(sources), len(result.graph), len(result.chunks),
-            result.extraction_calls, result.build_time_s,
-        )
-        return result
+        Three phases.  *Plan* (coordinating thread): parse every adapter
+        and chunk every document in source order, building the global
+        extraction task list exactly as the sequential loop would visit
+        it.  *Extract* (worker pool): tasks are bucketed per shard by the
+        stable document hash; each shard task runs the pure per-chunk
+        extractor against a private LLM clone, and the merge barrier
+        absorbs worker meters back in shard order.  *Fold* (coordinating
+        thread): replay the sequential source/chunk order, inserting
+        parsed triples and the reassembled extractions into the graph —
+        insertion order, entity registration order and all metric totals
+        match the sequential path element for element.
+
+        Raises:
+            UnknownFormatError: if a source declares a format with no adapter.
+            AdapterError: if a source payload does not match its format.
+            ExtractionError: if LLM extraction fails on an unstructured
+                chunk (the lowest-submit-index failure, per the engine's
+                deterministic error contract).
+            EntityNotFoundError: if entity registration meets a dangling id.
+        """
+        metrics = self.obs.metrics
+
+        parsed: list[tuple[RawSource, AdapterOutput, list[list[Chunk]]]] = []
+        extract_tasks: list[tuple[Chunk, Provenance]] = []
+        for raw in sources:
+            adapter = get_adapter(raw.fmt)
+            output = adapter.parse(raw)
+            per_doc: list[list[Chunk]] = []
+            for doc_id, text in output.documents:
+                chunks = self.chunker.chunk(
+                    text, source_id=raw.source_id, doc_id=doc_id
+                )
+                per_doc.append(chunks)
+                if raw.fmt == "text":
+                    for chunk in chunks:
+                        extract_tasks.append((chunk, Provenance(
+                            source_id=raw.source_id,
+                            domain=raw.domain,
+                            fmt=raw.fmt,
+                            chunk_id=chunk.chunk_id,
+                        )))
+            parsed.append((raw, output, per_doc))
+
+        # Bucket extraction units per shard by document so chunks of one
+        # document stay on one worker; bucket membership is a pure
+        # function of ids, never of scheduling.
+        buckets: list[list[int]] = [[] for _ in range(n_shards)]
+        for task_idx, (chunk, _prov) in enumerate(extract_tasks):
+            shard = shard_of(f"{chunk.source_id}/{chunk.doc_id}", n_shards)
+            buckets[shard].append(task_idx)
+        extractions: list[ExtractionResult | None] = [None] * len(extract_tasks)
+
+        def _context(shard: int) -> tuple[LLMClient, SchemaFreeExtractor]:
+            worker = self.llm.split()
+            return worker, SchemaFreeExtractor(worker)
+
+        def _run(
+            ctx: tuple[LLMClient, SchemaFreeExtractor], shard: int
+        ) -> list[tuple[int, ExtractionResult]]:
+            # Workers only read the shared task/bucket lists (frozen
+            # before submission) and write their private output list.
+            _worker, extractor = ctx
+            out: list[tuple[int, ExtractionResult]] = []
+            for task_idx in buckets[shard]:
+                chunk, provenance = extract_tasks[task_idx]
+                out.append((task_idx, extractor.extract(chunk.text, provenance)))
+            return out
+
+        def _merge(
+            ctx: tuple[LLMClient, SchemaFreeExtractor],
+            out: list[tuple[int, ExtractionResult]],
+            shard: int,
+        ) -> None:
+            worker, _extractor = ctx
+            self.llm.absorb(worker)
+            for task_idx, extraction in out:
+                extractions[task_idx] = extraction
+
+        with self.obs.tracer.span(
+            "fusion.parallel", n_shards=n_shards,
+            num_tasks=len(extract_tasks),
+        ) as span:
+            usage_before = self.llm.meter.checkpoint()
+            execute(
+                n_shards, plan, run=_run, context=_context, merge=_merge
+            )
+            if span.enabled:
+                span.set(**self.llm.meter.delta(usage_before))
+
+        # Fold phase: identical element order to _fuse_sequential.  Each
+        # source still gets its adapter span (the span taxonomy is the
+        # same at every worker count); per-source LLM usage lives on the
+        # fusion.parallel span above, where the calls actually ran.
+        cursor = 0
+        for raw, output, per_doc in parsed:
+            adapter = get_adapter(raw.fmt)
+            with self.obs.tracer.span(f"adapter:{raw.fmt}") as span:
+                result.records.append(output.record)
+                graph.add_triples(output.triples)
+                self._register_entities(graph, output.triples)
+                chunks_before = len(result.chunks)
+                extractions_before = result.extraction_calls
+                for chunks in per_doc:
+                    result.chunks.extend(chunks)
+                    if raw.fmt == "text":
+                        for _chunk in chunks:
+                            extraction = extractions[cursor]
+                            cursor += 1
+                            assert extraction is not None  # merge filled all
+                            graph.add_triples(extraction.triples)
+                            for entity in extraction.entities:
+                                graph.add_entity(entity)
+                            result.extraction_calls += 1
+                if span.enabled:
+                    span.set(
+                        **adapter.span_attributes(raw, output),
+                        num_chunks=len(result.chunks) - chunks_before,
+                    )
+            metrics.counter(f"fusion.sources.{raw.fmt}").inc()
+            metrics.counter("fusion.triples").inc(len(output.triples))
+            metrics.counter("fusion.chunks").inc(
+                len(result.chunks) - chunks_before
+            )
+            metrics.counter("fusion.extraction_calls").inc(
+                result.extraction_calls - extractions_before
+            )
 
     def _standardize_graph(self, graph: KnowledgeGraph) -> KnowledgeGraph:
         """Entity standardization over the fused graph (``std`` phase).
@@ -143,6 +333,8 @@ class DataFusionEngine:
         All distinct mentions (subjects and objects) are standardized in
         batches through the LLM; the graph is rebuilt with canonical names
         so homologous matching sees one spelling per real-world entity.
+        The rebuild goes through :meth:`KnowledgeGraph.fresh_like`, so a
+        sharded graph stays sharded.
         """
         mentions: list[str] = []
         seen: set[str] = set()
@@ -157,7 +349,7 @@ class DataFusionEngine:
             batch = mentions[i : i + batch_size]
             mapping.update(self.llm.standardize("", batch))
 
-        canonical = KnowledgeGraph(name=graph.name)
+        canonical = graph.fresh_like()
         for triple in graph.triples():
             canonical.add_triple(
                 Triple(

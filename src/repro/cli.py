@@ -18,6 +18,7 @@ All commands are offline and deterministic (--seed).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.confidence.explain import explain
@@ -132,6 +133,7 @@ def _build_pipeline(
     snapshot: str | None = None,
     update_history: bool = True,
     llm_routing: str | None = None,
+    jobs: int | None = None,
 ) -> MultiRAG:
     config = MultiRAGConfig(seed=seed, update_history=update_history)
     if llm_routing:
@@ -150,11 +152,13 @@ def _build_pipeline(
         )
         print(f"llm gateway routing: {routing}", file=sys.stderr)
     sources = load_sources(directory)
-    report = rag.ingest(sources)
+    report = rag.ingest(sources, jobs=jobs)
     how = (
         f"warm-loaded snapshot {report.snapshot_fingerprint[:12]}"
         if report.loaded_from_snapshot else "ingested"
     )
+    if report.snapshot_layers:
+        how += f" (+{report.snapshot_layers} delta layers)"
     print(
         f"{how} {len(sources)} sources: {report.num_triples} claims, "
         f"{report.mlg_stats.get('groups', 0)} homologous groups, "
@@ -210,10 +214,97 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     Raises:
         ReproError: if loading, fusing or ingesting the corpus fails.
     """
-    rag = _build_pipeline(args.directory, args.seed, snapshot=args.snapshot)
+    rag = _build_pipeline(
+        args.directory, args.seed, snapshot=args.snapshot, jobs=args.jobs
+    )
     if args.graph:
         save_graph(rag.fusion.graph, args.graph)
         print(f"fused graph saved to {args.graph}")
+    return 0
+
+
+def _snapshot_store(args: argparse.Namespace) -> "SnapshotStore":
+    from repro.snapshot import SnapshotStore
+
+    return SnapshotStore(args.store)
+
+
+def _resolve_fingerprint(store: "SnapshotStore", prefix: str) -> str:
+    """Expand a (possibly abbreviated) fingerprint to the full one.
+
+    ``snapshot list`` prints 16-character abbreviations; ``inspect`` and
+    ``compact`` accept any unambiguous prefix of a stored fingerprint.
+
+    Raises:
+        SnapshotError: if the prefix matches no snapshot or more than one.
+    """
+    from repro.errors import SnapshotError
+
+    matches = [fp for fp in store.fingerprints() if fp.startswith(prefix)]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        shown = ", ".join(fp[:16] for fp in matches)
+        raise SnapshotError(
+            f"fingerprint prefix {prefix!r} is ambiguous: {shown}"
+        )
+    raise SnapshotError(f"no snapshot matches fingerprint {prefix!r}")
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Operate on a snapshot store (list / inspect / gc / compact).
+
+    Raises:
+        SnapshotError: if the store or the named snapshot is unreadable,
+            or a compaction cannot be written.
+    """
+    store = _snapshot_store(args)
+    if args.action == "list":
+        rows = []
+        for fp in store.fingerprints():
+            manifest = store.manifest(fp)
+            layers = len(store.chain(fp)) - 1
+            counts = manifest.get("counts", {})
+            rows.append([
+                fp[:16],
+                manifest.get("kind", "base"),
+                layers,
+                counts.get("triples", "-"),
+                counts.get("chunks", "-"),
+                f"{store.size_of(fp) / 1024:.0f}K",
+            ])
+        print(format_table(
+            ["fingerprint", "kind", "layers", "triples", "chunks", "size"],
+            rows, title=f"snapshots under {args.store}",
+        ))
+        return 0
+    if args.action == "inspect":
+        fingerprint = _resolve_fingerprint(store, args.fingerprint)
+        manifests = store.chain(fingerprint)
+        doc = {
+            "fingerprint": fingerprint,
+            "layers": len(manifests) - 1,
+            "size_bytes": store.size_of(fingerprint),
+            "chain": manifests,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.action == "gc":
+        removed = store.gc()
+        for name in removed:
+            print(f"pruned {name}")
+        print(f"gc: removed {len(removed)} orphaned work dir(s)")
+        return 0
+    # compact
+    fingerprint = _resolve_fingerprint(store, args.fingerprint)
+    store.compact(fingerprint)
+    manifest = store.manifest(fingerprint)
+    counts = manifest.get("counts", {})
+    print(
+        f"compacted {fingerprint[:16]} into a base snapshot "
+        f"({counts.get('triples', '?')} triples, "
+        f"{counts.get('chunks', '?')} chunks)"
+    )
     return 0
 
 
@@ -571,7 +662,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("directory")
     p.add_argument("--graph", help="write the fused graph to this JSON file")
     p.add_argument("--snapshot", metavar="DIR", help=snapshot_help)
+    p.add_argument("--jobs", type=int, metavar="N",
+                   help="worker threads for the extraction phase of a "
+                        "cold build (default: REPRO_EXEC_WORKERS or 1); "
+                        "the fused result is identical at any worker count")
     p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="operate on a snapshot store: list chains, inspect one, "
+             "prune crash leftovers, squash delta layers",
+    )
+    snap_sub = p.add_subparsers(dest="action", required=True)
+    sp = snap_sub.add_parser(
+        "list", help="list snapshots with kind, layer depth and size"
+    )
+    sp.add_argument("store", help="snapshot store directory")
+    sp = snap_sub.add_parser(
+        "inspect", help="print one snapshot's manifest chain as JSON"
+    )
+    sp.add_argument("store", help="snapshot store directory")
+    sp.add_argument("fingerprint")
+    sp = snap_sub.add_parser(
+        "gc", help="prune orphaned work dirs (.tmp.* / .old.*) left by "
+                   "crashes or displaced overwrites"
+    )
+    sp.add_argument("store", help="snapshot store directory")
+    sp = snap_sub.add_parser(
+        "compact", help="squash a delta-layer chain into a base snapshot "
+                        "under the same fingerprint"
+    )
+    sp.add_argument("store", help="snapshot store directory")
+    sp.add_argument("fingerprint")
+    p.set_defaults(fn=cmd_snapshot)
 
     p = sub.add_parser("query", help="answer questions over a corpus")
     p.add_argument("directory")

@@ -49,7 +49,7 @@ def _distribution_impl(values: tuple[str, ...]) -> dict[str, float]:
 # Keyed on the value tuple *in call order* — no canonicalization, so the
 # accumulation order (and therefore every float) matches the naive path.
 _distribution_cached = lru_cache(maxsize=16384)(_distribution_impl)
-perf.register_cache(_distribution_cached.cache_clear)
+perf.register_cache(_distribution_cached.cache_clear, scope="value")
 
 
 def value_distribution(values: list[str]) -> dict[str, float]:
@@ -115,7 +115,7 @@ def _similarity_impl(values_i: tuple[str, ...], values_j: tuple[str, ...]) -> fl
 # guaranteed symmetric at the ULP level, so swapped arguments memoize
 # separately rather than risk returning the mirrored float.
 _similarity_cached = lru_cache(maxsize=65536)(_similarity_impl)
-perf.register_cache(_similarity_cached.cache_clear)
+perf.register_cache(_similarity_cached.cache_clear, scope="value")
 
 
 def similarity(values_i: list[str], values_j: list[str]) -> float:

@@ -84,6 +84,12 @@ class MultiRAGConfig:
     debug_contracts: bool = False
     seed: int = 0
     extraction_noise: float = 0.05
+    #: entity-hash shard count of the knowledge substrate.  Sharding is a
+    #: layout/parallelism knob only — query and evaluate output is
+    #: byte-identical for any value — but it partitions the snapshot
+    #: files and bounds how wide ``ingest(jobs=N)`` can fan extraction
+    #: out, so it participates in the snapshot fingerprint.
+    n_shards: int = 4
     extra: dict[str, object] = field(default_factory=dict)
     #: wire the runtime race sanitizer (:mod:`repro.san`) into the
     #: pipeline: worker views wrap their shared attributes in recording
@@ -133,6 +139,8 @@ class MultiRAGConfig:
             raise ConfigError("top_k must be at least 1")
         if self.min_sources < 2:
             raise ConfigError("min_sources must be at least 2")
+        if self.n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {self.n_shards}")
         if self.llm_breaker_threshold < 1:
             raise ConfigError("llm_breaker_threshold must be at least 1")
         if self.llm_breaker_cooldown_s < 0.0:

@@ -40,6 +40,7 @@ from repro.core.logic_form import LogicForm, generate_logic_form
 from repro.datasets.schema import MultiSourceDataset
 from repro.errors import StateError
 from repro.exec import ExecutionPlan, Query, as_query, execute
+from repro.kg.shard import shard_of
 from repro.kg.triple import Provenance, Triple
 from repro.lint.contracts import check_mcc_result, check_mlg, check_ranked_answers
 from repro.linegraph.homologous import HomologousGroup, HomologousNode
@@ -55,7 +56,12 @@ from repro.obs.metrics import format_metrics
 from repro.retrieval.chunking import SentenceChunker
 from repro.retrieval.retriever import MultiSourceRetriever
 from repro.san import RaceSanitizer
-from repro.snapshot import SnapshotStore, compute_fingerprint
+from repro.snapshot import (
+    SnapshotStore,
+    SourceDescriptor,
+    describe_source,
+    fingerprint_from_descriptors,
+)
 from repro.util import normalize_value
 
 
@@ -78,6 +84,9 @@ class BuildReport:
     loaded_from_snapshot: bool = False
     #: fingerprint of the snapshot loaded or saved ("" without a store).
     snapshot_fingerprint: str = ""
+    #: delta layers replayed on top of the base during a warm load
+    #: (0 for a direct base load or a cold build).
+    snapshot_layers: int = 0
 
 
 @dataclass(slots=True)
@@ -165,6 +174,16 @@ class MultiRAG:
         self.mlg: MultiSourceLineGraph | None = None
         self.scorer: NodeScorer | None = None
         self._entity_by_norm: dict[str, str] = {}
+        #: descriptors of the ingested corpus, in source order — the
+        #: operands of the layer-chain fingerprint algebra
+        #: (``add_source`` appends one and re-fingerprints).
+        self._source_descriptors: list[SourceDescriptor] = []
+        #: fingerprint of the store artifact matching the current state
+        #: ("" when no store was involved in the last ingest).
+        self._snapshot_fingerprint: str = ""
+        #: the store the last ingest resolved (constructor store or the
+        #: per-call override) — where ``add_source`` appends delta layers.
+        self._active_store: SnapshotStore | None = None
         #: runtime race sanitizer (:mod:`repro.san`); None unless
         #: ``config.sanitize`` — the disabled path costs one check per
         #: worker view.
@@ -208,6 +227,9 @@ class MultiRAG:
         sources: list[RawSource],
         *,
         snapshot: "SnapshotStore | str | Path | None" = None,
+        jobs: int | None = None,
+        batch_size: int | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> BuildReport:
         """Fuse ``sources`` and build the MLG index (when MKA is enabled).
 
@@ -217,6 +239,13 @@ class MultiRAG:
         no extraction, no index builds — and on a miss the cold build
         runs and its result is saved for the next process.
 
+        ``jobs`` / ``batch_size`` / ``plan`` parallelize the extraction
+        phase of a cold build across the graph's shards (``plan`` wins
+        when given; otherwise ``jobs`` or the ``REPRO_EXEC_WORKERS`` /
+        ``REPRO_EXEC_BATCH_SIZE`` environment overrides).  The result is
+        byte-identical to the sequential build — parallelism changes
+        wall-clock time, never the fingerprint or any ranking.
+
         Raises:
             UnknownFormatError: if a source declares a format with no adapter.
             ExtractionError: if LLM extraction fails on an unstructured chunk.
@@ -224,16 +253,37 @@ class MultiRAG:
             ContractViolation: if ``debug_contracts`` finds a malformed MLG.
             SnapshotError: if a matching snapshot is corrupt, or a fresh
                 snapshot cannot be written to the store.
+            ConfigError: if ``jobs`` / ``batch_size`` (or their
+                environment overrides) are not positive integers.
+            GraphError: if the configured shard count is invalid.
         """
         perf.clear_caches()
+        if plan is None and (
+            jobs is not None or batch_size is not None
+            or ExecutionPlan.env_requested()
+        ):
+            plan = ExecutionPlan.resolve(jobs=jobs, batch_size=batch_size)
         store = self._as_store(snapshot) or self.snapshots
+        descriptors = [describe_source(raw) for raw in sources]
         if store is None:
-            return self._ingest_cold(sources)
-        fingerprint = compute_fingerprint(self.config, sources, self.llm)
+            report = self._ingest_cold(sources, plan=plan)
+            self._source_descriptors = descriptors
+            self._snapshot_fingerprint = ""
+            self._active_store = None
+            return report
+        fingerprint = fingerprint_from_descriptors(
+            self.config, descriptors, self.llm
+        )
         if store.has(fingerprint):
-            return self._ingest_warm(store, fingerprint, num_sources=len(sources))
+            report = self._ingest_warm(
+                store, fingerprint, num_sources=len(sources)
+            )
+            self._source_descriptors = descriptors
+            self._snapshot_fingerprint = fingerprint
+            self._active_store = store
+            return report
         self.obs.metrics.counter("snapshot.misses").inc()
-        report = self._ingest_cold(sources)
+        report = self._ingest_cold(sources, plan=plan)
         assert self.fusion is not None
         llm_cache = (
             self.llm.export_cache()
@@ -247,9 +297,13 @@ class MultiRAG:
                 mlg=self.mlg,
                 history=self.history,
                 llm_cache=llm_cache,
+                sources=descriptors,
             )
         self.obs.metrics.counter("snapshot.saves").inc()
         report.snapshot_fingerprint = fingerprint
+        self._source_descriptors = descriptors
+        self._snapshot_fingerprint = fingerprint
+        self._active_store = store
         return report
 
     def _ingest_warm(
@@ -297,6 +351,8 @@ class MultiRAG:
                 )
         metrics = self.obs.metrics
         metrics.counter("snapshot.loads").inc()
+        if state.num_layers:
+            metrics.counter("snapshot.layer_loads").inc(state.num_layers)
         metrics.counter("pipeline.ingested_sources").inc(num_sources)
         metrics.gauge("pipeline.triples").set(len(graph))
         metrics.gauge("pipeline.entities").set(graph.num_entities())
@@ -316,10 +372,19 @@ class MultiRAG:
             mlg_stats=state.mlg_stats,
             loaded_from_snapshot=True,
             snapshot_fingerprint=fingerprint,
+            snapshot_layers=state.num_layers,
         )
 
-    def _ingest_cold(self, sources: list[RawSource]) -> BuildReport:
+    def _ingest_cold(
+        self,
+        sources: list[RawSource],
+        plan: ExecutionPlan | None = None,
+    ) -> BuildReport:
         """The full knowledge-construction build (no snapshot involved).
+
+        ``plan`` (when given, with ``workers > 1``) parallelizes the
+        extraction phase across the sharded graph's partitions; the fused
+        result is byte-identical to the sequential build.
 
         Raises:
             UnknownFormatError: if a source declares a format with no adapter.
@@ -330,7 +395,9 @@ class MultiRAG:
         start = time.perf_counter()
         usage_before = self.llm.meter.checkpoint()
         with self.obs.tracer.span("ingest", num_sources=len(sources)) as span:
-            self.fusion = self.engine.fuse(sources)
+            self.fusion = self.engine.fuse(
+                sources, plan=plan, n_shards=self.config.n_shards
+            )
             graph = self.fusion.graph
             self.retriever = MultiSourceRetriever(obs=self.obs)
             self.retriever.add_chunks(self.fusion.chunks)
@@ -405,20 +472,35 @@ class MultiRAG:
         Returns the MLG update counts (``joined`` / ``promoted`` /
         ``isolated``) plus ``claims_added``.
 
+        When the pipeline is backed by a snapshot store (the preceding
+        :meth:`ingest` saved or warm-loaded a fingerprint there), the
+        increment is persisted as a *delta layer*: a content-addressed
+        child snapshot holding only this source's descriptor, claims and
+        chunks, chained to the current fingerprint.  A later
+        ``ingest(base_sources + [raw])`` fingerprint-hits the chain and
+        warm-loads base + layers instead of re-extracting anything.  The
+        work is proportional to the new source, never the whole corpus:
+        shard-aware caches are invalidated only for the partitions the
+        new claims landed in.
+
         Raises:
             StateError: if called before :meth:`ingest`.
             UnknownFormatError: if the source declares a format with no
                 adapter.
             ExtractionError: if LLM extraction fails on a text chunk.
+            SnapshotError: if the delta layer cannot be written to the
+                backing store.
+            GraphError: never in practice — shard-aware cache
+                invalidation re-validates the graph's shard count.
         """
         from repro.adapters.base import get_adapter
         from repro.kg.triple import Entity
 
         self._require_ingested()
-        perf.clear_caches()
         assert self.fusion is not None
         output = get_adapter(raw.fmt).parse(raw)
         triples = list(output.triples)
+        extraction_calls = 0
 
         new_chunks = []
         for doc_id, text in output.documents:
@@ -436,6 +518,7 @@ class MultiRAG:
                         chunk.text, provenance
                     )
                     triples.extend(extraction.triples)
+                    extraction_calls += 1
 
         # Standardize the new mentions the same way ingest() did.
         mentions = sorted({m for t in triples for m in (t.subject, t.obj)})
@@ -465,7 +548,9 @@ class MultiRAG:
                     normalize_value(standardized.subject), standardized.subject
                 )
 
+        self.fusion.records.append(output.record)
         self.fusion.chunks.extend(new_chunks)
+        self.fusion.extraction_calls += extraction_calls
         self.retriever.add_chunks(new_chunks)
         self.retriever.build()
 
@@ -484,6 +569,43 @@ class MultiRAG:
             graph=graph, llm=self.llm, history=self.history,
             alpha=self.config.alpha, beta=self.config.beta, obs=self.obs,
         )
+        # Invalidate derived caches last, and only for the partitions the
+        # new claims actually landed in (a full clear when unsharded).
+        n_shards = getattr(graph, "n_shards", 1)
+        if n_shards > 1:
+            perf.clear_caches(
+                shards={shard_of(t.subject, n_shards) for t in added}
+            )
+        else:
+            perf.clear_caches()
+
+        if self._active_store is not None and self._snapshot_fingerprint:
+            descriptor = describe_source(raw)
+            chain = self._source_descriptors + [descriptor]
+            new_fp = fingerprint_from_descriptors(
+                self.config, chain, self.llm
+            )
+            with self.obs.tracer.span(
+                "snapshot.save_layer", fingerprint=new_fp
+            ):
+                self._active_store.save_layer(
+                    new_fp,
+                    parent=self._snapshot_fingerprint,
+                    descriptor=descriptor,
+                    record=output.record,
+                    triples=added,
+                    chunks=new_chunks,
+                    history=self.history,
+                    extraction_calls=extraction_calls,
+                    mlg_update={
+                        k: stats[k]
+                        for k in ("joined", "promoted", "isolated")
+                    },
+                    mlg_stats=self.mlg.stats() if self.mlg else {},
+                )
+            self._source_descriptors = chain
+            self._snapshot_fingerprint = new_fp
+            self.obs.metrics.counter("snapshot.layer_saves").inc()
         return stats
 
     # ------------------------------------------------------------------
@@ -709,6 +831,12 @@ class MultiRAG:
         view.history = self.history
         view.engine = self.engine
         view._entity_by_norm = self._entity_by_norm
+        # Snapshot bookkeeping is read-only on the query path; views
+        # mirror it so they answer like the parent (worker views never
+        # add_source, so they never write a layer).
+        view._source_descriptors = self._source_descriptors
+        view._snapshot_fingerprint = self._snapshot_fingerprint
+        view._active_store = self._active_store
         view.obs = self.obs.split()
         view.llm = self.llm.split(obs=view.obs)
         view.retriever = self.retriever.with_obs(view.obs)
@@ -750,6 +878,14 @@ class MultiRAG:
         view._entity_by_norm = san.wrap(
             self._entity_by_norm, worker, "_entity_by_norm"
         )
+        view._source_descriptors = san.wrap(
+            self._source_descriptors, worker, "_source_descriptors"
+        )
+        view._active_store = san.wrap(
+            self._active_store, worker, "_active_store"
+        )
+        # _snapshot_fingerprint stays unwrapped: an immutable str, like
+        # config — worker rebinds would be local to the view anyway.
         view.scorer = NodeScorer(
             san.wrap(self.fusion.graph, worker, "fusion.graph"),
             view.llm,

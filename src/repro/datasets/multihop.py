@@ -78,6 +78,7 @@ class _World:
         self.countries = list(names.COUNTRIES)
         self.orgs = list(names.ORGS)
         self.facts: dict[tuple[str, str], set[str]] = {}
+        self._facts_by_entity: dict[str, list[tuple[str, str]]] | None = None
         self._populate()
 
     def _add(self, entity: str, attribute: str, value: str) -> None:
@@ -112,12 +113,21 @@ class _World:
         return sorted({entity for entity, _ in self.facts})
 
     def entity_facts(self, entity: str) -> list[tuple[str, str]]:
-        pairs = []
-        for (subj, attr), values in sorted(self.facts.items()):
-            if subj == entity:
+        """Sorted ``(attribute, value)`` pairs of one entity.
+
+        Grouped once over the whole fact table on first call (the
+        per-entity scan made corpus generation quadratic in world size);
+        the world is immutable after ``_populate``, so the index never
+        goes stale.  Callers must not mutate the returned list.
+        """
+        if self._facts_by_entity is None:
+            grouped: dict[str, list[tuple[str, str]]] = {}
+            for (subj, attr), values in sorted(self.facts.items()):
+                pairs = grouped.setdefault(subj, [])
                 for value in sorted(values):
                     pairs.append((attr, value))
-        return pairs
+            self._facts_by_entity = grouped
+        return self._facts_by_entity.get(entity, [])
 
     def resolve_chain(self, start: str, attributes: list[str]) -> set[str]:
         """Follow a hop chain through the fact table; empty set if broken."""
@@ -162,7 +172,39 @@ def _build_sources(
     all_values_by_attr: dict[str, list[str]] = {}
     for (_, attr), values in world.facts.items():
         all_values_by_attr.setdefault(attr, []).extend(values)
+    # Index of each value's occurrence positions per attribute, so noise
+    # picks don't rebuild an exclusion list per emitted fact (that scan
+    # made generation quadratic in world size — ~46s at the 10× scale).
+    value_positions: dict[str, dict[str, list[int]]] = {}
+    for attr, vals in all_values_by_attr.items():
+        index: dict[str, list[int]] = {}
+        for pos, v in enumerate(vals):
+            index.setdefault(v, []).append(pos)
+        value_positions[attr] = index
     person_set = set(world.persons)
+
+    def pick_noise(attr: str, value: str) -> str | None:
+        """A uniform draw from the attr's values excluding ``value``.
+
+        Byte-compatible with ``rng.choice([v for v in vals if v != value])``
+        — ``randrange`` consumes the same underlying ``_randbelow`` draw
+        ``choice`` would, and the skip walk maps the drawn index onto the
+        original occurrence order without materializing the filtered list.
+        Returns None (consuming no randomness) when no other value exists,
+        exactly like the empty-pool branch it replaces.
+        """
+        vals = all_values_by_attr[attr]
+        positions = value_positions[attr].get(value, ())
+        n_pool = len(vals) - len(positions)
+        if not n_pool:
+            return None
+        j = rng.randrange(n_pool)
+        for p in positions:
+            if p <= j:
+                j += 1
+            else:
+                break
+        return vals[j]
 
     def styled(text: str, comma_names: bool) -> str:
         if comma_names and text in person_set:
@@ -181,9 +223,9 @@ def _build_sources(
                     continue
                 emitted = value
                 if noise and rng.random() < noise:
-                    pool = [v for v in all_values_by_attr[attr] if v != value]
-                    if pool:
-                        emitted = rng.choice(pool)
+                    noisy = pick_noise(attr, value)
+                    if noisy is not None:
+                        emitted = noisy
                 sentences.append(
                     verbalize(
                         styled(entity, comma_names),
@@ -324,15 +366,24 @@ def _make_one(
 
 
 def make_hotpotqa_like(
-    n_queries: int = 60, seed: int = 0, contradiction_rate: float = 0.3
+    n_queries: int = 60, seed: int = 0, contradiction_rate: float = 0.3,
+    corpus_scale: float = 1.0,
 ) -> MultiHopDataset:
     """HotpotQA-flavoured corpus: mostly 2-hop bridge + some comparison.
+
+    ``corpus_scale`` multiplies the world size (persons/films) — 1.0 is
+    the tier-1 corpus, larger values feed the ingest-scaling benchmarks
+    (the default preserves the historical rng stream exactly).
 
     Raises:
         DatasetError: if the question mixture names an unknown type.
     """
     rng = random.Random(seed * 104729 + 1)
-    world = _World(rng, n_persons=40, n_films=30)
+    world = _World(
+        rng,
+        n_persons=max(4, round(40 * corpus_scale)),
+        n_films=max(3, round(30 * corpus_scale)),
+    )
     sources = _build_sources(world, rng, "hotpotqa", contradiction_rate)
     queries = _make_questions(
         world, rng, "hotpot", n_queries,
@@ -366,15 +417,23 @@ def make_2wiki(seed: int = 1, scale: float = 1.0) -> MultiHopDataset:
 
 
 def make_2wiki_like(
-    n_queries: int = 60, seed: int = 1, contradiction_rate: float = 0.3
+    n_queries: int = 60, seed: int = 1, contradiction_rate: float = 0.3,
+    corpus_scale: float = 1.0,
 ) -> MultiHopDataset:
     """2WikiMultiHopQA-flavoured corpus: compositional chains + comparison.
+
+    ``corpus_scale`` multiplies the world size exactly as in
+    :func:`make_hotpotqa_like`.
 
     Raises:
         DatasetError: if the question mixture names an unknown type.
     """
     rng = random.Random(seed * 104729 + 2)
-    world = _World(rng, n_persons=40, n_films=30)
+    world = _World(
+        rng,
+        n_persons=max(4, round(40 * corpus_scale)),
+        n_films=max(3, round(30 * corpus_scale)),
+    )
     sources = _build_sources(world, rng, "2wiki", contradiction_rate)
     queries = _make_questions(
         world, rng, "2wiki", n_queries,

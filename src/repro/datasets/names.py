@@ -97,11 +97,20 @@ INSTRUMENTS = ["piano", "violin", "cello", "guitar", "flute", "trumpet"]
 
 
 def person_names(rng: random.Random, count: int) -> list[str]:
-    """``count`` distinct full names drawn deterministically from ``rng``."""
+    """``count`` distinct full names drawn deterministically from ``rng``.
+
+    Counts beyond the first×last cross product extend with numbered
+    suffix rounds ("Ada Abara 2", "Ada Abara 3", ...), so any requested
+    size stays collision-free — the 10× benchmark corpora need several
+    times the base pool.
+    """
     pool = [f"{first} {last}" for first in FIRST_NAMES for last in LAST_NAMES]
     rng.shuffle(pool)
-    if count > len(pool):
-        pool += [f"{name} {i}" for i, name in enumerate(pool)][: count - len(pool)]
+    base = list(pool)
+    suffix = 2
+    while count > len(pool):
+        pool += [f"{name} {suffix}" for name in base[: count - len(pool)]]
+        suffix += 1
     return pool[:count]
 
 

@@ -3,6 +3,7 @@
 from repro.kg.columnar import ColumnarStore
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.schema import KIND_VALIDATORS, Schema
+from repro.kg.shard import ShardedKnowledgeGraph, partition_indices, shard_of
 from repro.kg.temporal import TemporalStore, TimestampedClaim, latest_consensus
 from repro.kg.query import PatternQuery, TriplePattern, chain_query, is_variable
 from repro.kg.storage import (
@@ -29,6 +30,9 @@ __all__ = [
     "KnowledgeGraph",
     "NormalizedRecord",
     "Provenance",
+    "ShardedKnowledgeGraph",
+    "partition_indices",
+    "shard_of",
     "TemporalStore",
     "TimestampedClaim",
     "Triple",

@@ -115,6 +115,47 @@ class KnowledgeGraph:
         for entity in entities:
             self._entities[entity.eid] = entity
 
+    def bulk_append(self, triples: list[Triple]) -> None:
+        """Trusted append of pre-deduplicated *new* triples.
+
+        The snapshot layer-chain loader's continuation of
+        :meth:`bulk_restore`: a delta layer records exactly the triples
+        that :meth:`add_triple` accepted when the layer was created, so
+        replaying them onto the restored base needs no membership
+        decisions — only index extension.  The resulting state is
+        identical to calling :meth:`add_triple` per triple.
+
+        Raises:
+            GraphError: if a triple duplicates an existing claim — delta
+                layers are recorded post-deduplication, so a collision
+                means the layer does not belong to this base graph.
+        """
+        spo_seen = self._spo_seen
+        for t in triples:
+            dedup_key = (t.spo(), t.source_id())
+            if dedup_key in spo_seen:
+                raise GraphError(
+                    f"bulk_append: duplicate claim {t.spo()} from "
+                    f"{t.source_id()!r} — layer does not extend this base"
+                )
+            spo_seen.add(dedup_key)
+            idx = len(self._triples)
+            self._triples.append(t)
+            self._by_subject[t.subject].append(idx)
+            self._by_object[t.obj].append(idx)
+            self._by_predicate[t.predicate].append(idx)
+            self._by_key[t.key()].append(idx)
+            self._by_source[t.source_id()].append(idx)
+
+    def fresh_like(self) -> "KnowledgeGraph":
+        """An empty graph of the same concrete type and layout.
+
+        Rebuild passes (entity standardization, snapshot compaction) use
+        this instead of constructing ``KnowledgeGraph`` directly so a
+        sharded graph stays sharded through the rebuild.
+        """
+        return KnowledgeGraph(name=self.name)
+
     def remove_triple(self, triple: Triple) -> bool:
         """Remove one stored triple (identity match).  Lazy deletion: the
         index slot is tombstoned, not compacted."""

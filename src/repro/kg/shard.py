@@ -1,0 +1,175 @@
+"""Entity-hash sharding of the knowledge substrate.
+
+A shard is a deterministic partition of the substrate by *subject
+entity*: :func:`shard_of` maps an entity name to one of ``n_shards``
+buckets via :func:`repro.util.stable_hash`, so the assignment is stable
+across processes, platforms and ingest orders.  Everything that wants a
+partition-aware view of the substrate — the parallel ingest planner, the
+per-shard snapshot layout, per-shard cache invalidation — goes through
+this one function, which is what keeps the partitions mutually
+consistent: a triple's graph shard, its snapshot shard and its cache
+scope are all ``shard_of(subject)``.
+
+Sharding is a *layout* property, never a semantic one.  A
+:class:`ShardedKnowledgeGraph` answers every query identically to a
+plain :class:`~repro.kg.graph.KnowledgeGraph` holding the same triples;
+the identity suite pins that, and the snapshot loader reassembles shard
+files back into the exact global insertion order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Entity, Triple
+from repro.util import stable_hash
+
+
+def shard_of(entity: str, n_shards: int) -> int:
+    """The stable shard bucket of ``entity`` under an ``n_shards`` split.
+
+    ``n_shards == 1`` short-circuits to shard 0 so the unsharded path
+    never pays a hash.  The hash is keyed (``stable_hash`` seed 0) and
+    platform-stable, so a snapshot written on one machine partitions
+    identically everywhere.
+
+    Raises:
+        GraphError: if ``n_shards`` is not a positive integer.
+    """
+    if n_shards < 1:
+        raise GraphError(f"shard count must be positive, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    return stable_hash("shard", entity, seed=0) % n_shards
+
+
+def partition_indices(
+    subjects: Iterable[str], n_shards: int
+) -> list[list[int]]:
+    """Partition positions ``0..len-1`` into per-shard index lists.
+
+    The workhorse of the partition-aware snapshot layout: given the
+    subjects of a triple (or group) sequence in global order, returns for
+    each shard the ascending global indexes it owns.  Concatenating the
+    shard lists sorted by index reproduces the global order exactly.
+
+    Raises:
+        GraphError: if ``n_shards`` is not a positive integer.
+    """
+    if n_shards < 1:
+        raise GraphError(f"shard count must be positive, got {n_shards}")
+    buckets: list[list[int]] = [[] for _ in range(n_shards)]
+    for idx, subject in enumerate(subjects):
+        buckets[shard_of(subject, n_shards)].append(idx)
+    return buckets
+
+
+class ShardedKnowledgeGraph(KnowledgeGraph):
+    """A knowledge graph that tracks each triple's entity-hash shard.
+
+    Behaviorally identical to :class:`KnowledgeGraph` — every index,
+    lookup and traversal is inherited unchanged — plus a parallel
+    ``shard id`` column maintained on every insertion path.  The column
+    is what makes the substrate *independently snapshot-able*: the store
+    writes one graph file per shard without recomputing hashes, and the
+    parallel ingest planner balances extraction work over the same
+    buckets the snapshot will use.
+    """
+
+    def __init__(self, name: str = "kg", n_shards: int = 4) -> None:
+        """
+        Raises:
+            GraphError: if ``n_shards`` is not a positive integer.
+        """
+        if n_shards < 1:
+            raise GraphError(f"n_shards must be >= 1, got {n_shards}")
+        super().__init__(name=name)
+        self.n_shards = n_shards
+        #: shard id of ``self._triples[i]``, parallel to the triple list.
+        self._shard_of_idx: list[int] = []
+
+    # ------------------------------------------------------------------
+    # mutation (keeps the shard column in lockstep with the triple list)
+    # ------------------------------------------------------------------
+    def add_triple(self, triple: Triple) -> bool:
+        """
+        Raises:
+            GraphError: never in practice — re-validates ``n_shards``,
+                which ``__init__`` already proved positive.
+        """
+        added = super().add_triple(triple)
+        if added:
+            self._shard_of_idx.append(shard_of(triple.subject, self.n_shards))
+        return added
+
+    def bulk_restore(
+        self, triples: list[Triple], entities: Iterable[Entity] = ()
+    ) -> None:
+        """Trusted bulk-load; recomputes the shard column in one pass.
+
+        Raises:
+            GraphError: if the graph already holds triples.
+        """
+        super().bulk_restore(triples, entities)
+        n = self.n_shards
+        self._shard_of_idx = [shard_of(t.subject, n) for t in self._triples]
+
+    def bulk_append(self, triples: list[Triple]) -> None:
+        """Trusted append of pre-deduplicated new triples (delta layers).
+
+        Raises:
+            GraphError: if a triple duplicates an existing claim — delta
+                layers are recorded post-deduplication, so a collision
+                means the layer does not belong to this base.
+        """
+        super().bulk_append(triples)
+        n = self.n_shards
+        self._shard_of_idx.extend(shard_of(t.subject, n) for t in triples)
+
+    # ------------------------------------------------------------------
+    # partition views
+    # ------------------------------------------------------------------
+    def fresh_like(self) -> "ShardedKnowledgeGraph":
+        """An empty graph with the same name and shard count.
+
+        Raises:
+            GraphError: never in practice — re-validates ``n_shards``,
+                which this instance already proved positive.
+        """
+        return ShardedKnowledgeGraph(name=self.name, n_shards=self.n_shards)
+
+    def shard_ids(self) -> list[int]:
+        """The shard id column, parallel to insertion order."""
+        return list(self._shard_of_idx)
+
+    def shard_sizes(self) -> list[int]:
+        """Live triple count per shard (tombstoned slots excluded)."""
+        sizes = [0] * self.n_shards
+        for idx, shard in enumerate(self._shard_of_idx):
+            if idx not in self._removed:
+                sizes[shard] += 1
+        return sizes
+
+    def shard_items(self, shard: int) -> Iterator[tuple[int, Triple]]:
+        """Live ``(global_index, triple)`` pairs owned by ``shard``.
+
+        Global indexes are the graph's insertion order; iterating every
+        shard and merging by index reproduces :meth:`triples` exactly.
+
+        Raises:
+            GraphError: if ``shard`` is out of range.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise GraphError(
+                f"shard {shard} out of range for {self.n_shards} shards"
+            )
+        for idx, owner in enumerate(self._shard_of_idx):
+            if owner == shard and idx not in self._removed:
+                yield idx, self._triples[idx]
+
+    def stats(self) -> dict[str, int]:
+        base = super().stats()
+        base["shards"] = self.n_shards
+        return base

@@ -49,8 +49,11 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
         {"errors", "obs", "util", "kg", "linegraph", "llm", "retrieval",
          "perf"}
     ),
+    # Fusion fans per-chunk extraction out over the exec engine (a
+    # generic scheduling substrate with no knowledge of its callers),
+    # so adapters → exec is a downward edge like core → exec.
     "adapters": frozenset(
-        {"errors", "obs", "util", "kg", "llm", "retrieval"}
+        {"errors", "obs", "util", "exec", "kg", "llm", "retrieval"}
     ),
     "datasets": frozenset({"errors", "util", "adapters", "llm"}),
     # Snapshot (de)serialization reads every substrate layer's state but

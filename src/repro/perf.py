@@ -13,19 +13,38 @@ This module is foundation-level (no repro imports): the modules that own
 an optimization consult :func:`fast_path_enabled` and register their
 cache-clear hooks with :func:`register_cache`.  ``MultiRAG.ingest`` /
 ``add_source`` call :func:`clear_caches` so memoized similarity scores
-and token lists never outlive the corpus they were computed against
-(they are keyed on values, so this is memory hygiene, not correctness).
+and token lists never outlive the corpus they were computed against.
+
+Caches register with a *scope* describing what invalidates them:
+
+* ``"corpus"`` (default) — derived from corpus-wide state (document
+  frequencies, graph statistics); any corpus change invalidates them.
+* ``"value"`` — pure functions of their arguments (token lists,
+  distributional similarity of two literal values); never stale, cleared
+  only on a *full* clear for memory hygiene.
+
+Shard-aware caches (per-partition derived state) register through
+:func:`register_shard_cache` with a callback taking the set of dirty
+shard ids; :func:`clear_caches(shards=...)` lets an incremental
+``add_source`` drop exactly the partitions it touched while value-scoped
+memos survive — the bulk of the warm-query win.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import Callable, Collection, Iterator, Optional
 
 _FAST_PATH = True
 
-#: registered cache-clear callbacks, in registration order.
-_CACHE_CLEARERS: list[Callable[[], None]] = []
+#: cache scopes understood by :func:`register_cache`.
+CACHE_SCOPES = ("corpus", "value")
+
+#: registered ``(scope, clear)`` callbacks, in registration order.
+_CACHE_CLEARERS: list[tuple[str, Callable[[], None]]] = []
+
+#: shard-aware clearers: called with the dirty shard set (None = all).
+_SHARD_CLEARERS: list[Callable[[Optional[frozenset[int]]], None]] = []
 
 
 def fast_path_enabled() -> bool:
@@ -55,18 +74,55 @@ def use_fast_path(enabled: bool) -> Iterator[None]:
         set_fast_path(previous)
 
 
-def register_cache(clear: Callable[[], None]) -> Callable[[], None]:
-    """Register a cache-clear callback; returns it (decorator-friendly)."""
-    _CACHE_CLEARERS.append(clear)
+def register_cache(
+    clear: Callable[[], None], *, scope: str = "corpus"
+) -> Callable[[], None]:
+    """Register a cache-clear callback; returns it (decorator-friendly).
+
+    ``scope`` declares what invalidates the cache (see module docstring):
+    ``"corpus"`` caches are dropped on every corpus change, ``"value"``
+    caches only on a full :func:`clear_caches` (memory hygiene — their
+    entries can never go stale).
+
+    Raises:
+        ValueError: if ``scope`` is not one of :data:`CACHE_SCOPES`.
+    """
+    if scope not in CACHE_SCOPES:
+        raise ValueError(
+            f"unknown cache scope {scope!r}; expected one of {CACHE_SCOPES}"
+        )
+    _CACHE_CLEARERS.append((scope, clear))
     return clear
 
 
-def clear_caches() -> None:
-    """Clear every registered memoization cache.
+def register_shard_cache(  # repro-lint: ignore[DC001] — registry API for shard-aware caches; exercised by tests/perf
+    clear: Callable[[Optional[frozenset[int]]], None],
+) -> Callable[[Optional[frozenset[int]]], None]:
+    """Register a shard-aware clearer; returns it (decorator-friendly).
 
-    Called on ``MultiRAG.ingest`` / ``add_source`` so cached token lists
-    and similarity scores are dropped whenever the corpus changes, and by
-    benchmarks to measure cold-cache behaviour.
+    The callback receives the set of dirty shard ids, or ``None`` for a
+    full clear; it must drop at least the entries derived from those
+    partitions.
     """
-    for clear in _CACHE_CLEARERS:
-        clear()
+    _SHARD_CLEARERS.append(clear)
+    return clear
+
+
+def clear_caches(shards: Collection[int] | None = None) -> None:
+    """Clear registered memoization caches after a corpus change.
+
+    ``clear_caches()`` (no argument) is the full clear — every registered
+    cache is dropped, including value-scoped memos.  ``ingest`` uses it
+    (a new corpus), as do benchmarks measuring cold-cache behaviour.
+
+    ``clear_caches(shards={...})`` is the incremental form used by
+    ``add_source``: corpus-scoped caches are dropped, shard-aware caches
+    are told exactly which partitions went dirty, and value-scoped memos
+    (pure functions of their arguments — never stale) are retained.
+    """
+    dirty = None if shards is None else frozenset(shards)
+    for scope, clear in _CACHE_CLEARERS:
+        if dirty is None or scope == "corpus":
+            clear()
+    for shard_clear in _SHARD_CLEARERS:
+        shard_clear(dirty)

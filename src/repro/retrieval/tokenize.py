@@ -33,7 +33,7 @@ def _tokenize_cached(text: str, drop_stopwords: bool) -> tuple[str, ...]:
     return tuple(tokens)
 
 
-perf.register_cache(_tokenize_cached.cache_clear)
+perf.register_cache(_tokenize_cached.cache_clear, scope="value")
 
 
 def tokenize(text: str, drop_stopwords: bool = True) -> list[str]:

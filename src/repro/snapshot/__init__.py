@@ -14,14 +14,27 @@ subsequent processes warm-load it instead of rebuilding:
 * ``MultiRAG.ingest(sources, snapshot=...)`` wires both into the
   pipeline: fingerprint hit → warm load, miss → cold build + save.
 
+Format v2 adds *delta layers*: ``MultiRAG.add_source`` appends a
+content-addressed layer (one source descriptor plus the shard-partitioned
+increments it produced) instead of invalidating the whole fingerprint.
+:meth:`~repro.snapshot.store.SnapshotStore.load` walks the layer chain
+back to its base and replays each layer;
+:meth:`~repro.snapshot.store.SnapshotStore.compact` squashes a chain back
+into a base snapshot offline.
+
 A warm-loaded pipeline is byte-identical to the cold-built one — same
 rankings, same ``EvaluationReport.to_json(drop_timing=True)`` — which the
-snapshot test suite and ``benchmarks/test_perf_hotpath.py`` pin.
+snapshot test suite and ``benchmarks/test_perf_hotpath.py`` pin; the
+layered load is pinned to the cold full ingest of the combined corpus the
+same way.
 """
 
 from repro.snapshot.fingerprint import (
     SNAPSHOT_FORMAT_VERSION,
+    SourceDescriptor,
     compute_fingerprint,
+    describe_source,
+    fingerprint_from_descriptors,
     payload_digest,
 )
 from repro.snapshot.store import LoadedState, SnapshotStore
@@ -30,6 +43,9 @@ __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "LoadedState",
     "SnapshotStore",
+    "SourceDescriptor",
     "compute_fingerprint",
+    "describe_source",
+    "fingerprint_from_descriptors",
     "payload_digest",
 ]

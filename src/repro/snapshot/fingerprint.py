@@ -25,7 +25,10 @@ if TYPE_CHECKING:  # a type-only edge: core imports snapshot, never back
 
 #: Bump whenever the on-disk layout or any serialized structure changes;
 #: old snapshots then fingerprint-miss instead of loading wrongly.
-SNAPSHOT_FORMAT_VERSION = 1
+#: v2: shard-partitioned graph/MLG files, delta layers, source
+#: descriptors in the manifest (v1 snapshots raise a migration error
+#: telling the operator to re-ingest or ``snapshot gc`` the old store).
+SNAPSHOT_FORMAT_VERSION = 2
 
 
 def _jsonable(value: Any) -> Any:
@@ -123,6 +126,91 @@ def _llm_identity(llm: Any) -> dict[str, Any]:
     return identity
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class SourceDescriptor:
+    """The fingerprint-relevant identity of one raw source.
+
+    A descriptor is everything the fingerprint needs to know about a
+    source *without holding its payload*: identifiers plus a content
+    digest.  Descriptors are the unit of the layer-chain fingerprint
+    algebra — a base snapshot records the descriptors it was built from,
+    every delta layer adds exactly one, and the chain fingerprint is the
+    ordinary :func:`fingerprint_from_descriptors` over the concatenated
+    list, so ``ingest(base_sources + [extra])`` on a fresh pipeline
+    fingerprint-hits the chain that ``add_source(extra)`` wrote.
+    """
+
+    source_id: str
+    domain: str
+    fmt: str
+    name: str
+    payload: str
+    meta: Any
+
+    def to_doc(self) -> dict[str, Any]:
+        """The canonical JSON form hashed into the fingerprint."""
+        return {
+            "source_id": self.source_id,
+            "domain": self.domain,
+            "fmt": self.fmt,
+            "name": self.name,
+            "payload": self.payload,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "SourceDescriptor":
+        """Inverse of :meth:`to_doc` (manifest round-trip).
+
+        Raises:
+            KeyError: if a required descriptor field is missing.
+        """
+        return cls(
+            source_id=doc["source_id"],
+            domain=doc["domain"],
+            fmt=doc["fmt"],
+            name=doc["name"],
+            payload=doc["payload"],
+            meta=doc.get("meta"),
+        )
+
+
+def describe_source(raw: RawSource) -> SourceDescriptor:
+    """The :class:`SourceDescriptor` of one raw source (digests payload)."""
+    return SourceDescriptor(
+        source_id=raw.source_id,
+        domain=raw.domain,
+        fmt=raw.fmt,
+        name=raw.name,
+        payload=payload_digest(raw.payload),
+        meta=_jsonable(raw.meta),
+    )
+
+
+def fingerprint_from_descriptors(
+    config: "MultiRAGConfig",
+    descriptors: Sequence[SourceDescriptor],
+    llm: Any,
+) -> str:
+    """SHA-256 fingerprint over pre-digested source descriptors.
+
+    The layer-chain algebra lives here: appending one descriptor and
+    re-hashing yields the chain fingerprint of the extended corpus,
+    without re-reading any earlier payload.
+    """
+    doc = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "config": {
+            f.name: _jsonable(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        },
+        "llm": _llm_identity(llm),
+        "sources": [d.to_doc() for d in descriptors],
+    }
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def compute_fingerprint(
     config: "MultiRAGConfig", sources: Sequence[RawSource], llm: Any
 ) -> str:
@@ -132,24 +220,6 @@ def compute_fingerprint(
     ``extra``), the ordered source descriptors with content digests, and
     the LLM identity.  Deterministic across processes and platforms.
     """
-    doc = {
-        "format_version": SNAPSHOT_FORMAT_VERSION,
-        "config": {
-            f.name: _jsonable(getattr(config, f.name))
-            for f in dataclasses.fields(config)
-        },
-        "llm": _llm_identity(llm),
-        "sources": [
-            {
-                "source_id": raw.source_id,
-                "domain": raw.domain,
-                "fmt": raw.fmt,
-                "name": raw.name,
-                "payload": payload_digest(raw.payload),
-                "meta": _jsonable(raw.meta),
-            }
-            for raw in sources
-        ],
-    }
-    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return fingerprint_from_descriptors(
+        config, [describe_source(raw) for raw in sources], llm
+    )

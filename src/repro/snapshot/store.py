@@ -1,26 +1,31 @@
 """On-disk snapshot store: serialize/restore a fully ingested pipeline.
 
-One snapshot is a directory named by its fingerprint (see
-:mod:`repro.snapshot.fingerprint`) holding JSON files for every substrate
-component plus ``.npy`` files for the dense index's float arrays:
+Format v2 knows two kinds of content-addressed directory, both named by
+their fingerprint (see :mod:`repro.snapshot.fingerprint`):
+
+**Base snapshots** hold a complete ingested state, partitioned by the
+substrate's entity-hash shards:
 
 ``manifest.json``
-    format version, fingerprint, component counts.
-``graph.json``
-    the fused knowledge graph — triples in columnar arrays (parallel
-    ``subject`` / ``predicate`` / ``obj`` / ``prov_id`` lists plus a
-    deduplicated provenance side table) in insertion order (the order
-    every secondary index and the MLG group enumeration derive from)
-    plus entities.  Columnar beats one JSON-LD object per triple both
-    on decode time and on restore time: triples from the same source
-    record share one provenance row, and the loader hands the decoded
-    list to :meth:`~repro.kg.graph.KnowledgeGraph.bulk_restore`.
+    format version, ``kind: "base"``, shard count, component counts,
+    the source descriptors the state was built from.
+``graph-meta.json`` / ``graph-shard-NN.json``
+    the fused knowledge graph.  Entities and the graph name live in the
+    meta file; triples are partitioned into one columnar file per shard
+    (parallel ``idx`` / ``subject`` / ``predicate`` / ``obj`` /
+    ``prov_id`` lists plus a per-shard deduplicated provenance table).
+    ``idx`` carries each triple's *global insertion index*, so merging
+    the shard files by index reproduces the exact order every secondary
+    index and the MLG group enumeration derive from; the merged list is
+    handed to :meth:`~repro.kg.graph.KnowledgeGraph.bulk_restore`.
+``mlg-meta.json`` / ``mlg-shard-NN.json``
+    homologous groups partitioned by the *group entity's* shard, in
+    flattened columnar arrays (members and weights referenced by global
+    triple index, per-group slices by offset arrays); each group carries
+    its global position so the loader reassembles ``mlg.groups`` in the
+    original order.  Isolated claims stay in the meta file.
 ``records.json`` / ``chunks.json``
     normalized records and the chunk corpus.
-``mlg.json``
-    homologous groups and isolated claims in flattened columnar arrays,
-    members and weights referenced by index into the serialized triple
-    order and sliced per group by offset arrays.
 ``retriever.json`` + ``vector_matrix.npy`` / ``vector_idf.npy``
     retrieval mode, the BM25 internals (impacts are recomputed on load),
     and the pre-normalized TF-IDF matrix, bit-exact via ``np.save``.
@@ -29,6 +34,20 @@ component plus ``.npy`` files for the dense index's float arrays:
 ``llm_cache.json`` (optional)
     the extraction cache of a :class:`~repro.llm.caching.CachingLLM`.
 
+**Delta layers** record one ``add_source`` increment instead of a full
+state.  A layer directory holds a manifest (``kind: "delta"``, the parent
+fingerprint, the one source descriptor it adds) and ``layer.json`` (the
+standardized triples the source contributed with their shard ids, its
+chunks, its normalized record, and the post-update history state).
+:meth:`SnapshotStore.load` follows parent pointers back to the base,
+validates the *entire* chain up front — a missing or corrupt middle
+layer raises :class:`~repro.errors.SnapshotError` naming that layer,
+never a partial graph — then restores the base and replays each layer
+through the same incremental code paths ``add_source`` used
+(``bulk_append`` + ``MultiSourceLineGraph.add_triples``), rebuilding the
+retrieval indexes once at the end.  :meth:`SnapshotStore.compact`
+squashes a chain back into a base snapshot under the same fingerprint.
+
 Writes are atomic at directory granularity: everything lands in a
 ``.tmp.<fingerprint>`` sibling first and is renamed into place with
 ``os.replace``, so a crashed save never leaves a half-written snapshot
@@ -36,7 +55,8 @@ where :meth:`SnapshotStore.has` would find it.  Overwrites displace the
 previous snapshot to ``.old.<fingerprint>`` (another rename) before
 installing the new one — a crash in between leaves the old state
 recoverable rather than destroyed, and a failed install renames it back.
-Dotted work-area names are invisible to :meth:`SnapshotStore.fingerprints`.
+Dotted work-area names are invisible to :meth:`SnapshotStore.fingerprints`
+and reclaimed by :meth:`SnapshotStore.gc`.
 
 Floats survive exactly: JSON numbers round-trip ``float64`` through
 ``repr``, and numpy arrays travel in binary.  Dict insertion orders are
@@ -52,7 +72,7 @@ import os
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -60,6 +80,7 @@ from repro.adapters.fusion import FusionResult
 from repro.confidence.history import HistoryStore
 from repro.errors import GraphError, SnapshotError
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.shard import ShardedKnowledgeGraph, shard_of
 from repro.kg.storage import NormalizedRecord
 from repro.kg.triple import Entity, Provenance, Triple
 from repro.linegraph.homologous import HomologousGroup, HomologousNode
@@ -67,7 +88,15 @@ from repro.linegraph.mlg import MultiSourceLineGraph
 from repro.obs.context import NOOP, Observability
 from repro.retrieval.chunking import Chunk
 from repro.retrieval.retriever import MultiSourceRetriever
-from repro.snapshot.fingerprint import SNAPSHOT_FORMAT_VERSION
+from repro.snapshot.fingerprint import (
+    SNAPSHOT_FORMAT_VERSION,
+    SourceDescriptor,
+)
+
+#: hard ceiling on delta-chain length: a chain longer than this is a
+#: corrupt store (a parent cycle survives at most this many hops before
+#: the walk refuses), not a workload anyone compacts this rarely.
+MAX_CHAIN_DEPTH = 4096
 
 
 @dataclass(slots=True)
@@ -76,7 +105,10 @@ class LoadedState:
 
     ``mlg`` is ``None`` when the snapshot was taken with MKA disabled;
     ``llm_cache`` is ``None`` when the saving pipeline had no caching
-    wrapper around its LLM.
+    wrapper around its LLM.  ``sources`` are the descriptors of the full
+    corpus the state represents (base descriptors plus one per replayed
+    layer); ``num_layers`` counts the delta layers replayed on top of
+    the base (0 for a direct base load).
     """
 
     fingerprint: str
@@ -86,6 +118,8 @@ class LoadedState:
     history: HistoryStore
     llm_cache: dict[str, str] | None = None
     mlg_stats: dict[str, float] = field(default_factory=dict)
+    sources: list[SourceDescriptor] = field(default_factory=list)
+    num_layers: int = 0
 
 
 class SnapshotStore:
@@ -98,11 +132,11 @@ class SnapshotStore:
         return self.root / fingerprint
 
     def has(self, fingerprint: str) -> bool:
-        """True when a complete snapshot exists for ``fingerprint``."""
+        """True when a snapshot or delta layer exists for ``fingerprint``."""
         return (self._dir(fingerprint) / "manifest.json").is_file()
 
     def fingerprints(self) -> list[str]:
-        """Fingerprints of every complete snapshot, sorted.
+        """Fingerprints of every complete snapshot or layer, sorted.
 
         Dotted names are the store's work areas (``.tmp.<fp>`` staging
         and ``.old.<fp>`` displaced copies); a crash can leave one behind
@@ -118,6 +152,121 @@ class SnapshotStore:
         )
 
     # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def gc(self) -> list[str]:
+        """Prune orphaned work areas left behind by crashed writes.
+
+        Removes every dotted sibling (``.tmp.*`` staging directories and
+        ``.old.*`` displaced copies) under the store root.  Complete
+        snapshots and layers are never touched.  Returns the names
+        removed, sorted.
+
+        Raises:
+            SnapshotError: if a work area cannot be removed.
+        """
+        if not self.root.is_dir():
+            return []
+        removed: list[str] = []
+        for p in sorted(self.root.iterdir()):
+            if p.is_dir() and p.name.startswith("."):
+                try:
+                    shutil.rmtree(p)
+                except OSError as exc:
+                    raise SnapshotError(
+                        f"snapshot gc: cannot remove work area {p.name}: {exc}"
+                    ) from exc
+                removed.append(p.name)
+        return removed
+
+    def size_of(self, fingerprint: str) -> int:
+        """Total on-disk bytes of one snapshot/layer directory."""
+        snap_dir = self._dir(fingerprint)
+        if not snap_dir.is_dir():
+            return 0
+        return sum(
+            f.stat().st_size for f in snap_dir.rglob("*") if f.is_file()
+        )
+
+    def manifest(self, fingerprint: str) -> dict[str, Any]:
+        """The raw manifest of one snapshot/layer.
+
+        Raises:
+            SnapshotError: if the manifest is missing or corrupt.
+        """
+        return self._read_json(
+            self._dir(fingerprint) / "manifest.json", fingerprint
+        )
+
+    def chain(self, fingerprint: str) -> list[dict[str, Any]]:
+        """Manifests of ``fingerprint``'s layer chain, base first.
+
+        A base snapshot yields a single-element list.  Used by the CLI's
+        ``snapshot list``/``inspect`` and by :meth:`load`.
+
+        Raises:
+            SnapshotError: if any layer of the chain is missing or
+                corrupt, names the broken layer; also on parent cycles.
+        """
+        manifests: list[dict[str, Any]] = []
+        seen: set[str] = set()
+        fp = fingerprint
+        # repro-lint: loop-bound[MAX_CHAIN_DEPTH] — the walk refuses
+        # chains deeper than the compaction-policy ceiling.
+        for _depth in range(MAX_CHAIN_DEPTH + 1):
+            if fp in seen:
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: layer chain has a parent "
+                    f"cycle at {fp}"
+                )
+            seen.add(fp)
+            try:
+                manifest = self.manifest(fp)
+            except SnapshotError as exc:
+                if fp == fingerprint:
+                    raise
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: layer chain broken at "
+                    f"layer {fp}: {exc}"
+                ) from exc
+            self._check_version(manifest, fp)
+            manifests.append(manifest)
+            if manifest.get("kind", "base") != "delta":
+                return list(reversed(manifests))
+            parent = manifest.get("parent")
+            if not isinstance(parent, str) or not parent:
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: delta layer {fp} names no "
+                    f"parent"
+                )
+            fp = parent
+        raise SnapshotError(
+            f"snapshot {fingerprint}: layer chain exceeds "
+            f"{MAX_CHAIN_DEPTH} layers (parent loop or corrupt store)"
+        )
+
+    @staticmethod
+    def _check_version(manifest: dict[str, Any], fingerprint: str) -> None:
+        """
+        Raises:
+            SnapshotError: on a format-version mismatch, with migration
+                guidance for pre-v2 artifacts.
+        """
+        version = manifest.get("format_version")
+        if version == SNAPSHOT_FORMAT_VERSION:
+            return
+        hint = (
+            " (pre-v2 snapshots cannot be migrated in place: re-ingest "
+            "to write a fresh snapshot, then remove the old directory)"
+            if isinstance(version, int) and version < SNAPSHOT_FORMAT_VERSION
+            else ""
+        )
+        raise SnapshotError(
+            f"snapshot {fingerprint} has format version {version!r}; "
+            f"this build reads version {SNAPSHOT_FORMAT_VERSION}{hint}"
+        )
+
+    # ------------------------------------------------------------------
     # save
     # ------------------------------------------------------------------
     def save(
@@ -129,6 +278,7 @@ class SnapshotStore:
         mlg: MultiSourceLineGraph | None,
         history: HistoryStore,
         llm_cache: dict[str, str] | None = None,
+        sources: Sequence[SourceDescriptor] | None = None,
     ) -> Path:
         """Serialize one ingested pipeline state under ``fingerprint``.
 
@@ -138,37 +288,23 @@ class SnapshotStore:
 
         Raises:
             SnapshotError: if the snapshot directory cannot be written.
+            GraphError: never in practice — triple sharding re-validates
+                the shard count the graph was built with.
         """
         graph = fusion.graph
         triples = list(graph.triples())
         triple_index = {t: i for i, t in enumerate(triples)}
+        n_shards = getattr(graph, "n_shards", 1)
 
-        tmp = self.root / f".tmp.{fingerprint}"
-        old = self.root / f".old.{fingerprint}"
-        final = self._dir(fingerprint)
-        try:
-            if tmp.exists():
-                shutil.rmtree(tmp)
-            if old.exists():
-                shutil.rmtree(old)
-            tmp.mkdir(parents=True)
-
-            self._write_json(tmp / "graph.json", self._graph_doc(graph, triples))
+        def _populate(tmp: Path) -> None:
+            self._write_graph_files(tmp, graph, triples, n_shards)
             self._write_json(tmp / "records.json", [
                 r.to_dict() for r in fusion.records
             ])
             self._write_json(tmp / "chunks.json", [
-                {
-                    "chunk_id": c.chunk_id,
-                    "source_id": c.source_id,
-                    "doc_id": c.doc_id,
-                    "seq": c.seq,
-                    "text": c.text,
-                    "meta": [list(pair) for pair in c.meta],
-                }
-                for c in fusion.chunks
+                self._chunk_doc(c) for c in fusion.chunks
             ])
-            self._write_json(tmp / "mlg.json", self._mlg_doc(mlg, triple_index))
+            self._write_mlg_files(tmp, mlg, triples, triple_index, n_shards)
 
             retriever_state = retriever.export_state()
             _, matrix, idf = retriever._dense.export_state()
@@ -183,7 +319,9 @@ class SnapshotStore:
 
             self._write_json(tmp / "manifest.json", {
                 "format_version": SNAPSHOT_FORMAT_VERSION,
+                "kind": "base",
                 "fingerprint": fingerprint,
+                "n_shards": n_shards,
                 "fusion": {
                     "build_time_s": fusion.build_time_s,
                     "extraction_calls": fusion.extraction_calls,
@@ -198,8 +336,127 @@ class SnapshotStore:
                 "has_llm_cache": llm_cache is not None,
                 "has_matrix": matrix is not None,
                 "mlg_stats": mlg.stats() if mlg else {},
+                "sources": [d.to_doc() for d in sources or []],
             })
 
+        return self._install(fingerprint, _populate)
+
+    def save_layer(
+        self,
+        fingerprint: str,
+        *,
+        parent: str,
+        descriptor: SourceDescriptor,
+        record: NormalizedRecord | None,
+        triples: list[Triple],
+        chunks: list[Chunk],
+        history: HistoryStore,
+        extraction_calls: int = 0,
+        mlg_update: dict[str, int] | None = None,
+        mlg_stats: dict[str, float] | None = None,
+    ) -> Path:
+        """Append one ``add_source`` increment as a content-addressed layer.
+
+        ``triples`` are the standardized claims the source actually added
+        (post-deduplication, in graph insertion order), ``chunks`` its
+        chunk contribution, ``history`` the *post-update* history state
+        (small, so each layer carries it whole — the tip layer's copy
+        wins on load).  The layer's cost is proportional to the new
+        source, never the corpus.
+
+        Raises:
+            SnapshotError: if ``parent`` does not exist in the store, or
+                the layer directory cannot be written.
+            GraphError: never in practice — triple sharding re-validates
+                the base snapshot's shard count.
+        """
+        if not self.has(parent):
+            raise SnapshotError(
+                f"cannot write layer {fingerprint}: parent snapshot "
+                f"{parent} is not in the store"
+            )
+        n_shards = self._chain_n_shards(parent)
+
+        def _populate(tmp: Path) -> None:
+            self._write_json(tmp / "layer.json", {
+                "triples": self._triple_cols(triples, n_shards),
+                "chunks": [self._chunk_doc(c) for c in chunks],
+                "record": record.to_dict() if record is not None else None,
+                "history": history.export_state(),
+            })
+            self._write_json(tmp / "manifest.json", {
+                "format_version": SNAPSHOT_FORMAT_VERSION,
+                "kind": "delta",
+                "fingerprint": fingerprint,
+                "parent": parent,
+                "n_shards": n_shards,
+                "source": descriptor.to_doc(),
+                "counts": {
+                    "triples": len(triples),
+                    "chunks": len(chunks),
+                },
+                "extraction_calls": extraction_calls,
+                "mlg_update": dict(mlg_update or {}),
+                "mlg_stats": dict(mlg_stats or {}),
+            })
+
+        return self._install(fingerprint, _populate)
+
+    def compact(self, fingerprint: str) -> Path:
+        """Squash ``fingerprint``'s layer chain into a base snapshot.
+
+        Loads the fused state through the layer chain and re-saves it as
+        a self-contained base under the *same* fingerprint (atomically
+        replacing the tip layer).  Earlier chain members are untouched —
+        they remain valid snapshots/chains of their own prefixes.  A
+        fingerprint that is already a base is re-saved in place, which is
+        a no-op semantically.
+
+        Raises:
+            SnapshotError: if the chain is missing/corrupt, or the
+                compacted snapshot cannot be written.
+            GraphError: never in practice — the re-save re-validates the
+                loaded graph's shard count.
+        """
+        state = self.load(fingerprint)
+        return self.save(
+            fingerprint,
+            fusion=state.fusion,
+            retriever=state.retriever,
+            mlg=state.mlg,
+            history=state.history,
+            llm_cache=state.llm_cache,
+            sources=state.sources,
+        )
+
+    def _chain_n_shards(self, fingerprint: str) -> int:
+        """The shard count of ``fingerprint``'s base snapshot.
+
+        Raises:
+            SnapshotError: if the chain is missing or corrupt.
+        """
+        base = self.chain(fingerprint)[0]
+        return int(base.get("n_shards", 1))
+
+    def _install(
+        self, fingerprint: str, populate: Callable[[Path], None]
+    ) -> Path:
+        """Atomically install a directory written by ``populate``.
+
+        Raises:
+            SnapshotError: if the directory cannot be written or renamed
+                into place.
+        """
+        tmp = self.root / f".tmp.{fingerprint}"
+        old = self.root / f".old.{fingerprint}"
+        final = self._dir(fingerprint)
+        try:
+            if tmp.exists():
+                shutil.rmtree(tmp)
+            if old.exists():
+                shutil.rmtree(old)
+            tmp.mkdir(parents=True)
+            populate(tmp)
             # Overwrite without a window where no valid snapshot exists:
             # displace the previous copy aside (rename, atomic) before
             # installing the new one, then discard it.  A crash between
@@ -224,88 +481,184 @@ class SnapshotStore:
                 shutil.rmtree(tmp, ignore_errors=True)
         return final
 
+    # -- columnar serialization helpers --------------------------------
     @staticmethod
-    def _graph_doc(graph: KnowledgeGraph, triples: list[Triple]) -> dict[str, Any]:
-        """Columnar triple serialization with a provenance side table.
+    def _chunk_doc(c: Chunk) -> dict[str, Any]:
+        return {
+            "chunk_id": c.chunk_id,
+            "source_id": c.source_id,
+            "doc_id": c.doc_id,
+            "seq": c.seq,
+            "text": c.text,
+            "meta": [list(pair) for pair in c.meta],
+        }
+
+    @staticmethod
+    def _chunk_from_doc(doc: dict[str, Any]) -> Chunk:
+        return Chunk(
+            chunk_id=doc["chunk_id"],
+            source_id=doc["source_id"],
+            doc_id=doc["doc_id"],
+            seq=int(doc["seq"]),
+            text=doc["text"],
+            meta=tuple(tuple(pair) for pair in doc.get("meta", [])),
+        )
+
+    @staticmethod
+    def _triple_cols(
+        triples: list[Triple], n_shards: int, indexes: list[int] | None = None
+    ) -> dict[str, Any]:
+        """Columnar triple arrays with a deduplicated provenance table.
 
         All triples extracted from one source record share a single
         :class:`Provenance` value, so the side table is typically an
         order of magnitude smaller than the triple list; ``prov_id`` is
-        ``-1`` for provenance-free triples.
+        ``-1`` for provenance-free triples.  ``indexes`` (the triples'
+        global insertion positions) rides along for shard files.
         """
         subjects: list[str] = []
         predicates: list[str] = []
         objs: list[str] = []
         prov_ids: list[int] = []
+        shards: list[int] = []
         prov_index: dict[Provenance, int] = {}
         for t in triples:
             subjects.append(t.subject)
             predicates.append(t.predicate)
             objs.append(t.obj)
+            shards.append(shard_of(t.subject, n_shards))
             prov = t.provenance
             if prov is None:
                 prov_ids.append(-1)
             else:
                 prov_ids.append(prov_index.setdefault(prov, len(prov_index)))
-        return {
-            "name": graph.name,
-            "triples": {
-                "subject": subjects,
-                "predicate": predicates,
-                "obj": objs,
-                "prov_id": prov_ids,
-            },
+        doc: dict[str, Any] = {
+            "subject": subjects,
+            "predicate": predicates,
+            "obj": objs,
+            "prov_id": prov_ids,
+            "shard": shards,
             "prov_table": [
                 [p.source_id, p.domain, p.fmt, p.chunk_id, p.record_id,
                  p.observed_at]
                 for p in prov_index
             ],
-            "entities": [e.to_dict() for e in graph.entities()],
         }
+        if indexes is not None:
+            doc["idx"] = indexes
+        return doc
 
     @staticmethod
-    def _mlg_doc(
-        mlg: MultiSourceLineGraph | None, triple_index: dict[Triple, int]
-    ) -> dict[str, Any]:
-        """Columnar homologous-group serialization.
+    def _triples_from_cols(cols: dict[str, Any]) -> list[Triple]:
+        """Inverse of :meth:`_triple_cols` (without global indexes).
 
-        Per-group lists are flattened into shared arrays sliced by offset
-        (``member_off[g] : member_off[g + 1]``), so the decoder sees a
-        handful of long arrays instead of one object tree per group; the
-        flat order preserves each group's member and weight insertion
-        order exactly.
+        Raises:
+            KeyError: if a required column is missing.
+            IndexError: if a ``prov_id`` points outside the side table.
+        """
+        provs = [
+            Provenance(
+                source_id=row[0], domain=row[1], fmt=row[2],
+                chunk_id=row[3], record_id=row[4], observed_at=row[5],
+            )
+            for row in cols.get("prov_table", [])
+        ]
+        return [
+            Triple(s, p, o, provs[pid] if pid >= 0 else None)
+            for s, p, o, pid in zip(
+                cols["subject"], cols["predicate"], cols["obj"],
+                cols["prov_id"],
+            )
+        ]
+
+    def _write_graph_files(
+        self,
+        tmp: Path,
+        graph: KnowledgeGraph,
+        triples: list[Triple],
+        n_shards: int,
+    ) -> None:
+        """One columnar triple file per shard plus the shared meta file."""
+        shard_triples: list[list[Triple]] = [[] for _ in range(n_shards)]
+        shard_indexes: list[list[int]] = [[] for _ in range(n_shards)]
+        for idx, t in enumerate(triples):
+            shard = shard_of(t.subject, n_shards)
+            shard_triples[shard].append(t)
+            shard_indexes[shard].append(idx)
+        for shard in range(n_shards):
+            self._write_json(
+                tmp / f"graph-shard-{shard:02d}.json",
+                self._triple_cols(
+                    shard_triples[shard], n_shards, shard_indexes[shard]
+                ),
+            )
+        self._write_json(tmp / "graph-meta.json", {
+            "name": graph.name,
+            "n_shards": n_shards,
+            "num_triples": len(triples),
+            "entities": [e.to_dict() for e in graph.entities()],
+        })
+
+    def _write_mlg_files(
+        self,
+        tmp: Path,
+        mlg: MultiSourceLineGraph | None,
+        triples: list[Triple],
+        triple_index: dict[Triple, int],
+        n_shards: int,
+    ) -> None:
+        """Per-shard homologous-group files plus the shared meta file.
+
+        Groups are partitioned by their entity's shard; each shard file
+        flattens its groups' members and weights into shared arrays
+        sliced by offset (``member_off[g] : member_off[g + 1]``) and
+        records every group's global position (``order``), so the loader
+        sees a handful of long arrays per shard and reassembles the
+        global group list exactly.
         """
         if mlg is None:
-            return {"enabled": False}
-        keys: list[list[str]] = []
-        snodes: list[list[Any]] = []
-        member_idx: list[int] = []
-        member_off = [0]
-        weight_idx: list[int] = []
-        weight_val: list[float] = []
-        weight_off = [0]
-        for g in mlg.groups:
-            keys.append([g.key[0], g.key[1]])
-            s = g.snode
-            snodes.append([s.name, s.entity, dict(s.meta), s.num, s.confidence])
-            member_idx.extend(triple_index[m] for m in g.members)
-            member_off.append(len(member_idx))
-            for t, w in g.weights.items():
-                weight_idx.append(triple_index[t])
-                weight_val.append(w)
-            weight_off.append(len(weight_idx))
-        return {
+            self._write_json(tmp / "mlg-meta.json", {"enabled": False})
+            return
+        per_shard = mlg.shard_partition(n_shards)
+        for shard in range(n_shards):
+            keys: list[list[str]] = []
+            snodes: list[list[Any]] = []
+            order: list[int] = []
+            member_idx: list[int] = []
+            member_off = [0]
+            weight_idx: list[int] = []
+            weight_val: list[float] = []
+            weight_off = [0]
+            for gi in per_shard[shard]:
+                g = mlg.groups[gi]
+                order.append(gi)
+                keys.append([g.key[0], g.key[1]])
+                s = g.snode
+                snodes.append(
+                    [s.name, s.entity, dict(s.meta), s.num, s.confidence]
+                )
+                member_idx.extend(triple_index[m] for m in g.members)
+                member_off.append(len(member_idx))
+                for t, w in g.weights.items():
+                    weight_idx.append(triple_index[t])
+                    weight_val.append(w)
+                weight_off.append(len(weight_idx))
+            self._write_json(tmp / f"mlg-shard-{shard:02d}.json", {
+                "order": order,
+                "keys": keys,
+                "snodes": snodes,
+                "member_idx": member_idx,
+                "member_off": member_off,
+                "weight_idx": weight_idx,
+                "weight_val": weight_val,
+                "weight_off": weight_off,
+            })
+        self._write_json(tmp / "mlg-meta.json", {
             "enabled": True,
-            "min_sources": mlg._min_sources,
-            "keys": keys,
-            "snodes": snodes,
-            "member_idx": member_idx,
-            "member_off": member_off,
-            "weight_idx": weight_idx,
-            "weight_val": weight_val,
-            "weight_off": weight_off,
+            "min_sources": mlg.min_sources,
+            "num_groups": len(mlg.groups),
             "isolated": [triple_index[t] for t in mlg.isolated],
-        }
+        })
 
     @staticmethod
     def _write_json(path: Path, payload: Any) -> None:
@@ -319,39 +672,126 @@ class SnapshotStore:
     ) -> LoadedState:
         """Restore the complete ingested state saved under ``fingerprint``.
 
-        ``obs`` is bound to the restored retriever (telemetry only; it
-        does not affect the restored data).
+        A base snapshot restores directly; a delta layer restores its
+        whole chain (base first, then each layer's increment replayed
+        through the same incremental paths ``add_source`` used).  ``obs``
+        is bound to the restored retriever (telemetry only; it does not
+        affect the restored data).
 
         Raises:
-            SnapshotError: if no snapshot exists for ``fingerprint``, the
-                artifact is corrupt or incomplete, or it was written by
-                an incompatible snapshot format version.
+            SnapshotError: if no snapshot exists for ``fingerprint``, any
+                layer of its chain is missing or corrupt (the error names
+                the broken layer), or it was written by an incompatible
+                snapshot format version.
         """
-        snap_dir = self._dir(fingerprint)
-        manifest = self._read_json(snap_dir / "manifest.json", fingerprint)
-        version = manifest.get("format_version")
-        if version != SNAPSHOT_FORMAT_VERSION:
-            raise SnapshotError(
-                f"snapshot {fingerprint} has format version {version!r}; "
-                f"this build reads version {SNAPSHOT_FORMAT_VERSION}"
-            )
+        manifests = self.chain(fingerprint)
+        base_manifest = manifests[0]
+        layer_manifests = manifests[1:]
 
-        graph_doc = self._read_json(snap_dir / "graph.json", fingerprint)
-        graph, triples = self._restore_graph(graph_doc, fingerprint)
+        # Validate and decode every layer payload *before* touching any
+        # state: a corrupt middle layer must fail the whole load, never
+        # yield a partially replayed graph.
+        layers: list[dict[str, Any]] = []
+        for manifest in layer_manifests:
+            fp = str(manifest.get("fingerprint", ""))
+            doc = self._read_json(self._dir(fp) / "layer.json", fp)
+            try:
+                layer_triples = self._triples_from_cols(doc["triples"])
+                layer_chunks = [
+                    self._chunk_from_doc(c) for c in doc["chunks"]
+                ]
+                record_doc = doc.get("record")
+                record = (
+                    NormalizedRecord.from_dict(record_doc)
+                    if record_doc is not None else None
+                )
+                history_doc = doc["history"]
+            except (IndexError, KeyError, TypeError) as exc:
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: corrupt layer {fp}: {exc!r}"
+                ) from exc
+            layers.append({
+                "fingerprint": fp,
+                "manifest": manifest,
+                "triples": layer_triples,
+                "chunks": layer_chunks,
+                "record": record,
+                "history": history_doc,
+            })
+
+        state = self._load_base(base_manifest, obs=obs)
+        if not layers:
+            return state
+
+        fusion = state.fusion
+        graph = fusion.graph
+        descriptors = list(state.sources)
+        for layer in layers:
+            fp = layer["fingerprint"]
+            manifest = layer["manifest"]
+            layer_triples = layer["triples"]
+            try:
+                graph.bulk_append(layer_triples)
+            except GraphError as exc:
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: layer {fp} does not extend "
+                    f"its base: {exc}"
+                ) from exc
+            for t in layer_triples:
+                if not graph.has_entity(t.subject):
+                    graph.add_entity(Entity(eid=t.subject, name=t.subject))
+                graph.entity(t.subject).add_attribute(t.predicate, t.obj)
+            if layer["record"] is not None:
+                fusion.records.append(layer["record"])
+            fusion.chunks.extend(layer["chunks"])
+            fusion.extraction_calls += int(manifest.get("extraction_calls", 0))
+            if state.mlg is not None:
+                state.mlg.add_triples(layer_triples)
+            source_doc = manifest.get("source")
+            if isinstance(source_doc, dict):
+                try:
+                    descriptors.append(SourceDescriptor.from_doc(source_doc))
+                except KeyError as exc:
+                    raise SnapshotError(
+                        f"snapshot {fingerprint}: layer {fp} has a "
+                        f"malformed source descriptor: missing {exc}"
+                    ) from exc
+
+        # One index rebuild over the fused corpus — the same final state
+        # add_source's per-call rebuilds converge to.
+        state.retriever.add_chunks(
+            [c for layer in layers for c in layer["chunks"]]
+        )
+        state.retriever.build()
+        state.history = HistoryStore().restore_state(layers[-1]["history"])
+
+        tip_manifest = layers[-1]["manifest"]
+        state.fingerprint = fingerprint
+        state.mlg_stats = dict(tip_manifest.get("mlg_stats", {}))
+        state.sources = descriptors
+        state.num_layers = len(layers)
+        return state
+
+    def _load_base(
+        self, manifest: dict[str, Any], obs: Observability | None = None
+    ) -> LoadedState:
+        """Restore one base snapshot from its (already read) manifest.
+
+        Raises:
+            SnapshotError: if the artifact is corrupt or incomplete.
+        """
+        fingerprint = str(manifest.get("fingerprint", ""))
+        snap_dir = self._dir(fingerprint)
+        n_shards = int(manifest.get("n_shards", 1))
+
+        graph, triples = self._restore_graph(snap_dir, fingerprint, n_shards)
 
         records = [
             NormalizedRecord.from_dict(doc)
             for doc in self._read_json(snap_dir / "records.json", fingerprint)
         ]
         chunks = [
-            Chunk(
-                chunk_id=doc["chunk_id"],
-                source_id=doc["source_id"],
-                doc_id=doc["doc_id"],
-                seq=int(doc["seq"]),
-                text=doc["text"],
-                meta=tuple(tuple(pair) for pair in doc.get("meta", [])),
-            )
+            self._chunk_from_doc(doc)
             for doc in self._read_json(snap_dir / "chunks.json", fingerprint)
         ]
         fusion = FusionResult(
@@ -380,7 +820,7 @@ class SnapshotStore:
         retriever.restore_state(chunks, retriever_state, matrix, idf)
 
         mlg, mlg_stats = self._restore_mlg(
-            snap_dir, fingerprint, graph, triples, manifest
+            snap_dir, fingerprint, graph, triples, manifest, n_shards
         )
 
         history = HistoryStore().restore_state(
@@ -393,6 +833,16 @@ class SnapshotStore:
                 snap_dir / "llm_cache.json", fingerprint
             )
 
+        sources: list[SourceDescriptor] = []
+        for doc in manifest.get("sources", []):
+            try:
+                sources.append(SourceDescriptor.from_doc(doc))
+            except (KeyError, TypeError) as exc:
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: malformed source descriptor "
+                    f"in manifest: {exc!r}"
+                ) from exc
+
         return LoadedState(
             fingerprint=fingerprint,
             fusion=fusion,
@@ -401,42 +851,54 @@ class SnapshotStore:
             history=history,
             llm_cache=llm_cache,
             mlg_stats=dict(manifest.get("mlg_stats", {})),
+            sources=sources,
+            num_layers=0,
         )
 
-    @staticmethod
     def _restore_graph(
-        graph_doc: dict[str, Any], fingerprint: str
+        self, snap_dir: Path, fingerprint: str, n_shards: int
     ) -> tuple[KnowledgeGraph, list[Triple]]:
-        """Decode the columnar triple arrays and bulk-load the graph.
+        """Merge the per-shard triple files and bulk-load the graph.
 
-        The serialized order is the saving graph's insertion order, so
+        Each shard file carries its triples' global insertion indexes;
+        scattering every shard's triples into one list by index restores
+        the saving graph's exact insertion order, so
         :meth:`KnowledgeGraph.bulk_restore` reproduces every secondary
-        index exactly without re-running per-triple deduplication.
+        index without re-running per-triple deduplication.
+
+        Raises:
+            SnapshotError: if any shard file or the meta file is missing
+                or corrupt (the error names the file).
         """
+        meta = self._read_json(snap_dir / "graph-meta.json", fingerprint)
         try:
-            cols = graph_doc.get("triples") or {
-                "subject": [], "predicate": [], "obj": [], "prov_id": [],
-            }
-            provs = [
-                Provenance(
-                    source_id=row[0], domain=row[1], fmt=row[2],
-                    chunk_id=row[3], record_id=row[4], observed_at=row[5],
-                )
-                for row in graph_doc.get("prov_table", [])
-            ]
-            triples = [
-                Triple(s, p, o, provs[pid] if pid >= 0 else None)
-                for s, p, o, pid in zip(
-                    cols["subject"], cols["predicate"], cols["obj"],
-                    cols["prov_id"],
-                )
-            ]
+            num_triples = int(meta["num_triples"])
             entities = [
-                Entity.from_dict(edoc) for edoc in graph_doc.get("entities", [])
+                Entity.from_dict(edoc) for edoc in meta.get("entities", [])
             ]
-            graph = KnowledgeGraph(name=graph_doc.get("name", "fused"))
+            merged: list[Triple | None] = [None] * num_triples
+            for shard in range(n_shards):
+                shard_name = f"graph-shard-{shard:02d}.json"
+                cols = self._read_json(snap_dir / shard_name, fingerprint)
+                shard_triples = self._triples_from_cols(cols)
+                for idx, triple in zip(cols["idx"], shard_triples):
+                    merged[idx] = triple
+            if any(t is None for t in merged):
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: graph shard files do not "
+                    f"cover all {num_triples} triples"
+                )
+            triples: list[Triple] = merged  # type: ignore[assignment]
+            if n_shards > 1:
+                graph: KnowledgeGraph = ShardedKnowledgeGraph(
+                    name=meta.get("name", "fused"), n_shards=n_shards
+                )
+            else:
+                graph = KnowledgeGraph(name=meta.get("name", "fused"))
             graph.bulk_restore(triples, entities)
-        except (GraphError, IndexError, KeyError, TypeError) as exc:
+        except (GraphError, IndexError, KeyError, TypeError, ValueError) as exc:
+            # SnapshotError (raised by _read_json and the coverage check)
+            # is not in this tuple, so it propagates with its own message.
             raise SnapshotError(
                 f"snapshot {fingerprint}: corrupt graph serialization: {exc!r}"
             ) from exc
@@ -449,47 +911,66 @@ class SnapshotStore:
         graph: KnowledgeGraph,
         triples: list[Triple],
         manifest: dict[str, Any],
+        n_shards: int,
     ) -> tuple[MultiSourceLineGraph | None, dict[str, float]]:
-        doc = self._read_json(snap_dir / "mlg.json", fingerprint)
-        if not doc.get("enabled"):
+        """Merge the per-shard group files back into global group order.
+
+        Raises:
+            SnapshotError: if any shard file or the meta file is missing
+                or corrupt.
+        """
+        meta = self._read_json(snap_dir / "mlg-meta.json", fingerprint)
+        if not meta.get("enabled"):
             return None, {}
         try:
-            member_idx = doc["member_idx"]
-            member_off = doc["member_off"]
-            weight_idx = doc["weight_idx"]
-            weight_val = doc["weight_val"]
-            weight_off = doc["weight_off"]
-            groups = []
-            for gi, (key, sdoc) in enumerate(zip(doc["keys"], doc["snodes"])):
-                snode = HomologousNode(
-                    name=sdoc[0],
-                    entity=sdoc[1],
-                    meta=dict(sdoc[2]),
-                    num=int(sdoc[3]),
-                    confidence=sdoc[4],
+            num_groups = int(meta["num_groups"])
+            merged: list[HomologousGroup | None] = [None] * num_groups
+            for shard in range(n_shards):
+                shard_name = f"mlg-shard-{shard:02d}.json"
+                doc = self._read_json(snap_dir / shard_name, fingerprint)
+                member_idx = doc["member_idx"]
+                member_off = doc["member_off"]
+                weight_idx = doc["weight_idx"]
+                weight_val = doc["weight_val"]
+                weight_off = doc["weight_off"]
+                for gi, (pos, key, sdoc) in enumerate(zip(
+                    doc["order"], doc["keys"], doc["snodes"]
+                )):
+                    snode = HomologousNode(
+                        name=sdoc[0],
+                        entity=sdoc[1],
+                        meta=dict(sdoc[2]),
+                        num=int(sdoc[3]),
+                        confidence=sdoc[4],
+                    )
+                    members = [
+                        triples[i]
+                        for i in member_idx[member_off[gi]:member_off[gi + 1]]
+                    ]
+                    group = HomologousGroup(
+                        key=(key[0], key[1]), snode=snode, members=members
+                    )
+                    weights = group.weights
+                    for i, w in zip(
+                        weight_idx[weight_off[gi]:weight_off[gi + 1]],
+                        weight_val[weight_off[gi]:weight_off[gi + 1]],
+                    ):
+                        weights[triples[i]] = float(w)
+                    merged[pos] = group
+            if any(g is None for g in merged):
+                raise SnapshotError(
+                    f"snapshot {fingerprint}: MLG shard files do not "
+                    f"cover all {num_groups} groups"
                 )
-                members = [
-                    triples[i]
-                    for i in member_idx[member_off[gi]:member_off[gi + 1]]
-                ]
-                group = HomologousGroup(
-                    key=(key[0], key[1]), snode=snode, members=members
-                )
-                weights = group.weights
-                for i, w in zip(
-                    weight_idx[weight_off[gi]:weight_off[gi + 1]],
-                    weight_val[weight_off[gi]:weight_off[gi + 1]],
-                ):
-                    weights[triples[i]] = float(w)
-                groups.append(group)
-            isolated = [triples[i] for i in doc["isolated"]]
-        except (IndexError, KeyError, TypeError) as exc:
+            groups: list[HomologousGroup] = merged  # type: ignore[assignment]
+            isolated = [triples[i] for i in meta["isolated"]]
+        except (IndexError, KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(
                 f"snapshot {fingerprint}: corrupt MLG serialization: {exc!r}"
             ) from exc
         mlg = MultiSourceLineGraph.restore(
             graph,
-            min_sources=int(doc.get("min_sources", 2)),
+            min_sources=int(meta.get("min_sources", 2)),
             groups=groups,
             isolated=isolated,
         )

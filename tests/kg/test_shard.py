@@ -1,0 +1,145 @@
+"""Sharded knowledge-graph partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.kg import KnowledgeGraph, ShardedKnowledgeGraph, partition_indices, shard_of
+from repro.kg.triple import Provenance, Triple
+
+
+def _triple(subject, obj, source="s1"):
+    return Triple(
+        subject, "related_to", obj,
+        Provenance(source_id=source, domain="test", fmt="csv"),
+    )
+
+
+class TestShardOf:
+    def test_deterministic(self):
+        assert shard_of("Inception", 4) == shard_of("Inception", 4)
+
+    def test_in_range(self):
+        for entity in ("a", "b", "Christopher Nolan", "", "日本"):
+            for n in (1, 2, 4, 7):
+                assert 0 <= shard_of(entity, n) < n
+
+    def test_single_shard_short_circuits(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_spreads_entities(self):
+        shards = {shard_of(f"entity-{i}", 4) for i in range(100)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_invalid_count(self):
+        with pytest.raises(GraphError):
+            shard_of("x", 0)
+
+
+class TestPartitionIndices:
+    def test_partitions_cover_all_indices(self):
+        subjects = [f"e{i}" for i in range(50)]
+        buckets = partition_indices(subjects, 4)
+        assert len(buckets) == 4
+        assert sorted(i for b in buckets for i in b) == list(range(50))
+
+    def test_buckets_are_ascending(self):
+        subjects = [f"e{i}" for i in range(50)]
+        for bucket in partition_indices(subjects, 4):
+            assert bucket == sorted(bucket)
+
+    def test_matches_shard_of(self):
+        subjects = [f"e{i}" for i in range(30)]
+        buckets = partition_indices(subjects, 3)
+        for shard, bucket in enumerate(buckets):
+            for idx in bucket:
+                assert shard_of(subjects[idx], 3) == shard
+
+
+class TestShardedKnowledgeGraph:
+    def test_behaves_like_knowledge_graph(self):
+        plain = KnowledgeGraph(name="g")
+        sharded = ShardedKnowledgeGraph(name="g", n_shards=4)
+        triples = [_triple(f"e{i}", f"v{i}") for i in range(20)]
+        for t in triples:
+            assert plain.add_triple(t) == sharded.add_triple(t)
+        assert list(plain.triples()) == list(sharded.triples())
+        assert len(plain) == len(sharded)
+
+    def test_shard_column_tracks_subjects(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=4)
+        triples = [_triple(f"e{i}", f"v{i}") for i in range(20)]
+        for t in triples:
+            graph.add_triple(t)
+        assert graph.shard_ids() == [
+            shard_of(t.subject, 4) for t in triples
+        ]
+
+    def test_shard_sizes_sum_to_len(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=4)
+        for i in range(20):
+            graph.add_triple(_triple(f"e{i}", f"v{i}"))
+        assert sum(graph.shard_sizes()) == len(graph) == 20
+
+    def test_shard_items_partition(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=3)
+        triples = [_triple(f"e{i}", f"v{i}") for i in range(12)]
+        for t in triples:
+            graph.add_triple(t)
+        seen = []
+        for shard in range(3):
+            for idx, t in graph.shard_items(shard):
+                assert triples[idx] == t
+                assert shard_of(t.subject, 3) == shard
+                seen.append(idx)
+        assert sorted(seen) == list(range(12))
+
+    def test_shard_items_out_of_range(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=2)
+        with pytest.raises(GraphError):
+            list(graph.shard_items(2))
+
+    def test_bulk_restore_recomputes_column(self):
+        triples = [_triple(f"e{i}", f"v{i}") for i in range(10)]
+        graph = ShardedKnowledgeGraph(name="g", n_shards=4)
+        graph.bulk_restore(triples)
+        assert graph.shard_ids() == [shard_of(t.subject, 4) for t in triples]
+
+    def test_bulk_append_extends_column(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=4)
+        graph.bulk_restore([_triple(f"e{i}", f"v{i}") for i in range(5)])
+        extra = [_triple(f"x{i}", f"y{i}") for i in range(5)]
+        graph.bulk_append(extra)
+        assert len(graph) == 10
+        assert graph.shard_ids()[5:] == [shard_of(t.subject, 4) for t in extra]
+
+    def test_bulk_append_rejects_duplicate(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=2)
+        t = _triple("e", "v")
+        graph.bulk_restore([t])
+        with pytest.raises(GraphError):
+            graph.bulk_append([t])
+
+    def test_fresh_like_preserves_shape(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=8)
+        graph.add_triple(_triple("e", "v"))
+        fresh = graph.fresh_like()
+        assert isinstance(fresh, ShardedKnowledgeGraph)
+        assert fresh.n_shards == 8
+        assert fresh.name == "g"
+        assert len(fresh) == 0
+
+    def test_plain_fresh_like(self):
+        graph = KnowledgeGraph(name="g")
+        fresh = graph.fresh_like()
+        assert type(fresh) is KnowledgeGraph
+        assert len(fresh) == 0
+
+    def test_stats_reports_shards(self):
+        graph = ShardedKnowledgeGraph(name="g", n_shards=4)
+        assert graph.stats()["shards"] == 4
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(GraphError):
+            ShardedKnowledgeGraph(name="g", n_shards=0)

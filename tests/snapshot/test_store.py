@@ -182,8 +182,10 @@ class TestCorruption:
 
     def test_truncated_json(self, corpus, tmp_path):
         store, fp, snap_dir = self._snapshot_dir(corpus, tmp_path)
-        payload = (snap_dir / "graph.json").read_text()
-        (snap_dir / "graph.json").write_text(payload[: len(payload) // 2])
+        payload = (snap_dir / "graph-shard-00.json").read_text()
+        (snap_dir / "graph-shard-00.json").write_text(
+            payload[: len(payload) // 2]
+        )
         with pytest.raises(SnapshotError, match="corrupt"):
             store.load(fp)
 
@@ -201,9 +203,15 @@ class TestCorruption:
 
     def test_out_of_range_mlg_member(self, corpus, tmp_path):
         store, fp, snap_dir = self._snapshot_dir(corpus, tmp_path)
-        doc = json.loads((snap_dir / "mlg.json").read_text())
-        doc["member_idx"][0] = 10**9
-        (snap_dir / "mlg.json").write_text(json.dumps(doc))
+        # find a shard file that actually holds a group with members
+        for shard_file in sorted(snap_dir.glob("mlg-shard-*.json")):
+            doc = json.loads(shard_file.read_text())
+            if doc["member_idx"]:
+                doc["member_idx"][0] = 10**9
+                shard_file.write_text(json.dumps(doc))
+                break
+        else:
+            pytest.fail("no MLG shard file with members found")
         with pytest.raises(SnapshotError, match="MLG"):
             store.load(fp)
 

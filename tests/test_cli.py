@@ -321,3 +321,78 @@ class TestTraceTools:
     def test_no_file_and_no_diff_errors(self, capsys):
         assert main(["trace"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSnapshotSubcommand:
+    @pytest.fixture()
+    def store_dir(self, corpus, tmp_path, capsys):
+        snaps = tmp_path / "snaps"
+        assert main(["ingest", str(corpus), "--snapshot", str(snaps)]) == 0
+        capsys.readouterr()
+        return snaps
+
+    def _only_fingerprint(self, store_dir):
+        names = [p.name for p in store_dir.iterdir()
+                 if not p.name.startswith(".")]
+        assert len(names) == 1
+        return names[0]
+
+    def test_list_shows_fingerprint_and_kind(self, store_dir, capsys):
+        assert main(["snapshot", "list", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert self._only_fingerprint(store_dir)[:16] in out
+        assert "base" in out
+        assert "layers" in out
+
+    def test_inspect_prints_chain_json(self, store_dir, capsys):
+        fp = self._only_fingerprint(store_dir)
+        assert main(["snapshot", "inspect", str(store_dir), fp]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fingerprint"] == fp
+        assert doc["layers"] == 0
+        assert doc["size_bytes"] > 0
+        assert doc["chain"][0]["kind"] == "base"
+
+    def test_inspect_unknown_fingerprint_errors(self, store_dir, capsys):
+        assert main(["snapshot", "inspect", str(store_dir), "feedc0de"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_accepts_listed_prefix(self, store_dir, capsys):
+        """The 16-char abbreviation ``snapshot list`` prints resolves."""
+        fp = self._only_fingerprint(store_dir)
+        assert main(["snapshot", "inspect", str(store_dir), fp[:16]]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fingerprint"] == fp
+
+    def test_ambiguous_prefix_errors(self, store_dir, capsys):
+        fp = self._only_fingerprint(store_dir)
+        decoy = store_dir / (fp[:8] + "0" * (len(fp) - 8))
+        decoy.mkdir()
+        (decoy / "manifest.json").write_text("{}")
+        assert main(["snapshot", "inspect", str(store_dir), fp[:8]]) == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_gc_prunes_work_dirs(self, store_dir, capsys):
+        (store_dir / ".old.stale").mkdir()
+        (store_dir / ".tmp.stale").mkdir()
+        fp = self._only_fingerprint(store_dir)
+        assert main(["snapshot", "gc", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2" in out
+        assert not (store_dir / ".old.stale").exists()
+        assert (store_dir / fp).exists()
+
+    def test_gc_clean_store(self, store_dir, capsys):
+        assert main(["snapshot", "gc", str(store_dir)]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_compact_base_is_idempotent(self, store_dir, corpus, capsys):
+        fp = self._only_fingerprint(store_dir)
+        assert main(["snapshot", "compact", str(store_dir), fp]) == 0
+        assert "compacted" in capsys.readouterr().out
+        # the compacted snapshot still warm-loads
+        assert main(["ingest", str(corpus), "--snapshot", str(store_dir)]) == 0
+        assert "warm-loaded" in capsys.readouterr().err
+
+    def test_ingest_jobs_flag(self, corpus, tmp_path, capsys):
+        assert main(["ingest", str(corpus), "--jobs", "4"]) == 0
